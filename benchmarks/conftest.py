@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures/tables on the
+deterministic simulator and prints the rows; pytest-benchmark reports
+the harness's wall-clock cost. Shape assertions (who wins, by what
+factor) run on the returned rows, so a benchmark run is also a
+reproduction check.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its rows."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

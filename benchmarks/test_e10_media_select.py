@@ -1,0 +1,20 @@
+"""E10 — fastest-shared-medium routing vs plain IP (§5.3)."""
+
+from repro.bench.e10_media import media_selection
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e10_media_selection(benchmark):
+    rows = run_once(benchmark, media_selection)
+    print_table("E10: bulk transfer under each routing policy", rows)
+    by_policy = {r["policy"]: r for r in rows}
+    snipe = by_policy["snipe"]
+    plain = by_policy["default-ip"]
+    # SNIPE shops for the fastest shared medium: the Myrinet SAN.
+    assert snipe["segment_used"] == "myr"
+    # Plain IP stays on the first-configured interface (Ethernet).
+    assert plain["segment_used"] == "eth"
+    # The payoff is roughly the media ratio (~13x here; accept >5x).
+    assert snipe["mbps"] > 5.0 * plain["mbps"]

@@ -1,0 +1,19 @@
+"""E2 — MPI_Connect vs PVMPI point-to-point performance (§6.1)."""
+
+from repro.bench.e2_mpiconnect import mpiconnect_vs_pvmpi, summarize_speedup
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e2_mpiconnect_vs_pvmpi(benchmark):
+    rows = run_once(benchmark, mpiconnect_vs_pvmpi,
+                    sizes=[1_024, 16_384, 131_072, 1_048_576], n_msgs=3)
+    print_table("E2: inter-MPP ping-pong", rows)
+    speedups = summarize_speedup(rows)
+    print_table("E2: MPI_Connect speedup over PVMPI", speedups)
+    for row in speedups:
+        # "Slightly higher point-to-point communication performance":
+        # MPI_Connect wins at every size, by a modest factor (<2x).
+        assert row["speedup"] > 1.0, f"size {row['size']}: PVMPI won?!"
+        assert row["speedup"] < 2.0, f"size {row['size']}: gap implausibly large"

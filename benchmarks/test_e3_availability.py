@@ -1,0 +1,19 @@
+"""E3 — availability through replication (§6's testbed observation)."""
+
+from repro.bench.e3_availability import availability_vs_replicas
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e3_availability(benchmark):
+    rows = run_once(benchmark, availability_vs_replicas, horizon=1_000.0)
+    print_table("E3: metadata availability vs replica count", rows)
+    by_k = {r["replicas"]: r for r in rows}
+    # One server tracks raw host uptime (within a few points).
+    assert abs(by_k[1]["availability"] - by_k[1]["host_uptime"]) < 0.12
+    # Replication lifts availability monotonically toward "almost
+    # perfect" (>99.5 % at five replicas under this failure load).
+    assert by_k[3]["availability"] > by_k[1]["availability"]
+    assert by_k[5]["availability"] >= by_k[3]["availability"]
+    assert by_k[5]["availability"] > 0.995

@@ -1,0 +1,25 @@
+"""E4 — centralized vs redundant resource management (§2.2)."""
+
+from repro.bench.e4_rm import rm_scalability
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e4_rm_scalability(benchmark):
+    rows = run_once(benchmark, rm_scalability,
+                    n_hosts=8, rates=(20.0, 90.0), rm_counts=(1, 4), window=10.0)
+    print_table("E4: spawn throughput/latency vs offered load", rows)
+    low = {r["system"]: r for r in rows if r["offered_rate"] == 20.0}
+    high = {r["system"]: r for r in rows if r["offered_rate"] == 90.0}
+    # Below capacity everyone keeps up with comparable latency.
+    for r in low.values():
+        assert r["throughput"] >= 19.0
+        assert r["mean_latency_ms"] < 100
+    # Past one server's capacity (50 req/s): the centralized systems
+    # saturate — PVM sheds load and/or latency explodes; so does a single
+    # SNIPE RM. Four redundant RMs keep latency flat.
+    assert high["pvm"]["failed"] > 0 or high["pvm"]["mean_latency_ms"] > 1_000
+    assert high["snipe/1rm"]["mean_latency_ms"] > 1_000
+    assert high["snipe/4rm"]["mean_latency_ms"] < 200
+    assert high["snipe/4rm"]["throughput"] > 85.0

@@ -1,0 +1,19 @@
+"""E5 — master-host failure: PVM dies, SNIPE degrades gracefully (§2.2)."""
+
+from repro.bench.e5_master import master_failure
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e5_master_failure(benchmark):
+    rows = run_once(benchmark, master_failure)
+    print_table("E5: operation success rate around the critical-host crash", rows)
+    by_key = {(r["system"], r["phase"]): r["success_rate"] for r in rows}
+    # Both healthy before.
+    assert by_key[("pvm", "before")] == 1.0
+    assert by_key[("snipe", "before")] == 1.0
+    # "PVM can tolerate slave failures but not failure of its master."
+    assert by_key[("pvm", "after")] == 0.0
+    # SNIPE has no master: killing an RC+RM host leaves it fully usable.
+    assert by_key[("snipe", "after")] >= 0.95

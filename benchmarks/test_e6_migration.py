@@ -1,0 +1,22 @@
+"""E6 — zero message loss across process migration (§5.6)."""
+
+from repro.bench.e6_migration import migration_loss
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e6_migration_zero_loss(benchmark):
+    rows = run_once(benchmark, migration_loss, hop_counts=(0, 1, 2, 3))
+    print_table("E6: message accounting across migrations", rows)
+    for row in rows:
+        # The §5.6 guarantee, verbatim: no loss, and our sequence-number
+        # dedup also forbids duplicates; delivery stays in order.
+        assert row["lost"] == 0, f"{row['hops']} hops lost messages"
+        assert row["duplicated"] == 0
+        assert row["reordered"] == 0
+        assert row["received"] == row["sent"]
+    # Migration costs a bounded pause, not a stall: under 2 s here.
+    for row in rows:
+        if row["hops"] > 0:
+            assert 0 < row["max_pause_ms"] < 2_000

@@ -1,0 +1,31 @@
+"""E7 — multicast majority registration vs single-router baseline (§5.4)."""
+
+from repro.bench.e7_mcast import mcast_fault_tolerance, router_density_ablation
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e7_multicast_fault_tolerance(benchmark):
+    rows = run_once(benchmark, mcast_fault_tolerance, router_kills=(0, 1))
+    print_table("E7: delivery rate with dead routers", rows)
+    by_key = {(r["mode"], r["killed"]): r["delivery_rate"] for r in rows}
+    # No failures: both disciplines deliver to everyone.
+    assert by_key[("majority", 0)] == 1.0
+    assert by_key[("single", 0)] == 1.0
+    # Minority router failure: majority registration guarantees a path
+    # ("at least one path from the sending process to each recipient");
+    # the single-registration baseline goes dark.
+    assert by_key[("majority", 1)] == 1.0
+    assert by_key[("single", 1)] == 0.0
+
+
+def test_e7_ablation_router_density(benchmark):
+    rows = run_once(benchmark, router_density_ablation, n_members=8)
+    print_table("E7 ablation: election density vs relay cost", rows)
+    by_density = {r["min_routers"]: r for r in rows}
+    # Everyone still hears the message at every density...
+    for r in rows:
+        assert r["delivered"] == 7
+    # ...but more routers mean more relay work.
+    assert by_density[5]["relay_ops"] >= by_density[1]["relay_ops"]

@@ -1,0 +1,26 @@
+"""E8 — transparent route failover under link failure (§6)."""
+
+from repro.bench.e8_failover import failover_timeline
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e8_failover(benchmark):
+    result = run_once(benchmark, failover_timeline)
+    print_table("E8: summary", result["summary"])
+    # Show the throughput timeline around the cut for the report.
+    cut_window = [r for r in result["timeline"] if 0.0 <= r["t"] <= 0.6]
+    print_table("E8: throughput timeline (MB/s per 50 ms window)", cut_window)
+    summary = {r["policy"]: r for r in result["summary"]}
+    multi = summary["snipe-multipath"]
+    single = summary["single-interface"]
+    # Multipath completes the whole transfer despite the cut, with a
+    # bounded stall and at least one route switch — "without user
+    # applications intervention".
+    assert multi["completed"] is True
+    assert multi["route_switches"] >= 1
+    assert multi["failover_gap_ms"] < 1_000
+    # The single-interface baseline dies with its link.
+    assert single["completed"] is False
+    assert single["delivered_mb"] < multi["delivered_mb"]

@@ -1,0 +1,33 @@
+"""E9 — master–master vs single-master metadata updates (§7)."""
+
+from repro.bench.e9_rc import anti_entropy_ablation, rc_update_scaling
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e9_rc_scalability(benchmark):
+    rows = run_once(benchmark, rc_update_scaling,
+                    replica_counts=(1, 4), n_writers=8, window=10.0)
+    print_table("E9: update throughput vs replica count", rows)
+    by_key = {(r["model"], r["replicas"]): r for r in rows}
+    mm1 = by_key[("master-master", 1)]
+    mm4 = by_key[("master-master", 4)]
+    sm1 = by_key[("single-master", 1)]
+    sm4 = by_key[("single-master", 4)]
+    # "A true master-master update data model … inherently more
+    # scalable": write throughput grows with replicas (>2x at 4).
+    assert mm4["throughput"] > 2.0 * mm1["throughput"]
+    # The LDAP/MDS-style single master gains nothing from extra replicas.
+    assert sm4["throughput"] < 1.2 * sm1["throughput"]
+    # And master-master write latency at 4 replicas beats the saturated
+    # single master.
+    assert mm4["mean_latency_ms"] < sm4["mean_latency_ms"]
+
+
+def test_e9_ablation_anti_entropy(benchmark):
+    rows = run_once(benchmark, anti_entropy_ablation)
+    print_table("E9 ablation: anti-entropy period vs propagation", rows)
+    by_interval = {r["sync_interval"]: r["propagation_s"] for r in rows}
+    # Propagation delay tracks the gossip period.
+    assert by_interval[0.2] < by_interval[1.0] < by_interval[5.0]

@@ -1,0 +1,58 @@
+"""E1 / Fig. 1 — bandwidth offered to SNIPE clients on various media."""
+
+from repro.bench.fig1 import fig1_bandwidth, srudp_window_ablation
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+SIZES = [16_384, 131_072, 1_048_576, 4_194_304]
+
+
+def test_fig1_bandwidth(benchmark):
+    rows = run_once(benchmark, fig1_bandwidth, sizes=SIZES)
+    print_table("Fig. 1: bandwidth (MB/s) vs message size", rows,
+                ["series", "size", "mbps"])
+
+    def series(name):
+        return {r["size"]: r["mbps"] for r in rows if r["series"] == name}
+
+    srudp_eth = series("srudp/ethernet-100")
+    tcp_eth = series("tcp/ethernet-100")
+    srudp_atm = series("srudp/atm-155")
+    mcast = series("mcast/ethernet-100")
+    big = SIZES[-1]
+    # Shape 1: throughput rises with message size on every series.
+    assert srudp_eth[big] > srudp_eth[SIZES[0]]
+    # Shape 2: large messages approach (but don't exceed) the media
+    # ceilings: 12.5 MB/s Ethernet line rate, ~17.6 MB/s ATM after the
+    # cell tax. The 1997 testbed showed the same saturation behaviour.
+    assert 10.5 < srudp_eth[big] < 12.2
+    assert 15.0 < srudp_atm[big] < 17.6
+    # Shape 3: ATM beats Ethernet; SRUDP >= TCP at the small end (less
+    # header + no handshake).
+    assert srudp_atm[big] > srudp_eth[big]
+    assert srudp_eth[SIZES[0]] >= tcp_eth[SIZES[0]]
+    # Shape 4: multicast tracks unicast Ethernet within ~15 %.
+    assert mcast[big] > 0.85 * srudp_eth[big]
+
+
+def test_fig1_ablation_srudp_window(benchmark):
+    rows = run_once(benchmark, srudp_window_ablation)
+    print_table("Ablation: SRUDP window on a satellite link", rows)
+    by_window = {r["window"]: r["mbps"] for r in rows}
+    # Small windows stall on the bandwidth-delay product; large flatten.
+    assert by_window[4] < by_window[64]
+    assert by_window[256] >= 0.95 * by_window[64]
+
+
+def test_fig1_ablation_multicast_fanout(benchmark):
+    from repro.bench.fig1 import multicast_fanout_ablation
+
+    rows = run_once(benchmark, multicast_fanout_ablation,
+                    receiver_counts=(1, 4, 8), size=524_288)
+    print_table("Ablation: multicast vs N sequential unicasts", rows)
+    by_n = {r["receivers"]: r for r in rows}
+    # Unicast cost grows ~linearly with receivers; multicast stays ~flat.
+    assert by_n[8]["unicast_s"] > 6.0 * by_n[1]["unicast_s"]
+    assert by_n[8]["mcast_s"] < 2.0 * by_n[1]["mcast_s"]
+    assert by_n[8]["speedup"] > 4.0

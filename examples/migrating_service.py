@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""A long-lived stateful service that moves around the metacomputer.
+
+Demonstrates the §5.6 machinery end to end:
+
+1. a counter service runs on h1 while clients address it purely by URN;
+2. it migrates itself to h2 **mid-conversation** — no request is lost,
+   the counter keeps its value (zero-loss migration);
+3. it checkpoints to the replicated file service;
+4. its host then crashes without warning — and the service is restarted
+   on h3 from the checkpoint, same URN, clients none the wiser.
+
+Run:  python examples/migrating_service.py
+"""
+
+from repro.core import SnipeEnvironment
+from repro.core.checkpoint import checkpoint_lifn, checkpoint_to_files, restart_from_files
+from repro.daemon import TaskSpec, TaskState
+
+TOTAL_REQUESTS = 30
+
+
+def main() -> None:
+    env = SnipeEnvironment.lan_site(n_hosts=5, n_fs=2, seed=42)
+    served_at = []
+
+    @env.program("counter-service")
+    def counter_service(ctx, quota):
+        """Serves 'incr' requests; migrates at 10; checkpoints at 20."""
+        count = ctx.checkpoint_state.get("count", 0)
+        print(f"[{ctx.sim.now:6.2f}s] counter service live on "
+              f"{ctx.host.name} (count={count})")
+        while count < quota:
+            msg = yield ctx.recv(tag="incr")
+            count += 1
+            ctx.checkpoint_state["count"] = count
+            served_at.append((count, ctx.host.name))
+            yield ctx.send(msg.src_urn, count, tag="count")
+            if count == 10 and ctx.host.name == "h1":
+                print(f"[{ctx.sim.now:6.2f}s] migrating h1 -> h2 (count={count})")
+                if (yield ctx.migrate("h2")):
+                    return "migrated"
+            if count == 20:
+                lifn = yield checkpoint_to_files(ctx)
+                print(f"[{ctx.sim.now:6.2f}s] checkpointed to {lifn}")
+        return count
+
+    @env.program("client")
+    def client(ctx, service_urn, target):
+        """Drives the counter until it reports *target*.
+
+        A checkpoint restart rewinds the service a few increments (work
+        done after the last checkpoint is lost — the end-to-end price of
+        recovery); the client simply keeps asking until the job is done.
+        """
+        last = 0
+        while last < target:
+            yield ctx.send(service_urn, None, tag="incr")
+            reply = yield ctx.recv(tag="count")
+            last = max(last, reply.payload)
+            yield ctx.sleep(0.4)
+        return last
+
+    service = env.spawn(
+        TaskSpec(program="counter-service", params={"quota": TOTAL_REQUESTS}), on="h1"
+    )
+    env.settle(0.5)
+    env.spawn(TaskSpec(program="client",
+                       params={"service_urn": service.urn, "target": TOTAL_REQUESTS}),
+              on="h4")
+
+    # Let it migrate (at 10) and checkpoint (at 20), then kill its host.
+    env.settle(10.0)
+    assert env.daemons["h2"].tasks[service.urn].state == TaskState.RUNNING
+    count_now = max(c for c, _ in served_at)
+    print(f"[{env.sim.now:6.2f}s] killing h2 with the service mid-flight "
+          f"(count={count_now})")
+    env.topology.hosts["h2"].crash()
+    env.settle(1.0)
+
+    # Disaster recovery: restart from the checkpoint on h3.
+    urn = env.run(
+        until=restart_from_files(
+            env.topology.hosts["h3"], env.rc_client("h3"), checkpoint_lifn(service.urn)
+        )
+    )
+    print(f"[{env.sim.now:6.2f}s] restarted {urn} on h3 from checkpoint")
+    env.run(until=60.0)
+
+    final = env.daemons["h3"].tasks[service.urn]
+    print(f"\nservice final state: {final.state}, served {final.exit_value} requests")
+    hops = []
+    for count, host in served_at:
+        if not hops or hops[-1][1] != host:
+            hops.append((count, host))
+    print("service location history:",
+          " -> ".join(f"{h}@{c}" for c, h in hops))
+    counts = [c for c, _ in served_at]
+    # Increments between the last checkpoint (20) and the crash are lost
+    # by the rewind and re-earned after restart — visible as repeated
+    # counts — but every count 1..30 was served and the job completed.
+    assert final.state == TaskState.EXITED
+    assert final.exit_value == TOTAL_REQUESTS
+    assert sorted(set(counts)) == list(range(1, TOTAL_REQUESTS + 1))
+    print("\nmigrating service demo complete.")
+
+
+if __name__ == "__main__":
+    main()

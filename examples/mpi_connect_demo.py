@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""MPI_Connect: coupling MPI applications across MPPs (§6.1).
+
+    "Its original aim was to allow different sub-sections of an
+    application to execute on different MPPs that suited each sub-task
+    and utilized the vendors optimized MPI implementations on each,
+    while still inter-operating across MPPs."
+
+A coupled ocean–atmosphere model, the archetypal workload: the ocean
+code runs as a 4-rank MPI job on MPP A, the atmosphere as a 4-rank job
+on MPP B; each timestep they exchange boundary fields across the WAN
+through MPI_Connect (SNIPE name resolution, direct task-to-task SRUDP)
+while using real MPI collectives internally.
+
+Run:  python examples/mpi_connect_demo.py
+"""
+
+from repro.bench.topologies import two_mpp_site
+from repro.mpi import MpiConnectBridge, MpiJob
+
+STEPS = 5
+FIELD_BYTES = 250_000  # boundary field exchanged each step
+
+
+def main() -> None:
+    site = two_mpp_site(nodes_per_mpp=4, pvm=False)
+    sim = site["sim"]
+    bridges = {}
+    log = []
+
+    def ocean(mpi):
+        """MPP A: ocean model. Rank 0 is the coupling rank."""
+        bridge = bridges["ocean"]
+        if mpi.rank == 0:
+            yield bridge.register()
+            remote = yield bridge.connect("atmos")
+        sst = float(mpi.rank)  # toy sea-surface temperature
+        for step in range(STEPS):
+            # Internal physics: everyone computes, then reduces a mean.
+            yield mpi.compute(0.02)
+            mean_sst = yield mpi.allreduce(sst, lambda a, b: a + b)
+            mean_sst /= mpi.size
+            if mpi.rank == 0:
+                # Couple: send our boundary, receive theirs.
+                yield bridge.send(0, remote, 0, {"step": step, "sst": mean_sst},
+                                  tag="couple", size=FIELD_BYTES)
+                msg = yield bridge.recv(0, tag="couple")
+                forcing = msg.payload["wind"]
+                log.append((sim.now, step, mean_sst, forcing))
+            else:
+                forcing = None
+            # Broadcast the received forcing to all ocean ranks.
+            forcing = yield mpi.bcast(forcing, root=0)
+            sst = sst + 0.1 * forcing  # respond to the winds
+        return sst
+
+    def atmos(mpi):
+        """MPP B: atmosphere model."""
+        bridge = bridges["atmos"]
+        if mpi.rank == 0:
+            yield bridge.register()
+            remote = yield bridge.connect("ocean")
+        wind = 1.0 + mpi.rank
+        for step in range(STEPS):
+            yield mpi.compute(0.015)
+            mean_wind = yield mpi.allreduce(wind, lambda a, b: a + b)
+            mean_wind /= mpi.size
+            if mpi.rank == 0:
+                msg = yield bridge.recv(0, tag="couple")
+                sst = msg.payload["sst"]
+                yield bridge.send(0, remote, 0, {"step": step, "wind": mean_wind},
+                                  tag="couple", size=FIELD_BYTES)
+            else:
+                sst = None
+            sst = yield mpi.bcast(sst, root=0)
+            wind = wind + 0.05 * sst  # warm water stirs the air
+        return wind
+
+    ocean_job = MpiJob(sim, site["mpp_a"], ocean, name="ocean")
+    atmos_job = MpiJob(sim, site["mpp_b"], atmos, name="atmos")
+    bridges["ocean"] = MpiConnectBridge(ocean_job, site["rc_replicas"], "ocean")
+    bridges["atmos"] = MpiConnectBridge(atmos_job, site["rc_replicas"], "atmos")
+
+    sim.run(until=sim.all_of(ocean_job.procs + atmos_job.procs))
+
+    print(f"coupled run finished at t={sim.now:.3f}s "
+          f"({STEPS} steps, {FIELD_BYTES // 1000} KB boundary exchange/step)\n")
+    print("step  time(s)  mean SST  wind forcing")
+    for t, step, sst, wind in log:
+        print(f"{step:4d}  {t:7.3f}  {sst:8.3f}  {wind:12.3f}")
+    print(f"\nfinal ocean state per rank: {[f'{v:.2f}' for v in ocean_job.results]}")
+    print(f"final atmos state per rank: {[f'{v:.2f}' for v in atmos_job.results]}")
+    # Sanity: the coupling actually moved state across machines.
+    assert all(v > 0 for v in ocean_job.results)
+    print("\nMPI_Connect coupled-model demo complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Weather monitoring & catastrophic-condition prediction — the paper's
+second motivating application (§1):
+
+    "Monitoring of weather and prediction of catastrophic conditions to
+    provide planning and decision support for emergency relief."
+
+The build, exercising most of SNIPE:
+
+* sensor tasks on field hosts publish readings into a multicast group
+  (distributed data collection);
+* THREE replicated forecaster processes all consume the same feed via a
+  replicated pseudo-process (§5.7) — any one of them can die;
+* hosts fail and recover at random (the unreliable Internet); the system
+  keeps running because RC metadata, forecasters, and files are all
+  replicated;
+* the lead forecaster periodically checkpoints to the file service and
+  publishes the current forecast through a SNIPE HTTP server that relief
+  agencies' browsers can find via the catalog.
+
+Run:  python examples/weather_monitoring.py
+"""
+
+from repro.console import SnipeHttpServer, WebClient
+from repro.core import SnipeEnvironment, make_replicated_process
+from repro.daemon import TaskSpec
+
+N_SENSORS = 6
+READINGS_PER_SENSOR = 15
+GROUP = "weather-feed"
+
+
+def main() -> None:
+    env = SnipeEnvironment.lan_site(n_hosts=12, n_rc=3, n_fs=2, seed=7)
+    sim = env.sim
+
+    # ------------------------------------------------------------------ sensors
+    @env.program("sensor")
+    def sensor(ctx, station, period=1.0):
+        """Field station: measure, publish to the feed, repeat."""
+        rng = ctx.sim.rng.stream(f"sensor.{station}")
+        yield ctx.join_group(GROUP)
+        for i in range(READINGS_PER_SENSOR):
+            yield ctx.sleep(period * (0.8 + 0.4 * rng.random()))
+            reading = {
+                "station": station,
+                "seq": i,
+                "pressure_hpa": 1013 + rng.gauss(0, 18),
+                "wind_ms": abs(rng.gauss(12, 9)),
+            }
+            yield ctx.send_group(GROUP, reading, tag="reading")
+        return f"{station}: {READINGS_PER_SENSOR} readings"
+
+    # --------------------------------------------------------------- forecasters
+    @env.program("forecaster")
+    def forecaster(ctx, name, deadline):
+        """Replicated consumer: aggregates the feed until the campaign
+        deadline. Sensors may die with their hosts (fail-stop), so the
+        loop is time-bounded, not count-bounded."""
+        yield ctx.join_group(GROUP)
+        seen = ctx.checkpoint_state.setdefault("seen", 0)
+        worst = ctx.checkpoint_state.setdefault("worst_wind", 0.0)
+        alerts = ctx.checkpoint_state.setdefault("alerts", [])
+        while ctx.sim.now < deadline:
+            ev = ctx.recv_group(GROUP)
+            yield ctx.sim.any_of([ev, ctx.sleep(deadline - ctx.sim.now)])
+            if not ev.processed:
+                break  # campaign over; some sensors died with their hosts
+            msg = ev.value
+            if msg.tag != "reading":
+                continue
+            r = msg.payload
+            seen += 1
+            ctx.checkpoint_state["seen"] = seen
+            if r["wind_ms"] > worst:
+                worst = ctx.checkpoint_state["worst_wind"] = r["wind_ms"]
+            if r["wind_ms"] > 25 or r["pressure_hpa"] < 980:
+                alerts.append((r["station"], round(r["wind_ms"], 1)))
+                print(f"[{ctx.sim.now:7.2f}s] {name}: STORM RISK at "
+                      f"{r['station']} (wind {r['wind_ms']:.1f} m/s)")
+        return {"name": name, "seen": seen, "worst_wind": worst, "alerts": len(alerts)}
+
+    # Sensors on field hosts h0-h5.
+    for i in range(N_SENSORS):
+        env.spawn(
+            TaskSpec(program="sensor", params={"station": f"st{i}"}), on=f"h{i}"
+        )
+    # Replicated forecasters on h6-h8 (all receive every reading).
+    forecasters = [
+        env.spawn(
+            TaskSpec(program="forecaster", params={"name": f"fc{i}", "deadline": 45.0}),
+            on=f"h{6 + i}",
+        )
+        for i in range(3)
+    ]
+    env.settle(1.0)
+    # The pseudo-process (§5.7): data sent to it reaches every forecaster.
+    urn = env.run(until=make_replicated_process(env.rc_client("h9"), "forecast-svc", GROUP))
+    print(f"replicated forecaster pseudo-process: {urn}")
+
+    # ------------------------------------------------------- unreliable internet
+    # Two field hosts crash mid-campaign and recover later.
+    env.failures.host_down_at(6.0, "h2", duration=4.0)
+    env.failures.host_down_at(9.0, "h4", duration=5.0)
+    # One forecaster host dies permanently: replication absorbs it.
+    env.failures.host_down_at(12.0, "h7")
+
+    # ---------------------------------------------------------- run the campaign
+    env.run(until=60.0)
+
+    # -------------------------------------------------------------- the forecast
+    finals = [f for f in forecasters if f.state == "exited"]
+    print(f"\nforecasters finished: {len(finals)}/3 "
+          f"(h7's died with its host — by design)")
+    assert finals, "no forecaster survived?!"
+    lead = finals[0].exit_value
+    survivors_agree = all(
+        f.exit_value["worst_wind"] == lead["worst_wind"] for f in finals
+    )
+    print(f"surviving forecasters agree on worst wind: {survivors_agree} "
+          f"({lead['worst_wind']:.1f} m/s, {lead['alerts']} alerts, "
+          f"{lead['seen']} readings)")
+
+    # Publish the forecast for the relief agencies.
+    fc = env.file_client("h9")
+    forecast = {
+        "worst_wind_ms": lead["worst_wind"],
+        "alerts": lead["alerts"],
+        "readings": lead["seen"],
+    }
+
+    def store():
+        yield fc.write("forecast/latest.json", forecast, 2048)
+
+    env.run(until=sim.process(store()))
+    httpd = SnipeHttpServer(
+        env.topology.hosts["h9"], env.rc_client("h9"),
+        "http://weather.snipe.org/",
+        {"/": f"<html>worst wind {lead['worst_wind']:.1f} m/s, "
+              f"{lead['alerts']} storm alerts</html>"},
+    )
+    env.run(until=httpd.register())
+    browser = WebClient(env.topology.hosts["h11"], env.rc_client("h11"))
+    page = env.run(until=browser.get("http://weather.snipe.org/"))
+    print(f"relief agency browser sees: {page}")
+    print("\nweather monitoring campaign complete.")
+
+
+if __name__ == "__main__":
+    main()

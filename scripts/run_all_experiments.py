@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment's table in one run (for EXPERIMENTS.md).
+
+This is exactly what the benchmarks run, minus pytest: useful for
+producing the full record, e.g.:
+
+    python scripts/run_all_experiments.py | tee experiment_results.txt
+"""
+
+from repro.bench.e10_media import media_selection
+from repro.bench.e2_mpiconnect import mpiconnect_vs_pvmpi, summarize_speedup
+from repro.bench.e3_availability import availability_vs_replicas
+from repro.bench.e4_rm import rm_scalability
+from repro.bench.e5_master import master_failure
+from repro.bench.e6_migration import migration_loss
+from repro.bench.e7_mcast import mcast_fault_tolerance, router_density_ablation
+from repro.bench.e8_failover import failover_timeline
+from repro.bench.e9_rc import anti_entropy_ablation, rc_update_scaling
+from repro.bench.fig1 import (
+    fig1_bandwidth,
+    multicast_fanout_ablation,
+    srudp_window_ablation,
+)
+from repro.bench.table import print_table
+
+
+def main() -> None:
+    rows = fig1_bandwidth(sizes=[16_384, 131_072, 1_048_576, 4_194_304])
+    print_table("E1 / Fig. 1: bandwidth (MB/s) vs message size",
+                rows, ["series", "size", "mbps"])
+    print_table("E1 ablation: SRUDP window on a satellite link",
+                srudp_window_ablation())
+    print_table("E1 ablation: multicast vs N unicasts",
+                multicast_fanout_ablation())
+
+    rows = mpiconnect_vs_pvmpi(sizes=[1_024, 16_384, 131_072, 1_048_576], n_msgs=3)
+    print_table("E2: MPI_Connect vs PVMPI inter-MPP ping-pong", rows)
+    print_table("E2: speedup", summarize_speedup(rows))
+
+    print_table("E3: metadata availability vs replica count",
+                availability_vs_replicas(horizon=1_000.0))
+
+    print_table("E4: RM throughput/latency vs offered load",
+                rm_scalability(n_hosts=8, rates=(20.0, 90.0), rm_counts=(1, 4),
+                               window=10.0))
+
+    print_table("E5: success rate around the critical-host crash",
+                master_failure())
+
+    print_table("E6: message accounting across migrations",
+                migration_loss(hop_counts=(0, 1, 2, 3)))
+
+    print_table("E7: multicast delivery with dead routers",
+                mcast_fault_tolerance(router_kills=(0, 1)))
+    print_table("E7 ablation: router election density",
+                router_density_ablation(n_members=8))
+
+    result = failover_timeline()
+    print_table("E8: failover summary", result["summary"])
+    from repro.bench.plotting import ascii_chart
+
+    series = {}
+    for row in result["timeline"]:
+        series.setdefault(row["policy"], []).append((row["t"] + 0.001, row["mbps"]))
+    print()
+    print(ascii_chart(series, title="E8: throughput timeline (cut at t=0.15s)",
+                      x_label="t (s)", y_label="MB/s", log_x=False))
+
+    print_table("E9: RC update throughput vs replica count",
+                rc_update_scaling(replica_counts=(1, 4), n_writers=8, window=10.0))
+    print_table("E9 ablation: anti-entropy period", anti_entropy_ablation())
+
+    print_table("E10: media selection", media_selection())
+
+
+if __name__ == "__main__":
+    main()

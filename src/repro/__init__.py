@@ -1,0 +1,15 @@
+"""SNIPE — Scalable Networked Information Processing Environment.
+
+A full reproduction of Fagg, Moore & Dongarra's SNIPE (SC'97 / FGCS 1999)
+on a deterministic discrete-event substrate. See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced evaluation.
+
+Layering (bottom-up): :mod:`repro.sim` (event kernel) → :mod:`repro.net`
+(hosts/links/media) → :mod:`repro.transport` (SRUDP/TCP/multicast) →
+:mod:`repro.rcds` + :mod:`repro.security` → :mod:`repro.daemon`,
+:mod:`repro.files`, :mod:`repro.rm`, :mod:`repro.playground` →
+:mod:`repro.core` (the SNIPE client library) → :mod:`repro.console`,
+:mod:`repro.mpi`; with :mod:`repro.pvm` as the comparison baseline.
+"""
+
+__version__ = "1.0.0"

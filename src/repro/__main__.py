@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``examples`` — list the runnable examples.
+* ``experiments`` — regenerate every experiment table (same as
+  ``scripts/run_all_experiments.py``).
+* ``fig1`` — just the Fig. 1 reproduction, with an ASCII rendering.
+* ``info`` — package and inventory summary.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _cmd_examples() -> int:
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    print("Runnable examples (python examples/<name>.py):\n")
+    if root.is_dir():
+        for path in sorted(root.glob("*.py")):
+            doc = ""
+            for line in path.read_text().splitlines():
+                if line.startswith('"""'):
+                    doc = line.strip('"').strip()
+                    break
+            print(f"  {path.name:28s} {doc}")
+    else:
+        print("  (examples directory not found — run from a source checkout)")
+    return 0
+
+
+def _cmd_fig1() -> int:
+    from repro.bench.fig1 import fig1_bandwidth
+    from repro.bench.plotting import ascii_chart
+    from repro.bench.table import print_table
+
+    rows = fig1_bandwidth(sizes=[16_384, 131_072, 1_048_576])
+    print_table("Fig. 1: bandwidth (MB/s) vs message size", rows,
+                ["series", "size", "mbps"])
+    series = {}
+    for row in rows:
+        series.setdefault(row["series"], []).append((row["size"], row["mbps"]))
+    print()
+    print(ascii_chart(series, title="Fig. 1 (MB/s vs bytes, log-x)",
+                      x_label="message size", y_label="MB/s"))
+    return 0
+
+
+def _cmd_experiments() -> int:
+    import runpy
+    import pathlib
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "scripts" / "run_all_experiments.py"
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro (SNIPE reproduction) {repro.__version__}")
+    print(__doc__)
+    for pkg in ("sim", "net", "transport", "rcds", "security", "daemon",
+                "files", "rm", "playground", "core", "console", "pvm",
+                "mpi", "bench"):
+        mod = __import__(f"repro.{pkg}", fromlist=["__doc__"])
+        first = (mod.__doc__ or "").strip().splitlines()[0] if mod.__doc__ else ""
+        print(f"  repro.{pkg:12s} {first}")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    commands = {
+        "examples": _cmd_examples,
+        "experiments": _cmd_experiments,
+        "fig1": _cmd_fig1,
+        "info": _cmd_info,
+    }
+    if not argv or argv[0] not in commands:
+        print("usage: python -m repro {examples|experiments|fig1|info}")
+        return 2
+    return commands[argv[0]]()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

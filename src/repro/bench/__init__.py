@@ -1,0 +1,11 @@
+"""Benchmark harnesses: one module per experiment in EXPERIMENTS.md.
+
+Each harness builds its workload on the simulator, runs it, and returns
+plain-dict rows suitable for printing as the paper's tables/series.
+The thin pytest-benchmark wrappers live in ``benchmarks/``; these
+modules are also importable directly (the examples use them too).
+"""
+
+from repro.bench.topologies import dual_media_pair, two_mpp_site, wan_site
+
+__all__ = ["dual_media_pair", "two_mpp_site", "wan_site"]

@@ -1,0 +1,62 @@
+"""Terminal plots for benchmark series (Fig. 1 and the E8 timeline).
+
+No plotting dependency exists offline, so the charts are ASCII: good
+enough to eyeball the saturation knees and the failover dip, which is
+what "reproducing the figure" means here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Marks assigned to series in insertion order.
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = True,
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x and x > 0 else x
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - (i / (height - 1)) * y_span
+        lines.append(f"{y_val:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {x_label}"
+                 f" [{min(x for x, _ in points):g} .. {max(x for x, _ in points):g}]"
+                 f"{'  (log x)' if log_x else ''}")
+    legend = "  ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, series.keys())
+    )
+    lines.append(f"{'':9s} {legend}")
+    return "\n".join(lines)

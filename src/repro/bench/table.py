@@ -1,0 +1,35 @@
+"""Row formatting for benchmark output — the paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str] = ()) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    widths = {c: len(c) for c in cols}
+    rendered = []
+    for row in rows:
+        line = {c: fmt(row.get(c, "")) for c in cols}
+        rendered.append(line)
+        for c in cols:
+            widths[c] = max(widths[c], len(line[c]))
+    out = ["  ".join(c.ljust(widths[c]) for c in cols)]
+    out.append("  ".join("-" * widths[c] for c in cols))
+    for line in rendered:
+        out.append("  ".join(line[c].ljust(widths[c]) for c in cols))
+    return "\n".join(out)
+
+
+def print_table(title: str, rows: Sequence[Dict[str, Any]], columns: Sequence[str] = ()) -> None:
+    print(f"\n=== {title} ===")
+    print(format_table(rows, columns))

@@ -1,0 +1,22 @@
+"""Consoles and web gateways (§3.7).
+
+    "A SNIPE console is any SNIPE process which communicates with humans…
+    A SNIPE process can also function as an HTTP server… A SNIPE-based
+    HTTP server can register a binding between a URN or URL and its
+    current location, allowing a web browser to find it even though it
+    may migrate from one host to another… there is no way to list all
+    SNIPE processes. The state of each process in a process group is
+    maintained as metadata associated with that process group."
+
+* :class:`Console` — operator interface: inspect hosts/process groups
+  through RC metadata, spawn/kill/signal through daemons.
+* :class:`SnipeHttpServer` — serves pages, registers its URL→location
+  binding in RC, and keeps serving after moving hosts.
+* :class:`WebClient` — the proxy-resolver path: resolve any registered
+  URI via RC, then fetch from wherever it currently lives.
+"""
+
+from repro.console.console import Console
+from repro.console.httpd import SnipeHttpServer, WebClient, WebError, export_files_http
+
+__all__ = ["Console", "SnipeHttpServer", "WebClient", "WebError", "export_files_http"]

@@ -1,0 +1,162 @@
+"""The operator console: a client of RC metadata and host daemons.
+
+Because "there is no SNIPE virtual machine apart from the entire
+Internet", the console can only enumerate what is *registered*: the
+processes a given daemon supervises, the members a process group's
+metadata lists, the hosts the catalog knows. That asymmetry with PVM's
+``conf``/``ps -a`` is deliberate and preserved.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.daemon.daemon import DAEMON_PORT
+from repro.rcds import uri as uri_mod
+from repro.rcds.client import RCClient
+from repro.rpc import RpcClient, RpcError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class Console:
+    """Human-facing control point, attachable to any host."""
+
+    def __init__(self, host: "Host", rc: RCClient, secret: Optional[bytes] = None) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.rc = rc
+        self._rpc = RpcClient(host, secret=secret)
+        #: Command log, as a character console would display it.
+        self.transcript: List[str] = []
+
+    def _log(self, line: str) -> None:
+        self.transcript.append(f"[{self.sim.now:10.3f}] {line}")
+
+    # -- inspection ---------------------------------------------------------
+    def hosts(self):
+        """Registered SNIPE hosts (a process yielding a list of names)."""
+
+        def go():
+            urls = yield self.rc.query("snipe://")
+            names = sorted(
+                {uri_mod.host_of(u) for u in urls if u.endswith("/") and uri_mod.host_of(u)}
+            )
+            self._log(f"hosts: {', '.join(names)}")
+            return names
+
+        return self.sim.process(go(), name="console.hosts")
+
+    def host_info(self, host_name: str):
+        """One host's metadata (a process yielding the assertion dict)."""
+
+        def go():
+            meta = yield self.rc.lookup(uri_mod.host_url(host_name))
+            info = {k: v["value"] for k, v in meta.items()}
+            self._log(f"host {host_name}: load={info.get('load')} tasks={info.get('tasks')}")
+            return info
+
+        return self.sim.process(go(), name="console.host_info")
+
+    def tasks_on(self, host_name: str):
+        """Processes supervised by a host's daemon (a process)."""
+
+        def go():
+            try:
+                urns = yield self._rpc.call(host_name, DAEMON_PORT, "daemon.list")
+            except RpcError:
+                self._log(f"tasks_on {host_name}: daemon unreachable")
+                return []
+            self._log(f"tasks on {host_name}: {len(urns)}")
+            return urns
+
+        return self.sim.process(go(), name="console.tasks_on")
+
+    def process_state(self, urn: str):
+        """One process's registered state (a process)."""
+
+        def go():
+            meta = yield self.rc.lookup(urn)
+            return {k: v["value"] for k, v in meta.items()}
+
+        return self.sim.process(go(), name="console.process_state")
+
+    def group_members(self, group: str):
+        """Members registered in a group's metadata (a process)."""
+
+        def go():
+            meta = yield self.rc.lookup(uri_mod.mcast_urn(group))
+            return sorted(
+                key[len("member:"):]
+                for key, info in meta.items()
+                if key.startswith("member:") and info["value"]
+            )
+
+        return self.sim.process(go(), name=f"console.group_members:{group}")
+
+    def group_state(self, group_urn: str, member_urns: Optional[List[str]] = None):
+        """State of every member of a process group (a process).
+
+        Per §3.7: group membership is metadata, so the console reads the
+        group's member list (registered in the catalog, or supplied) and
+        resolves each member's state.
+        """
+
+        def go():
+            members = member_urns
+            if members is None:
+                name = group_urn.rsplit(":", 1)[-1]
+                members = yield self.group_members(name)
+            out: Dict[str, Any] = {}
+            for urn in members:
+                try:
+                    meta = yield self.rc.lookup(urn)
+                    out[urn] = (meta.get("state") or {}).get("value", "unknown")
+                except Exception:
+                    out[urn] = "unreachable"
+            self._log(f"group {group_urn}: {out}")
+            return out
+
+        return self.sim.process(go(), name="console.group_state")
+
+    # -- control ------------------------------------------------------------------
+    def spawn(self, host_name: str, spec):
+        """Spawn via a host's daemon (a process yielding the URN)."""
+
+        def go():
+            result = yield self._rpc.call(host_name, DAEMON_PORT, "daemon.spawn", spec=spec)
+            self._log(f"spawned {result['urn']} on {host_name}")
+            return result["urn"]
+
+        return self.sim.process(go(), name="console.spawn")
+
+    def kill(self, urn: str):
+        """Kill a process wherever it is (a process yielding bool)."""
+
+        def go():
+            meta = yield self.rc.lookup(urn)
+            host = (meta.get("host") or {}).get("value")
+            if host is None:
+                return False
+            ok = yield self._rpc.call(host, DAEMON_PORT, "daemon.kill", urn=urn)
+            self._log(f"kill {urn}: {ok}")
+            return ok
+
+        return self.sim.process(go(), name="console.kill")
+
+    def signal(self, urn: str, signal: Any):
+        """Deliver an async signal to a process by URN (a process)."""
+
+        def go():
+            meta = yield self.rc.lookup(urn)
+            host = (meta.get("host") or {}).get("value")
+            if host is None:
+                return False
+            return (
+                yield self._rpc.call(
+                    host, DAEMON_PORT, "daemon.signal", urn=urn, signal=signal
+                )
+            )
+
+        return self.sim.process(go(), name="console.signal")

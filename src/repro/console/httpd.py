@@ -1,0 +1,159 @@
+"""The migrating SNIPE HTTP server and its proxy-resolving client (§3.7).
+
+The server binds pages under a site URL and registers the URL→location
+binding as RC metadata; when it moves hosts (or is replicated), it
+re-registers, and :class:`WebClient` — the paper's "proxy server
+[allowing] any web browser to resolve the URI of any RCDS-registered
+resource" — finds it again with at most one stale-location retry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.rcds.client import QUORUM, RCClient
+from repro.rpc import RpcClient, RpcError, RpcServer, Sized
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class WebError(Exception):
+    """URL not registered, page missing, or every location unreachable."""
+
+
+class SnipeHttpServer:
+    """An HTTP-ish page server whose location lives in RC metadata."""
+
+    def __init__(
+        self,
+        host: "Host",
+        rc: RCClient,
+        site_url: str,
+        pages: Optional[Dict[str, str]] = None,
+        secret: Optional[bytes] = None,
+        page_source=None,
+    ) -> None:
+        self.sim = host.sim
+        self.rc = rc
+        self.site_url = site_url
+        self.pages: Dict[str, str] = dict(pages or {})
+        #: Optional fallback ``fn(path) -> content|None`` consulted when a
+        #: path isn't a static page — used to export file-server contents
+        #: over HTTP (§5.9).
+        self.page_source = page_source
+        self.hits = 0
+        self.host: Optional["Host"] = None
+        self.port: Optional[int] = None
+        self.rpc: Optional[RpcServer] = None
+        self.secret = secret
+        self._bind(host)
+
+    def _bind(self, host: "Host") -> None:
+        self.host = host
+        self.port = host.ephemeral_port()
+        self.rpc = RpcServer(host, self.port, secret=self.secret)
+        self.rpc.register("http.get", self._h_get)
+
+    def register(self):
+        """Publish (or refresh) the URL→location binding (a process)."""
+        return self.rc.update(
+            self.site_url,
+            {"http-location": (self.host.name, self.port)},
+            QUORUM,
+        )
+
+    def add_page(self, path: str, content: str) -> None:
+        self.pages[path] = content
+
+    def _h_get(self, args: Dict):
+        path = args.get("path", "/")
+        body = self.pages.get(path)
+        if body is None and self.page_source is not None:
+            body = self.page_source(path)
+        if body is None:
+            raise KeyError(f"404: {path}")
+        self.hits += 1
+        size = len(body) if isinstance(body, (str, bytes)) else 256
+        return Sized({"status": 200, "body": body}, size=size + 64)
+
+    def move_to(self, new_host: "Host", new_rc: RCClient):
+        """Relocate the server: rebind on the new host, re-register.
+
+        Returns a process (yield it). Old-location fetches fail and the
+        client re-resolves — the §3.7 migration story for web consoles.
+        """
+        old_rpc = self.rpc
+
+        def go():
+            self.rc = new_rc
+            self._bind(new_host)
+            yield self.register()
+            if old_rpc is not None:
+                old_rpc.close()
+            return (self.host.name, self.port)
+
+        return self.sim.process(go(), name=f"httpd-move:{self.site_url}")
+
+
+def export_files_http(file_server, rc: RCClient, site_url: str) -> SnipeHttpServer:
+    """Expose a file server's contents over HTTP (§5.9).
+
+    "SNIPE file servers can also be used … to export data to files which
+    can then be accessed by external programs using common protocols
+    such as HTTP." Paths map to file names: GET /<name> returns the
+    stored payload.
+    """
+
+    def page_source(path: str):
+        name = path.lstrip("/")
+        vf = file_server.files.get(name)
+        if vf is None:
+            return None
+        payload = vf.payload
+        if isinstance(payload, (str, bytes)):
+            return payload
+        return repr(payload)
+
+    return SnipeHttpServer(
+        file_server.host, rc, site_url,
+        pages={"/": f"<html>file export: {file_server.host.name}</html>"},
+        page_source=page_source,
+    )
+
+
+class WebClient:
+    """Resolve any registered URL through RC and fetch it."""
+
+    def __init__(self, host: "Host", rc: RCClient, secret: Optional[bytes] = None) -> None:
+        self.sim = host.sim
+        self.rc = rc
+        self._rpc = RpcClient(host, secret=secret)
+        self._cache: Dict[str, Tuple[str, int]] = {}
+
+    def get(self, site_url: str, path: str = "/", retries: int = 2):
+        """Fetch a page (a process yielding the body string)."""
+
+        def go():
+            last_error: Optional[str] = None
+            for attempt in range(retries + 1):
+                location = self._cache.get(site_url)
+                if location is None:
+                    meta = yield self.rc.lookup(site_url, QUORUM)
+                    info = meta.get("http-location")
+                    if info is None:
+                        raise WebError(f"{site_url}: not registered")
+                    location = tuple(info["value"])
+                    self._cache[site_url] = location
+                try:
+                    result = yield self._rpc.call(
+                        location[0], location[1], "http.get", timeout=1.0, path=path
+                    )
+                    return result["body"]
+                except RpcError as exc:
+                    last_error = str(exc)
+                    # Stale location (server moved or died): re-resolve.
+                    self._cache.pop(site_url, None)
+            raise WebError(f"GET {site_url}{path} failed: {last_error}")
+
+        return self.sim.process(go(), name=f"web-get:{site_url}{path}")

@@ -1,0 +1,38 @@
+"""The SNIPE client library (§3.4) — the paper's primary user-facing API.
+
+    "The SNIPE client libraries provide interfaces for resource location,
+    communications, authentication, task management, and access to
+    external data stores."
+
+* :class:`SnipeEnvironment` — builds a complete SNIPE site (RC servers,
+  daemons, file servers, resource managers, consoles) over a simulated
+  topology; the entry point used by all examples and benchmarks.
+* :class:`SnipeContext` — what a SNIPE process sees: URN-addressed
+  messaging with system buffering, resource location, spawning, group
+  communication, checkpointing, and self-initiated migration (§5.6).
+* :mod:`repro.core.messages` — the XDR-style codec used for data
+  conversion between heterogeneous hosts.
+* :mod:`repro.core.replicated` — replicated pseudo-processes (§5.7).
+"""
+
+from repro.core.messages import XdrError, xdr_decode, xdr_encode, xdr_size
+from repro.core.process import Envelope, SnipeContext
+from repro.core.environment import SnipeEnvironment
+from repro.core.replicated import (
+    make_replicated_process,
+    make_replicated_service,
+    service_locations,
+)
+
+__all__ = [
+    "Envelope",
+    "SnipeContext",
+    "SnipeEnvironment",
+    "XdrError",
+    "make_replicated_process",
+    "make_replicated_service",
+    "service_locations",
+    "xdr_decode",
+    "xdr_encode",
+    "xdr_size",
+]

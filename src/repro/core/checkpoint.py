@@ -1,0 +1,115 @@
+"""Checkpoint/restart via the file service (§5.6).
+
+    "Temporary storage of state is provided by the SNIPE file servers."
+
+A task's ``checkpoint_state`` (which, for playground tasks, includes the
+whole VM image) can be written to the replicated file service under a
+LIFN and later restarted on any suitable host — surviving even the
+death of the original host, which in-band migration cannot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.daemon.daemon import DAEMON_PORT
+from repro.daemon.tasks import TaskSpec
+from repro.files.client import FileClient
+from repro.rpc import RpcClient, payload_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.process import SnipeContext
+    from repro.net.host import Host
+    from repro.rcds.client import RCClient
+
+
+def checkpoint_lifn(urn: str) -> str:
+    """Canonical checkpoint file name for a process URN."""
+    return f"checkpoints/{urn.rsplit(':', 1)[-1]}.ckpt"
+
+
+def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replicas: int = 2):
+    """Write this task's checkpoint to the file service (a process).
+
+    The stored record carries everything needed to respawn: the spec's
+    program/params/requirements and the application state. The write goes
+    synchronously to up to *replicas* file servers — a checkpoint that
+    only exists on the host about to die is no checkpoint at all.
+    Returns the LIFN used.
+    """
+    lifn = lifn or checkpoint_lifn(ctx.urn)
+    spec = ctx.info.spec
+    record = {
+        "urn": ctx.urn,
+        "program": spec.program,
+        "params": spec.params,
+        "arch": spec.arch,
+        "os": spec.os,
+        "min_memory": spec.min_memory,
+        "cpu_quota": spec.cpu_quota,
+        "memory_quota": spec.memory_quota,
+        "mobile_code": spec.mobile_code,
+        "owner": spec.owner,
+        "state": dict(ctx.checkpoint_state),
+        "taken_at": ctx.sim.now,
+    }
+
+    def go():
+        fc = FileClient(ctx.host, ctx.rc)
+        servers = yield fc.file_servers()
+        # Local server first (cheap), then others for durability.
+        servers.sort(key=lambda s: (s[0] != ctx.host.name, s[0]))
+        written = 0
+        size = payload_size(record)
+        for server in servers:
+            if written >= replicas:
+                break
+            try:
+                yield fc.write(lifn, record, size, server=server)
+                written += 1
+            except Exception:
+                continue
+        if written == 0:
+            raise RuntimeError(f"checkpoint {lifn!r}: no file server reachable")
+        # Register the checkpoint in the process's own metadata so a
+        # resource manager can find it after the host dies.
+        yield ctx.rc.update(ctx.urn, {"checkpoint-lifn": lifn})
+        return lifn
+
+    return ctx.sim.process(go(), name=f"ckpt:{ctx.urn}")
+
+
+def restart_from_files(host: "Host", rc: "RCClient", lifn: str, keep_urn: bool = True):
+    """Restart a checkpointed task on *host* from its stored state.
+
+    Returns a process yielding the (old or new) URN. The restarted task
+    resumes from ``checkpoint_state`` exactly as a migrated one would.
+    """
+
+    def go():
+        fc = FileClient(host, rc)
+        got = yield fc.read(lifn)
+        record = got["payload"]
+        spec = TaskSpec(
+            program=record["program"],
+            params=record["params"],
+            arch=record["arch"],
+            os=record["os"],
+            min_memory=record["min_memory"],
+            cpu_quota=record["cpu_quota"],
+            memory_quota=record["memory_quota"],
+            mobile_code=record["mobile_code"],
+            owner=record["owner"],
+            initial_state=dict(record["state"]),
+            urn_override=record["urn"] if keep_urn else None,
+        )
+        client = RpcClient(host)
+        try:
+            result = yield client.call(
+                host.name, DAEMON_PORT, "daemon.spawn", spec=spec, direct=True
+            )
+        finally:
+            client.close()
+        return result["urn"]
+
+    return host.sim.process(go(), name=f"restart:{lifn}")

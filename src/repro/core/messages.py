@@ -1,0 +1,158 @@
+"""XDR-style message encoding (§3.4: "data conversion (e.g. between
+different host architectures)").
+
+A small, real, self-contained external data representation: big-endian,
+4-byte aligned, type-tagged. It exists so messages between heterogeneous
+hosts have a defined on-the-wire form and an honest byte count — SNIPE
+charges the *encoded* size on the wire, exactly as the 1997 system did
+with its XDR-derived packing.
+
+Supported types: None, bool, int (arbitrary precision via hyper or
+bignum), float, str, bytes, list, tuple, dict.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3  # 8-byte signed
+_T_BIGINT = 4  # length-prefixed big integer
+_T_FLOAT = 5  # IEEE 754 double
+_T_STR = 6
+_T_BYTES = 7
+_T_LIST = 8
+_T_TUPLE = 9
+_T_DICT = 10
+
+
+class XdrError(Exception):
+    """Unencodable value or malformed buffer."""
+
+
+def _pad(buf: bytearray) -> None:
+    while len(buf) % 4:
+        buf.append(0)
+
+
+def _encode_into(obj: Any, buf: bytearray) -> None:
+    if obj is None:
+        buf += struct.pack(">I", _T_NONE)
+    elif obj is False:
+        buf += struct.pack(">I", _T_FALSE)
+    elif obj is True:
+        buf += struct.pack(">I", _T_TRUE)
+    elif isinstance(obj, int):
+        if -(2**63) <= obj < 2**63:
+            buf += struct.pack(">Iq", _T_INT, obj)
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8 + 1, "big", signed=True)
+            buf += struct.pack(">II", _T_BIGINT, len(raw))
+            buf += raw
+            _pad(buf)
+    elif isinstance(obj, float):
+        buf += struct.pack(">Id", _T_FLOAT, obj)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        buf += struct.pack(">II", _T_STR, len(raw))
+        buf += raw
+        _pad(buf)
+    elif isinstance(obj, (bytes, bytearray)):
+        buf += struct.pack(">II", _T_BYTES, len(obj))
+        buf += bytes(obj)
+        _pad(buf)
+    elif isinstance(obj, (list, tuple)):
+        tag = _T_LIST if isinstance(obj, list) else _T_TUPLE
+        buf += struct.pack(">II", tag, len(obj))
+        for item in obj:
+            _encode_into(item, buf)
+    elif isinstance(obj, dict):
+        buf += struct.pack(">II", _T_DICT, len(obj))
+        for key, value in obj.items():
+            _encode_into(key, buf)
+            _encode_into(value, buf)
+    else:
+        raise XdrError(f"cannot XDR-encode {type(obj).__name__}")
+
+
+def xdr_encode(obj: Any) -> bytes:
+    """Encode *obj* to its XDR wire form."""
+    buf = bytearray()
+    _encode_into(obj, buf)
+    return bytes(buf)
+
+
+def xdr_size(obj: Any) -> int:
+    """Wire size of *obj* without keeping the buffer."""
+    return len(xdr_encode(obj))
+
+
+class _Reader:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.buf):
+            raise XdrError("truncated buffer")
+        out = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def align(self) -> None:
+        while self.pos % 4:
+            self.pos += 1
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+
+def _decode_one(r: _Reader) -> Any:
+    tag = r.u32()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_INT:
+        return struct.unpack(">q", r.take(8))[0]
+    if tag == _T_BIGINT:
+        n = r.u32()
+        raw = r.take(n)
+        r.align()
+        return int.from_bytes(raw, "big", signed=True)
+    if tag == _T_FLOAT:
+        return struct.unpack(">d", r.take(8))[0]
+    if tag == _T_STR:
+        n = r.u32()
+        raw = r.take(n)
+        r.align()
+        return raw.decode("utf-8")
+    if tag == _T_BYTES:
+        n = r.u32()
+        raw = r.take(n)
+        r.align()
+        return bytes(raw)
+    if tag in (_T_LIST, _T_TUPLE):
+        n = r.u32()
+        items = [_decode_one(r) for _ in range(n)]
+        return items if tag == _T_LIST else tuple(items)
+    if tag == _T_DICT:
+        n = r.u32()
+        return {_decode_one(r): _decode_one(r) for _ in range(n)}
+    raise XdrError(f"unknown type tag {tag}")
+
+
+def xdr_decode(buf: bytes) -> Any:
+    """Decode one value; the buffer must contain exactly one value."""
+    r = _Reader(buf)
+    out = _decode_one(r)
+    if r.pos != len(buf):
+        raise XdrError(f"{len(buf) - r.pos} trailing bytes")
+    return out

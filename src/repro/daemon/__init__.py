@@ -1,0 +1,36 @@
+"""Per-host SNIPE daemons (§3.3, §5.4, §5.5).
+
+    "Each SNIPE daemon mediates the use of resources on its particular
+    host. SNIPE daemons are responsible for authenticating requests,
+    enforcing access restrictions, management of local tasks, delivery of
+    signals to local tasks, monitoring machine load and other local
+    resources, and name-to-address lookup of local tasks."
+
+This package provides the daemon itself (:class:`SnipeDaemon`), the task
+model (:class:`TaskSpec`, :class:`TaskInfo`, the program registry), and
+the wide-area multicast machinery with router self-election (§5.4,
+:mod:`repro.daemon.mcast`).
+"""
+
+from repro.daemon.tasks import (
+    ProgramRegistry,
+    QuotaExceeded,
+    TaskContext,
+    TaskInfo,
+    TaskSpec,
+    TaskState,
+)
+from repro.daemon.daemon import DAEMON_PORT, SnipeDaemon
+from repro.daemon.mcast import McastService
+
+__all__ = [
+    "DAEMON_PORT",
+    "McastService",
+    "ProgramRegistry",
+    "QuotaExceeded",
+    "SnipeDaemon",
+    "TaskContext",
+    "TaskInfo",
+    "TaskSpec",
+    "TaskState",
+]

@@ -1,0 +1,331 @@
+"""Wide-area multicast groups with router self-election (§5.4).
+
+    "Multicast messages are sent to one or more host daemons which are
+    acting as routers for that particular multicast group. … Whenever a
+    process joins a multicast group, its host daemon heuristically
+    determines (based on the presence or absence of other routers in the
+    group, and the networks to which those routers are attached) whether
+    it should become a router for that group. For the sake of
+    fault-tolerance, each process … may register its membership in the
+    group with multiple multicast routers. Each router which adds itself
+    to the group also registers itself with more than half of the other
+    routers for that group, and any message sent to that group is
+    initially sent to more than half of the routers for that group. This
+    is intended to ensure that there is at least one path from the
+    sending process to each recipient process."
+
+This is explicitly *not* the high-performance LAN multicast of Fig. 1
+(that is :class:`repro.transport.EthernetMulticast`); it is reliable
+group communication across the Internet. The majority-registration /
+majority-send discipline is what experiment E7 measures against a
+single-router baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.rcds import uri as uri_mod
+from repro.rcds.client import QUORUM
+from repro.rpc import RpcError
+from repro.sim.events import defuse
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.daemon.daemon import SnipeDaemon
+
+_mcast_msg_ids = itertools.count(1)
+
+#: Registration/send disciplines.
+MAJORITY = "majority"
+SINGLE = "single"  # the no-fault-tolerance baseline for E7
+
+_ROUTER_PREFIX = "router:"
+
+
+class McastService:
+    """Multicast role of one host daemon: router and/or member agent."""
+
+    def __init__(self, daemon: "SnipeDaemon", min_routers: int = 3) -> None:
+        self.daemon = daemon
+        self.sim = daemon.sim
+        self.host = daemon.host
+        self.rc = daemon.rc
+        self.min_routers = min_routers
+        #: group -> router-side state (present only where we are a router)
+        self.router_state: Dict[str, Dict] = {}
+        #: (group, member urn) -> local delivery queue
+        self.inboxes: Dict[Tuple[str, str], Store] = {}
+        #: (group, member urn) -> seen message ids (member-side dedup)
+        self._member_seen: Dict[Tuple[str, str], Set[int]] = {}
+        self.relays = 0
+        self.deliveries = 0
+        daemon.mcast = self
+        daemon.rpc.register("mcast.join", self._h_join)
+        daemon.rpc.register("mcast.leave", self._h_leave)
+        daemon.rpc.register("mcast.relay", self._h_relay)
+        daemon.rpc.register("mcast.deliver", self._h_deliver)
+
+    # -- queries ----------------------------------------------------------
+    def _routers_of(self, group: str):
+        """Current router host names for *group* from RC metadata."""
+        assertions = yield self.rc.lookup(uri_mod.mcast_urn(group), QUORUM)
+        return sorted(
+            key[len(_ROUTER_PREFIX):]
+            for key, info in assertions.items()
+            if key.startswith(_ROUTER_PREFIX) and info["value"]
+        )
+
+    def _should_elect(self, routers: List[str]) -> bool:
+        """§5.4 heuristic: become a router if the group is under-provisioned
+        or no existing router shares a network with this host."""
+        if len(routers) < self.min_routers:
+            return True
+        topo = self.host.topology
+        for r in routers:
+            if r == self.host.name:
+                return False
+            if r in topo.hosts and topo.shared_segments(self.host.name, r):
+                return False
+        return True
+
+    # -- member operations (driven by the core client library) -----------------
+    def join(self, group: str, member_urn: str, mode: str = MAJORITY):
+        """Join *member_urn* (a local task) to *group*; returns a process."""
+        return self.sim.process(
+            self._join(group, member_urn, mode), name=f"mcast-join:{group}"
+        )
+
+    def _join(self, group: str, member_urn: str, mode: str):
+        routers = yield from self._routers_of(group)
+        if self._should_elect(routers):
+            self.router_state.setdefault(group, {"members": set(), "peers": set()})
+            yield self.rc.update(
+                uri_mod.mcast_urn(group),
+                {_ROUTER_PREFIX + self.host.name: True, "name": group},
+                QUORUM,
+            )
+            # §5.2.4: "a 'notify list' of processes that wish to be
+            # notified if the set of multicast routers changes."
+            yield from self._notify_router_change(group, added=self.host.name)
+            # Register with more than half of the *other* routers.
+            others = [r for r in routers if r != self.host.name]
+            for peer in _majority_subset(others):
+                self.router_state[group]["peers"].add(peer)
+                try:
+                    yield self.daemon._client.call(
+                        peer, _daemon_port(), "mcast.join",
+                        timeout=1.0, group=group, member=None,
+                        router=self.host.name,
+                    )
+                except RpcError:
+                    continue
+            routers = sorted(set(routers) | {self.host.name})
+        key = (group, member_urn)
+        self.inboxes.setdefault(key, Store(self.sim))
+        self._member_seen.setdefault(key, set())
+        # §3.7: group membership is metadata — consoles enumerate members
+        # from the group's catalog entry, not from any central list.
+        try:
+            yield self.rc.update(
+                uri_mod.mcast_urn(group), {f"member:{member_urn}": True}
+            )
+        except Exception:
+            pass
+        # Register membership with a majority (or one) of the routers.
+        targets = _majority_subset(routers) if mode == MAJORITY else routers[:1]
+        registered = 0
+        for r in targets:
+            if r == self.host.name and group in self.router_state:
+                self.router_state[group]["members"].add((member_urn, self.host.name))
+                registered += 1
+                continue
+            try:
+                yield self.daemon._client.call(
+                    r, _daemon_port(), "mcast.join",
+                    timeout=1.0, group=group,
+                    member=(member_urn, self.host.name), router=None,
+                )
+                registered += 1
+            except RpcError:
+                continue
+        return registered
+
+    def send(self, group: str, payload, origin_urn: str, mode: str = MAJORITY):
+        """Send to the group via >½ of its routers; returns a process whose
+        value is the number of routers that accepted the message."""
+        return self.sim.process(
+            self._send(group, payload, origin_urn, mode), name=f"mcast-send:{group}"
+        )
+
+    def _send(self, group: str, payload, origin_urn: str, mode: str):
+        routers = yield from self._routers_of(group)
+        if not routers:
+            return 0
+        msg_id = next(_mcast_msg_ids)
+        targets = _majority_subset(routers) if mode == MAJORITY else routers[:1]
+        accepted = 0
+        for r in targets:
+            if r == self.host.name and group in self.router_state:
+                yield from self._relay(group, msg_id, payload, origin_urn)
+                accepted += 1
+                continue
+            try:
+                yield self.daemon._client.call(
+                    r, _daemon_port(), "mcast.relay",
+                    timeout=1.0, group=group, msg_id=msg_id,
+                    payload=payload, origin=origin_urn,
+                )
+                accepted += 1
+            except RpcError:
+                continue
+        return accepted
+
+    def recv(self, group: str, member_urn: str):
+        """Event yielding the next group message for a local member."""
+        key = (group, member_urn)
+        inbox = self.inboxes.get(key)
+        if inbox is None:
+            raise KeyError(f"{member_urn} has not joined {group!r}")
+        return inbox.get()
+
+    def leave(self, group: str, member_urn: str):
+        return self.sim.process(self._leave(group, member_urn), name=f"mcast-leave:{group}")
+
+    def _leave(self, group: str, member_urn: str):
+        routers = yield from self._routers_of(group)
+        for r in routers:
+            if r == self.host.name and group in self.router_state:
+                self.router_state[group]["members"].discard((member_urn, self.host.name))
+                continue
+            try:
+                yield self.daemon._client.call(
+                    r, _daemon_port(), "mcast.leave",
+                    timeout=1.0, group=group, member=(member_urn, self.host.name),
+                )
+            except RpcError:
+                continue
+        self.inboxes.pop((group, member_urn), None)
+        self._member_seen.pop((group, member_urn), None)
+        try:
+            yield self.rc.delete(uri_mod.mcast_urn(group), [f"member:{member_urn}"])
+        except Exception:
+            pass
+
+    def _notify_router_change(self, group: str, added: str):
+        """Tell every process on the group's notify list about the change."""
+        try:
+            meta = yield self.rc.lookup(uri_mod.mcast_urn(group))
+        except Exception:
+            return
+        watchers = (meta.get("notify-list") or {}).get("value") or []
+        event = {
+            "kind": "router-change",
+            "group": group,
+            "added": added,
+            "at": self.sim.now,
+        }
+        for watcher_urn in watchers:
+            try:
+                w_meta = yield self.rc.lookup(watcher_urn)
+                w_host = (w_meta.get("host") or {}).get("value")
+                if w_host is None:
+                    continue
+                yield self.daemon._client.call(
+                    w_host, _daemon_port(), "daemon.notify",
+                    timeout=1.0, urn=watcher_urn, event=event,
+                )
+            except Exception:
+                continue
+
+    # -- router machinery ----------------------------------------------------
+    def _relay(self, group: str, msg_id: int, payload, origin: str):
+        """Router-side: deliver to registered members, flood to peers."""
+        state = self.router_state.get(group)
+        if state is None:
+            return
+        seen: Set[int] = state.setdefault("seen", set())
+        if msg_id in seen:
+            return
+        seen.add(msg_id)
+        self.relays += 1
+        for member_urn, member_host in sorted(state["members"]):
+            if member_host == self.host.name:
+                self._deliver_local(group, member_urn, msg_id, payload, origin)
+                continue
+            try:
+                yield self.daemon._client.call(
+                    member_host, _daemon_port(), "mcast.deliver",
+                    timeout=1.0, group=group, member=member_urn,
+                    msg_id=msg_id, payload=payload, origin=origin,
+                )
+            except RpcError:
+                continue
+        # Forward to the other routers that may not have seen it.
+        try:
+            routers = yield from self._routers_of(group)
+        except Exception:
+            routers = sorted(state["peers"])
+        for r in routers:
+            if r == self.host.name:
+                continue
+            try:
+                yield self.daemon._client.call(
+                    r, _daemon_port(), "mcast.relay",
+                    timeout=1.0, group=group, msg_id=msg_id,
+                    payload=payload, origin=origin,
+                )
+            except RpcError:
+                continue
+
+    def _deliver_local(self, group: str, member_urn: str, msg_id: int, payload, origin: str) -> None:
+        key = (group, member_urn)
+        seen = self._member_seen.get(key)
+        inbox = self.inboxes.get(key)
+        if seen is None or inbox is None or msg_id in seen:
+            return
+        seen.add(msg_id)
+        self.deliveries += 1
+        inbox.try_put({"group": group, "payload": payload, "origin": origin, "msg_id": msg_id})
+
+    # -- RPC handlers -----------------------------------------------------------
+    def _h_join(self, args: Dict):
+        group = args["group"]
+        state = self.router_state.get(group)
+        if state is None:
+            raise KeyError(f"{self.host.name} is not a router for {group!r}")
+        if args.get("router"):
+            state["peers"].add(args["router"])
+        member = args.get("member")
+        if member is not None:
+            state["members"].add(tuple(member))
+        return True
+
+    def _h_leave(self, args: Dict):
+        state = self.router_state.get(args["group"])
+        if state is not None and args.get("member") is not None:
+            state["members"].discard(tuple(args["member"]))
+        return True
+
+    def _h_relay(self, args: Dict):
+        return self._relay(args["group"], args["msg_id"], args["payload"], args["origin"])
+
+    def _h_deliver(self, args: Dict):
+        self._deliver_local(
+            args["group"], args["member"], args["msg_id"], args["payload"], args["origin"]
+        )
+        return True
+
+
+def _majority_subset(items: List[str]) -> List[str]:
+    """More than half of *items* (all of a 1- or 2-element list)."""
+    if not items:
+        return []
+    return sorted(items)[: len(items) // 2 + 1]
+
+
+def _daemon_port() -> int:
+    from repro.daemon.daemon import DAEMON_PORT
+
+    return DAEMON_PORT

@@ -1,0 +1,32 @@
+"""SNIPE file servers (§3.2, §5.9).
+
+    "A file server is a host which is capable of spawning 'file sinks',
+    which accept data from SNIPE processes to be stored in files, and make
+    that data available to other processes. The files thus stored may be
+    replicated to other locations…"
+
+Pieces:
+
+* :class:`FileServer` — stores virtual files, serves get/put/stat RPCs,
+  binds LIFN locations in RC metadata, spawns sinks and sources.
+* :class:`ReplicationDaemon` — keeps each file at its redundancy target
+  and adds demand-driven replicas ("according to local policy, redundancy
+  requirements, and demand").
+* :class:`FileClient` — write-anywhere / read-closest client with
+  integrity verification via signed content hashes, falling back across
+  replicas on failure (§6: "duplicated file reading/access is supported
+  via location of closest resource").
+"""
+
+from repro.files.server import FILE_PORT, FileServer, VirtualFile
+from repro.files.client import FileClient, FileError
+from repro.files.replicate import ReplicationDaemon
+
+__all__ = [
+    "FILE_PORT",
+    "FileClient",
+    "FileError",
+    "FileServer",
+    "ReplicationDaemon",
+    "VirtualFile",
+]

@@ -1,0 +1,124 @@
+"""Client-side file access: write anywhere, read the closest replica.
+
+Reads verify the payload against the LIFN's registered content hash —
+the end-to-end integrity guarantee RCDS promises (§2.1) — and fail over
+to the next-closest replica when a server is dead or a copy corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.files.server import FILE_PORT
+from repro.rcds import uri as uri_mod
+from repro.rcds.client import RCClient
+from repro.rcds.lifn import LifnRegistry
+from repro.rpc import RpcClient, RpcError
+from repro.security.hashes import content_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class FileError(Exception):
+    """No replica reachable, or all reachable replicas failed integrity."""
+
+
+class FileClient:
+    """File operations from one host against the replicated file service."""
+
+    def __init__(self, host: "Host", rc: RCClient, secret: Optional[bytes] = None) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.rc = rc
+        self.lifns = LifnRegistry(rc)
+        self._rpc = RpcClient(host, secret=secret)
+        self.integrity_failures = 0
+
+    # -- server discovery ---------------------------------------------------
+    def file_servers(self):
+        """Registered file servers as (host, port) pairs (a process)."""
+        return self.sim.process(self._file_servers(), name="fs-discover")
+
+    def _file_servers(self) -> List:
+        assertions = yield self.rc.lookup(uri_mod.service_urn("fileserver"))
+        out = []
+        for key, info in assertions.items():
+            if key.startswith("location:") and info["value"]:
+                hostname, port = key[len("location:"):].rsplit(":", 1)
+                out.append((hostname, int(port)))
+        return sorted(out)
+
+    # -- write ------------------------------------------------------------------
+    def write(self, lifn: str, payload: Any, size: int, server: Optional[tuple] = None):
+        """Store *payload* as *lifn* on a file server (local one preferred)."""
+        return self.sim.process(self._write(lifn, payload, size, server), name=f"fwrite:{lifn}")
+
+    def _write(self, lifn: str, payload: Any, size: int, server: Optional[tuple]):
+        if server is None:
+            servers = yield from self._file_servers()
+            if not servers:
+                raise FileError("no file servers registered")
+            local = [s for s in servers if s[0] == self.host.name]
+            server = local[0] if local else servers[0]
+        try:
+            result = yield self._rpc.call(
+                server[0], server[1], "file.put",
+                timeout=5.0, _size=size, name=lifn, payload=payload, size=size,
+            )
+        except RpcError as exc:
+            raise FileError(f"write {lifn!r} to {server}: {exc}") from None
+        return result
+
+    # -- read ---------------------------------------------------------------------
+    def read(self, lifn: str, verify: bool = True):
+        """Fetch *lifn* from the closest replica, verifying integrity."""
+        return self.sim.process(self._read(lifn, verify), name=f"fread:{lifn}")
+
+    def _read(self, lifn: str, verify: bool):
+        locations = yield self.lifns.locations(lifn)
+        if not locations:
+            raise FileError(f"no replicas registered for {lifn!r}")
+        expected_hash = yield self.lifns.content_hash(lifn)
+        # Closest-first ordering (§6).
+        topo = self.host.topology
+
+        def rank(url: str) -> int:
+            h = uri_mod.host_of(url)
+            if h == self.host.name:
+                return 0
+            if h in topo.hosts and topo.shared_segments(self.host.name, h):
+                return 1
+            return 2
+
+        errors = []
+        for url in sorted(locations, key=lambda u: (rank(u), u)):
+            server_host = uri_mod.host_of(url)
+            if server_host is None:
+                continue
+            try:
+                result = yield self._rpc.call(
+                    server_host, FILE_PORT, "file.get", timeout=2.0, name=lifn
+                )
+            except RpcError as exc:
+                errors.append(f"{url}: {exc}")
+                continue
+            if verify and expected_hash is not None:
+                if content_hash(result["payload"]) != expected_hash:
+                    self.integrity_failures += 1
+                    errors.append(f"{url}: integrity check failed")
+                    continue
+            result["location"] = url
+            return result
+        raise FileError(f"all replicas of {lifn!r} failed: {errors}")
+
+    # -- sink/source conveniences (§5.9) ------------------------------------------
+    def open_write(self, lifn: str, server_host: str, file_server) -> tuple:
+        """Spawn a sink on *file_server*; returns (host, port, done_event).
+
+        "Opening a file for writing thus consists of spawning a file sink
+        process" — the caller then sends ordinary SNIPE messages to
+        (host, port) and an EOF to close.
+        """
+        port, done = file_server.spawn_sink(lifn)
+        return server_host, port, done

@@ -1,0 +1,119 @@
+"""Replication daemons (§3.2).
+
+    "Replication daemons on these servers communicate with one another,
+    creating and deleting replicas of files according to local policy,
+    redundancy requirements, and demand. Name-to-location binding for
+    these files is maintained by metadata servers, which are informed as
+    replicas are created and deleted."
+
+Policy implemented: every local file is pushed to peers until it has at
+least ``redundancy`` registered locations; files whose read rate exceeds
+``hot_threshold`` gets/second earn extra replicas up to ``max_replicas``.
+Over-replicated cold files are trimmed (never below the target, and a
+server only deletes its *own* replica).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.files.server import FILE_PORT, FileServer
+from repro.rcds import uri as uri_mod
+from repro.rpc import RpcClient, RpcError
+from repro.sim.errors import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class ReplicationDaemon:
+    """One per file server; wakes periodically and enforces the policy."""
+
+    def __init__(
+        self,
+        server: FileServer,
+        redundancy: int = 2,
+        max_replicas: int = 5,
+        hot_threshold: float = 10.0,
+        interval: float = 2.0,
+        secret: Optional[bytes] = None,
+    ) -> None:
+        self.server = server
+        self.sim = server.sim
+        self.redundancy = redundancy
+        self.max_replicas = max_replicas
+        self.hot_threshold = hot_threshold
+        self.interval = interval
+        self._rpc = RpcClient(server.host, secret=secret)
+        self._last_gets: Dict[str, int] = {}
+        self.replicas_created = 0
+        self.replicas_deleted = 0
+        self._proc = self.sim.process(self._run(), name=f"repl:{server.host.name}")
+
+    def _run(self):
+        rng = self.sim.rng.stream(f"replication.{self.server.host.name}")
+        try:
+            while True:
+                yield self.sim.timeout(self.interval * (0.5 + rng.random()))
+                if not self.server.host.up:
+                    continue
+                for name in list(self.server.files):
+                    yield from self._consider(name, rng)
+        except Interrupt:
+            return
+
+    def _consider(self, name: str, rng):
+        vf = self.server.files.get(name)
+        if vf is None:
+            return
+        # Demand estimate: gets since the last wakeup, per second.
+        prev = self._last_gets.get(name, 0)
+        rate = (vf.gets - prev) / max(self.interval, 1e-9)
+        self._last_gets[name] = vf.gets
+        try:
+            locations = yield self.server.lifns.locations(name)
+            servers = yield from self._peer_servers()
+        except Exception:
+            return
+        target = self.redundancy
+        if rate > self.hot_threshold:
+            target = self.max_replicas  # demand-driven expansion
+        if len(locations) < target:
+            # Push to a peer that lacks a replica.
+            holders = {uri_mod.host_of(u) for u in locations}
+            candidates = [s for s in servers if s[0] not in holders and s[0] != self.server.host.name]
+            if candidates:
+                peer = candidates[rng.randrange(len(candidates))]
+                try:
+                    yield self._rpc.call(
+                        peer[0], peer[1], "file.put",
+                        timeout=5.0, _size=vf.size,
+                        name=name, payload=vf.payload, size=vf.size,
+                    )
+                    self.replicas_created += 1
+                except RpcError:
+                    pass
+        elif len(locations) > max(target, self.redundancy) and rate == 0.0:
+            # Trim our own cold excess replica (never drop below target).
+            our_url = self.server.location_url(name)
+            if our_url in locations and len(locations) - 1 >= self.redundancy:
+                del self.server.files[name]
+                self.replicas_deleted += 1
+                try:
+                    yield self.server.lifns.unbind(name, our_url)
+                except Exception:
+                    pass
+
+    def _peer_servers(self):
+        assertions = yield self.server.rc.lookup(uri_mod.service_urn("fileserver"))
+        out = []
+        for key, info in assertions.items():
+            if key.startswith("location:") and info["value"]:
+                hostname, port = key[len("location:"):].rsplit(":", 1)
+                out.append((hostname, int(port)))
+        return sorted(out)
+
+    def close(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("closed")
+        self._rpc.close()

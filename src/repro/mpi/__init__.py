@@ -1,0 +1,29 @@
+"""Mini-MPI, PVMPI, and MPI_Connect (§6.1).
+
+The paper's flagship application: PVMPI let different vendor MPI
+implementations interoperate by bridging them through PVM; MPI_Connect
+re-based the bridge on SNIPE "for name resolution and across host
+communication instead of utilizing PVM", which "proved easier to
+maintain (no virtual machine to disappear) and also offered a slightly
+higher point-to-point communication performance".
+
+* :mod:`repro.mpi.mpi` — a real mini-MPI: ranks, tagged point-to-point,
+  binomial-tree broadcast/reduce, barrier, gather — running on each
+  MPP's fast internal fabric.
+* :mod:`repro.mpi.bridge` — the intercommunicator bridges:
+  :class:`PvmpiBridge` (name registry + routing through pvmds) and
+  :class:`MpiConnectBridge` (names in RC metadata, direct SRUDP
+  task-to-task traffic).
+"""
+
+from repro.mpi.mpi import MpiContext, MpiJob, MpiError
+from repro.mpi.bridge import InterBridgeError, MpiConnectBridge, PvmpiBridge
+
+__all__ = [
+    "InterBridgeError",
+    "MpiConnectBridge",
+    "MpiContext",
+    "MpiError",
+    "MpiJob",
+    "PvmpiBridge",
+]

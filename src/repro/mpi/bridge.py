@@ -1,0 +1,198 @@
+"""Inter-MPI bridges: PVMPI (via PVM) vs MPI_Connect (via SNIPE) — §6.1.
+
+Both bridges expose the same API — register an application under a
+global name, connect to a named remote application, and exchange tagged
+messages with its ranks — so experiment E2 compares them head-to-head on
+identical fabric:
+
+* :class:`PvmpiBridge` enrolls each rank as a PVM task; names live in
+  the master pvmd's registry; every inter-application message takes the
+  default PVM route **through the pvmds** (task → pvmd → pvmd → task),
+  and the whole thing dies with the PVM master.
+* :class:`MpiConnectBridge` registers names in replicated RC metadata
+  and sends **directly task-to-task** over SRUDP — no daemon in the data
+  path and no virtual machine to disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.mpi.mpi import MpiJob
+from repro.pvm.pvmd import PvmContext, PvmError, Pvmd
+from repro.rcds import uri as uri_mod
+from repro.rcds.client import QUORUM, RCClient
+from repro.rpc import RpcError, payload_size
+from repro.sim.events import Event
+from repro.sim.resources import Store
+from repro.transport.base import SendError
+from repro.transport.srudp import SrudpEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class InterBridgeError(Exception):
+    """Registration/lookup failed or the remote application is gone."""
+
+
+@dataclass
+class InterMsg:
+    """A message between two bridged MPI applications."""
+
+    src_app: str
+    src_rank: int
+    tag: Any
+    payload: Any
+
+
+class PvmpiBridge:
+    """PVMPI: ranks enroll into PVM; data flows through the pvmds."""
+
+    def __init__(self, job: MpiJob, pvmds: Dict[str, Pvmd], app_name: str) -> None:
+        self.job = job
+        self.sim = job.sim
+        self.app_name = app_name
+        self.pvmds = pvmds
+        self.rank_tids: List[int] = []
+        self.rank_ctxs: List[PvmContext] = []
+        for ctx in job.contexts:
+            pvmd = pvmds.get(ctx.host.name)
+            if pvmd is None:
+                raise InterBridgeError(f"no pvmd on {ctx.host.name}")
+            tid, pvm_ctx = pvmd.enroll()
+            self.rank_tids.append(tid)
+            self.rank_ctxs.append(pvm_ctx)
+        self._master = next(iter(pvmds.values()))
+
+    def register(self):
+        """Publish this application's tids in the PVM registry (a process)."""
+        return self._master.putinfo(f"pvmpi:{self.app_name}", list(self.rank_tids))
+
+    def connect(self, remote_app: str, timeout: float = 10.0):
+        """Resolve a remote application's rank tids (a process)."""
+        return self.sim.process(
+            self._connect(remote_app, timeout), name=f"pvmpi-connect:{remote_app}"
+        )
+
+    def _connect(self, remote_app: str, timeout: float):
+        deadline = self.sim.now + timeout
+        while True:
+            try:
+                tids = yield self._master.getinfo(f"pvmpi:{remote_app}")
+                return {"app": remote_app, "tids": list(tids)}
+            except (RpcError, PvmError) as exc:
+                if self.sim.now >= deadline:
+                    raise InterBridgeError(f"connect {remote_app!r}: {exc}") from None
+                yield self.sim.timeout(0.2)
+
+    def send(self, my_rank: int, remote: Dict, remote_rank: int, payload: Any,
+             tag: Any = 0, size: Optional[int] = None):
+        """Inter-application send via the pvmd route (a process)."""
+        ctx = self.rank_ctxs[my_rank]
+        msg = InterMsg(self.app_name, my_rank, tag, payload)
+        if size is None:
+            size = payload_size(payload)
+        return ctx.send(remote["tids"][remote_rank], msg, tag=("inter", tag), size=size)
+
+    def recv(self, my_rank: int, tag: Any = 0):
+        """Event yielding the next :class:`InterMsg` for this rank."""
+        ev = Event(self.sim)
+        inner = self.rank_ctxs[my_rank].recv(tag=("inter", tag))
+
+        def unwrap(e):
+            if e._exc is not None:
+                ev.fail(e._exc)
+            else:
+                ev.succeed(e._value.payload)
+
+        inner.add_callback(unwrap)
+        return ev
+
+
+class MpiConnectBridge:
+    """MPI_Connect: names in RC metadata, direct task-to-task traffic."""
+
+    def __init__(
+        self,
+        job: MpiJob,
+        rc_replicas: List[Tuple[str, int]],
+        app_name: str,
+        secret: Optional[bytes] = None,
+    ) -> None:
+        self.job = job
+        self.sim = job.sim
+        self.app_name = app_name
+        self.endpoints: List[SrudpEndpoint] = []
+        self.inboxes: List[Dict[Any, Store]] = []
+        self._rc_clients: List[RCClient] = []
+        for ctx in job.contexts:
+            port = ctx.host.ephemeral_port()
+            ep = SrudpEndpoint(ctx.host, port)
+            self.endpoints.append(ep)
+            self.inboxes.append({})
+            self._rc_clients.append(RCClient(ctx.host, rc_replicas, secret=secret))
+            self.sim.process(self._rx_loop(ctx.rank), name=f"mpic-rx:{app_name}[{ctx.rank}]")
+
+    def _inbox(self, rank: int, tag: Any) -> Store:
+        box = self.inboxes[rank].get(tag)
+        if box is None:
+            box = self.inboxes[rank][tag] = Store(self.sim)
+        return box
+
+    def _rx_loop(self, rank: int):
+        ep = self.endpoints[rank]
+        while True:
+            raw = yield ep.recv()
+            msg = raw.payload
+            if isinstance(msg, InterMsg):
+                self._inbox(rank, msg.tag).try_put(msg)
+
+    def register(self):
+        """Publish rank addresses in RC metadata (a process)."""
+        urn = uri_mod.service_urn(f"mpi:{self.app_name}")
+        assertions = {
+            f"rank:{i}": (ep.host.name, ep.port)
+            for i, ep in enumerate(self.endpoints)
+        }
+        assertions["size"] = len(self.endpoints)
+        return self._rc_clients[0].update(urn, assertions, QUORUM)
+
+    def connect(self, remote_app: str, timeout: float = 10.0):
+        """Resolve a remote application's rank addresses (a process)."""
+        return self.sim.process(
+            self._connect(remote_app, timeout), name=f"mpic-connect:{remote_app}"
+        )
+
+    def _connect(self, remote_app: str, timeout: float):
+        urn = uri_mod.service_urn(f"mpi:{remote_app}")
+        deadline = self.sim.now + timeout
+        rc = self._rc_clients[0]
+        while True:
+            try:
+                meta = yield rc.lookup(urn, QUORUM)
+            except Exception:
+                meta = {}
+            ranks = {}
+            for key, info in meta.items():
+                if key.startswith("rank:"):
+                    ranks[int(key[5:])] = tuple(info["value"])
+            if ranks:
+                return {"app": remote_app, "ranks": ranks}
+            if self.sim.now >= deadline:
+                raise InterBridgeError(f"connect {remote_app!r}: no metadata")
+            yield self.sim.timeout(0.2)
+
+    def send(self, my_rank: int, remote: Dict, remote_rank: int, payload: Any,
+             tag: Any = 0, size: Optional[int] = None):
+        """Direct task-to-task send over SRUDP (a process)."""
+        host, port = remote["ranks"][remote_rank]
+        msg = InterMsg(self.app_name, my_rank, tag, payload)
+        if size is None:
+            size = payload_size(payload)
+        return self.endpoints[my_rank].send(host, port, msg, size)
+
+    def recv(self, my_rank: int, tag: Any = 0):
+        """Event yielding the next :class:`InterMsg` for this rank."""
+        return self._inbox(my_rank, tag).get()

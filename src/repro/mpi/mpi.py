@@ -1,0 +1,238 @@
+"""A mini-MPI: the vendor-optimized intra-MPP message passing layer.
+
+One :class:`MpiJob` = one MPI_COMM_WORLD: N ranks, one per host of an
+MPP, communicating over the machine's internal fabric with SRUDP
+endpoints. Point-to-point is tagged and source-filtered; broadcast and
+reduce use binomial trees (log₂N rounds, as real implementations do);
+barrier is a reduce-then-broadcast of nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.rpc import payload_size
+from repro.sim.events import Event, defuse
+from repro.transport.srudp import SrudpEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.sim.kernel import Simulator
+
+_job_ids = itertools.count(1)
+
+#: Base port for MPI jobs; each job gets its own port (shared by ranks,
+#: which live on distinct hosts).
+MPI_PORT_BASE = 4200
+
+
+class MpiError(Exception):
+    """Communicator misuse (bad rank, mismatched collective, ...)."""
+
+
+@dataclass
+class _RankMsg:
+    src: int
+    tag: Any
+    payload: Any
+
+
+class MpiContext:
+    """Per-rank handle: the MPI API surface the job's program uses."""
+
+    def __init__(self, job: "MpiJob", rank: int, host: "Host") -> None:
+        self.job = job
+        self.rank = rank
+        self.size = job.size
+        self.host = host
+        self.sim: "Simulator" = job.sim
+        self.endpoint = SrudpEndpoint(host, job.port)
+        self._pending: List[_RankMsg] = []
+        self._waiters: List[Tuple[Optional[int], Any, Event]] = []
+        # Collective ordinal: MPI requires every rank to call collectives
+        # in the same order, so this counter agrees across ranks and tags
+        # each collective's traffic unambiguously.
+        self._coll_seq = itertools.count()
+        self.sim.process(self._rx_loop(), name=f"mpi-rx:{job.name}[{rank}]")
+
+    # -- point to point ------------------------------------------------------
+    def send(self, dst: int, payload: Any, tag: Any = 0, size: Optional[int] = None):
+        """Blocking-semantics send (completion = delivered); yield it."""
+        if not 0 <= dst < self.size:
+            raise MpiError(f"rank {dst} out of range 0..{self.size - 1}")
+        if size is None:
+            size = payload_size(payload)
+        msg = _RankMsg(self.rank, tag, payload)
+        return self.endpoint.send(self.job.hosts[dst].name, self.job.port, msg, size)
+
+    def recv(self, src: Optional[int] = None, tag: Any = None):
+        """Event yielding the next matching message's payload holder."""
+        ev = Event(self.sim)
+        for i, msg in enumerate(self._pending):
+            if self._match(msg, src, tag):
+                del self._pending[i]
+                ev.succeed(msg)
+                return ev
+        self._waiters.append((src, tag, ev))
+        return ev
+
+    @staticmethod
+    def _match(msg: _RankMsg, src: Optional[int], tag: Any) -> bool:
+        return (src is None or msg.src == src) and (tag is None or msg.tag == tag)
+
+    def _rx_loop(self):
+        while True:
+            raw = yield self.endpoint.recv()
+            msg = raw.payload
+            if not isinstance(msg, _RankMsg):
+                continue
+            for i, (src, tag, ev) in enumerate(self._waiters):
+                if self._match(msg, src, tag):
+                    del self._waiters[i]
+                    ev.succeed(msg)
+                    break
+            else:
+                self._pending.append(msg)
+
+    # -- collectives -------------------------------------------------------------
+    def bcast(self, value: Any, root: int = 0):
+        """Binomial-tree broadcast; returns a process yielding the value."""
+        return self.sim.process(self._bcast(value, root), name=f"bcast:{self.rank}")
+
+    def _bcast(self, value: Any, root: int):
+        # Canonical binomial broadcast (MPICH-style), renumbered so the
+        # root is virtual rank 0.
+        size = self.size
+        vrank = (self.rank - root) % size
+        tag = ("__bcast__", next(self._coll_seq))
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                msg = yield self.recv(tag=tag)
+                value = msg.payload
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < size:
+                real = (vrank + mask + root) % size
+                yield self.send(real, value, tag=tag)
+            mask >>= 1
+        return value
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
+        """Binomial-tree reduction toward *root*; non-roots yield None."""
+        return self.sim.process(self._reduce(value, op, root), name=f"reduce:{self.rank}")
+
+    def _reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int):
+        # Commutative-op binomial reduction: children's partial results
+        # may arrive in any order, which is fine for commutative ops.
+        vrank = (self.rank - root) % self.size
+        tag = ("__reduce__", next(self._coll_seq))
+        mask = 1
+        acc = value
+        while mask < self.size:
+            if vrank & mask:
+                parent = ((vrank & ~mask) + root) % self.size
+                yield self.send(parent, acc, tag=tag)
+                return None
+            partner = vrank | mask
+            if partner < self.size:
+                msg = yield self.recv(tag=tag)
+                acc = op(acc, msg.payload)
+            mask <<= 1
+        return acc
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]):
+        return self.sim.process(self._allreduce(value, op), name=f"allreduce:{self.rank}")
+
+    def _allreduce(self, value: Any, op):
+        acc = yield self.reduce(value, op, root=0)
+        return (yield self.bcast(acc, root=0))
+
+    def barrier(self):
+        """All ranks synchronize; returns a process to yield."""
+        return self.sim.process(self._barrier(), name=f"barrier:{self.rank}")
+
+    def _barrier(self):
+        yield self.reduce(0, lambda a, b: 0, root=0)
+        yield self.bcast(None, root=0)
+        return None
+
+    def gather(self, value: Any, root: int = 0):
+        """Linear gather; root yields the rank-ordered list, others None."""
+        return self.sim.process(self._gather(value, root), name=f"gather:{self.rank}")
+
+    def _gather(self, value: Any, root: int):
+        tag = ("__gather__", next(self._coll_seq))
+        if self.rank != root:
+            yield self.send(root, value, tag=tag)
+            return None
+        out: List[Any] = [None] * self.size
+        out[root] = value
+        for _ in range(self.size - 1):
+            msg = yield self.recv(tag=tag)
+            out[msg.src] = msg.payload
+        return out
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0):
+        """Linear scatter from *root*; every rank yields its slice."""
+        return self.sim.process(self._scatter(values, root), name=f"scatter:{self.rank}")
+
+    def _scatter(self, values: Optional[List[Any]], root: int):
+        tag = ("__scatter__", next(self._coll_seq))
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MpiError("scatter needs one value per rank at the root")
+            for dst in range(self.size):
+                if dst != root:
+                    yield self.send(dst, values[dst], tag=tag)
+            return values[root]
+        msg = yield self.recv(src=root, tag=tag)
+        return msg.payload
+
+    def compute(self, cpu_seconds: float):
+        return self.sim.timeout(cpu_seconds / self.host.cpu_speed)
+
+    def sleep(self, seconds: float):
+        return self.sim.timeout(seconds)
+
+
+class MpiJob:
+    """One MPI application instance spanning the hosts of an MPP."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        hosts: List["Host"],
+        program: Callable[..., Generator],
+        params: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hosts:
+            raise MpiError("an MPI job needs at least one host")
+        self.sim = sim
+        self.hosts = list(hosts)
+        self.size = len(hosts)
+        self.job_id = next(_job_ids)
+        self.name = name or f"mpijob{self.job_id}"
+        self.port = MPI_PORT_BASE + self.job_id
+        self.contexts: List[MpiContext] = [
+            MpiContext(self, rank, host) for rank, host in enumerate(self.hosts)
+        ]
+        self.procs = [
+            sim.process(program(ctx, **(params or {})), name=f"{self.name}[{ctx.rank}]")
+            for ctx in self.contexts
+        ]
+        for proc in self.procs:
+            defuse(proc)
+
+    def wait_all(self):
+        """Event firing when every rank's program has returned."""
+        return self.sim.all_of(self.procs)
+
+    @property
+    def results(self) -> List[Any]:
+        return [p._value if p.triggered and p.ok else None for p in self.procs]

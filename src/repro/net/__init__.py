@@ -1,0 +1,50 @@
+"""Simulated network substrate: hosts, NICs, segments, media, routing.
+
+This package replaces the 1997 testbed hardware (100 Mbit Ethernet,
+155 Mbit ATM, Myrinet, WAN links) with a byte-accurate discrete-event
+model: every frame pays serialisation time at the medium's bandwidth,
+per-frame framing overhead, propagation latency, and an independent loss
+draw. SNIPE's transports (:mod:`repro.transport`) run unmodified protocol
+state machines on top.
+
+Units: seconds, bytes, bytes/second throughout.
+"""
+
+from repro.net.media import (
+    ATM_155,
+    ETHERNET_10,
+    ETHERNET_100,
+    LOOPBACK,
+    MODEM_56K,
+    MYRINET,
+    SERIAL_SAT,
+    WAN_T3,
+    Medium,
+)
+from repro.net.packet import Address, Frame, BROADCAST
+from repro.net.segment import Segment
+from repro.net.nic import NIC
+from repro.net.host import Host, PortBinding
+from repro.net.topology import Topology
+from repro.net.failures import FailureInjector
+
+__all__ = [
+    "ATM_155",
+    "Address",
+    "BROADCAST",
+    "ETHERNET_10",
+    "ETHERNET_100",
+    "FailureInjector",
+    "Frame",
+    "Host",
+    "LOOPBACK",
+    "MODEM_56K",
+    "MYRINET",
+    "Medium",
+    "NIC",
+    "PortBinding",
+    "SERIAL_SAT",
+    "Segment",
+    "Topology",
+    "WAN_T3",
+]

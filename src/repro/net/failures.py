@@ -1,0 +1,117 @@
+"""Failure injection: scheduled and stochastic host/link failures.
+
+This is the stand-in for the paper's unreliable Internet: experiments E3,
+E5, E7 and E8 use it to kill hosts, cut segments, and partition the
+network, either at fixed times (reproducible scenarios) or as a Poisson
+failure/repair process (availability measurements).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Topology
+    from repro.sim.kernel import Simulator
+
+
+class FailureInjector:
+    """Drives crash/recover and link down/up events against a topology."""
+
+    def __init__(self, sim: "Simulator", topology: "Topology") -> None:
+        self.sim = sim
+        self.topology = topology
+        self._rng = sim.rng.stream("failures")
+        self.log: List[Tuple[float, str, str]] = []
+
+    # -- scheduled one-shots -----------------------------------------------
+    def host_down_at(self, t: float, host: str, duration: Optional[float] = None) -> None:
+        """Crash *host* at time *t*; recover after *duration* if given."""
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            self._host_down(host)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                self._host_up(host)
+
+        self.sim.process(script(), name=f"fail:host:{host}")
+
+    def segment_down_at(self, t: float, segment: str, duration: Optional[float] = None) -> None:
+        """Cut *segment* at time *t*; restore after *duration* if given."""
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            self._segment_down(segment)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                self._segment_up(segment)
+
+        self.sim.process(script(), name=f"fail:segment:{segment}")
+
+    def partition_at(
+        self, t: float, side_a: Iterable[str], side_b: Iterable[str], duration: Optional[float] = None
+    ) -> None:
+        """Partition: cut every segment with NICs from both host sets."""
+        side_a, side_b = set(side_a), set(side_b)
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            cut = []
+            for seg in self.topology.segments.values():
+                owners = {nic.host.name for nic in seg.nics.values()}
+                if owners & side_a and owners & side_b:
+                    self._segment_down(seg.name)
+                    cut.append(seg.name)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                for name in cut:
+                    self._segment_up(name)
+
+        self.sim.process(script(), name="fail:partition")
+
+    # -- stochastic churn -----------------------------------------------------
+    def churn_hosts(
+        self,
+        hosts: Iterable[str],
+        mtbf: float,
+        mttr: float,
+        stop_at: float,
+    ) -> None:
+        """Each host alternates up (Exp(mtbf)) and down (Exp(mttr)) phases.
+
+        This models the paper's testbed environment: independent node
+        failures with repair, over a long horizon.
+        """
+        for name in hosts:
+            self.sim.process(self._churn_one(name, mtbf, mttr, stop_at), name=f"churn:{name}")
+
+    def _churn_one(self, host: str, mtbf: float, mttr: float, stop_at: float):
+        while self.sim.now < stop_at:
+            uptime = self._rng.expovariate(1.0 / mtbf)
+            yield self.sim.timeout(uptime)
+            if self.sim.now >= stop_at:
+                break
+            self._host_down(host)
+            downtime = self._rng.expovariate(1.0 / mttr)
+            yield self.sim.timeout(downtime)
+            self._host_up(host)
+
+    # -- primitives --------------------------------------------------------
+    def _host_down(self, name: str) -> None:
+        self.topology.hosts[name].crash()
+        self.log.append((self.sim.now, "host_down", name))
+
+    def _host_up(self, name: str) -> None:
+        self.topology.hosts[name].recover()
+        self.log.append((self.sim.now, "host_up", name))
+
+    def _segment_down(self, name: str) -> None:
+        self.topology.segments[name].up = False
+        self.topology.bump_version()
+        self.log.append((self.sim.now, "segment_down", name))
+
+    def _segment_up(self, name: str) -> None:
+        self.topology.segments[name].up = True
+        self.topology.bump_version()
+        self.log.append((self.sim.now, "segment_up", name))

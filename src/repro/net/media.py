@@ -1,0 +1,154 @@
+"""Media models for the link types the paper names (§5.2.1, §6, Fig. 1).
+
+Each :class:`Medium` captures the parameters that shape Fig. 1: raw line
+rate, per-frame framing overhead (which sets the large-message efficiency
+ceiling), MTU (which sets the frame count per message), propagation
+latency, and a residual loss rate.
+
+The framing overheads follow the real encapsulations:
+
+* Ethernet: preamble 8 + header 14 + FCS 4 + inter-frame gap 12 = 38 bytes
+  per frame of up to 1500 payload bytes (≈97.5 % efficiency at full MTU).
+* ATM AAL5: 53-byte cells carry 48 payload bytes (≈90.6 % cell efficiency)
+  plus an 8-byte AAL5 trailer per frame; we fold the cell tax into an
+  effective per-frame overhead at the 9180-byte classical-IP-over-ATM MTU.
+* Myrinet: tiny source-routed headers, cut-through switching.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Medium:
+    """A physical medium's timing/overhead model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable medium name (appears in benchmark tables).
+    bandwidth:
+        Raw line rate in **bytes/second**.
+    latency:
+        One-way propagation + switching delay in seconds.
+    mtu:
+        Maximum payload bytes per frame.
+    frame_overhead:
+        Non-payload bytes charged per frame (headers, trailers, gaps).
+    loss_rate:
+        Independent per-frame drop probability on a healthy link.
+    cell_size, cell_payload:
+        If non-zero, payload+overhead is additionally rounded up to whole
+        cells of ``cell_size`` bytes carrying ``cell_payload`` each (ATM).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    mtu: int
+    frame_overhead: int
+    loss_rate: float = 0.0
+    cell_size: int = 0
+    cell_payload: int = 0
+
+    def wire_bytes(self, payload: int) -> int:
+        """Bytes actually serialised for a frame carrying *payload* bytes."""
+        raw = payload + self.frame_overhead
+        if self.cell_size and self.cell_payload:
+            cells = math.ceil(raw / self.cell_payload)
+            return cells * self.cell_size
+        return raw
+
+    def serialize_time(self, payload: int) -> float:
+        """Seconds to clock a *payload*-byte frame onto the wire."""
+        return self.wire_bytes(payload) / self.bandwidth
+
+    def efficiency_at_mtu(self) -> float:
+        """Fraction of line rate available to payload at full-MTU frames."""
+        return self.mtu / self.wire_bytes(self.mtu)
+
+
+#: 10 Mbit/s shared Ethernet (1.25 MB/s line rate).
+ETHERNET_10 = Medium(
+    name="ethernet-10",
+    bandwidth=10e6 / 8,
+    latency=100e-6,
+    mtu=1500,
+    frame_overhead=38,
+    loss_rate=1e-5,
+)
+
+#: 100 Mbit/s switched Ethernet (12.5 MB/s line rate) — Fig. 1's LAN medium.
+ETHERNET_100 = Medium(
+    name="ethernet-100",
+    bandwidth=100e6 / 8,
+    latency=50e-6,
+    mtu=1500,
+    frame_overhead=38,
+    loss_rate=1e-6,
+)
+
+#: 155 Mbit/s ATM (19.375 MB/s line rate) — Fig. 1's fast medium. Classical
+#: IP over ATM MTU of 9180 with AAL5 trailer; the 48/53 cell tax applies.
+ATM_155 = Medium(
+    name="atm-155",
+    bandwidth=155e6 / 8,
+    latency=120e-6,
+    mtu=9180,
+    frame_overhead=8,
+    loss_rate=1e-6,
+    cell_size=53,
+    cell_payload=48,
+)
+
+#: Myrinet SAN: 1.28 Gbit/s, microsecond latency, negligible framing.
+MYRINET = Medium(
+    name="myrinet",
+    bandwidth=1.28e9 / 8,
+    latency=10e-6,
+    mtu=8192,
+    frame_overhead=8,
+    loss_rate=0.0,
+)
+
+#: A T3 wide-area link: 45 Mbit/s, 20 ms one-way, visible loss.
+WAN_T3 = Medium(
+    name="wan-t3",
+    bandwidth=45e6 / 8,
+    latency=20e-3,
+    mtu=1500,
+    frame_overhead=38,
+    loss_rate=1e-4,
+)
+
+#: Dial-up modem — the paper's "personal digital assistant" end of the range.
+MODEM_56K = Medium(
+    name="modem-56k",
+    bandwidth=56e3 / 8,
+    latency=150e-3,
+    mtu=576,
+    frame_overhead=10,
+    loss_rate=1e-3,
+)
+
+#: Satellite serial link: high bandwidth-delay product, lossy.
+SERIAL_SAT = Medium(
+    name="serial-sat",
+    bandwidth=2e6 / 8,
+    latency=270e-3,
+    mtu=1500,
+    frame_overhead=20,
+    loss_rate=5e-4,
+)
+
+#: In-host loopback for colocated processes.
+LOOPBACK = Medium(
+    name="loopback",
+    bandwidth=400e6,
+    latency=5e-6,
+    mtu=65536,
+    frame_overhead=0,
+    loss_rate=0.0,
+)

@@ -1,0 +1,105 @@
+"""Network interfaces: serialisation, transmit queueing, reception.
+
+The NIC owns the only timing bottleneck in the model: its transmit process
+clocks one frame at a time onto the wire at the medium's line rate. This
+is what makes Fig. 1 come out right — a host cannot exceed its interface's
+serialisation rate no matter what the protocol does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Address, Frame
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.net.segment import Segment
+    from repro.sim.kernel import Simulator
+
+#: Default transmit-queue depth (frames). Overflow drops, like a real NIC.
+DEFAULT_TXQ = 1000
+
+
+class NIC:
+    """One interface of a host, attached to one segment."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        iface: str,
+        ip: str,
+        segment: "Segment",
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.iface = iface
+        self.segment = segment
+        self.address = Address(host=host.name, iface=iface, ip=ip, netname=segment.name)
+        self.up = True
+        self.txq: Store = Store(sim, capacity=DEFAULT_TXQ)
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.drops = 0
+        segment.attach(self)
+        sim.process(self._tx_loop(), name=f"nic:{self.address}")
+
+    @property
+    def medium(self):
+        return self.segment.medium
+
+    def send(self, frame: Frame) -> bool:
+        """Queue *frame* for transmission. False == txq overflow (dropped)."""
+        if not self.up:
+            self.drops += 1
+            return False
+        if not self.txq.try_put(frame):
+            self.drops += 1
+            return False
+        return True
+
+    def _tx_loop(self):
+        """Serialise queued frames one at a time at the medium line rate.
+
+        Frames larger than the MTU are IP-fragmented at this layer: the
+        wire time is the sum over fragments and the loss probability
+        compounds per fragment, but the frame is still delivered (or lost)
+        as a unit. This is what happens when a transport sized its
+        segments for a big-MTU path and a failover reroutes them over a
+        smaller-MTU medium.
+        """
+        while True:
+            frame = yield self.txq.get()
+            if not self.up:
+                self.drops += 1
+                continue
+            mtu = self.medium.mtu
+            if frame.size <= mtu:
+                fragments = 1
+                wire_time = self.medium.serialize_time(frame.size)
+            else:
+                full, rem = divmod(frame.size, mtu)
+                fragments = full + (1 if rem else 0)
+                wire_time = full * self.medium.serialize_time(mtu)
+                if rem:
+                    wire_time += self.medium.serialize_time(rem)
+            yield self.sim.timeout(wire_time)
+            self.tx_bytes += frame.size
+            self.tx_frames += fragments
+            self.segment.propagate(self, frame, fragments=fragments)
+
+    def receive(self, frame: Frame) -> None:
+        """Frame arrived from the segment; hand it up to the host stack."""
+        if not self.up or not self.host.up:
+            self.drops += 1
+            return
+        self.rx_bytes += frame.size
+        self.rx_frames += 1
+        self.host.deliver(frame, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NIC {self.address} {'up' if self.up else 'DOWN'}>"

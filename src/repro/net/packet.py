@@ -1,0 +1,67 @@
+"""Frames and addresses.
+
+A :class:`Frame` is the unit handed to a NIC: it carries an opaque payload
+object plus a declared payload size in bytes. The simulator charges wire
+time for the declared size; it never serialises the Python object itself.
+
+An :class:`Address` names one network interface. The paper's hosts are
+multi-homed (§5.2.1: "one or more network interfaces … netmask … net
+name"), so host identity and interface address are distinct; routing and
+media selection happen over addresses, naming over hosts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_frame_ids = itertools.count(1)
+
+#: Destination IP meaning "every NIC on the segment except the sender".
+BROADCAST = "*"
+
+
+@dataclass(frozen=True)
+class Address:
+    """One interface: (host, iface) identity plus its IP and net name."""
+
+    host: str
+    iface: str
+    ip: str
+    netname: str
+
+    def __str__(self) -> str:
+        return f"{self.ip}({self.host}.{self.iface})"
+
+
+@dataclass
+class Frame:
+    """A link-layer frame in flight.
+
+    ``size`` is the transport-layer payload size in bytes; the medium adds
+    its own framing overhead when computing wire time. ``proto`` and the
+    port pair demultiplex to a transport endpoint on the destination host.
+    ``ttl`` guards against forwarding loops.
+    """
+
+    src: Address
+    dst_ip: str
+    proto: str
+    src_port: int
+    dst_port: int
+    payload: Any
+    size: int
+    ttl: int = 16
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: L2 next hop on the current segment when forwarding through gateways;
+    #: None means "dst_ip is on this segment".
+    l2_dst: Optional[str] = None
+    #: Filled in by the delivering segment so receivers know the medium.
+    via_segment: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Frame #{self.frame_id} {self.proto} {self.src.ip}:{self.src_port}"
+            f"->{self.dst_ip}:{self.dst_port} {self.size}B>"
+        )

@@ -1,0 +1,82 @@
+"""Network segments: a shared medium joining a set of NICs.
+
+A segment is one L2 network — an Ethernet switch domain, an ATM fabric, a
+point-to-point WAN link. It knows which NICs are attached, resolves
+destination IPs to NICs, applies propagation latency and loss, and can be
+taken down/up by the failure injector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.net.media import Medium
+from repro.net.packet import BROADCAST, Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+    from repro.net.nic import NIC
+
+
+class Segment:
+    """One L2 network with a :class:`Medium` personality."""
+
+    def __init__(self, sim: "Simulator", name: str, medium: Medium) -> None:
+        self.sim = sim
+        self.name = name
+        self.medium = medium
+        self.up = True
+        self.nics: Dict[str, "NIC"] = {}  # ip -> NIC
+        self._rng = sim.rng.stream(f"net.segment.{name}")
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    def attach(self, nic: "NIC") -> None:
+        if nic.address.ip in self.nics:
+            raise ValueError(f"duplicate IP {nic.address.ip} on segment {self.name}")
+        self.nics[nic.address.ip] = nic
+
+    def detach(self, nic: "NIC") -> None:
+        self.nics.pop(nic.address.ip, None)
+
+    def lookup(self, ip: str) -> Optional["NIC"]:
+        return self.nics.get(ip)
+
+    # -- delivery ---------------------------------------------------------
+    def propagate(self, sender: "NIC", frame: Frame, fragments: int = 1) -> None:
+        """Called by the sending NIC after serialisation completes.
+
+        Applies the loss draw (compounded over IP *fragments* — losing any
+        fragment loses the frame) and schedules arrival ``latency`` later.
+        A down segment silently eats every frame (the transports' problem).
+        """
+        if not self.up:
+            self.frames_lost += 1
+            return
+        frame.via_segment = self.name
+        hop_ip = frame.l2_dst or frame.dst_ip
+        if hop_ip == BROADCAST:
+            for ip, nic in list(self.nics.items()):
+                if nic is not sender:
+                    self._deliver_one(nic, frame, fragments)
+            return
+        nic = self.nics.get(hop_ip)
+        if nic is None:
+            self.frames_lost += 1
+            return
+        self._deliver_one(nic, frame, fragments)
+
+    def _deliver_one(self, nic: "NIC", frame: Frame, fragments: int = 1) -> None:
+        p_loss = self.medium.loss_rate
+        if p_loss > 0 and fragments > 1:
+            p_loss = 1.0 - (1.0 - p_loss) ** fragments
+        if p_loss > 0 and self._rng.random() < p_loss:
+            self.frames_lost += 1
+            return
+        self.frames_delivered += 1
+        ev = self.sim.timeout(self.medium.latency, value=frame)
+        ev.add_callback(lambda e: nic.receive(e.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.up else "DOWN"
+        return f"<Segment {self.name} [{self.medium.name}] {state} nics={len(self.nics)}>"

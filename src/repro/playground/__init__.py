@@ -1,0 +1,38 @@
+"""Playgrounds: secure execution of mobile code (§3.6, §5.8).
+
+    "A 'playground' runs under the supervision of a SNIPE daemon and
+    facilitates the secure execution of mobile code. … The playground is
+    responsible for downloading the code from a file server, verifying
+    its authenticity and integrity, verifying that the code has the
+    rights needed to access restricted resources, enforcing access
+    restrictions and resource usage quotas, and logging access violations
+    and excess resource use."
+
+The paper anticipated mobile code "written in a machine-independent
+language such as Java, Python, or Limbo"; we provide our own:
+**SnipeScript**, a small imperative language compiled
+(:mod:`repro.playground.lang`) to a checkpointable stack VM
+(:mod:`repro.playground.vm`) whose step/memory budgets map directly onto
+SNIPE task quotas — and whose snapshots are exactly the "allocation of
+program storage in a way that facilitates checkpointing, restart, and
+migration" the paper calls for.
+"""
+
+from repro.playground.vm import SnipeVM, VmError, VmQuotaError
+from repro.playground.lang import CompileError, compile_source
+from repro.playground.playground import (
+    CodeVerificationError,
+    Playground,
+    sign_mobile_code,
+)
+
+__all__ = [
+    "CodeVerificationError",
+    "CompileError",
+    "Playground",
+    "SnipeVM",
+    "VmError",
+    "VmQuotaError",
+    "compile_source",
+    "sign_mobile_code",
+]

@@ -1,0 +1,410 @@
+"""SnipeScript: the machine-independent mobile-code language.
+
+A small imperative language compiled to :mod:`repro.playground.vm`
+bytecode. Enough to write real mobile agents (the paper's §3.6 workloads:
+indexing, filtering, aggregation) while remaining trivially confinable:
+
+.. code-block:: text
+
+    var total = 0;
+    fun weight(x) { return x * x; }
+    var readings = [3, 1, 4, 1, 5];
+    var i = 0;
+    while (i < len(readings)) {
+        total = total + weight(readings[i]);
+        i = i + 1;
+    }
+    emit total;
+
+Calls to names that are neither user functions nor builtins (``len``,
+``push``) compile to ``SYS`` instructions — host calls the playground
+grants or denies per the code's signed rights.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.playground import vm as V
+
+
+class CompileError(Exception):
+    """Syntax or semantic error in SnipeScript source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+\.\d+|\d+)
+  | (?P<str>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>==|!=|<=|>=|[-+*/%<>=(){}\[\],;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"var", "fun", "if", "else", "while", "return", "emit", "and", "or", "not"}
+
+
+def tokenize(source: str) -> List[Tuple[str, Any]]:
+    tokens: List[Tuple[str, Any]] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise CompileError(f"bad character {source[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        if m.lastgroup == "num":
+            text = m.group()
+            tokens.append(("num", float(text) if "." in text else int(text)))
+        elif m.lastgroup == "str":
+            raw = m.group()[1:-1]
+            tokens.append(("str", raw.replace('\\"', '"').replace("\\n", "\n")))
+        elif m.lastgroup == "name":
+            text = m.group()
+            tokens.append(("kw" if text in _KEYWORDS else "name", text))
+        else:
+            tokens.append(("op", m.group()))
+    tokens.append(("eof", None))
+    return tokens
+
+
+class _Compiler:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        # Pre-scan for function declarations so forward calls resolve as
+        # CALLs rather than being misread as host syscalls.
+        self._declared_funs = {
+            self.tokens[i + 1][1]
+            for i in range(len(self.tokens) - 1)
+            if self.tokens[i] == ("kw", "fun") and self.tokens[i + 1][0] == "name"
+        }
+        self.code: List[Tuple[str, Any]] = []
+        self.functions: Dict[str, Tuple[int, int]] = {}  # name -> (addr, arity)
+        self._fn_bodies: List[Tuple[str, List[str], List]] = []
+        self._call_patches: List[Tuple[int, str, int]] = []  # code idx, fn, nargs
+        self.locals: Optional[Dict[str, int]] = None  # None = global scope
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self) -> Tuple[str, Any]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, Any]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Any = None) -> Any:
+        tok = self.next()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            raise CompileError(f"expected {value or kind}, got {tok[1]!r}")
+        return tok[1]
+
+    def accept(self, kind: str, value: Any) -> bool:
+        if self.peek() == (kind, value):
+            self.pos += 1
+            return True
+        return False
+
+    def emit(self, op: str, arg: Any = None) -> int:
+        self.code.append((op, arg))
+        return len(self.code) - 1
+
+    # -- program ------------------------------------------------------------
+    def compile(self) -> List[Tuple[str, Any]]:
+        while self.peek()[0] != "eof":
+            self.statement()
+        self.emit(V.HALT)
+        # Compile function bodies after the main code.
+        for name, params, body_tokens in self._fn_bodies:
+            self.functions[name] = (len(self.code), len(params))
+            saved, self.tokens, self.pos = (self.tokens, self.pos), body_tokens, 0
+            self.locals = {p: i for i, p in enumerate(params)}
+            self.expect("op", "{")
+            while not self.accept("op", "}"):
+                self.statement()
+            self.locals = None
+            (self.tokens, self.pos) = saved
+            # Implicit `return 0` falls off the end.
+            self.emit(V.PUSH, 0)
+            self.emit(V.RET)
+        # Patch call sites now that addresses are known.
+        for idx, fname, nargs in self._call_patches:
+            if fname not in self.functions:
+                raise CompileError(f"undefined function {fname!r}")
+            addr, arity = self.functions[fname]
+            if arity != nargs:
+                raise CompileError(f"{fname}() takes {arity} args, got {nargs}")
+            self.code[idx] = (V.CALL, (addr, nargs))
+        return self.code
+
+    # -- statements ----------------------------------------------------------
+    def statement(self) -> None:
+        kind, value = self.peek()
+        if (kind, value) == ("kw", "var"):
+            self.next()
+            name = self.expect("name")
+            self.expect("op", "=")
+            self.expression()
+            self._store(name, declare=True)
+            self.expect("op", ";")
+        elif (kind, value) == ("kw", "fun"):
+            self.next()
+            name = self.expect("name")
+            self.expect("op", "(")
+            params = []
+            if not self.accept("op", ")"):
+                params.append(self.expect("name"))
+                while self.accept("op", ","):
+                    params.append(self.expect("name"))
+                self.expect("op", ")")
+            body = self._capture_block()
+            self._fn_bodies.append((name, params, body))
+            # Pre-register arity so calls before the body compiles resolve.
+            self.functions.setdefault(name, (-1, len(params)))
+        elif (kind, value) == ("kw", "if"):
+            self.next()
+            self.expect("op", "(")
+            self.expression()
+            self.expect("op", ")")
+            jz = self.emit(V.JZ, None)
+            self.block()
+            if self.accept("kw", "else"):
+                jmp = self.emit(V.JMP, None)
+                self.code[jz] = (V.JZ, len(self.code))
+                self.block()
+                self.code[jmp] = (V.JMP, len(self.code))
+            else:
+                self.code[jz] = (V.JZ, len(self.code))
+        elif (kind, value) == ("kw", "while"):
+            self.next()
+            top = len(self.code)
+            self.expect("op", "(")
+            self.expression()
+            self.expect("op", ")")
+            jz = self.emit(V.JZ, None)
+            self.block()
+            self.emit(V.JMP, top)
+            self.code[jz] = (V.JZ, len(self.code))
+        elif (kind, value) == ("kw", "return"):
+            self.next()
+            self.expression()
+            self.expect("op", ";")
+            self.emit(V.RET)
+        elif (kind, value) == ("kw", "emit"):
+            self.next()
+            self.expression()
+            self.expect("op", ";")
+            self.emit(V.EMIT)
+        elif kind == "name" and self.tokens[self.pos + 1] == ("op", "="):
+            name = self.expect("name")
+            self.next()  # '='
+            self.expression()
+            self._store(name)
+            self.expect("op", ";")
+        elif kind == "name" and self.tokens[self.pos + 1] == ("op", "["):
+            # Could be `a[i] = v;` or an expression statement starting with
+            # an index; scan ahead for `] =` at depth 0 to disambiguate.
+            if self._is_index_assignment():
+                name = self.expect("name")
+                self._load(name)
+                self.expect("op", "[")
+                self.expression()
+                self.expect("op", "]")
+                self.expect("op", "=")
+                self.expression()
+                self.emit(V.SETINDEX)
+                self.expect("op", ";")
+            else:
+                self.expression()
+                self.emit(V.POP)
+                self.expect("op", ";")
+        else:
+            self.expression()
+            self.emit(V.POP)
+            self.expect("op", ";")
+
+    def _is_index_assignment(self) -> bool:
+        depth = 0
+        i = self.pos + 1
+        while i < len(self.tokens):
+            tok = self.tokens[i]
+            if tok == ("op", "["):
+                depth += 1
+            elif tok == ("op", "]"):
+                depth -= 1
+                if depth == 0:
+                    return self.tokens[i + 1] == ("op", "=") and self.tokens[
+                        i + 2
+                    ] != ("op", "=")
+            elif tok == ("op", ";"):
+                return False
+            i += 1
+        return False
+
+    def _capture_block(self) -> List[Tuple[str, Any]]:
+        """Capture a {...} token run (for deferred function compilation)."""
+        if self.peek() != ("op", "{"):
+            raise CompileError("expected '{' after function signature")
+        depth = 0
+        start = self.pos
+        while True:
+            tok = self.next()
+            if tok == ("op", "{"):
+                depth += 1
+            elif tok == ("op", "}"):
+                depth -= 1
+                if depth == 0:
+                    return self.tokens[start:self.pos] + [("eof", None)]
+            elif tok[0] == "eof":
+                raise CompileError("unterminated function body")
+
+    def block(self) -> None:
+        self.expect("op", "{")
+        while not self.accept("op", "}"):
+            self.statement()
+
+    # -- variables -------------------------------------------------------------
+    def _store(self, name: str, declare: bool = False) -> None:
+        if self.locals is not None:
+            if name in self.locals:
+                self.emit(V.STOREL, self.locals[name])
+                return
+            if declare:
+                idx = len(self.locals)
+                self.locals[name] = idx
+                self.emit(V.STOREL, idx)
+                return
+        self.emit(V.STOREG, name)
+
+    def _load(self, name: str) -> None:
+        if self.locals is not None and name in self.locals:
+            self.emit(V.LOADL, self.locals[name])
+        else:
+            self.emit(V.LOADG, name)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+    def expression(self) -> None:
+        self._or()
+
+    def _or(self) -> None:
+        self._and()
+        while self.accept("kw", "or"):
+            # Short-circuit: if lhs truthy, skip rhs and push 1.
+            jz = self.emit(V.JZ, None)
+            self.emit(V.PUSH, 1)
+            jmp = self.emit(V.JMP, None)
+            self.code[jz] = (V.JZ, len(self.code))
+            self._and()
+            self.emit(V.NOT)
+            self.emit(V.NOT)  # normalise to 0/1
+            self.code[jmp] = (V.JMP, len(self.code))
+
+    def _and(self) -> None:
+        self._equality()
+        while self.accept("kw", "and"):
+            jz = self.emit(V.JZ, None)
+            self._equality()
+            self.emit(V.NOT)
+            self.emit(V.NOT)
+            jmp = self.emit(V.JMP, None)
+            self.code[jz] = (V.JZ, len(self.code))
+            self.emit(V.PUSH, 0)
+            self.code[jmp] = (V.JMP, len(self.code))
+
+    def _binary(self, sub, ops: Dict[str, str]) -> None:
+        sub()
+        while self.peek()[0] == "op" and self.peek()[1] in ops:
+            op = self.next()[1]
+            sub()
+            self.emit(ops[op])
+
+    def _equality(self) -> None:
+        self._binary(self._comparison, {"==": V.EQ, "!=": V.NE})
+
+    def _comparison(self) -> None:
+        self._binary(self._term, {"<": V.LT, "<=": V.LE, ">": V.GT, ">=": V.GE})
+
+    def _term(self) -> None:
+        self._binary(self._factor, {"+": V.ADD, "-": V.SUB})
+
+    def _factor(self) -> None:
+        self._binary(self._unary, {"*": V.MUL, "/": V.DIV, "%": V.MOD})
+
+    def _unary(self) -> None:
+        if self.accept("op", "-"):
+            self._unary()
+            self.emit(V.NEG)
+        elif self.accept("kw", "not"):
+            self._unary()
+            self.emit(V.NOT)
+        else:
+            self._postfix()
+
+    def _postfix(self) -> None:
+        self._primary()
+        while True:
+            if self.accept("op", "["):
+                self.expression()
+                self.expect("op", "]")
+                self.emit(V.INDEX)
+            else:
+                return
+
+    def _primary(self) -> None:
+        kind, value = self.next()
+        if kind == "num" or kind == "str":
+            self.emit(V.PUSH, value)
+        elif kind == "name":
+            if self.peek() == ("op", "("):
+                self._call(value)
+            else:
+                self._load(value)
+        elif (kind, value) == ("op", "["):
+            n = 0
+            if not self.accept("op", "]"):
+                self.expression()
+                n = 1
+                while self.accept("op", ","):
+                    self.expression()
+                    n += 1
+                self.expect("op", "]")
+            self.emit(V.MAKELIST, n)
+        elif (kind, value) == ("op", "("):
+            self.expression()
+            self.expect("op", ")")
+        else:
+            raise CompileError(f"unexpected token {value!r}")
+
+    def _call(self, name: str) -> None:
+        self.expect("op", "(")
+        nargs = 0
+        if not self.accept("op", ")"):
+            self.expression()
+            nargs = 1
+            while self.accept("op", ","):
+                self.expression()
+                nargs += 1
+            self.expect("op", ")")
+        if name == "len":
+            if nargs != 1:
+                raise CompileError("len() takes 1 argument")
+            self.emit(V.LEN)
+        elif name == "push":
+            if nargs != 2:
+                raise CompileError("push() takes 2 arguments")
+            self.emit(V.APPEND)
+        elif name in self._declared_funs:
+            self._call_patches.append((self.emit(V.CALL, None), name, nargs))
+        else:
+            # Unknown name: a host syscall, gated by the playground.
+            self.emit(V.SYS, (name, nargs))
+
+
+def compile_source(source: str) -> List[Tuple[str, Any]]:
+    """Compile SnipeScript source to VM bytecode."""
+    return _Compiler(source).compile()

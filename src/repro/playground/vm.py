@@ -1,0 +1,286 @@
+"""A checkpointable stack VM for mobile code.
+
+Design constraints from §3.6/§5.8:
+
+* **quotas** — every instruction costs one step; every live value costs
+  cells. The playground maps SNIPE cpu/memory quotas onto these budgets.
+* **checkpoint/restart/migration** — :meth:`snapshot` captures the entire
+  machine state as plain data; :meth:`restore` resumes bit-for-bit. A
+  program run in slices with snapshots in between produces exactly the
+  same result as an uninterrupted run (property-tested).
+* **confinement** — the instruction set has no ambient authority: the
+  only exits are ``EMIT`` (collected output) and ``SYS`` calls, which the
+  playground gates on the code's granted rights.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# Instruction opcodes. Programs are lists of (op, arg) pairs.
+PUSH = "PUSH"      # push constant
+POP = "POP"        # discard top
+LOADG = "LOADG"    # push globals[arg]
+STOREG = "STOREG"  # globals[arg] = pop
+LOADL = "LOADL"    # push locals[arg]
+STOREL = "STOREL"  # locals[arg] = pop
+ADD = "ADD"
+SUB = "SUB"
+MUL = "MUL"
+DIV = "DIV"
+MOD = "MOD"
+NEG = "NEG"
+EQ = "EQ"
+NE = "NE"
+LT = "LT"
+LE = "LE"
+GT = "GT"
+GE = "GE"
+NOT = "NOT"
+JMP = "JMP"        # pc = arg
+JZ = "JZ"          # pop; if falsy pc = arg
+CALL = "CALL"      # arg = (addr, nargs): push frame
+RET = "RET"        # return top of stack to caller
+MAKELIST = "MAKELIST"  # arg = n: pop n items into a list
+INDEX = "INDEX"    # a[i]
+SETINDEX = "SETINDEX"  # a[i] = v
+LEN = "LEN"
+APPEND = "APPEND"  # push(list, v)
+EMIT = "EMIT"      # append pop() to the output channel
+SYS = "SYS"        # arg = (name, nargs): gated host call
+HALT = "HALT"
+
+
+class VmError(Exception):
+    """Illegal operation (type error, bad index, stack underflow...)."""
+
+
+class VmQuotaError(Exception):
+    """Step or memory budget exhausted."""
+
+
+def _cells(value: Any) -> int:
+    """Memory cost of a value in cells."""
+    if isinstance(value, list):
+        return 1 + sum(_cells(v) for v in value)
+    if isinstance(value, str):
+        return 1 + len(value) // 8
+    return 1
+
+
+class SnipeVM:
+    """One mobile-code interpreter instance."""
+
+    def __init__(
+        self,
+        code: List[Tuple[str, Any]],
+        max_steps: Optional[int] = None,
+        max_cells: Optional[int] = None,
+        syscalls: Optional[Dict[str, Callable[..., Any]]] = None,
+    ) -> None:
+        self.code = list(code)
+        self.max_steps = max_steps
+        self.max_cells = max_cells
+        self.syscalls = syscalls or {}
+        self.pc = 0
+        self.stack: List[Any] = []
+        self.globals: Dict[str, Any] = {}
+        #: call frames: (return_pc, locals list)
+        self.frames: List[Tuple[int, List[Any]]] = []
+        self.locals: List[Any] = []
+        self.output: List[Any] = []
+        self.steps = 0
+        self.halted = False
+
+    # -- quota accounting ------------------------------------------------------
+    def _charge_step(self) -> None:
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise VmQuotaError(f"step quota exceeded ({self.max_steps})")
+
+    def _check_memory(self) -> None:
+        if self.max_cells is None:
+            return
+        used = sum(_cells(v) for v in self.stack)
+        used += sum(_cells(v) for v in self.globals.values())
+        used += sum(_cells(v) for v in self.locals if v is not None)
+        for _, frame_locals in self.frames:
+            used += sum(_cells(v) for v in frame_locals if v is not None)
+        if used > self.max_cells:
+            raise VmQuotaError(f"memory quota exceeded ({used} > {self.max_cells} cells)")
+
+    # -- checkpointing --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Complete machine state as plain data.
+
+        The whole state is deep-copied in ONE pass so aliasing is
+        preserved: a list referenced from both the stack and a local must
+        stay one object after restore, or mutation semantics would differ
+        between an interrupted and an uninterrupted run.
+        """
+        import copy
+
+        return copy.deepcopy(
+            {
+                "pc": self.pc,
+                "stack": self.stack,
+                "globals": self.globals,
+                "frames": self.frames,
+                "locals": self.locals,
+                "output": self.output,
+                "steps": self.steps,
+                "halted": self.halted,
+            }
+        )
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        import copy
+
+        snap = copy.deepcopy(snap)  # one pass: aliasing preserved
+        self.pc = snap["pc"]
+        self.stack = snap["stack"]
+        self.globals = snap["globals"]
+        self.frames = snap["frames"]
+        self.locals = snap["locals"]
+        self.output = snap["output"]
+        self.steps = snap["steps"]
+        self.halted = snap["halted"]
+
+    # -- execution ----------------------------------------------------------------
+    def _pop(self) -> Any:
+        if not self.stack:
+            raise VmError(f"stack underflow at pc={self.pc - 1}")
+        return self.stack.pop()
+
+    def run(self, max_slice: Optional[int] = None) -> bool:
+        """Execute until HALT or *max_slice* instructions; True if halted."""
+        executed = 0
+        while not self.halted:
+            if max_slice is not None and executed >= max_slice:
+                return False
+            if not 0 <= self.pc < len(self.code):
+                raise VmError(f"pc out of range: {self.pc}")
+            op, arg = self.code[self.pc]
+            self.pc += 1
+            self._charge_step()
+            executed += 1
+            self._execute(op, arg)
+            if executed % 64 == 0:
+                self._check_memory()
+        self._check_memory()
+        return True
+
+    def _execute(self, op: str, arg: Any) -> None:
+        s = self.stack
+        if op == PUSH:
+            import copy
+
+            # Constants are copied so programs can't alias the code object.
+            s.append(copy.deepcopy(arg) if isinstance(arg, list) else arg)
+        elif op == POP:
+            self._pop()
+        elif op == LOADG:
+            if arg not in self.globals:
+                raise VmError(f"undefined variable {arg!r}")
+            s.append(self.globals[arg])
+        elif op == STOREG:
+            self.globals[arg] = self._pop()
+        elif op == LOADL:
+            value = self.locals[arg]
+            s.append(value)
+        elif op == STOREL:
+            while len(self.locals) <= arg:
+                self.locals.append(None)
+            self.locals[arg] = self._pop()
+        elif op in (ADD, SUB, MUL, DIV, MOD, EQ, NE, LT, LE, GT, GE):
+            b, a = self._pop(), self._pop()
+            try:
+                if op == ADD:
+                    s.append(a + b)
+                elif op == SUB:
+                    s.append(a - b)
+                elif op == MUL:
+                    s.append(a * b)
+                elif op == DIV:
+                    s.append(a // b if isinstance(a, int) and isinstance(b, int) else a / b)
+                elif op == MOD:
+                    s.append(a % b)
+                elif op == EQ:
+                    s.append(1 if a == b else 0)
+                elif op == NE:
+                    s.append(1 if a != b else 0)
+                elif op == LT:
+                    s.append(1 if a < b else 0)
+                elif op == LE:
+                    s.append(1 if a <= b else 0)
+                elif op == GT:
+                    s.append(1 if a > b else 0)
+                elif op == GE:
+                    s.append(1 if a >= b else 0)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise VmError(f"{op} failed: {exc}") from None
+        elif op == NEG:
+            a = self._pop()
+            try:
+                s.append(-a)
+            except TypeError as exc:
+                raise VmError(str(exc)) from None
+        elif op == NOT:
+            s.append(0 if self._pop() else 1)
+        elif op == JMP:
+            self.pc = arg
+        elif op == JZ:
+            if not self._pop():
+                self.pc = arg
+        elif op == CALL:
+            addr, nargs = arg
+            args = [self._pop() for _ in range(nargs)][::-1]
+            self.frames.append((self.pc, self.locals))
+            self.locals = args
+            self.pc = addr
+        elif op == RET:
+            value = self._pop()
+            if not self.frames:
+                raise VmError("RET outside a function")
+            self.pc, self.locals = self.frames.pop()
+            s.append(value)
+        elif op == MAKELIST:
+            items = [self._pop() for _ in range(arg)][::-1]
+            s.append(items)
+        elif op == INDEX:
+            i, a = self._pop(), self._pop()
+            try:
+                s.append(a[i])
+            except (TypeError, IndexError, KeyError) as exc:
+                raise VmError(f"index failed: {exc}") from None
+        elif op == SETINDEX:
+            v, i, a = self._pop(), self._pop(), self._pop()
+            try:
+                a[i] = v
+            except (TypeError, IndexError) as exc:
+                raise VmError(f"setindex failed: {exc}") from None
+        elif op == LEN:
+            a = self._pop()
+            try:
+                s.append(len(a))
+            except TypeError as exc:
+                raise VmError(str(exc)) from None
+        elif op == APPEND:
+            v, a = self._pop(), self._pop()
+            if not isinstance(a, list):
+                raise VmError("push() needs a list")
+            a.append(v)
+            s.append(0)
+        elif op == EMIT:
+            self.output.append(self._pop())
+        elif op == SYS:
+            name, nargs = arg
+            fn = self.syscalls.get(name)
+            if fn is None:
+                raise VmError(f"syscall {name!r} denied or unknown")
+            args = [self._pop() for _ in range(nargs)][::-1]
+            s.append(fn(*args))
+        elif op == HALT:
+            self.halted = True
+        else:
+            raise VmError(f"unknown opcode {op!r}")

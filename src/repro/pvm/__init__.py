@@ -1,0 +1,21 @@
+"""A faithful-in-the-ways-that-matter PVM baseline (§2.2).
+
+SNIPE's design is motivated by PVM's limitations; reproducing the
+paper's comparisons therefore needs a PVM to compare against. This
+implementation models the properties §2.2 enumerates:
+
+* a **master pvmd** owning the host table — "PVM can tolerate slave
+  failures but not failure of its master host";
+* **host-table updates** broadcast by the master, which "cannot tolerate
+  link failures during host table updates";
+* a **centralized resource manager** in the master — "this would be a
+  bottleneck for a very large virtual machine";
+* task ids valid **only within one virtual machine** — no global names;
+* default **pvmd-to-pvmd routing**: task → local pvmd → remote pvmd →
+  task, the store-and-forward hop that PVMPI paid and MPI_Connect (via
+  SNIPE) avoided (§6.1).
+"""
+
+from repro.pvm.pvmd import PVMD_PORT, PvmContext, PvmError, Pvmd
+
+__all__ = ["PVMD_PORT", "PvmContext", "PvmError", "Pvmd"]

@@ -1,0 +1,41 @@
+"""RCDS — the Resource Cataloging and Distribution System substrate (§2.1, §3.1, §5.2).
+
+SNIPE stores *everything* nameable — hosts, processes, services, multicast
+groups, files — as metadata in replicated resource-catalog servers:
+URI-indexed lists of ``name=value`` assertions, automatically timestamped,
+optionally signed, replicated with "a true master–master update data
+model" (§7). This package provides:
+
+* :class:`RCStore` — the replicated assertion store: last-writer-wins
+  registers with per-origin update logs and version vectors, so any two
+  replicas converge after exchanging missing records (anti-entropy).
+* :class:`RCServer` — the catalog server process: authenticated RPC
+  (lookup/update/delete/query) plus periodic push-pull anti-entropy.
+* :class:`RCClient` — replica-set client with consistency levels
+  (ONE / QUORUM / ALL) and transparent failover between replicas.
+* :mod:`repro.rcds.uri` — URL/URN/LIFN naming helpers.
+* :class:`LifnRegistry` — location-independent file names bound to sets
+  of locations (§5.2.2, [13]).
+"""
+
+from repro.rcds.records import Entry, RCStore, Record
+from repro.rcds.server import RCServer, RC_PORT
+from repro.rcds.client import ALL, ONE, QUORUM, MASTER, ConsistencyError, RCClient
+from repro.rcds.lifn import LifnRegistry
+from repro.rcds import uri
+
+__all__ = [
+    "ALL",
+    "ConsistencyError",
+    "Entry",
+    "LifnRegistry",
+    "MASTER",
+    "ONE",
+    "QUORUM",
+    "RCClient",
+    "RCServer",
+    "RCStore",
+    "RC_PORT",
+    "Record",
+    "uri",
+]

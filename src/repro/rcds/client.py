@@ -1,0 +1,155 @@
+"""Replica-set client for the RC servers.
+
+Consistency levels trade availability against staleness, the RCDS design
+point (§2.1: "When the semantics of the application permit, higher
+availability can be obtained by using a consistency model which
+sacrifices strict atomicity"):
+
+* ``ONE`` — talk to any live replica (maximum availability; the SNIPE
+  default for host/process metadata).
+* ``QUORUM`` — read/write a majority, reads return the freshest copy.
+* ``ALL`` — every replica must answer.
+* ``MASTER`` — all writes go to replica 0 (the LDAP/MDS-style baseline
+  for experiment E9; reads may use any replica).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.rpc import RpcClient, RpcError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+ONE = "one"
+QUORUM = "quorum"
+ALL = "all"
+MASTER = "master"
+
+
+class ConsistencyError(Exception):
+    """Not enough replicas answered to satisfy the consistency level."""
+
+
+class RCClient:
+    """Client-side access to a set of RC replicas from one host."""
+
+    def __init__(
+        self,
+        host: "Host",
+        replicas: List[Tuple[str, int]],
+        secret: Optional[bytes] = None,
+        rpc_timeout: float = 1.0,
+    ) -> None:
+        if not replicas:
+            raise ValueError("RCClient needs at least one replica address")
+        self.sim = host.sim
+        self.host = host
+        self.replicas = list(replicas)
+        self.rpc_timeout = rpc_timeout
+        self._rpc = RpcClient(host, secret=secret)
+        self._rng = host.sim.rng.stream(f"rc-client.{host.name}")
+        self.failovers = 0
+
+    # -- helpers --------------------------------------------------------------
+    def _required(self, consistency: str) -> int:
+        n = len(self.replicas)
+        if consistency in (ONE, MASTER):
+            return 1
+        if consistency == QUORUM:
+            return n // 2 + 1
+        if consistency == ALL:
+            return n
+        raise ValueError(f"unknown consistency level {consistency!r}")
+
+    def _candidate_order(self) -> List[Tuple[str, int]]:
+        """Local replica first (closest-resource heuristic), then random."""
+        local = [r for r in self.replicas if r[0] == self.host.name]
+        rest = [r for r in self.replicas if r[0] != self.host.name]
+        self._rng.shuffle(rest)
+        return local + rest
+
+    def _fanout(self, method: str, need: int, targets: List[Tuple[str, int]], **args):
+        """Call *method* on successive replicas until *need* succeed."""
+        results = []
+        for i, (rhost, rport) in enumerate(targets):
+            try:
+                result = yield self._rpc.call(
+                    rhost, rport, method, timeout=self.rpc_timeout, **args
+                )
+                results.append(((rhost, rport), result))
+                if len(results) >= need:
+                    return results
+            except RpcError:
+                self.failovers += 1
+        raise ConsistencyError(
+            f"{method}: only {len(results)}/{need} replicas reachable"
+        )
+
+    # -- public API (all return sim processes; use with ``yield``) ----------
+    def lookup(self, uri: str, consistency: str = ONE):
+        return self.sim.process(self._lookup(uri, consistency), name=f"rc.lookup:{uri}")
+
+    def _lookup(self, uri: str, consistency: str):
+        need = self._required(consistency)
+        targets = self._candidate_order()
+        results = yield from self._fanout("rc.lookup", need, targets, uri=uri)
+        if len(results) == 1:
+            return results[0][1]
+        # Merge: per key, keep the assertion with the newest timestamp.
+        merged: Dict[str, Dict[str, Any]] = {}
+        for _, assertions in results:
+            for key, info in assertions.items():
+                if key not in merged or info["wall"] > merged[key]["wall"]:
+                    merged[key] = info
+        return merged
+
+    def update(self, uri: str, assertions: Dict[str, Any], consistency: str = ONE):
+        return self.sim.process(
+            self._update(uri, assertions, consistency), name=f"rc.update:{uri}"
+        )
+
+    def _update(self, uri: str, assertions: Dict[str, Any], consistency: str):
+        need = self._required(consistency)
+        if consistency == MASTER:
+            targets = [self.replicas[0]]  # single-master baseline: no failover
+        else:
+            targets = self._candidate_order()
+        results = yield from self._fanout(
+            "rc.update", need, targets, uri=uri, assertions=assertions
+        )
+        return results[0][1]
+
+    def delete(self, uri: str, keys: Optional[List[str]] = None, consistency: str = ONE):
+        return self.sim.process(self._delete(uri, keys, consistency), name=f"rc.delete:{uri}")
+
+    def _delete(self, uri: str, keys: Optional[List[str]], consistency: str):
+        need = self._required(consistency)
+        targets = [self.replicas[0]] if consistency == MASTER else self._candidate_order()
+        results = yield from self._fanout("rc.delete", need, targets, uri=uri, keys=keys)
+        return results[0][1]
+
+    def query(self, prefix: str):
+        """URIs under *prefix* from any reachable replica."""
+        return self.sim.process(self._query(prefix), name=f"rc.query:{prefix}")
+
+    def _query(self, prefix: str):
+        results = yield from self._fanout("rc.query", 1, self._candidate_order(), prefix=prefix)
+        return results[0][1]
+
+    # -- convenience -----------------------------------------------------------
+    def get(self, uri: str, key: str, consistency: str = ONE):
+        """One assertion's value (or None)."""
+        return self.sim.process(self._get(uri, key, consistency), name=f"rc.get:{uri}")
+
+    def _get(self, uri: str, key: str, consistency: str):
+        assertions = yield self.lookup(uri, consistency)
+        info = assertions.get(key)
+        return info["value"] if info else None
+
+    def set(self, uri: str, key: str, value: Any, consistency: str = ONE):
+        return self.update(uri, {key: value}, consistency)
+
+    def close(self) -> None:
+        self._rpc.close()

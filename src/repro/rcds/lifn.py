@@ -1,0 +1,83 @@
+"""LIFNs: Location-Independent File Names (§5.2, ref [13]).
+
+A LIFN names *content*; its RC metadata binds it to the set of concrete
+locations (URLs) currently holding a replica, plus an optional content
+hash for end-to-end integrity (§2.1). File servers add/remove bindings as
+they create and delete replicas; clients resolve a LIFN and pick a
+location — the "location of closest resource" policy of §6 is a
+preference for locations on the client's own host, then same-segment
+hosts, then anything.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.rcds import uri as uri_mod
+from repro.rcds.client import QUORUM, RCClient
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+_LOC_PREFIX = "location:"
+
+
+class LifnRegistry:
+    """LIFN → locations bookkeeping on top of an :class:`RCClient`."""
+
+    def __init__(self, rc: RCClient, consistency: str = QUORUM) -> None:
+        self.rc = rc
+        self.sim = rc.sim
+        self.host: "Host" = rc.host
+        # QUORUM by default: bind-then-resolve must read its own writes
+        # even before anti-entropy has run.
+        self.consistency = consistency
+
+    def bind(self, lifn: str, location_url: str, content_hash: Optional[str] = None):
+        """Register a replica location (process; yield it)."""
+        assertions = {_LOC_PREFIX + location_url: True}
+        if content_hash is not None:
+            assertions["content-hash"] = content_hash
+        return self.rc.update(uri_mod.lifn_name(lifn), assertions, self.consistency)
+
+    def unbind(self, lifn: str, location_url: str):
+        return self.rc.delete(
+            uri_mod.lifn_name(lifn), [_LOC_PREFIX + location_url], self.consistency
+        )
+
+    def locations(self, lifn: str):
+        """All current replica locations (process yielding list of URLs)."""
+        return self.sim.process(self._locations(lifn), name=f"lifn.locations:{lifn}")
+
+    def _locations(self, lifn: str) -> List[str]:
+        assertions = yield self.rc.lookup(uri_mod.lifn_name(lifn), self.consistency)
+        return sorted(
+            key[len(_LOC_PREFIX):]
+            for key, info in assertions.items()
+            if key.startswith(_LOC_PREFIX) and info["value"]
+        )
+
+    def content_hash(self, lifn: str):
+        return self.rc.get(uri_mod.lifn_name(lifn), "content-hash", self.consistency)
+
+    def closest_location(self, lifn: str):
+        """Pick the best replica: local host, then same segment, then any."""
+        return self.sim.process(self._closest(lifn), name=f"lifn.closest:{lifn}")
+
+    def _closest(self, lifn: str) -> Optional[str]:
+        locations = yield from self._locations(lifn)
+        if not locations:
+            return None
+        topo = self.host.topology
+
+        def rank(url: str) -> int:
+            h = uri_mod.host_of(url)
+            if h == self.host.name:
+                return 0
+            if h is not None and h in topo.hosts:
+                if topo.shared_segments(self.host.name, h):
+                    return 1
+                return 2
+            return 3
+
+        return min(locations, key=lambda u: (rank(u), u))

@@ -1,0 +1,169 @@
+"""The replicated assertion store behind every RC server.
+
+Design (§2.1, §7): metadata for a URI is a list of ``name=value``
+assertions; replicas accept updates independently ("true master–master")
+and converge by anti-entropy. Each accepted update becomes an immutable
+:class:`Record` tagged with its origin server and per-origin sequence
+number; a replica's knowledge is summarised by a version vector
+``{origin: max_seq}``, so a sync ships exactly the records the peer
+lacks. Conflicting writes to the same (uri, key) resolve last-writer-wins
+on a Lamport clock (ties broken by origin id) — deterministic and
+convergent on every replica.
+
+Deletions are tombstones; "automatic time stamping of metadata by the RC
+servers" (§3.1) is the ``wall`` field, stamped with the accepting
+server's simulation time and returned to clients so "temporally dis-joint
+tasks" can judge the age of what they read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Entry:
+    """Current state of one (uri, key) register."""
+
+    value: Any
+    lamport: int
+    origin: str
+    wall: float
+    deleted: bool = False
+
+    def stamp(self) -> Tuple[float, int, str]:
+        """LWW ordering key: accept timestamp first, then Lamport clock,
+        then origin id as the final tiebreak.
+
+        Per-server Lamport counters advance at each server's own write
+        rate and are not comparable across replicas between syncs; the
+        accept timestamp (the paper's "automatic time stamping") is what
+        makes last-writer-wins mean *last in time*, with the Lamport
+        clock ordering causally-related writes that share a timestamp.
+        """
+        return (self.wall, self.lamport, self.origin)
+
+
+@dataclass(frozen=True)
+class Record:
+    """One accepted update, as shipped between replicas."""
+
+    origin: str
+    seq: int
+    uri: str
+    key: str
+    entry: Entry
+
+
+class RCStore:
+    """One replica's state: registers + per-origin logs + version vector."""
+
+    def __init__(self, server_id: str) -> None:
+        self.server_id = server_id
+        self.data: Dict[str, Dict[str, Entry]] = {}
+        self.logs: Dict[str, Dict[int, Record]] = {}  # origin -> seq -> record
+        self.vector: Dict[str, int] = {}
+        self.lamport = 0
+        self.applied = 0
+
+    # -- local writes -------------------------------------------------------
+    def local_update(self, uri: str, assertions: Dict[str, Any], wall: float) -> List[Record]:
+        """Accept a client update at this replica; returns the new records."""
+        out = []
+        for key, value in assertions.items():
+            out.append(self._accept(uri, key, value, wall, deleted=False))
+        return out
+
+    def local_delete(self, uri: str, keys: Optional[Iterable[str]], wall: float) -> List[Record]:
+        """Tombstone specific keys, or every current key of *uri*."""
+        if keys is None:
+            keys = list(self.data.get(uri, {}).keys())
+        return [self._accept(uri, k, None, wall, deleted=True) for k in keys]
+
+    def _accept(self, uri: str, key: str, value: Any, wall: float, deleted: bool) -> Record:
+        self.lamport += 1
+        seq = self.vector.get(self.server_id, 0) + 1
+        self.vector[self.server_id] = seq
+        entry = Entry(value=value, lamport=self.lamport, origin=self.server_id,
+                      wall=wall, deleted=deleted)
+        record = Record(self.server_id, seq, uri, key, entry)
+        self.logs.setdefault(self.server_id, {})[seq] = record
+        self._apply_entry(uri, key, entry)
+        return record
+
+    # -- replication --------------------------------------------------------
+    def missing_for(self, remote_vector: Dict[str, int]) -> List[Record]:
+        """Records this replica has that a peer with *remote_vector* lacks."""
+        out: List[Record] = []
+        for origin, log in self.logs.items():
+            have = remote_vector.get(origin, 0)
+            mine = self.vector.get(origin, 0)
+            for seq in range(have + 1, mine + 1):
+                rec = log.get(seq)
+                if rec is not None:
+                    out.append(rec)
+        return out
+
+    def apply_remote(self, records: Iterable[Record]) -> int:
+        """Merge records from a peer; returns how many were new."""
+        new = 0
+        for rec in records:
+            seen = self.vector.get(rec.origin, 0)
+            if rec.seq <= seen and rec.seq in self.logs.get(rec.origin, {}):
+                continue  # already have it
+            self.logs.setdefault(rec.origin, {})[rec.seq] = rec
+            if rec.seq > seen:
+                self.vector[rec.origin] = rec.seq
+            if rec.entry.lamport > self.lamport:
+                self.lamport = rec.entry.lamport
+            self._apply_entry(rec.uri, rec.key, rec.entry)
+            new += 1
+        return new
+
+    def _apply_entry(self, uri: str, key: str, entry: Entry) -> None:
+        bucket = self.data.setdefault(uri, {})
+        current = bucket.get(key)
+        if current is None or entry.stamp() > current.stamp():
+            bucket[key] = entry
+            self.applied += 1
+
+    # -- reads ------------------------------------------------------------
+    def lookup(self, uri: str) -> Dict[str, Dict[str, Any]]:
+        """Visible (non-tombstoned) assertions for *uri*, with timestamps."""
+        out = {}
+        for key, entry in self.data.get(uri, {}).items():
+            if not entry.deleted:
+                out[key] = {"value": entry.value, "wall": entry.wall, "origin": entry.origin}
+        return out
+
+    def get(self, uri: str, key: str) -> Optional[Any]:
+        entry = self.data.get(uri, {}).get(key)
+        if entry is None or entry.deleted:
+            return None
+        return entry.value
+
+    def freshest_wall(self, uri: str) -> float:
+        """Newest wall timestamp among *uri*'s visible assertions."""
+        walls = [e.wall for e in self.data.get(uri, {}).values() if not e.deleted]
+        return max(walls) if walls else -1.0
+
+    def query(self, prefix: str) -> List[str]:
+        """URIs starting with *prefix* that have at least one live assertion."""
+        return sorted(
+            uri
+            for uri, bucket in self.data.items()
+            if uri.startswith(prefix) and any(not e.deleted for e in bucket.values())
+        )
+
+    def digest(self) -> Dict[str, int]:
+        """Copy of the version vector (what a peer needs for a sync)."""
+        return dict(self.vector)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Full visible state — used by convergence tests."""
+        return {
+            uri: {k: e.value for k, e in bucket.items() if not e.deleted}
+            for uri, bucket in self.data.items()
+            if any(not e.deleted for e in bucket.values())
+        }

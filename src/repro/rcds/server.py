@@ -1,0 +1,126 @@
+"""The RC/metadata server process (§3.1, §6).
+
+Serves authenticated lookup/update/delete/query RPCs against its
+:class:`~repro.rcds.records.RCStore` and runs push-pull anti-entropy with
+its peer replicas: each round it sends a peer its version vector plus the
+records the peer was missing last time it heard from it; the peer merges,
+and replies with what *this* server lacks. Any replica accepts writes —
+the "true master–master update data model" the paper contrasts with
+LDAP-based directories (§7).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.rcds.records import RCStore
+from repro.rpc import RpcClient, RpcError, RpcServer
+from repro.sim.errors import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+#: Well-known RC server port.
+RC_PORT = 385
+
+
+class RCServer:
+    """One catalog replica, hosted on *host*."""
+
+    def __init__(
+        self,
+        host: "Host",
+        port: int = RC_PORT,
+        peers: Optional[List[Tuple[str, int]]] = None,
+        secret: Optional[bytes] = None,
+        sync_interval: float = 0.5,
+        service_time: float = 0.0002,
+    ) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.port = port
+        self.store = RCStore(server_id=f"{host.name}:{port}")
+        self.peers = list(peers or [])
+        self.sync_interval = sync_interval
+        self.rpc = RpcServer(host, port, secret=secret, service_time=service_time)
+        self.rpc.register("rc.lookup", self._h_lookup)
+        self.rpc.register("rc.update", self._h_update)
+        self.rpc.register("rc.delete", self._h_delete)
+        self.rpc.register("rc.query", self._h_query)
+        self.rpc.register("rc.sync", self._h_sync)
+        self._client = RpcClient(host, secret=secret)
+        self.syncs_ok = 0
+        self.syncs_failed = 0
+        self._sync_proc = self.sim.process(
+            self._anti_entropy(), name=f"rc-sync:{host.name}"
+        )
+
+    # -- RPC handlers -------------------------------------------------------
+    def _h_lookup(self, args: Dict) -> Dict:
+        return self.store.lookup(args["uri"])
+
+    def _h_update(self, args: Dict) -> Dict:
+        records = self.store.local_update(args["uri"], args["assertions"], self.sim.now)
+        return {"stamped": self.sim.now, "count": len(records)}
+
+    def _h_delete(self, args: Dict) -> Dict:
+        records = self.store.local_delete(args["uri"], args.get("keys"), self.sim.now)
+        return {"count": len(records)}
+
+    def _h_query(self, args: Dict) -> List[str]:
+        return self.store.query(args.get("prefix", ""))
+
+    def _h_sync(self, args: Dict) -> Dict:
+        """Push-pull merge: apply the caller's records, return what it lacks."""
+        their_vector = args["vector"]
+        want = self.store.missing_for(their_vector)
+        self.store.apply_remote(args.get("records", []))
+        return {"vector": self.store.digest(), "records": want}
+
+    # -- anti-entropy ---------------------------------------------------------
+    def _anti_entropy(self):
+        rng = self.sim.rng.stream(f"rc.anti-entropy.{self.store.server_id}")
+        try:
+            while True:
+                yield self.sim.timeout(self.sync_interval * (0.5 + rng.random()))
+                if not self.peers or not self.host.up:
+                    continue
+                peer_host, peer_port = self.peers[rng.randrange(len(self.peers))]
+                if peer_host == self.host.name and peer_port == self.port:
+                    continue
+                yield from self._sync_with(peer_host, peer_port)
+        except Interrupt:
+            return
+
+    def _sync_with(self, peer_host: str, peer_port: int):
+        """One push-pull round with a specific peer (also callable directly)."""
+        try:
+            reply = yield self._client.call(
+                peer_host,
+                peer_port,
+                "rc.sync",
+                timeout=2.0,
+                vector=self.store.digest(),
+                records=[],  # pull-first: learn their vector, then push
+            )
+            self.store.apply_remote(reply["records"])
+            # Push what the peer lacks according to its reported vector.
+            missing = self.store.missing_for(reply["vector"])
+            if missing:
+                yield self._client.call(
+                    peer_host,
+                    peer_port,
+                    "rc.sync",
+                    timeout=2.0,
+                    vector=self.store.digest(),
+                    records=missing,
+                )
+            self.syncs_ok += 1
+        except RpcError:
+            self.syncs_failed += 1
+
+    def close(self) -> None:
+        self.rpc.close()
+        self._client.close()
+        if self._sync_proc.is_alive:
+            self._sync_proc.interrupt("closed")

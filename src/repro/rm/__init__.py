@@ -1,0 +1,25 @@
+"""Resource managers (§3.5) — descendants of PVM's General Resource Manager.
+
+    "Resource managers are tasked with managing resources and monitoring
+    the state of the resources they manage… For the sake of redundancy,
+    any host may be managed by multiple resource managers."
+
+* :class:`ResourceManager` — matches spawn requests to hosts using RC
+  host metadata (requirements + load), in *passive* mode (reservations)
+  or *active* mode (spawns as the requester's proxy, §3.5); enforces
+  per-owner allocation goals; can suspend/kill/migrate managed tasks.
+* :class:`RmClient` — requester-side redundancy: discovers RMs from RC
+  service metadata and fails over between them.
+"""
+
+from repro.rm.manager import RM_PORT, AllocationError, ResourceManager
+from repro.rm.client import RmClient
+from repro.rm.selection import rank_hosts
+
+__all__ = [
+    "AllocationError",
+    "RM_PORT",
+    "ResourceManager",
+    "RmClient",
+    "rank_hosts",
+]

@@ -1,0 +1,90 @@
+"""Requester-side RM redundancy (§3.5).
+
+RMs register under ``urn:snipe:svc:rm``; a client discovers the current
+set and fails over between them — because RMs keep no private state,
+any replica can serve any request, which is exactly what makes "redundant
+resource management processes" (§3) work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.daemon.tasks import TaskSpec
+from repro.rcds import uri as uri_mod
+from repro.rcds.client import RCClient
+from repro.rm.manager import AllocationError
+from repro.rpc import RpcClient, RpcError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class RmClient:
+    """Finds RMs via the catalog and issues requests with failover."""
+
+    def __init__(self, host: "Host", rc: RCClient, secret: Optional[bytes] = None) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.rc = rc
+        self._rpc = RpcClient(host, secret=secret)
+        self._rng = host.sim.rng.stream(f"rm-client.{host.name}")
+        self.failovers = 0
+
+    def managers(self):
+        """Registered RMs as (host, port) pairs (a process)."""
+        return self.sim.process(self._managers(), name="rm-discover")
+
+    def _managers(self) -> List[Tuple[str, int]]:
+        assertions = yield self.rc.lookup(uri_mod.service_urn("rm"))
+        out = []
+        for key, info in assertions.items():
+            if key.startswith("location:") and info["value"]:
+                hostname, port = key[len("location:"):].rsplit(":", 1)
+                out.append((hostname, int(port)))
+        return sorted(out)
+
+    def request(self, spec: TaskSpec, owner: str = "anonymous", timeout: float = 5.0):
+        """Ask any live RM to allocate/spawn per *spec* (a process)."""
+        return self.sim.process(self._request(spec, owner, timeout), name="rm-request")
+
+    def _request(self, spec: TaskSpec, owner: str, timeout: float):
+        managers = yield from self._managers()
+        if not managers:
+            raise AllocationError("no resource managers registered")
+        self._rng.shuffle(managers)
+        errors = []
+        for rm_host, rm_port in managers:
+            try:
+                result = yield self._rpc.call(
+                    rm_host, rm_port, "rm.request", timeout=timeout,
+                    spec=spec, owner=owner,
+                )
+                return result
+            except RpcError as exc:
+                if "allocation goal" in str(exc) or "no host satisfies" in str(exc):
+                    # Policy rejection: every RM will say the same; give up.
+                    raise AllocationError(str(exc)) from None
+                self.failovers += 1
+                errors.append(f"{rm_host}:{rm_port}: {exc}")
+        raise AllocationError(f"no RM reachable: {errors}")
+
+    def migrate(self, urn: str, to: Optional[str] = None, timeout: float = 5.0):
+        """Ask any live RM to migrate *urn* (a process)."""
+        return self.sim.process(self._migrate(urn, to, timeout), name=f"rm-migrate:{urn}")
+
+    def _migrate(self, urn: str, to: Optional[str], timeout: float):
+        managers = yield from self._managers()
+        self._rng.shuffle(managers)
+        errors = []
+        for rm_host, rm_port in managers:
+            try:
+                return (
+                    yield self._rpc.call(
+                        rm_host, rm_port, "rm.migrate", timeout=timeout, urn=urn, to=to
+                    )
+                )
+            except RpcError as exc:
+                self.failovers += 1
+                errors.append(str(exc))
+        raise AllocationError(f"no RM could migrate {urn!r}: {errors}")

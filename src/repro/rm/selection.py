@@ -1,0 +1,59 @@
+"""Host selection: requirement matching + load ranking over RC metadata.
+
+The daemons publish host metadata (§5.2.1) including a periodically
+refreshed ``load`` gauge; selection filters on the spec's requirements
+and ranks by that load. This is deliberately metadata-driven — the RM has
+no private state about hosts, which is what makes RMs freely replicable
+(any RM reconstructs its world view from the catalog).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.daemon.tasks import TaskSpec
+
+
+def host_matches(spec: TaskSpec, assertions: Dict[str, Dict[str, Any]]) -> bool:
+    """Does a host (by its RC metadata) satisfy the spec's requirements?"""
+
+    def val(key, default=None):
+        info = assertions.get(key)
+        return info["value"] if info else default
+
+    if spec.arch is not None and val("arch") != spec.arch:
+        return False
+    if spec.os is not None and val("os") != spec.os:
+        return False
+    if spec.min_memory > (val("memory", 0.0) or 0.0):
+        return False
+    if spec.mobile_code is not None:
+        # §5.8: "A playground's capabilities are therefore advertised as
+        # RCDS metadata, which can be used by a process or resource
+        # manager in scheduling mobile code."
+        playground = val("playground")
+        if not playground:
+            return False
+        if not playground.get("quotas", False):
+            return False
+    return True
+
+
+def rank_hosts(
+    spec: TaskSpec,
+    host_metadata: Dict[str, Dict[str, Dict[str, Any]]],
+    rng: Optional[random.Random] = None,
+) -> List[str]:
+    """Candidate hosts for *spec*, least loaded first (ties shuffled)."""
+    candidates = []
+    for host, assertions in host_metadata.items():
+        if not host_matches(spec, assertions):
+            continue
+        load_info = assertions.get("load")
+        load = load_info["value"] if load_info else 0.0
+        candidates.append((load, host))
+    if rng is not None:
+        rng.shuffle(candidates)
+    candidates.sort(key=lambda c: c[0])
+    return [host for _, host in candidates]

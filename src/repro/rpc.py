@@ -1,0 +1,251 @@
+"""A small request/response RPC layer over SRUDP.
+
+Every SNIPE service (RC servers, host daemons, resource managers, file
+servers) speaks this: a request carries a method name, arguments, and an
+optional HMAC tag (the 1998 RC servers used "SUN RPC with authentication
+based on MD5 hashed shared secrets", §6); the response is matched by
+request id. Sizes are charged from the canonical encoding of the
+arguments so metadata traffic has realistic weight on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.security.hashes import canonical_bytes, hmac_tag, verify_hmac
+from repro.sim.errors import Interrupt
+from repro.sim.events import defuse
+from repro.sim.resources import Store
+from repro.transport.base import SendError
+from repro.transport.srudp import SrudpEndpoint
+
+_req_ids = itertools.count(1)
+
+#: Fixed per-call envelope overhead (method name, ids, tags).
+ENVELOPE_BYTES = 48
+
+
+class RpcError(Exception):
+    """Remote fault, authentication failure, or no response."""
+
+
+@dataclass
+class Sized:
+    """Handler return wrapper declaring the response's wire size.
+
+    RPC normally charges the canonical encoding of the payload, but some
+    results *represent* bulk data (a file's contents, a routed message
+    body) whose declared size must be paid on the wire.
+    """
+
+    value: Any
+    size: int
+
+
+@dataclass
+class Request:
+    method: str
+    args: Dict[str, Any]
+    reply_port: int
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    auth: Optional[str] = None
+
+
+@dataclass
+class Response:
+    req_id: int
+    ok: bool
+    result: Any = None
+    error: str = ""
+
+
+def payload_size(obj: Any) -> int:
+    """Bytes charged on the wire for an RPC payload."""
+    try:
+        return ENVELOPE_BYTES + len(canonical_bytes(obj))
+    except Exception:
+        return ENVELOPE_BYTES + 256  # unpicklable sentinel objects
+
+
+class RpcServer:
+    """Binds a port and dispatches requests to registered handlers.
+
+    Handlers are plain functions ``fn(args_dict) -> result`` or generator
+    functions that yield sim events and return the result (for handlers
+    that must do I/O of their own). Exceptions become error responses.
+    """
+
+    def __init__(
+        self,
+        host,
+        port: int,
+        secret: Optional[bytes] = None,
+        service_time: float = 0.0,
+    ) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.port = port
+        self.secret = secret
+        self.service_time = service_time
+        self.endpoint = SrudpEndpoint(host, port)
+        self.handlers: Dict[str, Callable] = {}
+        self.requests_served = 0
+        self.auth_failures = 0
+        self._proc = self.sim.process(self._serve(), name=f"rpc:{host.name}:{port}")
+
+    def register(self, method: str, fn: Callable) -> None:
+        self.handlers[method] = fn
+
+    def close(self) -> None:
+        self.endpoint.close()
+        if self._proc.is_alive:
+            self._proc.interrupt("closed")
+
+    def _serve(self):
+        """Accept loop.
+
+        With ``service_time == 0`` each request is handled in its own
+        process (a threaded server) — necessary because handlers call
+        *other* RPC servers (e.g. multicast routers flooding to peers) and
+        serial handling would distributed-deadlock. A positive
+        ``service_time`` instead models a single-threaded server with a
+        fixed cost per request: the queueing bottleneck that experiment E4
+        measures in the centralized resource manager.
+        """
+        try:
+            while True:
+                msg = yield self.endpoint.recv()
+                req = msg.payload
+                if not isinstance(req, Request):
+                    continue
+                if self.secret is not None:
+                    body = {"method": req.method, "req_id": req.req_id}
+                    if req.auth is None or not verify_hmac(self.secret, body, req.auth):
+                        self.auth_failures += 1
+                        self._reply(msg, Response(req.req_id, False, error="auth"))
+                        continue
+                handler = self.handlers.get(req.method)
+                if handler is None:
+                    self._reply(msg, Response(req.req_id, False, error=f"no method {req.method!r}"))
+                    continue
+                if self.service_time > 0:
+                    yield self.sim.timeout(self.service_time)
+                    yield from self._handle(msg, req, handler)
+                else:
+                    defuse(
+                        self.sim.process(
+                            self._handle(msg, req, handler),
+                            name=f"rpc-handle:{req.method}",
+                        )
+                    )
+        except Interrupt:
+            return
+
+    def _handle(self, msg, req: Request, handler: Callable):
+        import inspect
+
+        try:
+            result = handler(req.args)
+            if inspect.isgenerator(result):
+                result = yield from result
+            self.requests_served += 1
+            self._reply(msg, Response(req.req_id, True, result=result))
+        except Exception as exc:  # handler fault -> error response
+            self._reply(msg, Response(req.req_id, False, error=str(exc)))
+        return None
+        yield  # pragma: no cover - makes this a generator even if unreached
+
+    def _reply(self, msg, response: Response) -> None:
+        # Fire-and-forget: if the caller died meanwhile, the send fails and
+        # that is fine — defuse keeps it from counting as an uncaught crash.
+        size = payload_size(response.result)
+        if isinstance(response.result, Sized):
+            size = ENVELOPE_BYTES + response.result.size
+            response = Response(response.req_id, response.ok,
+                                result=response.result.value, error=response.error)
+        defuse(self.endpoint.send(msg.src_host, msg.payload.reply_port, response, size))
+
+
+class RpcClient:
+    """Issues calls from one host; one instance may talk to many servers."""
+
+    def __init__(self, host, port: Optional[int] = None, secret: Optional[bytes] = None) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.secret = secret
+        self.endpoint = SrudpEndpoint(host, port if port is not None else host.ephemeral_port())
+        self._waiting: Dict[int, Any] = {}
+        self._dispatcher = self.sim.process(self._dispatch(), name=f"rpc-client:{host.name}")
+
+    def _dispatch(self):
+        try:
+            while True:
+                msg = yield self.endpoint.recv()
+                resp = msg.payload
+                if isinstance(resp, Response):
+                    ev = self._waiting.pop(resp.req_id, None)
+                    if ev is not None and not ev.triggered:
+                        ev.succeed(resp)
+        except Interrupt:
+            return
+
+    def close(self) -> None:
+        self.endpoint.close()
+        if self._dispatcher.is_alive:
+            self._dispatcher.interrupt("closed")
+
+    def call(
+        self,
+        dst_host: str,
+        dst_port: int,
+        method: str,
+        timeout: float = 5.0,
+        _size: Optional[int] = None,
+        **args,
+    ):
+        """Process event yielding the result, or failing with RpcError.
+
+        ``_size`` overrides the request's wire size (for calls carrying
+        bulk payloads whose declared size exceeds their encoding).
+        """
+        return self.sim.process(
+            self._call(dst_host, dst_port, method, args, timeout, _size),
+            name=f"call:{method}@{dst_host}",
+        )
+
+    def _call(
+        self,
+        dst_host: str,
+        dst_port: int,
+        method: str,
+        args: Dict[str, Any],
+        timeout: float,
+        _size: Optional[int] = None,
+    ):
+        req = Request(method=method, args=args, reply_port=self.endpoint.port)
+        if self.secret is not None:
+            req.auth = hmac_tag(self.secret, {"method": method, "req_id": req.req_id})
+        reply_ev = self.sim.event()
+        self._waiting[req.req_id] = reply_ev
+        try:
+            wire = payload_size(args) if _size is None else ENVELOPE_BYTES + _size
+            send_ev = self.endpoint.send(dst_host, dst_port, req, wire)
+            defuse(send_ev)  # reaped below; must not count as uncaught
+            # The send itself may fail (peer unreachable): watch both.
+            yield self.sim.any_of([reply_ev, self.sim.timeout(timeout)])
+            if not reply_ev.triggered:
+                # Reap a send failure for a clearer error, if there is one.
+                if send_ev.triggered and not send_ev.ok:
+                    try:
+                        send_ev.value
+                    except SendError as exc:
+                        raise RpcError(f"{method}@{dst_host}: {exc}") from None
+                raise RpcError(f"{method}@{dst_host}:{dst_port}: timed out after {timeout}s")
+            resp = reply_ev.value
+            if not resp.ok:
+                raise RpcError(f"{method}@{dst_host}: {resp.error}")
+            return resp.result
+        finally:
+            self._waiting.pop(req.req_id, None)

@@ -1,0 +1,53 @@
+"""SNIPE security model (§4).
+
+Authentication uses public-key cryptography: every principal's public key
+lives in its RC metadata, a signed subset of metadata serves as a key
+certificate, and trust is a per-client policy over who may sign what.
+Resource access follows the paper's two-certificate protocol: a signed
+grant from the user plus a signed request attestation from the host,
+verified by the resource manager, which then issues its own authorization.
+
+The cryptography itself is a from-scratch toy RSA (Miller–Rabin keygen,
+hash-then-sign) plus SHA-256 content hashes and HMAC session channels.
+It is deliberately *small* — the systems behaviour (who signs what, what
+gets rejected, how sessions avoid per-request signatures) is what the
+paper describes and what we reproduce; 1997-grade key sizes would add
+nothing but CPU time.
+"""
+
+from repro.security.keys import KeyPair, PublicKey, generate_keypair, sign, verify
+from repro.security.hashes import content_hash, hmac_tag, verify_hmac
+from repro.security.certificates import Certificate, make_certificate, verify_certificate
+from repro.security.trust import TrustPolicy
+from repro.security.authz import (
+    AccessGrant,
+    AuthorizationError,
+    HostAttestation,
+    ResourceAuthorization,
+    issue_grant,
+    issue_attestation,
+)
+from repro.security.channels import SecureChannel, ChannelError
+
+__all__ = [
+    "AccessGrant",
+    "AuthorizationError",
+    "Certificate",
+    "ChannelError",
+    "HostAttestation",
+    "KeyPair",
+    "PublicKey",
+    "ResourceAuthorization",
+    "SecureChannel",
+    "TrustPolicy",
+    "content_hash",
+    "generate_keypair",
+    "hmac_tag",
+    "issue_attestation",
+    "issue_grant",
+    "make_certificate",
+    "sign",
+    "verify",
+    "verify_certificate",
+    "verify_hmac",
+]

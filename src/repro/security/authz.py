@@ -1,0 +1,159 @@
+"""The two-certificate resource-access protocol (§4).
+
+    "Before the resource manager will grant access to a resource, it must
+    have two verifiable certificates. One is a signed statement from the
+    user, granting a particular process on a particular host, access to
+    the desired resources. The second is a signed statement from the
+    requesting host indicating that the resources are requested by that
+    process."
+
+On success the resource manager "issues its own signed statement
+authorizing use of the requested resources by that process, and
+transmits that statement to the hosts where the resources reside."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.security.hashes import canonical_bytes
+from repro.security.keys import KeyPair, PublicKey, sign, verify
+from repro.security.trust import TrustPolicy
+
+
+class AuthorizationError(Exception):
+    """A certificate failed verification or the requester lacks permission."""
+
+
+@dataclass(frozen=True)
+class AccessGrant:
+    """User's statement: process P on host H may access these resources."""
+
+    user: str
+    process: str
+    host: str
+    resources: Tuple[str, ...]
+    signature: int
+
+    def body(self) -> bytes:
+        return canonical_bytes(
+            {
+                "kind": "access-grant",
+                "user": self.user,
+                "process": self.process,
+                "host": self.host,
+                "resources": self.resources,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class HostAttestation:
+    """Host's statement: process P really is asking for these resources."""
+
+    host: str
+    process: str
+    resources: Tuple[str, ...]
+    signature: int
+
+    def body(self) -> bytes:
+        return canonical_bytes(
+            {
+                "kind": "host-attestation",
+                "host": self.host,
+                "process": self.process,
+                "resources": self.resources,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class ResourceAuthorization:
+    """RM's statement to the resource's host: this process is authorized."""
+
+    manager: str
+    process: str
+    host: str
+    resources: Tuple[str, ...]
+    signature: int
+
+    def body(self) -> bytes:
+        return canonical_bytes(
+            {
+                "kind": "resource-authorization",
+                "manager": self.manager,
+                "process": self.process,
+                "host": self.host,
+                "resources": self.resources,
+            }
+        )
+
+
+def issue_grant(
+    user_uri: str, user_keys: KeyPair, process: str, host: str, resources: Tuple[str, ...]
+) -> AccessGrant:
+    grant = AccessGrant(user_uri, process, host, tuple(resources), signature=0)
+    return AccessGrant(
+        user_uri, process, host, tuple(resources), signature=sign(user_keys, grant.body())
+    )
+
+
+def issue_attestation(
+    host_uri: str, host_keys: KeyPair, process: str, resources: Tuple[str, ...]
+) -> HostAttestation:
+    att = HostAttestation(host_uri, process, tuple(resources), signature=0)
+    return HostAttestation(
+        host_uri, process, tuple(resources), signature=sign(host_keys, att.body())
+    )
+
+
+def authorize(
+    manager_uri: str,
+    manager_keys: KeyPair,
+    policy: TrustPolicy,
+    grant: AccessGrant,
+    attestation: HostAttestation,
+    user_key: PublicKey,
+    host_key: PublicKey,
+    permitted_resources,
+) -> ResourceAuthorization:
+    """Run the §4 verification and issue the RM's own authorization.
+
+    Raises :class:`AuthorizationError` on any failed check. ``user_key``
+    and ``host_key`` come from certificates already validated against
+    *policy* for the "certify-user" / "certify-host" purposes (the RM
+    often *is* the CA, in which case they are its own issue).
+    """
+    if not verify(user_key, grant.body(), grant.signature):
+        raise AuthorizationError(f"grant signature from {grant.user} invalid")
+    if not verify(host_key, attestation.body(), attestation.signature):
+        raise AuthorizationError(f"attestation signature from {attestation.host} invalid")
+    if grant.process != attestation.process:
+        raise AuthorizationError(
+            f"grant/attestation disagree on process: {grant.process} vs {attestation.process}"
+        )
+    if grant.host != attestation.host:
+        raise AuthorizationError(
+            f"grant names host {grant.host} but attestation is from {attestation.host}"
+        )
+    if set(attestation.resources) - set(grant.resources):
+        raise AuthorizationError("host attests to resources the user never granted")
+    permitted = set(permitted_resources)
+    excess = set(grant.resources) - permitted
+    if excess:
+        raise AuthorizationError(f"requester lacks permission for {sorted(excess)}")
+    auth = ResourceAuthorization(
+        manager=manager_uri,
+        process=grant.process,
+        host=grant.host,
+        resources=tuple(grant.resources),
+        signature=0,
+    )
+    return ResourceAuthorization(
+        manager=manager_uri,
+        process=grant.process,
+        host=grant.host,
+        resources=tuple(grant.resources),
+        signature=sign(manager_keys, auth.body()),
+    )

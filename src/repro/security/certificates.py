@@ -1,0 +1,69 @@
+"""Key certificates as signed metadata subsets (§4).
+
+    "Each principal's public key is stored as an attribute of that
+    principal's RC metadata. A signed subset of RC metadata serves as a
+    key certificate."
+
+A :class:`Certificate` is therefore just a dict of assertions (which must
+include ``public-key``) plus the issuer's signature over its canonical
+encoding. Validity requires both an intact signature and an issuer the
+verifier trusts *for that purpose* — the purpose check lives in
+:mod:`repro.security.trust`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.security.hashes import canonical_bytes
+from repro.security.keys import KeyPair, PublicKey, sign, verify
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed subset of a principal's RC metadata."""
+
+    subject: str  # URI of the principal this certificate describes
+    assertions: Dict[str, Any]  # must contain "public-key"
+    issuer: str  # URI of the signing principal
+    issuer_fingerprint: str
+    signature: int
+
+    @property
+    def subject_key(self) -> Optional[PublicKey]:
+        key = self.assertions.get("public-key")
+        return key if isinstance(key, PublicKey) else None
+
+    def signed_body(self) -> bytes:
+        return canonical_bytes(
+            {"subject": self.subject, "assertions": self.assertions, "issuer": self.issuer}
+        )
+
+
+def make_certificate(
+    issuer_uri: str,
+    issuer_keys: KeyPair,
+    subject_uri: str,
+    subject_key: PublicKey,
+    extra_assertions: Optional[Dict[str, Any]] = None,
+) -> Certificate:
+    """Issue a certificate binding *subject_uri* to *subject_key*."""
+    assertions: Dict[str, Any] = {"public-key": subject_key}
+    if extra_assertions:
+        assertions.update(extra_assertions)
+    body = canonical_bytes(
+        {"subject": subject_uri, "assertions": assertions, "issuer": issuer_uri}
+    )
+    return Certificate(
+        subject=subject_uri,
+        assertions=assertions,
+        issuer=issuer_uri,
+        issuer_fingerprint=issuer_keys.fingerprint(),
+        signature=sign(issuer_keys, body),
+    )
+
+
+def verify_certificate(cert: Certificate, issuer_key: PublicKey) -> bool:
+    """Signature check only; trust-for-purpose is the caller's policy."""
+    return verify(issuer_key, cert.signed_body(), cert.signature)

@@ -1,0 +1,53 @@
+"""Content hashes and HMAC tags.
+
+RCDS authenticates resources "by the use of cryptographic hash functions
+(such as MD5 or SHA) which are signed by the providers" (§2.1); the 1998
+RC servers authenticated RPCs with "MD5 hashed shared secrets" (§6). We
+standardise on SHA-256 for content and HMAC-SHA256 for shared-secret
+channel authentication.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import pickle
+from typing import Any
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Stable byte encoding of a Python object for hashing/signing.
+
+    Dicts are serialised with sorted keys (recursively) so logically equal
+    metadata always hashes identically.
+    """
+
+    def normalise(o: Any) -> Any:
+        if isinstance(o, dict):
+            return tuple(sorted((k, normalise(v)) for k, v in o.items()))
+        if isinstance(o, (list, tuple)):
+            return tuple(normalise(v) for v in o)
+        if isinstance(o, set):
+            return tuple(sorted(normalise(v) for v in o))
+        return o
+
+    return pickle.dumps(normalise(obj), protocol=4)
+
+
+def content_hash(data: Any) -> str:
+    """Hex SHA-256 of an object's canonical encoding."""
+    if isinstance(data, bytes):
+        raw = data
+    else:
+        raw = canonical_bytes(data)
+    return hashlib.sha256(raw).hexdigest()
+
+
+def hmac_tag(secret: bytes, message: Any) -> str:
+    """HMAC-SHA256 tag for shared-secret authentication."""
+    raw = message if isinstance(message, bytes) else canonical_bytes(message)
+    return hmac.new(secret, raw, hashlib.sha256).hexdigest()
+
+
+def verify_hmac(secret: bytes, message: Any, tag: str) -> bool:
+    return hmac.compare_digest(hmac_tag(secret, message), tag)

@@ -1,0 +1,32 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Misuse of the kernel API (double-trigger, yielding non-events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupted process may catch this to clean up or change course;
+    ``cause`` carries whatever object the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class StopSimulation(Exception):
+    """Internal signal used by ``Simulator.run(until=event)``."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value

@@ -1,0 +1,131 @@
+"""The simulation kernel: virtual clock plus a priority event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+#: Queue priorities: urgent beats normal at equal timestamps. Used by the
+#: kernel internally (interrupts are urgent); ties otherwise break on
+#: insertion order, which keeps runs deterministic.
+URGENT = 0
+NORMAL = 1
+
+
+class Simulator:
+    """Owns virtual time, the event queue, and the random-stream registry.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see :class:`RngRegistry`).
+    strict_process_errors:
+        When True (default), an uncaught exception in any process aborts
+        ``run()`` with that exception; this turns silent background crashes
+        into loud test failures.
+    """
+
+    def __init__(self, seed: int = 0, strict_process_errors: bool = True) -> None:
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self.strict_process_errors = strict_process_errors
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        self._crashed: List[Tuple[Process, BaseException]] = []
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event; trigger it with ``succeed``/``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* units of virtual time from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process from generator *gen*."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._eid, event))
+
+    # -- execution ---------------------------------------------------------
+    @property
+    def queue_empty(self) -> bool:
+        return not self._queue
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on empty queue")
+        t, _prio, _eid, event = heapq.heappop(self._queue)
+        self.now = t
+        event._process()
+        if self._crashed and self.strict_process_errors:
+            _proc, exc = self._crashed[0]
+            self._crashed.clear()
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until=None`` drains the queue; a number runs up to that virtual
+        time; an :class:`Event` runs until that event is processed and
+        returns its value.
+        """
+        stop_at: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.sim is not self:
+                raise SimulationError("until-event belongs to another simulator")
+
+            def _stop(ev: Event) -> None:
+                raise StopSimulation(ev._value if ev._exc is None else ev._exc)
+
+            until.add_callback(_stop)
+        elif isinstance(until, (int, float)):
+            stop_at = float(until)
+            if stop_at < self.now:
+                raise SimulationError(f"until={stop_at} is in the past (now={self.now})")
+        else:
+            raise SimulationError(f"invalid until argument {until!r}")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    self.now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            if isinstance(stop.value, BaseException):
+                raise stop.value
+            return stop.value
+        if stop_at is not None:
+            self.now = stop_at
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError("run(until=event): queue drained but event never fired")
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator now={self.now} queued={len(self._queue)}>"

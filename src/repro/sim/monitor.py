@@ -1,0 +1,155 @@
+"""Lightweight instrumentation: counters, time series, and event traces.
+
+Benchmarks and tests observe the system through these rather than by
+groping around in component internals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A monotonically adjustable named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name}={self.value}>"
+
+
+class TimeSeries:
+    """(time, value) samples, with summary statistics."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, t: float, value: float) -> None:
+        self.samples.append((t, value))
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def mean(self) -> float:
+        vals = self.values
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def total(self) -> float:
+        return sum(self.values)
+
+    def max(self) -> float:
+        vals = self.values
+        return max(vals) if vals else 0.0
+
+    def min(self) -> float:
+        vals = self.values
+        return min(vals) if vals else 0.0
+
+    def rate(self) -> float:
+        """Total value divided by the sampled time span (e.g. bytes/s)."""
+        if len(self.samples) < 2:
+            return 0.0
+        span = self.samples[-1][0] - self.samples[0][0]
+        return self.total() / span if span > 0 else 0.0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class Probe:
+    """Aggregates scalar observations without keeping them all (Welford)."""
+
+    __slots__ = ("name", "n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else 0.0
+
+
+class TraceMonitor:
+    """Central sink for named counters/series/probes plus an event trace."""
+
+    def __init__(self, sim: Optional["Simulator"] = None, trace: bool = False) -> None:
+        self.sim = sim
+        self.tracing = trace
+        self.counters: Dict[str, Counter] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.probes: Dict[str, Probe] = {}
+        self.trace_log: List[Tuple[float, str, Any]] = []
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def timeseries(self, name: str) -> TimeSeries:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = TimeSeries(name)
+        return s
+
+    def probe(self, name: str) -> Probe:
+        p = self.probes.get(name)
+        if p is None:
+            p = self.probes[name] = Probe(name)
+        return p
+
+    def trace(self, kind: str, detail: Any = None) -> None:
+        """Append a trace record at the current virtual time (if tracing)."""
+        if self.tracing:
+            now = self.sim.now if self.sim is not None else 0.0
+            self.trace_log.append((now, kind, detail))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all counters and probe means — handy for asserts."""
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[f"counter.{name}"] = float(c.value)
+        for name, p in self.probes.items():
+            out[f"probe.{name}.mean"] = p.mean
+        return out

@@ -1,0 +1,35 @@
+"""SNIPE's communications sub-library (§3, §5.3–5.4, §6).
+
+The paper's comm module supported "a selective re-send UDP protocol as
+well as TCP/IP and an experimental multicast protocol for ethernet",
+with multi-path route selection ("the fastest of those") and transparent
+failover when links die. This package implements all of it as real
+protocol state machines over :mod:`repro.net`:
+
+* :class:`DatagramEndpoint` — raw unreliable datagrams (UDP).
+* :class:`SrudpEndpoint` — SNIPE's selective-resend UDP: windowed,
+  NACK-driven selective retransmission, low header overhead.
+* :class:`StreamEndpoint` — TCP: handshake, cumulative ACKs, slow start
+  + AIMD congestion control, go-back-N recovery.
+* :class:`EthernetMulticast` — the experimental LAN multicast: broadcast
+  frames with NACK-based recovery.
+* :class:`PathSelector` — §5.3 unicast routing policy: fastest shared
+  medium first, then IP routing; re-evaluated when the topology changes.
+"""
+
+from repro.transport.base import Message, SendError, TransportEndpoint
+from repro.transport.pathsel import PathSelector
+from repro.transport.datagram import DatagramEndpoint
+from repro.transport.srudp import SrudpEndpoint
+from repro.transport.stream import StreamEndpoint
+from repro.transport.multicast import EthernetMulticast
+
+__all__ = [
+    "DatagramEndpoint",
+    "EthernetMulticast",
+    "Message",
+    "PathSelector",
+    "SendError",
+    "SrudpEndpoint",
+    "StreamEndpoint",
+]

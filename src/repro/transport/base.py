@@ -1,0 +1,155 @@
+"""Common transport machinery: messages, endpoint base class, send errors.
+
+All SNIPE transports are *message* oriented (PVM heritage): the unit the
+client library sees is a tagged message of N bytes, whatever segmentation
+the protocol does underneath. Transport headers are charged against frame
+size so media overheads come out right in Fig. 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.net.packet import Frame
+from repro.transport.pathsel import PathSelector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host, PortBinding
+    from repro.sim.kernel import Simulator
+
+_msg_ids = itertools.count(1)
+
+
+class SendError(Exception):
+    """A message could not be delivered (peer dead, retries exhausted)."""
+
+
+@dataclass
+class Message:
+    """An application-level message as received from a transport."""
+
+    src_host: str
+    src_ip: str
+    src_port: int
+    payload: Any
+    size: int
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+
+class TransportEndpoint:
+    """Base class: binds (proto, port), owns a path selector, sends frames.
+
+    Subclasses implement the actual protocol in :meth:`_rx_loop` and their
+    ``send``. The local fast path (destination == own host) bypasses the
+    NIC entirely, like a kernel loopback.
+    """
+
+    #: Protocol name used for port demultiplexing; subclasses override.
+    proto = "raw"
+    #: Transport+IP header bytes charged per frame.
+    header_bytes = 28
+
+    def __init__(
+        self,
+        host: "Host",
+        port: int,
+        path_policy: str = "snipe",
+    ) -> None:
+        self.sim: "Simulator" = host.sim
+        self.host = host
+        self.port = port
+        self.paths = PathSelector(host, policy=path_policy)
+        self.binding: "PortBinding" = host.bind(self.proto, port)
+        self.closed = False
+        self.tx_messages = 0
+        self.rx_messages = 0
+        self._rx_proc = self.sim.process(
+            self._rx_loop(), name=f"{self.proto}:{host.name}:{port}"
+        )
+
+    # -- subclass API -------------------------------------------------------
+    def _rx_loop(self):
+        """Protocol receive loop; subclasses override."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.host.unbind(self.proto, self.port)
+            if self._rx_proc.is_alive:
+                self._rx_proc.interrupt("closed")
+
+    # -- frame helpers --------------------------------------------------------
+    def max_payload(self, dst_host: str) -> int:
+        """Usable bytes per frame toward *dst_host* after headers."""
+        choice = self.paths.select(dst_host)
+        if choice is None:
+            return 1024  # arbitrary; send will fail anyway
+        nic = choice[0]
+        return nic.medium.mtu - self.header_bytes
+
+    def _send_frame(
+        self,
+        dst_host: str,
+        dst_port: int,
+        payload: Any,
+        body_bytes: int,
+    ) -> bool:
+        """Push one protocol frame toward *dst_host*. False if unroutable."""
+        if dst_host == self.host.name:
+            self._send_local(dst_port, payload, body_bytes)
+            return True
+        choice = self.paths.select(dst_host)
+        if choice is None:
+            return False
+        nic, dst_ip, l2 = choice
+        frame = Frame(
+            src=nic.address,
+            dst_ip=dst_ip,
+            proto=self.proto,
+            src_port=self.port,
+            dst_port=dst_port,
+            payload=payload,
+            size=body_bytes + self.header_bytes,
+            l2_dst=l2,
+        )
+        return nic.send(frame)
+
+    def _send_local(self, dst_port: int, payload: Any, body_bytes: int) -> None:
+        """Loopback delivery on the same host (no NIC, tiny fixed cost)."""
+        from repro.net.media import LOOPBACK
+
+        delay = LOOPBACK.latency + body_bytes / LOOPBACK.bandwidth
+        binding_key = (self.proto, dst_port)
+        ev = self.sim.timeout(delay, value=payload)
+
+        def deliver(e, host=self.host, key=binding_key):
+            if not host.up:
+                return
+            binding = host._bindings.get(key)
+            if binding is None:
+                host.unclaimed_frames += 1
+                return
+            # Wrap in a minimal frame-like for uniform rx handling.
+            any_nic = next(iter(host.nics.values()), None)
+            src_addr = any_nic.address if any_nic else None
+            frame = Frame(
+                src=src_addr,
+                dst_ip=src_addr.ip if src_addr else "127.0.0.1",
+                proto=self.proto,
+                src_port=self.port,
+                dst_port=dst_port,
+                payload=e.value,
+                size=body_bytes + self.header_bytes,
+                via_segment="loopback",
+            )
+            binding.rx_frames += 1
+            binding.inbox.try_put(frame)
+
+        ev.add_callback(deliver)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.host.name}:{self.port}>"

@@ -1,0 +1,76 @@
+"""Unreliable datagrams (UDP): the base protocol SRUDP builds on.
+
+Large datagrams are IP-fragmented; losing any fragment loses the whole
+datagram (exactly the classic UDP failure mode the selective-resend layer
+exists to fix).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Set, Tuple
+
+from repro.sim.resources import Store
+from repro.transport.base import Message, TransportEndpoint
+
+_dgram_ids = itertools.count(1)
+
+
+@dataclass
+class _Fragment:
+    dgram_id: int
+    index: int
+    count: int
+    total_size: int
+    payload: Any  # carried on every fragment; delivered once
+
+
+class DatagramEndpoint(TransportEndpoint):
+    """Fire-and-forget datagrams with IP-style fragmentation."""
+
+    proto = "udp"
+    header_bytes = 28  # IP 20 + UDP 8
+
+    def __init__(self, host, port, path_policy: str = "snipe") -> None:
+        super().__init__(host, port, path_policy)
+        self._rx_queue: Store = Store(self.sim)
+        self._reassembly: Dict[Tuple[str, int], Set[int]] = {}
+        self.datagrams_dropped = 0
+
+    def send(self, dst_host: str, dst_port: int, payload: Any, size: int) -> bool:
+        """Send one datagram. True == every fragment entered the network."""
+        self.tx_messages += 1
+        mss = self.max_payload(dst_host)
+        dgram_id = next(_dgram_ids)
+        count = max(1, -(-size // mss))
+        ok = True
+        for i in range(count):
+            body = min(mss, size - i * mss) if size else 0
+            frag = _Fragment(dgram_id, i, count, size, payload)
+            ok = self._send_frame(dst_host, dst_port, frag, max(body, 1)) and ok
+        return ok
+
+    def recv(self):
+        """Event yielding the next complete :class:`Message`."""
+        return self._rx_queue.get()
+
+    def _rx_loop(self):
+        while True:
+            frame = yield self.binding.get()
+            frag: _Fragment = frame.payload
+            key = (f"{frame.src.ip}:{frame.src_port}", frag.dgram_id)
+            got = self._reassembly.setdefault(key, set())
+            got.add(frag.index)
+            if len(got) == frag.count:
+                del self._reassembly[key]
+                self.rx_messages += 1
+                self._rx_queue.try_put(
+                    Message(
+                        src_host=frame.src.host,
+                        src_ip=frame.src.ip,
+                        src_port=frame.src_port,
+                        payload=frag.payload,
+                        size=frag.total_size,
+                    )
+                )

@@ -1,0 +1,235 @@
+"""The experimental LAN multicast protocol (§6: "an experimental multicast
+protocol for ethernet", plotted as Fig. 1's multicast series).
+
+One broadcast frame reaches every NIC on the segment, so N receivers cost
+one serialisation instead of N. Reliability is NACK-driven: receivers
+report holes when they see a gap or an ack-request probe; the sender
+re-broadcasts exactly the missing segments and finishes when every member
+has confirmed delivery. This is LAN-scope by construction — the
+wide-area, router-based group multicast of §5.4 lives in
+:mod:`repro.daemon.mcast` and is a different animal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.net.packet import BROADCAST, Frame
+from repro.sim.errors import Interrupt
+from repro.sim.resources import Store
+from repro.transport.base import Message, SendError, TransportEndpoint
+
+_msg_ids = itertools.count(1)
+
+ACK_EVERY = 16
+CTRL_BODY_BYTES = 12
+
+
+@dataclass
+class _MData:
+    msg_id: int
+    seq: int
+    nsegs: int
+    total_size: int
+    ack_req: bool
+    payload: Any
+    reply_port: int
+    sender: str
+
+
+@dataclass
+class _MNack:
+    msg_id: int
+    member: str
+    missing: Tuple[int, ...]
+
+
+@dataclass
+class _MDone:
+    msg_id: int
+    member: str
+
+
+class EthernetMulticast(TransportEndpoint):
+    """Reliable one-to-many message transport over LAN broadcast."""
+
+    proto = "mcast"
+    header_bytes = 32
+
+    def __init__(
+        self,
+        host,
+        port,
+        segment_name: str,
+        initial_rto: float = 0.05,
+        min_rto: float = 0.002,
+        max_retries: int = 12,
+    ) -> None:
+        self.segment_name = segment_name
+        super().__init__(host, port)
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_retries = max_retries
+        self._rx_queue: Store = Store(self.sim)
+        self._ctrl: Dict[int, Store] = {}  # msg_id -> sender control inbox
+        self._rx_state: Dict[Tuple[str, int], Set[int]] = {}
+        self._delivered: Set[Tuple[str, int]] = set()
+        self.retransmits = 0
+
+    # -- sending ----------------------------------------------------------
+    def send_group(
+        self, members: Sequence[str], dst_port: int, payload: Any, size: int
+    ):
+        """Broadcast a message to *members* (host names on this segment).
+
+        Returns a process event that succeeds when every member confirmed
+        delivery and fails with :class:`SendError` naming the stragglers.
+        """
+        return self.sim.process(
+            self._sender(list(members), dst_port, payload, size),
+            name=f"mcast-send:{self.host.name}",
+        )
+
+    def _broadcast(self, dst_port: int, item: Any, body_bytes: int) -> bool:
+        nic = self.host.nic_on_segment(self.segment_name)
+        if nic is None or not nic.up:
+            return False
+        frame = Frame(
+            src=nic.address,
+            dst_ip=BROADCAST,
+            proto=self.proto,
+            src_port=self.port,
+            dst_port=dst_port,
+            payload=item,
+            size=body_bytes + self.header_bytes,
+        )
+        return nic.send(frame)
+
+    def _sender(self, members: List[str], dst_port: int, payload: Any, size: int):
+        members = [m for m in members if m != self.host.name]
+        if not members:
+            return size
+        msg_id = next(_msg_ids)
+        nic = self.host.nic_on_segment(self.segment_name)
+        if nic is None:
+            raise SendError(f"mcast: {self.host.name} not on {self.segment_name}")
+        mss = nic.medium.mtu - self.header_bytes
+        nsegs = max(1, -(-size // mss))
+        ctrl: Store = Store(self.sim)
+        self._ctrl[msg_id] = ctrl
+        self.tx_messages += 1
+        try:
+            done: Set[str] = set()
+            rto = self.initial_rto
+            retries = 0
+            pending = None
+
+            def seg_bytes(seq: int) -> int:
+                if size == 0:
+                    return 1
+                return min(mss, size - seq * mss)
+
+            def push(seq: int, ack_req: bool) -> bool:
+                return self._broadcast(
+                    dst_port,
+                    _MData(msg_id, seq, nsegs, size, ack_req, payload, self.port, self.host.name),
+                    seg_bytes(seq),
+                )
+
+            # Pace the broadcast against the NIC: blasting thousands of
+            # segments into a bounded transmit queue silently drops the
+            # overflow and turns the transfer into a NACK storm.
+            backoff = nic.medium.serialize_time(nic.medium.mtu) * 64
+            for seq in range(nsegs):
+                while not push(seq, ack_req=(seq == nsegs - 1 or (seq + 1) % ACK_EVERY == 0)):
+                    yield self.sim.timeout(backoff)
+            while len(done) < len(members):
+                if pending is None:
+                    pending = ctrl.get()
+                yield self.sim.any_of([pending, self.sim.timeout(rto)])
+                item = None
+                if pending.processed:
+                    item = pending.value
+                    pending = None
+                if isinstance(item, _MDone):
+                    if item.member not in done:
+                        done.add(item.member)
+                        retries = 0
+                    # Duplicate confirmations (elicited by probes) are not
+                    # progress; without this, one live member keeps a dead
+                    # member's send alive forever.
+                elif isinstance(item, _MNack):
+                    retries = 0
+                    for i, seq in enumerate(item.missing):
+                        self.retransmits += 1
+                        push(seq, ack_req=(i == len(item.missing) - 1))
+                else:
+                    retries += 1
+                    if retries > self.max_retries:
+                        missing = sorted(set(members) - done)
+                        raise SendError(f"mcast: no confirmation from {missing}")
+                    rto = min(rto * 2, 2.0)
+                    # Probe: re-broadcast the last segment with ack_req set.
+                    self.retransmits += 1
+                    push(nsegs - 1, ack_req=True)
+            return size
+        finally:
+            self._ctrl.pop(msg_id, None)
+
+    # -- receiving ------------------------------------------------------------
+    def recv(self):
+        """Event yielding the next complete group :class:`Message`."""
+        return self._rx_queue.get()
+
+    def _rx_loop(self):
+        try:
+            while True:
+                frame = yield self.binding.get()
+                item = frame.payload
+                if isinstance(item, (_MNack, _MDone)):
+                    inbox = self._ctrl.get(item.msg_id)
+                    if inbox is not None:
+                        inbox.try_put(item)
+                    continue
+                if isinstance(item, _MData):
+                    self._on_data(frame, item)
+        except Interrupt:
+            return
+
+    def _unicast_ctrl(self, data: _MData, item: Any, body: int) -> None:
+        self._send_frame(data.sender, data.reply_port, item, body)
+
+    def _on_data(self, frame, data: _MData) -> None:
+        key = (data.sender, data.msg_id)
+        if key in self._delivered:
+            self._unicast_ctrl(data, _MDone(data.msg_id, self.host.name), CTRL_BODY_BYTES)
+            return
+        got = self._rx_state.setdefault(key, set())
+        got.add(data.seq)
+        if len(got) == data.nsegs:
+            del self._rx_state[key]
+            self._delivered.add(key)
+            if len(self._delivered) > 8192:
+                self._delivered.clear()  # tombstone horizon
+            self.rx_messages += 1
+            self._rx_queue.try_put(
+                Message(
+                    src_host=data.sender,
+                    src_ip=frame.src.ip,
+                    src_port=frame.src_port,
+                    payload=data.payload,
+                    size=data.total_size,
+                )
+            )
+            self._unicast_ctrl(data, _MDone(data.msg_id, self.host.name), CTRL_BODY_BYTES)
+        elif data.ack_req:
+            horizon = max(got) + 1
+            missing = tuple(s for s in range(horizon) if s not in got)
+            if missing:
+                self._unicast_ctrl(
+                    data,
+                    _MNack(data.msg_id, self.host.name, missing[:256]),
+                    CTRL_BODY_BYTES + 4 * min(len(missing), 256),
+                )

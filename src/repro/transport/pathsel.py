@@ -1,0 +1,92 @@
+"""Unicast path selection (§5.3).
+
+    "If the source and destination are on a common private network or
+    common IP subnet, the message is sent using the fastest of those.
+    Otherwise, the message is sent using the host's normal IP routing."
+
+The selector is consulted per transmission burst, not per connection, so
+when a segment dies mid-transfer the very next burst flows over the next
+best path — this is the §6 claim that the system "switch[es]
+routes/interfaces as links failed without user applications intervention"
+(experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.net.nic import NIC
+    from repro.net.topology import Topology
+
+#: Policy constants.
+SNIPE = "snipe"  # fastest shared medium, then IP routing
+DEFAULT_IP = "default-ip"  # plain IP routing only (the E10 baseline)
+
+
+class PathSelector:
+    """Chooses (outgoing NIC, destination IP, l2 next hop) for a peer host."""
+
+    def __init__(self, host: "Host", policy: str = SNIPE) -> None:
+        if policy not in (SNIPE, DEFAULT_IP):
+            raise ValueError(f"unknown path policy {policy!r}")
+        self.host = host
+        self.topology: "Topology" = host.topology
+        self.policy = policy
+        self._cache: dict = {}
+        self.switches = 0  # route changes observed (E8 metric)
+        self._last_choice: dict = {}
+
+    def select(self, dst_host: str) -> Optional[Tuple["NIC", str, Optional[str]]]:
+        """Path to *dst_host*: (nic, dst_ip, l2_next_hop_ip_or_None).
+
+        Returns None when the destination is unreachable (caller buffers
+        or fails). Results are cached per topology version.
+        """
+        key = (dst_host, self.topology._version, self.policy)
+        if key in self._cache:
+            return self._cache[key]
+        choice = self._compute(dst_host)
+        self._cache[key] = choice
+        prev = self._last_choice.get(dst_host)
+        if choice is not None:
+            sig = (choice[0].iface, choice[2])
+            if prev is not None and prev != sig:
+                self.switches += 1
+            self._last_choice[dst_host] = sig
+        if len(self._cache) > 50_000:
+            self._cache.clear()
+        return choice
+
+    def _compute(self, dst_host: str) -> Optional[Tuple["NIC", str, Optional[str]]]:
+        topo = self.topology
+        target = topo.hosts.get(dst_host)
+        if target is None or not target.up:
+            return None
+        if self.policy == SNIPE:
+            shared = topo.shared_segments(self.host.name, dst_host)
+            if shared:
+                seg = shared[0]  # fastest medium
+                nic = self.host.nic_on_segment(seg.name)
+                dst_ip = target.ip_on_segment(seg.name)
+                if nic is not None and dst_ip is not None:
+                    return nic, dst_ip, None
+        else:
+            # Plain IP: a shared segment is used only if it's the
+            # first-configured interface's segment (no media shopping).
+            first_nic = next(iter(self.host.nics.values()), None)
+            if first_nic is not None and first_nic.up and first_nic.segment.up:
+                dst_ip = target.ip_on_segment(first_nic.segment.name)
+                if dst_ip is not None and target.nic_on_segment(first_nic.segment.name).up:
+                    return first_nic, dst_ip, None
+        # Fall back to routed delivery toward any of the target's IPs.
+        for nic in target.nics.values():
+            if not nic.up:
+                continue
+            hop = topo.next_hop(self.host.name, nic.address.ip)
+            if hop is not None:
+                out_nic, l2_ip = hop
+                l2 = None if l2_ip == nic.address.ip else l2_ip
+                return out_nic, nic.address.ip, l2
+        return None

@@ -1,0 +1,269 @@
+"""SRUDP — SNIPE's selective re-send UDP protocol (§6).
+
+The paper's comm module "supported a selective re-send UDP protocol";
+this is a full implementation: messages are segmented, a sliding window
+of segments streams without per-segment handshaking, receivers report a
+cumulative counter plus the exact missing-segment list, and only those
+segments are retransmitted. Compared with TCP this saves the connection
+handshake, 8 header bytes per frame, and — under loss — the go-back-N
+resend storm; that is where the "slightly higher point-to-point
+communication performance" of §6.1 comes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.sim.errors import Interrupt
+from repro.sim.resources import Store
+from repro.transport.base import Message, SendError, TransportEndpoint
+
+_msg_ids = itertools.count(1)
+
+#: Request an ACK at least every this many data segments.
+ACK_EVERY = 16
+#: ACK frame body: msg id + cumulative counter + missing-list length.
+ACK_BODY_BYTES = 12
+#: Extra body bytes per reported missing segment.
+ACK_MISS_BYTES = 4
+
+
+@dataclass
+class _Data:
+    msg_id: int
+    seq: int
+    nsegs: int
+    total_size: int
+    ack_req: bool
+    payload: Any  # the message object; delivered once on completion
+    reply_port: int
+
+
+@dataclass
+class _Ack:
+    msg_id: int
+    cumulative: int  # next segment the receiver expects (all below arrived)
+    missing: Tuple[int, ...]  # gaps between cumulative and highest received
+    done: bool
+
+
+class SrudpEndpoint(TransportEndpoint):
+    """Reliable message transport over selective-resend UDP."""
+
+    proto = "srudp"
+    header_bytes = 32  # IP 20 + SNIPE reliable-datagram header 12
+
+    def __init__(
+        self,
+        host,
+        port,
+        path_policy: str = "snipe",
+        window: int = 64,
+        initial_rto: float = 0.05,
+        min_rto: float = 0.002,
+        max_retries: int = 12,
+    ) -> None:
+        super().__init__(host, port, path_policy)
+        self.window = window
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_retries = max_retries
+        self._rx_queue: Store = Store(self.sim)
+        self._ack_routes: Dict[int, Store] = {}  # msg_id -> sender's ack inbox
+        self._rx_state: Dict[Tuple[str, int], _RxState] = {}
+        self._done: "OrderedDict[Tuple[str, int], bool]" = OrderedDict()
+        self.retransmits = 0
+        self._srtt = 0.0
+
+    # -- sending ----------------------------------------------------------
+    def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
+        """Reliably send a message; the returned Process event succeeds on
+        full acknowledgement and fails with :class:`SendError` otherwise."""
+        return self.sim.process(
+            self._sender(dst_host, dst_port, payload, size),
+            name=f"srudp-send:{self.host.name}->{dst_host}",
+        )
+
+    def _sender(self, dst_host: str, dst_port: int, payload: Any, size: int):
+        msg_id = next(_msg_ids)
+        mss = self.max_payload(dst_host)
+        nsegs = max(1, -(-size // mss))
+        acks: Store = Store(self.sim)
+        self._ack_routes[msg_id] = acks
+        self.tx_messages += 1
+        try:
+            unacked: Set[int] = set(range(nsegs))
+            cumulative = 0
+            inflight: Set[int] = set()
+            next_new = 0
+            retries = 0
+            rto = self.initial_rto
+            pending = None  # outstanding acks.get(); reused across timeouts
+
+            def seg_bytes(seq: int) -> int:
+                if size == 0:
+                    return 1
+                return min(mss, size - seq * mss)
+
+            def push(seq: int, ack_req: bool) -> bool:
+                data = _Data(msg_id, seq, nsegs, size, ack_req, payload, self.port)
+                return self._send_frame(dst_host, dst_port, data, seg_bytes(seq))
+
+            while unacked:
+                # Fill the window with new segments.
+                while next_new < nsegs and len(inflight) < self.window:
+                    last_of_burst = (
+                        next_new == nsegs - 1
+                        or len(inflight) == self.window - 1
+                        or (next_new + 1) % ACK_EVERY == 0
+                    )
+                    if not push(next_new, last_of_burst):
+                        break  # unroutable right now; rely on timeout path
+                    inflight.add(next_new)
+                    next_new += 1
+                # Wait for an ACK or a retransmission timeout. The get()
+                # event is reused across timeouts so an ACK arriving late
+                # is never swallowed by an abandoned waiter.
+                sent_at = self.sim.now
+                if pending is None:
+                    pending = acks.get()
+                yield self.sim.any_of([pending, self.sim.timeout(rto)])
+                ack = None
+                if pending.processed:
+                    ack = pending.value
+                    pending = None
+                if isinstance(ack, _Ack):
+                    rtt = self.sim.now - sent_at
+                    self._srtt = rtt if self._srtt == 0 else 0.875 * self._srtt + 0.125 * rtt
+                    rto = max(self.min_rto, 2.5 * self._srtt)
+                    retries = 0
+                    if ack.done:
+                        return size
+                    cumulative = max(cumulative, ack.cumulative)
+                    newly_acked = {
+                        s
+                        for s in unacked
+                        if s < cumulative and s not in ack.missing
+                    }
+                    unacked -= newly_acked
+                    inflight -= newly_acked
+                    # Selective retransmission of exactly the holes.
+                    missing = [s for s in ack.missing if s in unacked]
+                    for i, seq in enumerate(missing):
+                        self.retransmits += 1
+                        push(seq, ack_req=(i == len(missing) - 1))
+                else:
+                    # Timeout: probe with the lowest unacked segment.
+                    retries += 1
+                    if retries > self.max_retries:
+                        raise SendError(
+                            f"srudp: {dst_host}:{dst_port} unreachable "
+                            f"(msg {msg_id}, {len(unacked)}/{nsegs} outstanding)"
+                        )
+                    rto = min(rto * 2, 2.0)
+                    if unacked:
+                        self.retransmits += 1
+                        push(min(unacked), ack_req=True)
+            return size
+        finally:
+            self._ack_routes.pop(msg_id, None)
+
+    # -- receiving ------------------------------------------------------------
+    def recv(self):
+        """Event yielding the next complete :class:`Message`."""
+        return self._rx_queue.get()
+
+    def _rx_loop(self):
+        try:
+            while True:
+                frame = yield self.binding.get()
+                item = frame.payload
+                if isinstance(item, _Ack):
+                    inbox = self._ack_routes.get(item.msg_id)
+                    if inbox is not None:
+                        inbox.try_put(item)
+                    continue
+                self._on_data(frame, item)
+        except Interrupt:
+            return
+
+    def _on_data(self, frame, data: _Data) -> None:
+        # Keyed by host identity, not IP: a path failover changes the
+        # source address mid-message and must not split the reassembly.
+        key = (frame.src.host, frame.src_port, data.msg_id)
+        if key in self._done:
+            # Sender missed our final ACK; repeat it.
+            self._send_ack(frame, data, cumulative=data.nsegs, missing=(), done=True)
+            return
+        state = self._rx_state.get(key)
+        if state is None:
+            state = self._rx_state[key] = _RxState(data.nsegs)
+        state.add(data.seq)
+        if state.complete:
+            del self._rx_state[key]
+            self._done[key] = True
+            while len(self._done) > 4096:
+                self._done.popitem(last=False)
+            self.rx_messages += 1
+            self._rx_queue.try_put(
+                Message(
+                    src_host=frame.src.host,
+                    src_ip=frame.src.ip,
+                    src_port=frame.src_port,
+                    payload=data.payload,
+                    size=data.total_size,
+                )
+            )
+            self._send_ack(frame, data, cumulative=data.nsegs, missing=(), done=True)
+        elif data.ack_req:
+            cum, missing = state.report()
+            self._send_ack(frame, data, cumulative=cum, missing=missing, done=False)
+
+    def _send_ack(self, frame, data: _Data, cumulative: int, missing, done: bool) -> None:
+        ack = _Ack(data.msg_id, cumulative, tuple(missing), done)
+        body = ACK_BODY_BYTES + ACK_MISS_BYTES * len(ack.missing)
+        self._send_frame(frame.src.host, data.reply_port, ack, body)
+
+
+class _RxState:
+    """Receiver-side reassembly: which segments of a message have arrived."""
+
+    __slots__ = ("nsegs", "received", "max_seen")
+
+    def __init__(self, nsegs: int) -> None:
+        self.nsegs = nsegs
+        self.received: Set[int] = set()
+        self.max_seen = -1
+
+    def add(self, seq: int) -> None:
+        self.received.add(seq)
+        if seq > self.max_seen:
+            self.max_seen = seq
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.nsegs
+
+    def report(self) -> Tuple[int, List[int]]:
+        """(horizon, missing-below-horizon) for a selective ACK.
+
+        The sender treats every segment below *horizon* that is not in the
+        missing list as received. The missing list is capped to keep ACK
+        frames small; when it overflows, the horizon is pulled back so no
+        unreported hole is ever mistaken for an acknowledgement.
+        """
+        cum = 0
+        while cum in self.received:
+            cum += 1
+        horizon = self.max_seen + 1
+        missing: List[int] = []
+        for s in range(cum, horizon):
+            if s not in self.received:
+                missing.append(s)
+                if len(missing) >= 256:
+                    horizon = s + 1
+                    break
+        return horizon, missing

@@ -1,0 +1,327 @@
+"""TCP-style reliable streams: the conventional transport SNIPE also offers.
+
+Mechanics implemented: three-way handshake per connection, cumulative
+ACKs with receiver-side out-of-order buffering, slow start + AIMD
+congestion control, fast retransmit on triple duplicate ACKs, and
+timeout-based recovery with exponential backoff. Relative to SRUDP this
+pays a 40-byte header (vs 32), a handshake round-trip on first contact,
+and one-hole-per-RTT loss recovery (no selective ACKs) — the ingredients
+of Fig. 1's TCP-vs-SRUDP gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Set, Tuple
+
+from repro.sim.errors import Interrupt
+from repro.sim.resources import Store
+from repro.transport.base import Message, SendError, TransportEndpoint
+
+_conn_ids = itertools.count(1)
+_msg_ids = itertools.count(1)
+
+ACK_BODY_BYTES = 12
+CTRL_BODY_BYTES = 8
+
+
+@dataclass
+class _Syn:
+    conn_id: int
+    reply_port: int
+
+
+@dataclass
+class _SynAck:
+    conn_id: int
+
+
+@dataclass
+class _Seg:
+    conn_id: int
+    msg_id: int
+    seq: int
+    nsegs: int
+    total_size: int
+    payload: Any
+    reply_port: int
+
+
+@dataclass
+class _Ack:
+    conn_id: int
+    msg_id: int
+    next_needed: int
+    done: bool
+
+
+class _Conn:
+    """Client-side connection state toward one (host, port)."""
+
+    def __init__(self, ep: "StreamEndpoint", dst_host: str, dst_port: int) -> None:
+        self.ep = ep
+        self.conn_id = next(_conn_ids)
+        self.dst_host = dst_host
+        self.dst_port = dst_port
+        self.established = False
+        self.dead = False
+        self.outbox: Store = Store(ep.sim)
+        self.signals: Store = Store(ep.sim)  # _SynAck and _Ack frames
+        self.cwnd = 2.0
+        self.ssthresh = float(ep.max_window)
+        self.srtt = 0.0
+        self.rto = ep.initial_rto
+        self.proc = ep.sim.process(
+            self._run(), name=f"tcp-conn:{ep.host.name}->{dst_host}:{dst_port}"
+        )
+
+    # -- sender machinery ---------------------------------------------------
+    def _run(self):
+        ep = self.ep
+        sim = ep.sim
+        # Three-way handshake (the third ACK rides on the first data segment).
+        pending = None
+        for _attempt in range(ep.max_retries):
+            ep._send_frame(
+                self.dst_host, self.dst_port, _Syn(self.conn_id, ep.port), CTRL_BODY_BYTES
+            )
+            if pending is None:
+                pending = self.signals.get()
+            yield sim.any_of([pending, sim.timeout(self.rto)])
+            if pending.processed:
+                item = pending.value
+                pending = None
+                if isinstance(item, _SynAck):
+                    self.established = True
+                    break
+            self.rto = min(self.rto * 2, 2.0)
+        if not self.established:
+            self.dead = True
+            # Fail anything already queued.
+            while True:
+                ok, item = self.outbox.try_get()
+                if not ok:
+                    return
+                item[3].fail(SendError(f"tcp: connect to {self.dst_host} failed"))
+        self.rto = ep.initial_rto
+        while True:
+            payload, size, mss, done_ev = yield self.outbox.get()
+            try:
+                yield from self._send_message(payload, size, mss)
+            except SendError as exc:
+                self.dead = True
+                done_ev.fail(exc)
+                return
+            done_ev.succeed(size)
+
+    def _send_message(self, payload: Any, size: int, mss: int):
+        ep = self.ep
+        sim = ep.sim
+        msg_id = next(_msg_ids)
+        nsegs = max(1, -(-size // mss))
+        base = 0
+        next_i = 0
+        dupacks = 0
+        last_ack = -1
+        retries = 0
+        pending = None
+
+        def seg_bytes(seq: int) -> int:
+            if size == 0:
+                return 1
+            return min(mss, size - seq * mss)
+
+        def push(seq: int) -> None:
+            ep._send_frame(
+                self.dst_host,
+                self.dst_port,
+                _Seg(self.conn_id, msg_id, seq, nsegs, size, payload, ep.port),
+                seg_bytes(seq),
+            )
+
+        while base < nsegs:
+            while next_i < nsegs and next_i < base + int(self.cwnd):
+                push(next_i)
+                next_i += 1
+            sent_at = sim.now
+            if pending is None:
+                pending = self.signals.get()
+            yield sim.any_of([pending, sim.timeout(self.rto)])
+            ack = None
+            if pending.processed:
+                ack = pending.value
+                pending = None
+            if isinstance(ack, _Ack) and ack.msg_id == msg_id:
+                retries = 0
+                rtt = sim.now - sent_at
+                self.srtt = rtt if self.srtt == 0 else 0.875 * self.srtt + 0.125 * rtt
+                self.rto = max(ep.min_rto, 2.5 * self.srtt)
+                if ack.done or ack.next_needed >= nsegs:
+                    return
+                if ack.next_needed > base:
+                    advanced = ack.next_needed - base
+                    base = ack.next_needed
+                    dupacks = 0
+                    last_ack = ack.next_needed
+                    # Slow start doubles per RTT; congestion avoidance adds
+                    # one segment per RTT's worth of ACKs.
+                    if self.cwnd < self.ssthresh:
+                        self.cwnd += advanced
+                    else:
+                        self.cwnd += advanced / self.cwnd
+                    self.cwnd = min(self.cwnd, float(ep.max_window))
+                elif ack.next_needed == last_ack:
+                    dupacks += 1
+                    if dupacks == 3:
+                        # Fast retransmit + multiplicative decrease.
+                        ep.fast_retransmits += 1
+                        self.ssthresh = max(2.0, self.cwnd / 2)
+                        self.cwnd = self.ssthresh
+                        push(base)
+                        dupacks = 0
+                else:
+                    last_ack = ack.next_needed
+                    dupacks = 1
+            elif ack is None:
+                retries += 1
+                if retries > ep.max_retries:
+                    raise SendError(
+                        f"tcp: {self.dst_host}:{self.dst_port} unreachable "
+                        f"(msg {msg_id}, {base}/{nsegs} acked)"
+                    )
+                ep.timeouts += 1
+                self.ssthresh = max(2.0, self.cwnd / 2)
+                self.cwnd = 2.0
+                self.rto = min(self.rto * 2, 2.0)
+                next_i = base  # go-back: resend the window from base
+            # Stale ACKs from a previous message are simply skipped.
+
+
+class _RxConn:
+    """Server-side per-connection receive state."""
+
+    __slots__ = ("reply_port", "msgs")
+
+    def __init__(self, reply_port: int) -> None:
+        self.reply_port = reply_port
+        # msg_id -> (received set, delivered?)
+        self.msgs: Dict[int, Tuple[Set[int], bool]] = {}
+
+
+class StreamEndpoint(TransportEndpoint):
+    """Message passing over TCP-like connections (lazily established)."""
+
+    proto = "tcp"
+    header_bytes = 40  # IP 20 + TCP 20
+
+    def __init__(
+        self,
+        host,
+        port,
+        path_policy: str = "snipe",
+        max_window: int = 64,
+        initial_rto: float = 0.05,
+        min_rto: float = 0.002,
+        max_retries: int = 12,
+    ) -> None:
+        super().__init__(host, port, path_policy)
+        self.max_window = max_window
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_retries = max_retries
+        self._rx_queue: Store = Store(self.sim)
+        self._conns: Dict[Tuple[str, int], _Conn] = {}
+        self._rx_conns: Dict[Tuple[str, int], _RxConn] = {}
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+    # -- sending ----------------------------------------------------------
+    def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
+        """Queue a message on the (possibly new) connection; returns an
+        event that succeeds when the whole message is acknowledged."""
+        self.tx_messages += 1
+        key = (dst_host, dst_port)
+        conn = self._conns.get(key)
+        if conn is None or conn.dead:
+            conn = self._conns[key] = _Conn(self, dst_host, dst_port)
+        done = self.sim.event()
+        mss = self.max_payload(dst_host)
+        conn.outbox.try_put((payload, size, mss, done))
+        return done
+
+    def connect(self, dst_host: str, dst_port: int) -> None:
+        """Pre-establish the connection (optional; send() does it lazily)."""
+        key = (dst_host, dst_port)
+        if key not in self._conns or self._conns[key].dead:
+            self._conns[key] = _Conn(self, dst_host, dst_port)
+
+    # -- receiving ------------------------------------------------------------
+    def recv(self):
+        """Event yielding the next complete in-order :class:`Message`."""
+        return self._rx_queue.get()
+
+    def _rx_loop(self):
+        try:
+            while True:
+                frame = yield self.binding.get()
+                item = frame.payload
+                if isinstance(item, _Syn):
+                    self._rx_conns.setdefault(
+                        (frame.src.host, item.conn_id), _RxConn(item.reply_port)
+                    )
+                    self._send_frame(
+                        frame.src.host, item.reply_port, _SynAck(item.conn_id), CTRL_BODY_BYTES
+                    )
+                elif isinstance(item, (_SynAck, _Ack)):
+                    # Route to the owning client connection.
+                    for conn in self._conns.values():
+                        if conn.conn_id == item.conn_id:
+                            conn.signals.try_put(item)
+                            break
+                elif isinstance(item, _Seg):
+                    self._on_data(frame, item)
+        except Interrupt:
+            return
+
+    def _on_data(self, frame, seg: _Seg) -> None:
+        # Host-keyed (not IP): survives source-interface failover.
+        key = (frame.src.host, seg.conn_id)
+        rxc = self._rx_conns.get(key)
+        if rxc is None:
+            # Data before SYN (reordered handshake): accept implicitly.
+            rxc = self._rx_conns[key] = _RxConn(seg.reply_port)
+        received, delivered = rxc.msgs.get(seg.msg_id, (set(), False))
+        if delivered:
+            self._send_frame(
+                frame.src.host,
+                rxc.reply_port,
+                _Ack(seg.conn_id, seg.msg_id, seg.nsegs, True),
+                ACK_BODY_BYTES,
+            )
+            return
+        received.add(seg.seq)
+        next_needed = 0
+        while next_needed in received:
+            next_needed += 1
+        done = next_needed >= seg.nsegs
+        rxc.msgs[seg.msg_id] = (received, done)
+        if done:
+            self.rx_messages += 1
+            self._rx_queue.try_put(
+                Message(
+                    src_host=frame.src.host,
+                    src_ip=frame.src.ip,
+                    src_port=frame.src_port,
+                    payload=seg.payload,
+                    size=seg.total_size,
+                )
+            )
+            # Keep only the delivered flag; drop the segment set.
+            rxc.msgs[seg.msg_id] = (set(), True)
+        self._send_frame(
+            frame.src.host,
+            rxc.reply_port,
+            _Ack(seg.conn_id, seg.msg_id, next_needed, done),
+            ACK_BODY_BYTES,
+        )

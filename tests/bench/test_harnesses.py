@@ -1,0 +1,106 @@
+"""Fast smoke tests for every benchmark harness (small configurations).
+
+The real reproductions run under ``pytest benchmarks/ --benchmark-only``;
+these keep the harness code covered by the unit suite and pin the row
+schemas the benchmarks rely on.
+"""
+
+import pytest
+
+from repro.bench.e10_media import media_selection
+from repro.bench.e2_mpiconnect import mpiconnect_vs_pvmpi, summarize_speedup
+from repro.bench.e3_availability import availability_vs_replicas
+from repro.bench.e5_master import master_failure
+from repro.bench.e6_migration import migration_loss
+from repro.bench.e7_mcast import mcast_fault_tolerance
+from repro.bench.e8_failover import failover_timeline
+from repro.bench.e9_rc import anti_entropy_ablation, rc_update_scaling
+from repro.bench.fig1 import fig1_bandwidth
+from repro.bench.table import format_table
+
+
+def test_fig1_rows_schema():
+    rows = fig1_bandwidth(sizes=[16_384], n_mcast_receivers=2)
+    assert {r["series"] for r in rows} == {
+        "srudp/ethernet-100", "tcp/ethernet-100",
+        "srudp/atm-155", "tcp/atm-155", "mcast/ethernet-100",
+    }
+    assert all(r["mbps"] > 5.0 for r in rows)
+
+
+def test_e2_rows_and_speedup():
+    rows = mpiconnect_vs_pvmpi(sizes=[4_096], n_msgs=2)
+    speedups = summarize_speedup(rows)
+    assert len(rows) == 2 and len(speedups) == 1
+    assert speedups[0]["speedup"] > 1.0
+
+
+def test_e3_availability_small():
+    rows = availability_vs_replicas(replica_counts=(1, 3), horizon=120.0)
+    assert [r["replicas"] for r in rows] == [1, 3]
+    assert rows[1]["availability"] >= rows[0]["availability"]
+
+
+def test_e5_master_failure_small():
+    rows = master_failure(n_hosts=4, ops_per_phase=5)
+    by_key = {(r["system"], r["phase"]): r["success_rate"] for r in rows}
+    assert by_key[("pvm", "after")] == 0.0
+    assert by_key[("snipe", "after")] == 1.0
+
+
+def test_e6_migration_small():
+    rows = migration_loss(hop_counts=(1,), n_msgs=20)
+    assert rows[0]["lost"] == 0 and rows[0]["duplicated"] == 0
+
+
+def test_e7_mcast_small():
+    rows = mcast_fault_tolerance(n_members=5, router_kills=(1,))
+    by_mode = {r["mode"]: r["delivery_rate"] for r in rows}
+    assert by_mode["majority"] == 1.0
+    assert by_mode["single"] == 0.0
+
+
+def test_e8_failover_small():
+    result = failover_timeline(total_bytes=4_000_000, msg_size=200_000, cut_at=0.05)
+    summary = {r["policy"]: r for r in result["summary"]}
+    assert summary["snipe-multipath"]["completed"]
+    assert not summary["single-interface"]["completed"]
+    assert result["timeline"]  # the series exists for plotting
+
+
+def test_e9_small():
+    rows = rc_update_scaling(replica_counts=(1, 2), n_writers=4, window=4.0)
+    by_key = {(r["model"], r["replicas"]): r["throughput"] for r in rows}
+    assert by_key[("master-master", 2)] > by_key[("single-master", 2)]
+    ab = anti_entropy_ablation(sync_intervals=(0.2, 2.0), k=2)
+    assert ab[0]["propagation_s"] < ab[1]["propagation_s"]
+
+
+def test_e10_small():
+    rows = media_selection(size=2_000_000)
+    by_policy = {r["policy"]: r["segment_used"] for r in rows}
+    assert by_policy == {"snipe": "myr", "default-ip": "eth"}
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "bb": 2.34567}, {"a": 100, "bb": 0.5}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "2.346" in text
+    assert format_table([]) == "(no rows)"
+
+
+def test_topology_helpers():
+    from repro.bench.topologies import dual_media_pair, wan_site
+
+    sim, topo, a, b = dual_media_pair()
+    assert [s.name for s in topo.shared_segments("a", "b")] == ["atm-155", "ethernet-100"]
+
+    sim, topo, lans = wan_site(n_lans=3, hosts_per_lan=2)
+    assert len(lans) == 3
+    # Cross-LAN routing works through the gateways.
+    assert topo.route("l0h1", "l2h1") is not None
+    # Non-gateway hosts are not on the WAN.
+    assert lans[0][1].nic_on_segment("wan") is None
+    assert lans[0][0].nic_on_segment("wan") is not None

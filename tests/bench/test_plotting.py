@@ -1,0 +1,23 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.bench.plotting import ascii_chart
+
+
+def test_chart_contains_marks_and_legend():
+    out = ascii_chart(
+        {"up": [(1, 1.0), (10, 2.0), (100, 3.0)],
+         "flat": [(1, 1.5), (10, 1.5), (100, 1.5)]},
+        title="demo",
+    )
+    assert out.startswith("demo")
+    assert "o=up" in out and "x=flat" in out
+    assert "log x" in out
+    # Marks appear in the grid body.
+    body = "\n".join(out.splitlines()[1:-3])
+    assert "o" in body and "x" in body
+
+
+def test_chart_linear_x_and_empty():
+    assert ascii_chart({}) == "(no data)"
+    out = ascii_chart({"s": [(0.0, 5.0), (1.0, 10.0)]}, log_x=False)
+    assert "log x" not in out

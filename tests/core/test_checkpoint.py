@@ -1,0 +1,84 @@
+"""Tests for checkpoint/restart via the file service (§5.6)."""
+
+import pytest
+
+from repro.core import SnipeEnvironment
+from repro.core.checkpoint import checkpoint_lifn, checkpoint_to_files, restart_from_files
+from repro.daemon import TaskSpec, TaskState
+
+
+def ckpt_env():
+    env = SnipeEnvironment.lan_site(n_hosts=4, n_fs=2, seed=3)
+    progress = []
+
+    @env.program("accumulator")
+    def accumulator(ctx, total, ckpt_every):
+        """Counts to *total*, checkpointing to the file service as it goes."""
+        i = ctx.checkpoint_state.get("i", 0)
+        while i < total:
+            yield ctx.compute(0.05)
+            i += 1
+            ctx.checkpoint_state["i"] = i
+            progress.append((ctx.host.name, i))
+            if i % ckpt_every == 0:
+                yield checkpoint_to_files(ctx)
+        return i
+
+    return env, progress
+
+
+def test_checkpoint_written_and_registered():
+    env, progress = ckpt_env()
+    info = env.spawn(TaskSpec(program="accumulator",
+                              params={"total": 10, "ckpt_every": 5}), on="h1")
+    env.run(until=60.0)
+    assert info.state == TaskState.EXITED
+    lifn = checkpoint_lifn(info.urn)
+
+    def check(sim):
+        got = yield env.file_client("h3").read(lifn)
+        meta = yield env.rc_client("h3").lookup(info.urn)
+        return got["payload"], meta.get("checkpoint-lifn")
+
+    record, reg = env.run(until=env.sim.process(check(env.sim)))
+    assert record["state"]["i"] == 10
+    assert record["program"] == "accumulator"
+    assert reg["value"] == lifn
+
+
+def test_restart_after_host_death_resumes_from_checkpoint():
+    """The case in-band migration can't handle: the host died first."""
+    env, progress = ckpt_env()
+    info = env.spawn(TaskSpec(program="accumulator",
+                              params={"total": 40, "ckpt_every": 10}), on="h1")
+    env.settle(1.3)  # ~24 steps done; last checkpoint at 20
+    env.topology.hosts["h1"].crash()
+    env.settle(1.0)
+    assert env.daemons["h1"].tasks[info.urn].state == TaskState.KILLED
+
+    urn = env.run(
+        until=restart_from_files(
+            env.topology.hosts["h2"], env.rc_client("h2"), checkpoint_lifn(info.urn)
+        )
+    )
+    assert urn == info.urn  # identity survives the restart
+    env.run(until=120.0)
+    revived = env.daemons["h2"].tasks[info.urn]
+    assert revived.state == TaskState.EXITED
+    assert revived.exit_value == 40
+    # It resumed from the checkpoint (work re-done only since step 20):
+    h2_steps = [i for host, i in progress if host == "h2"]
+    assert min(h2_steps) == 21
+    assert max(h2_steps) == 40
+
+
+def test_restart_missing_checkpoint_fails():
+    env, progress = ckpt_env()
+    from repro.files import FileError
+
+    with pytest.raises(FileError):
+        env.run(
+            until=restart_from_files(
+                env.topology.hosts["h2"], env.rc_client("h2"), "checkpoints/ghost.ckpt"
+            )
+        )

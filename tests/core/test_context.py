@@ -1,0 +1,209 @@
+"""Integration tests: the SNIPE client library on a full site."""
+
+import pytest
+
+from repro.core import SnipeEnvironment, make_replicated_process
+from repro.daemon import TaskSpec, TaskState
+from repro.transport.base import SendError
+
+
+def test_urn_addressed_messaging():
+    env = SnipeEnvironment.lan_site(n_hosts=4)
+    results = {}
+
+    @env.program("pong-server")
+    def pong_server(ctx):
+        env_msg = yield ctx.recv(tag="ping")
+        yield ctx.send(env_msg.src_urn, {"pong": env_msg.payload["n"] + 1}, tag="pong")
+        return "served"
+
+    @env.program("ping-client")
+    def ping_client(ctx, server_urn):
+        yield ctx.send(server_urn, {"n": 41}, tag="ping")
+        reply = yield ctx.recv(tag="pong")
+        results["reply"] = reply.payload
+        return "done"
+
+    server = env.spawn("pong-server", on="h1")
+    env.settle(0.5)
+    client = env.spawn(TaskSpec(program="ping-client",
+                                params={"server_urn": server.urn}), on="h2")
+    env.run(until=30.0)
+    assert results["reply"] == {"pong": 42}
+    assert server.state == TaskState.EXITED
+    assert client.state == TaskState.EXITED
+
+
+def test_tag_filtering_and_ordering():
+    env = SnipeEnvironment.lan_site(n_hosts=3)
+    got = []
+
+    @env.program("receiver")
+    def receiver(ctx):
+        # Ask for 'b' first even though 'a' messages arrive first.
+        b = yield ctx.recv(tag="b")
+        got.append(("b", b.payload))
+        a1 = yield ctx.recv(tag="a")
+        a2 = yield ctx.recv(tag="a")
+        got.append(("a", a1.payload, a2.payload))
+
+    @env.program("sender")
+    def sender(ctx, dst):
+        yield ctx.send(dst, 1, tag="a")
+        yield ctx.send(dst, 2, tag="a")
+        yield ctx.send(dst, 3, tag="b")
+
+    r = env.spawn("receiver", on="h1")
+    env.settle(0.5)
+    env.spawn(TaskSpec(program="sender", params={"dst": r.urn}), on="h2")
+    env.run(until=20.0)
+    assert got == [("b", 3), ("a", 1, 2)]
+
+
+def test_send_buffers_until_receiver_appears():
+    """System buffering: a send to a not-yet-registered URN is retried."""
+    env = SnipeEnvironment.lan_site(n_hosts=3)
+    got = {}
+
+    @env.program("late-receiver")
+    def late_receiver(ctx):
+        msg = yield ctx.recv()
+        got["payload"] = msg.payload
+
+    @env.program("eager-sender")
+    def eager_sender(ctx, dst):
+        yield ctx.send(dst, "you were not born yet")
+        return "delivered"
+
+    # Sender starts first, addressing a URN that does not exist yet.
+    env.settle(0.5)
+    env.spawn(TaskSpec(program="eager-sender",
+                       params={"dst": "urn:snipe:proc:late.999"}), on="h2")
+    env.settle(2.0)
+
+    @env.program("_spawn_late")
+    def _spawn_late(ctx):
+        yield ctx.spawn(TaskSpec(program="late-receiver", urn_override="urn:snipe:proc:late.999"))
+
+    env.spawn("_spawn_late", on="h1")
+    env.settle(30.0)
+    assert got["payload"] == "you were not born yet"
+
+
+def test_send_fails_after_buffer_timeout():
+    env = SnipeEnvironment.lan_site(n_hosts=2)
+    outcome = {}
+
+    @env.program("hopeless-sender")
+    def hopeless_sender(ctx):
+        ctx.buffer_timeout = 2.0
+        start = ctx.sim.now
+        try:
+            yield ctx.send("urn:snipe:proc:never.1", "void")
+        except SendError:
+            outcome["buffered_for"] = ctx.sim.now - start
+        return "done"
+
+    env.settle(0.5)
+    env.spawn("hopeless-sender", on="h0")
+    env.settle(10.0)
+    assert 2.0 <= outcome["buffered_for"] <= 3.0
+
+
+def test_spawn_from_within_task():
+    env = SnipeEnvironment.lan_site(n_hosts=3)
+    children = []
+
+    @env.program("child")
+    def child(ctx, n):
+        yield ctx.compute(0.01)
+        children.append(n)
+        return n
+
+    @env.program("parent")
+    def parent(ctx):
+        for i, host in enumerate(["h1", "h2", None]):
+            yield ctx.spawn(TaskSpec(program="child", params={"n": i}), on_host=host)
+        return "spawned"
+
+    env.spawn("parent", on="h0")
+    env.run(until=20.0)
+    assert sorted(children) == [0, 1, 2]
+
+
+def test_group_communication_via_context():
+    env = SnipeEnvironment.lan_site(n_hosts=5)
+    received = {}
+
+    @env.program("member")
+    def member(ctx, name):
+        yield ctx.join_group("sensors")
+        msg = yield ctx.recv_group("sensors")
+        received[name] = msg.payload
+        return "ok"
+
+    @env.program("publisher")
+    def publisher(ctx):
+        yield ctx.join_group("sensors")
+        yield ctx.sleep(1.0)  # let members register
+        yield ctx.send_group("sensors", {"reading": 7.5})
+        return "sent"
+
+    for i in range(3):
+        env.spawn(TaskSpec(program="member", params={"name": f"m{i}"}), on=f"h{i}")
+    env.settle(1.0)
+    env.spawn("publisher", on="h3")
+    env.run(until=30.0)
+    assert received == {f"m{i}": {"reading": 7.5} for i in range(3)}
+
+
+def test_replicated_pseudo_process_fanout():
+    """§5.7: sends to a pseudo-process reach every replica member."""
+    env = SnipeEnvironment.lan_site(n_hosts=5)
+    received = {}
+
+    @env.program("replica")
+    def replica(ctx, name):
+        yield ctx.join_group("calc-replicas")
+        msg = yield ctx.recv_group("calc-replicas")
+        received[name] = msg.payload
+        return "ok"
+
+    @env.program("feeder")
+    def feeder(ctx, pseudo):
+        yield ctx.sleep(1.0)
+        yield ctx.send(pseudo, {"input": [1, 2, 3]})
+        return "fed"
+
+    for i in range(3):
+        env.spawn(TaskSpec(program="replica", params={"name": f"r{i}"}), on=f"h{i}")
+    env.settle(1.0)
+    p = make_replicated_process(env.rc_client("h4"), "calc", "calc-replicas")
+    urn = env.run(until=p)
+    env.spawn(TaskSpec(program="feeder", params={"pseudo": urn}), on="h3")
+    env.run(until=30.0)
+    assert list(received.values()) == [{"input": [1, 2, 3]}] * 3
+
+
+def test_watch_notify_on_exit():
+    env = SnipeEnvironment.lan_site(n_hosts=3)
+    events = []
+
+    @env.program("watched")
+    def watched(ctx):
+        yield ctx.sleep(3.0)
+        return "bye"
+
+    @env.program("watcher")
+    def watcher(ctx, target):
+        yield ctx.watch(target)
+        event = yield ctx.next_notification()
+        events.append(event)
+        return "saw it"
+
+    w = env.spawn("watched", on="h1")
+    env.settle(0.5)
+    env.spawn(TaskSpec(program="watcher", params={"target": w.urn}), on="h2")
+    env.run(until=30.0)
+    assert events and events[0]["urn"] == w.urn
+    assert events[0]["state"] == TaskState.EXITED

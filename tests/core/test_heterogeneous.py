@@ -1,0 +1,96 @@
+"""Heterogeneous sites: mixed architectures, RM placement, ctx RM spawning."""
+
+import pytest
+
+from repro.core import SnipeEnvironment, make_replicated_service, service_locations
+from repro.daemon import TaskSpec, TaskState
+from repro.net.media import ETHERNET_100
+
+
+def hetero_env():
+    """Workstations (x86/unix), a Cray node, and an embedded sensor node."""
+    env = SnipeEnvironment(seed=6)
+    env.add_segment("lan", ETHERNET_100)
+    env.add_host("ws0", segments=["lan"], arch="x86", os="unix")
+    env.add_host("ws1", segments=["lan"], arch="x86", os="unix")
+    env.add_host("cray", segments=["lan"], arch="vector", os="unicos",
+                 cpu_count=8, cpu_speed=4.0, memory=8192)
+    env.add_host("pda", segments=["lan"], arch="arm", os="embedded", memory=16)
+    env.add_rc_servers(["ws0", "ws1", "cray"])
+    for name in env.topology.hosts:
+        env.boot_daemon(name)
+    env.add_rm("ws0")
+
+    @env.program("sim-kernel")
+    def sim_kernel(ctx):
+        yield ctx.compute(1.0)
+        return ctx.host.name
+
+    env.settle(3.0)
+    return env
+
+
+def test_arch_constrained_spawn_lands_on_matching_host():
+    env = hetero_env()
+    rmc = env.rm_client("ws1")
+
+    def go(sim):
+        vector = yield rmc.request(TaskSpec(program="sim-kernel", arch="vector"))
+        tiny = yield rmc.request(TaskSpec(program="sim-kernel", min_memory=4096))
+        return vector["host"], tiny["host"]
+
+    vector_host, big_mem_host = env.run(until=env.sim.process(go(env.sim)))
+    assert vector_host == "cray"
+    assert big_mem_host == "cray"
+
+
+def test_embedded_host_excluded_by_memory_requirement():
+    env = hetero_env()
+    rmc = env.rm_client("ws1")
+    placements = []
+
+    def go(sim):
+        for _ in range(6):
+            result = yield rmc.request(TaskSpec(program="sim-kernel", min_memory=64))
+            placements.append(result["host"])
+
+    env.run(until=env.sim.process(go(env.sim)))
+    assert "pda" not in placements
+
+
+def test_fast_host_finishes_compute_sooner():
+    """cpu_speed scales virtual compute time (the cray is 4x faster)."""
+    env = hetero_env()
+    ws_task = env.spawn(TaskSpec(program="sim-kernel"), on="ws1")
+    cray_task = env.spawn(TaskSpec(program="sim-kernel"), on="cray")
+    env.run(until=10.0)
+    assert ws_task.ended_at - ws_task.started_at == pytest.approx(1.0)
+    assert cray_task.ended_at - cray_task.started_at == pytest.approx(0.25)
+
+
+def test_ctx_spawn_via_rm():
+    env = hetero_env()
+    results = {}
+
+    @env.program("coordinator")
+    def coordinator(ctx):
+        result = yield ctx.spawn_via_rm(TaskSpec(program="sim-kernel", arch="vector"))
+        results["placed"] = result["host"]
+        return "ok"
+
+    env.spawn("coordinator", on="ws1")
+    env.run(until=30.0)
+    assert results["placed"] == "cray"
+
+
+def test_multi_location_service_registration():
+    """§5.7: 'a LIFN can be created for that service, and each of the
+    service locations (URLs) associated with that LIFN.'"""
+    env = hetero_env()
+    rc = env.rc_client("ws1")
+    urn = env.run(until=make_replicated_service(
+        rc, "solver", [("ws0", 7000), ("cray", 7000)]
+    ))
+    assert urn == "urn:snipe:svc:solver"
+    locations = env.run(until=service_locations(rc, "solver"))
+    assert locations == [("cray", 7000), ("ws0", 7000)]

@@ -1,0 +1,75 @@
+"""Unit + property tests for the XDR codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.messages import XdrError, xdr_decode, xdr_encode, xdr_size
+
+
+def test_scalars_roundtrip():
+    for v in [None, True, False, 0, -1, 2**40, -(2**70), 3.14, "héllo", b"\x00\xff"]:
+        assert xdr_decode(xdr_encode(v)) == v
+
+
+def test_containers_roundtrip():
+    v = {"a": [1, 2, (3, "x")], "b": {"nested": b"bytes"}, "c": None}
+    assert xdr_decode(xdr_encode(v)) == v
+
+
+def test_tuple_vs_list_preserved():
+    assert xdr_decode(xdr_encode((1, 2))) == (1, 2)
+    assert xdr_decode(xdr_encode([1, 2])) == [1, 2]
+
+
+def test_alignment_is_4_bytes():
+    # "a" -> tag(4) + len(4) + 1 byte padded to 4 = 12.
+    assert len(xdr_encode("a")) == 12
+    assert len(xdr_encode("abcd")) == 12
+
+
+def test_big_endian_int():
+    assert xdr_encode(1)[-8:] == b"\x00\x00\x00\x00\x00\x00\x00\x01"
+
+
+def test_unencodable_raises():
+    with pytest.raises(XdrError, match="cannot XDR-encode"):
+        xdr_encode(object())
+
+
+def test_truncated_buffer_raises():
+    with pytest.raises(XdrError, match="truncated"):
+        xdr_decode(xdr_encode("hello")[:-4])
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(XdrError, match="trailing"):
+        xdr_decode(xdr_encode(1) + b"\x00\x00\x00\x00")
+
+
+def test_size_matches_encoding():
+    v = {"k": [1.5, "x" * 100]}
+    assert xdr_size(v) == len(xdr_encode(v))
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+def test_roundtrip_property(value):
+    assert xdr_decode(xdr_encode(value)) == value
+
+
+@given(st.integers())
+def test_any_int_roundtrips(n):
+    assert xdr_decode(xdr_encode(n)) == n

@@ -1,0 +1,117 @@
+"""Migration tests (§5.6): self-initiated moves with zero message loss."""
+
+import pytest
+
+from repro.core import SnipeEnvironment
+from repro.daemon import TaskSpec, TaskState
+
+
+def test_self_migration_resumes_with_state():
+    env = SnipeEnvironment.lan_site(n_hosts=4)
+    trail = []
+
+    @env.program("wanderer")
+    def wanderer(ctx, hops):
+        i = ctx.checkpoint_state.get("i", 0)
+        trail.append((ctx.host.name, i))
+        while i < len(hops):
+            ctx.checkpoint_state["i"] = i + 1
+            moved = yield ctx.migrate(hops[i])
+            if moved:
+                return "moved"
+            i += 1
+        return f"settled@{ctx.host.name}"
+
+    info = env.spawn(TaskSpec(program="wanderer", params={"hops": ["h1", "h2"]}), on="h0")
+    env.run(until=60.0)
+    # It started on h0, hopped to h1, then h2.
+    assert trail == [("h0", 0), ("h1", 1), ("h2", 2)]
+    final = env.daemons["h2"].tasks[info.urn]
+    assert final.state == TaskState.EXITED
+    assert final.exit_value == "settled@h2"
+    assert env.daemons["h0"].tasks[info.urn].state == TaskState.MIGRATED
+
+
+def test_migration_updates_rc_location():
+    env = SnipeEnvironment.lan_site(n_hosts=3)
+
+    @env.program("mover")
+    def mover(ctx):
+        if not ctx.checkpoint_state.get("moved"):
+            ctx.checkpoint_state["moved"] = True
+            if (yield ctx.migrate("h2")):
+                return "gone"
+        yield ctx.sleep(60.0)
+        return "here"
+
+    info = env.spawn("mover", on="h0")
+    env.settle(10.0)  # migration done, task still sleeping on h2
+
+    def check(sim):
+        meta = yield env.rc_client("h1").lookup(info.urn)
+        return (meta["host"]["value"], meta["comm-host"]["value"], meta["state"]["value"])
+
+    host, comm_host, state = env.run(until=env.sim.process(check(env.sim)))
+    assert host == "h2"
+    assert comm_host == "h2"
+    assert state == TaskState.RUNNING
+    env.run(until=60.0)
+
+
+def test_zero_message_loss_during_migration():
+    """A continuous stream to a task migrating twice: every message is
+    delivered exactly once (§5.6's guarantee; experiment E6's core)."""
+    env = SnipeEnvironment.lan_site(n_hosts=4)
+    N = 60
+    received = []
+
+    @env.program("collector")
+    def collector(ctx, total, hops):
+        got = ctx.checkpoint_state.get("got", 0)
+        hop_at = {total // 3: 0, 2 * total // 3: 1}
+        while got < total:
+            msg = yield ctx.recv(tag="data")
+            received.append(msg.payload)
+            got += 1
+            ctx.checkpoint_state["got"] = got
+            hop = hop_at.get(got)
+            if hop is not None and ctx.checkpoint_state.get("hops_done", 0) == hop:
+                ctx.checkpoint_state["hops_done"] = hop + 1
+                if (yield ctx.migrate(hops[hop])):
+                    return "migrated"
+        return "complete"
+
+    @env.program("streamer")
+    def streamer(ctx, dst, total):
+        for i in range(total):
+            yield ctx.send(dst, i, tag="data")
+            yield ctx.sleep(0.05)
+        return "streamed"
+
+    info = env.spawn(
+        TaskSpec(program="collector", params={"total": N, "hops": ["h1", "h2"]}), on="h0"
+    )
+    env.settle(0.5)
+    env.spawn(TaskSpec(program="streamer", params={"dst": info.urn, "total": N}), on="h3")
+    env.run(until=120.0)
+    # Exactly once, in order, no loss, no duplicates.
+    assert received == list(range(N))
+    final = env.daemons["h2"].tasks[info.urn]
+    assert final.state == TaskState.EXITED
+    assert final.exit_value == "complete"
+
+
+def test_migration_to_dead_host_keeps_running():
+    env = SnipeEnvironment.lan_site(n_hosts=3)
+
+    @env.program("cautious")
+    def cautious(ctx):
+        moved = yield ctx.migrate("h2")
+        return f"moved={moved}@{ctx.host.name}"
+
+    env.topology.hosts["h2"].crash()
+    info = env.spawn("cautious", on="h0")
+    env.run(until=30.0)
+    final = env.daemons["h0"].tasks[info.urn]
+    assert final.state == TaskState.EXITED
+    assert final.exit_value == "moved=False@h0"

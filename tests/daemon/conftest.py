@@ -1,0 +1,36 @@
+"""Fixtures: a small SNIPE site with RC servers and daemons on every host."""
+
+import pytest
+
+from repro.daemon import McastService, ProgramRegistry, SnipeDaemon
+from repro.rcds import RCClient, RCServer
+
+from ..transport.conftest import make_lan
+
+
+def make_site(n_hosts=4, n_rc=1, seed=0, programs=None, mcast=False, **daemon_kw):
+    """LAN of n hosts; RC replicas on the first n_rc; a daemon everywhere.
+
+    Returns (sim, topo, hosts, daemons, rc_clients_by_host).
+    """
+    sim, topo, hosts = make_lan(n_hosts=n_hosts, seed=seed)
+    replicas = [(f"h{i}", 385) for i in range(n_rc)]
+    for i in range(n_rc):
+        RCServer(hosts[i], peers=[r for r in replicas if r[0] != f"h{i}"])
+    programs = programs or ProgramRegistry()
+    daemons = []
+    clients = []
+    for h in hosts:
+        rc = RCClient(h, replicas, rpc_timeout=0.5)
+        daemon = SnipeDaemon(h, rc, programs, **daemon_kw)
+        if mcast:
+            McastService(daemon)
+        daemons.append(daemon)
+        clients.append(rc)
+    return sim, topo, hosts, daemons, clients
+
+
+@pytest.fixture
+def site():
+    programs = ProgramRegistry()
+    return make_site(programs=programs), programs

@@ -1,0 +1,78 @@
+"""Tests for broker referral (§5.5).
+
+    "If the RC metadata for a host contains a list of brokers, the
+    request to spawn is sent to one of the brokers for that host.
+    Otherwise, the request is sent to the host daemon. The host daemon
+    may handle the request itself, or refer the request to a broker."
+"""
+
+import pytest
+
+from repro.daemon import TaskSpec
+from repro.daemon.daemon import DAEMON_PORT
+from repro.rm import ResourceManager
+from repro.rpc import RpcClient, RpcError
+
+from .conftest import make_site
+from ..rm.test_rm import programs_with_worker
+
+
+def broker_site():
+    (sim, topo, hosts, daemons, clients) = make_site(
+        n_hosts=4, programs=programs_with_worker()
+    )
+    broker = ResourceManager(hosts[0], clients[0], port=3600)
+    daemons[2].set_brokers([("h0", 3600)])
+    sim.run(until=3.0)
+    return sim, topo, hosts, daemons, clients, broker
+
+
+def test_spawn_request_referred_to_broker():
+    sim, topo, hosts, daemons, clients, broker = broker_site()
+    client = RpcClient(hosts[3])
+    p = client.call("h2", DAEMON_PORT, "daemon.spawn",
+                    spec=TaskSpec(program="worker", params={"rounds": 1}))
+    result = sim.run(until=p)
+    assert result["via_broker"] == "h0:3600"
+    assert broker.requests == 1
+    # The broker placed it (on the least-loaded host, not necessarily h2).
+    assert result["urn"].startswith("urn:snipe:proc:worker")
+
+
+def test_direct_flag_bypasses_broker():
+    sim, topo, hosts, daemons, clients, broker = broker_site()
+    client = RpcClient(hosts[3])
+    p = client.call("h2", DAEMON_PORT, "daemon.spawn",
+                    spec=TaskSpec(program="worker", params={"rounds": 1}), direct=True)
+    result = sim.run(until=p)
+    assert "via_broker" not in result
+    assert broker.requests == 0
+    assert result["urn"] in daemons[2].tasks
+
+
+def test_brokers_advertised_in_host_metadata():
+    sim, topo, hosts, daemons, clients, broker = broker_site()
+    sim.run(until=sim.now + 1.0)
+
+    def check(sim):
+        meta = yield clients[3].lookup("snipe://h2/")
+        return (meta.get("brokers") or {}).get("value")
+
+    assert sim.run(until=sim.process(check(sim))) == ["h0:3600"]
+
+
+def test_dead_broker_spawn_fails():
+    sim, topo, hosts, daemons, clients, broker = broker_site()
+    hosts[0].crash()
+    client = RpcClient(hosts[3])
+    p = client.call("h2", DAEMON_PORT, "daemon.spawn",
+                    spec=TaskSpec(program="worker"), timeout=8.0)
+
+    def go(sim):
+        try:
+            yield p
+        except RpcError as exc:
+            return str(exc)
+
+    result = sim.run(until=sim.process(go(sim)))
+    assert "brokers unreachable" in result

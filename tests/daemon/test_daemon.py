@@ -1,0 +1,216 @@
+"""Unit/integration tests for the per-host SNIPE daemon."""
+
+import pytest
+
+from repro.daemon import ProgramRegistry, TaskSpec, TaskState
+from repro.daemon.daemon import DAEMON_PORT, SpawnError
+from repro.rpc import RpcClient, RpcError
+
+from .conftest import make_site
+
+
+def simple_programs():
+    programs = ProgramRegistry()
+
+    def worker(ctx, rounds=3, cost=0.1):
+        for _ in range(rounds):
+            yield ctx.compute(cost)
+        return "done"
+
+    def crasher(ctx):
+        yield ctx.compute(0.1)
+        raise RuntimeError("task bug")
+
+    def sleeper(ctx, duration=100.0):
+        yield ctx.sleep(duration)
+        return "woke"
+
+    def signal_echo(ctx):
+        sig = yield ctx.next_signal()
+        return f"got:{sig}"
+
+    programs.register("worker", worker)
+    programs.register("crasher", crasher)
+    programs.register("sleeper", sleeper)
+    programs.register("signal-echo", signal_echo)
+    return programs
+
+
+def test_spawn_runs_to_completion():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[1].spawn(TaskSpec(program="worker", params={"rounds": 2, "cost": 0.5}))
+    assert info.state == TaskState.RUNNING
+    sim.run(until=5.0)
+    assert info.state == TaskState.EXITED
+    assert info.exit_value == "done"
+    assert info.cpu_used == pytest.approx(1.0)
+
+
+def test_unknown_program_rejected():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    with pytest.raises(SpawnError, match="unknown program"):
+        daemons[0].spawn(TaskSpec(program="nope"))
+
+
+def test_requirements_mismatch_rejected():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    with pytest.raises(SpawnError, match="arch"):
+        daemons[0].spawn(TaskSpec(program="worker", arch="sparc"))
+    with pytest.raises(SpawnError, match="memory"):
+        daemons[0].spawn(TaskSpec(program="worker", min_memory=1e9))
+
+
+def test_crash_marks_failed():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[0].spawn(TaskSpec(program="crasher"))
+    sim.run(until=2.0)
+    assert info.state == TaskState.FAILED
+    assert "task bug" in info.error
+
+
+def test_cpu_quota_kills_task():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[0].spawn(
+        TaskSpec(program="worker", params={"rounds": 100, "cost": 0.1}, cpu_quota=0.5)
+    )
+    sim.run(until=10.0)
+    assert info.state == TaskState.KILLED
+    assert "quota" in info.error
+    assert daemons[0].violations and daemons[0].violations[0][2] == "cpu-quota"
+
+
+def test_kill_interrupts_sleeper():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[0].spawn(TaskSpec(program="sleeper"))
+    sim.run(until=1.0)
+    assert daemons[0].kill(info.urn, reason="operator")
+    sim.run(until=2.0)
+    assert info.state == TaskState.KILLED
+    assert "operator" in info.error
+
+
+def test_suspend_delays_compute_resume_continues():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[0].spawn(TaskSpec(program="worker", params={"rounds": 4, "cost": 1.0}))
+    sim.run(until=1.5)  # mid second round
+    assert daemons[0].suspend(info.urn)
+    assert info.state == TaskState.SUSPENDED
+    sim.run(until=10.0)
+    assert info.state == TaskState.SUSPENDED  # no progress while suspended
+    daemons[0].resume(info.urn)
+    sim.run(until=20.0)
+    assert info.state == TaskState.EXITED
+
+
+def test_signal_delivery_via_rpc():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[2].spawn(TaskSpec(program="signal-echo"))
+    client = RpcClient(hosts[0])
+
+    def go(sim):
+        ok = yield client.call("h2", DAEMON_PORT, "daemon.signal", urn=info.urn, signal="SIGUSR1")
+        return ok
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) is True
+    sim.run(until=sim.now + 1.0)
+    assert info.exit_value == "got:SIGUSR1"
+
+
+def test_remote_spawn_via_rpc():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    client = RpcClient(hosts[0])
+
+    def go(sim):
+        result = yield client.call(
+            "h3", DAEMON_PORT, "daemon.spawn",
+            spec=TaskSpec(program="worker", params={"rounds": 1, "cost": 0.1}),
+        )
+        yield sim.timeout(1.0)
+        status = yield client.call("h3", DAEMON_PORT, "daemon.status", urn=result["urn"])
+        return status
+
+    p = sim.process(go(sim))
+    status = sim.run(until=p)
+    assert status["state"] == TaskState.EXITED
+    assert status["exit_value"] == "done"
+
+
+def test_host_crash_kills_all_tasks():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    infos = [daemons[1].spawn(TaskSpec(program="sleeper")) for _ in range(3)]
+    sim.run(until=1.0)
+    hosts[1].crash()
+    sim.run(until=2.0)
+    assert all(i.state == TaskState.KILLED for i in infos)
+    assert all("host-crash" in i.error for i in infos)
+
+
+def test_process_state_published_to_rc():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    info = daemons[1].spawn(TaskSpec(program="worker", params={"rounds": 1, "cost": 0.1}))
+    sim.run(until=3.0)
+
+    def check(sim):
+        got = yield clients[0].lookup(info.urn)
+        return got
+
+    p = sim.process(check(sim))
+    got = sim.run(until=p)
+    assert got["state"]["value"] == TaskState.EXITED
+    assert got["host"]["value"] == "h1"
+    assert got["supervisor"]["value"] == "snipe://h1/daemon"
+
+
+def test_host_metadata_registered_with_interfaces():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    sim.run(until=2.0)
+
+    def check(sim):
+        return (yield clients[3].lookup("snipe://h1/"))
+
+    got = sim.run(until=sim.process(check(sim)))
+    assert got["daemon"]["value"] == "snipe://h1/daemon"
+    ifaces = got["interfaces"]["value"]
+    assert "if0" in ifaces and ifaces["if0"]["net-name"] == "lan"
+    assert got["load"]["value"] == 0.0  # load loop published
+
+
+def test_notify_list_informs_watcher():
+    """A watcher task is told when the watched task exits (§5.2.3)."""
+    programs = simple_programs()
+    results = {}
+
+    def watcher(ctx):
+        event = yield ctx.next_notification()
+        results["event"] = event
+        return "notified"
+
+    programs.register("watcher", watcher)
+    (sim, topo, hosts, daemons, clients) = make_site(programs=programs)
+    w_info = daemons[2].spawn(TaskSpec(program="watcher"))
+    t_info = daemons[1].spawn(TaskSpec(program="sleeper", params={"duration": 3.0}))
+
+    def wire(sim):
+        # Watcher metadata must exist (host) and target carries notify-list.
+        yield clients[0].update(t_info.urn, {"notify-list": [w_info.urn]})
+        return None
+
+    sim.run(until=sim.process(wire(sim)))
+    sim.run(until=20.0)
+    assert results["event"]["urn"] == t_info.urn
+    assert results["event"]["state"] == TaskState.EXITED
+
+
+def test_daemon_load_reporting():
+    (sim, topo, hosts, daemons, clients) = make_site(programs=simple_programs())
+    daemons[0].spawn(TaskSpec(program="sleeper"))
+    daemons[0].spawn(TaskSpec(program="sleeper"))
+    client = RpcClient(hosts[1])
+
+    def go(sim):
+        return (yield client.call("h0", DAEMON_PORT, "daemon.load"))
+
+    load = sim.run(until=sim.process(go(sim)))
+    assert load["tasks"] == 2
+    assert load["load"] == 2.0  # 2 tasks / 1 cpu

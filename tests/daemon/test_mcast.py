@@ -1,0 +1,174 @@
+"""Tests for wide-area multicast: election, majority registration, delivery."""
+
+import pytest
+
+from repro.daemon import ProgramRegistry, TaskSpec
+from repro.daemon.mcast import MAJORITY, SINGLE
+
+from .conftest import make_site
+
+
+def mcast_site(n_hosts=6, seed=0):
+    # Three RC replicas: router-failure tests crash a host that carries
+    # one replica, and the metadata service must survive that (the whole
+    # point of SNIPE's replication).
+    sim, topo, hosts, daemons, clients = make_site(
+        n_hosts=n_hosts, n_rc=3, seed=seed, programs=ProgramRegistry(), mcast=True
+    )
+    return sim, topo, hosts, daemons
+
+
+def run_gen(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_first_joiners_elect_themselves_routers():
+    sim, topo, hosts, daemons = mcast_site()
+
+    def go(sim):
+        for i in range(4):
+            yield daemons[i].mcast.join("g1", f"urn:snipe:proc:m{i}")
+        return None
+
+    run_gen(sim, go(sim))
+    routers = [d.host.name for d in daemons if "g1" in d.mcast.router_state]
+    # min_routers=3: the first three joiners elect themselves; the fourth
+    # sees a provisioned group on its own segment and does not.
+    assert len(routers) == 3
+
+
+def test_message_reaches_every_member():
+    sim, topo, hosts, daemons = mcast_site()
+    got = {}
+
+    def go(sim):
+        for i in range(5):
+            yield daemons[i].mcast.join("g", f"urn:snipe:proc:m{i}")
+        yield daemons[0].mcast.send("g", {"data": 123}, "urn:snipe:proc:m0")
+        yield sim.timeout(2.0)
+        for i in range(5):
+            ok, msg = daemons[i].mcast.inboxes[("g", f"urn:snipe:proc:m{i}")].try_get()
+            got[i] = msg["payload"] if ok else None
+        return None
+
+    run_gen(sim, go(sim))
+    assert got == {i: {"data": 123} for i in range(5)}
+
+
+def test_no_duplicate_delivery_despite_flooding():
+    sim, topo, hosts, daemons = mcast_site()
+
+    def go(sim):
+        for i in range(4):
+            yield daemons[i].mcast.join("g", f"urn:snipe:proc:m{i}")
+        yield daemons[1].mcast.send("g", "only-once", "urn:snipe:proc:m1")
+        yield sim.timeout(2.0)
+        counts = {}
+        for i in range(4):
+            inbox = daemons[i].mcast.inboxes[("g", f"urn:snipe:proc:m{i}")]
+            n = 0
+            while inbox.try_get()[0]:
+                n += 1
+            counts[i] = n
+        return counts
+
+    counts = run_gen(sim, go(sim))
+    assert counts == {0: 1, 1: 1, 2: 1, 3: 1}
+
+
+def test_majority_survives_minority_router_failure():
+    """Kill <½ of the routers: every member still gets the message (E7)."""
+    sim, topo, hosts, daemons = mcast_site()
+
+    def go(sim):
+        for i in range(6):
+            yield daemons[i].mcast.join("g", f"urn:snipe:proc:m{i}", mode=MAJORITY)
+        # Routers are h0,h1,h2; kill one (minority of 3).
+        hosts[0].crash()
+        yield daemons[4].mcast.send("g", "survives", "urn:snipe:proc:m4", mode=MAJORITY)
+        yield sim.timeout(3.0)
+        delivered = []
+        for i in range(1, 6):  # h0 is dead; its member doesn't count
+            ok, msg = daemons[i].mcast.inboxes[("g", f"urn:snipe:proc:m{i}")].try_get()
+            if ok:
+                delivered.append(i)
+        return delivered
+
+    delivered = run_gen(sim, go(sim))
+    assert delivered == [1, 2, 3, 4, 5]
+
+
+def test_single_registration_loses_members_on_router_failure():
+    """The E7 baseline: members registered with one router go dark when it dies."""
+    sim, topo, hosts, daemons = mcast_site()
+
+    def go(sim):
+        for i in range(6):
+            yield daemons[i].mcast.join("g", f"urn:snipe:proc:m{i}", mode=SINGLE)
+        hosts[0].crash()  # routers sorted -> single mode registers with h0
+        yield daemons[4].mcast.send("g", "lost?", "urn:snipe:proc:m4", mode=MAJORITY)
+        yield sim.timeout(3.0)
+        delivered = []
+        for i in range(1, 6):
+            ok, _ = daemons[i].mcast.inboxes[("g", f"urn:snipe:proc:m{i}")].try_get()
+            if ok:
+                delivered.append(i)
+        return delivered
+
+    delivered = run_gen(sim, go(sim))
+    # Everybody registered only with the dead router: nobody hears it
+    # (except members on surviving routers' own lists — there are none).
+    assert delivered == []
+
+
+def test_leave_stops_delivery():
+    sim, topo, hosts, daemons = mcast_site()
+
+    def go(sim):
+        for i in range(3):
+            yield daemons[i].mcast.join("g", f"urn:snipe:proc:m{i}")
+        yield daemons[1].mcast.leave("g", "urn:snipe:proc:m1")
+        yield daemons[0].mcast.send("g", "post-leave", "urn:snipe:proc:m0")
+        yield sim.timeout(2.0)
+        return ("g", "urn:snipe:proc:m1") in daemons[1].mcast.inboxes
+
+    assert run_gen(sim, go(sim)) is False
+
+
+def test_recv_unjoined_group_raises():
+    sim, topo, hosts, daemons = mcast_site()
+    with pytest.raises(KeyError):
+        daemons[0].mcast.recv("nope", "urn:snipe:proc:x")
+
+
+def test_router_change_notifies_watchers():
+    """§5.2.4: processes on the group's notify list hear about new routers."""
+    from repro.core import SnipeEnvironment
+    from repro.daemon import TaskSpec
+
+    env = SnipeEnvironment.lan_site(n_hosts=5, n_rc=3, seed=4)
+    events = []
+
+    @env.program("watcher")
+    def watcher(ctx):
+        # Register interest in the group's router set.
+        from repro.rcds import uri as uri_mod
+
+        yield ctx.publish({"notify-list": [ctx.urn]}, uri=uri_mod.mcast_urn("g"))
+        event = yield ctx.next_notification()
+        events.append(event)
+        return event["kind"]
+
+    @env.program("joiner")
+    def joiner(ctx):
+        yield ctx.sleep(2.0)  # after the watcher registered
+        yield ctx.join_group("g")
+        return "joined"
+
+    w = env.spawn("watcher", on="h3")
+    env.settle(0.5)
+    env.spawn("joiner", on="h1")
+    env.run(until=30.0)
+    assert events and events[0]["kind"] == "router-change"
+    assert events[0]["group"] == "g"
+    assert events[0]["added"] == "h1"

@@ -1,0 +1,138 @@
+"""Tests for the mini-MPI: point-to-point and collectives."""
+
+import pytest
+
+from repro.mpi import MpiJob
+from repro.net import MYRINET, Topology
+from repro.sim import Simulator
+
+
+def mpp(n=8, seed=0):
+    sim = Simulator(seed=seed)
+    topo = Topology(sim)
+    fabric = topo.add_segment("fabric", MYRINET)
+    hosts = []
+    for i in range(n):
+        h = topo.add_host(f"node{i}")
+        topo.connect(h, fabric)
+        hosts.append(h)
+    return sim, topo, hosts
+
+
+def run_job(sim, hosts, program, **params):
+    job = MpiJob(sim, hosts, program, params=params)
+    sim.run(until=job.wait_all())
+    return job
+
+
+def test_pingpong():
+    sim, topo, hosts = mpp(2)
+
+    def program(mpi):
+        if mpi.rank == 0:
+            yield mpi.send(1, "ping", tag=1)
+            msg = yield mpi.recv(src=1, tag=2)
+            return msg.payload
+        else:
+            msg = yield mpi.recv(src=0, tag=1)
+            yield mpi.send(0, msg.payload + "-pong", tag=2)
+            return "served"
+
+    job = run_job(sim, hosts, program)
+    assert job.results[0] == "ping-pong"
+
+
+def test_send_recv_source_filtering():
+    sim, topo, hosts = mpp(3)
+
+    def program(mpi):
+        if mpi.rank == 0:
+            # Wait specifically for rank 2 first, then rank 1.
+            m2 = yield mpi.recv(src=2)
+            m1 = yield mpi.recv(src=1)
+            return [m2.payload, m1.payload]
+        else:
+            yield mpi.send(0, f"from{mpi.rank}")
+            return None
+
+    job = run_job(sim, hosts, program)
+    assert job.results[0] == ["from2", "from1"]
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (5, 0), (8, 3), (7, 6)])
+def test_bcast_all_sizes_and_roots(n, root):
+    sim, topo, hosts = mpp(n)
+
+    def program(mpi, root):
+        value = {"data": 42} if mpi.rank == root else None
+        got = yield mpi.bcast(value, root=root)
+        return got
+
+    job = run_job(sim, hosts, program, root=root)
+    assert job.results == [{"data": 42}] * n
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (6, 2), (8, 0)])
+def test_reduce_sum(n, root):
+    sim, topo, hosts = mpp(n)
+
+    def program(mpi, root):
+        return (yield mpi.reduce(mpi.rank + 1, lambda a, b: a + b, root=root))
+
+    job = run_job(sim, hosts, program, root=root)
+    expected = n * (n + 1) // 2
+    for rank, result in enumerate(job.results):
+        assert result == (expected if rank == root else None)
+
+
+def test_allreduce_max():
+    sim, topo, hosts = mpp(6)
+
+    def program(mpi):
+        return (yield mpi.allreduce(mpi.rank * 10, max))
+
+    job = run_job(sim, hosts, program)
+    assert job.results == [50] * 6
+
+
+def test_barrier_synchronizes():
+    sim, topo, hosts = mpp(4)
+    after = []
+
+    def program(mpi):
+        # Ranks arrive staggered; all must leave together.
+        yield mpi.sleep(mpi.rank * 0.1)
+        yield mpi.barrier()
+        after.append((mpi.rank, mpi.sim.now))
+        return None
+
+    run_job(sim, hosts, program)
+    times = [t for _, t in after]
+    assert max(times) - min(times) < 0.01
+    assert min(times) >= 0.3  # nobody left before the slowest arrived
+
+
+def test_gather_and_scatter():
+    sim, topo, hosts = mpp(4)
+
+    def program(mpi):
+        gathered = yield mpi.gather(mpi.rank ** 2, root=0)
+        values = [v * 10 for v in gathered] if mpi.rank == 0 else None
+        mine = yield mpi.scatter(values, root=0)
+        return mine
+
+    job = run_job(sim, hosts, program)
+    assert job.results == [0, 10, 40, 90]
+
+
+def test_consecutive_collectives_do_not_mix():
+    sim, topo, hosts = mpp(5)
+
+    def program(mpi):
+        a = yield mpi.bcast("first" if mpi.rank == 0 else None, root=0)
+        b = yield mpi.bcast("second" if mpi.rank == 0 else None, root=0)
+        c = yield mpi.allreduce(1, lambda x, y: x + y)
+        return (a, b, c)
+
+    job = run_job(sim, hosts, program)
+    assert job.results == [("first", "second", 5)] * 5

@@ -1,0 +1,296 @@
+"""Integration tests for NIC/segment/host frame delivery and routing."""
+
+import pytest
+
+from repro.net import ETHERNET_100, Frame, Medium, Topology, WAN_T3
+from repro.sim import Simulator
+
+LOSSLESS = Medium(name="test-lan", bandwidth=1e6, latency=0.001, mtu=1500, frame_overhead=0)
+
+
+def lan_pair():
+    sim = Simulator()
+    topo = Topology(sim)
+    seg = topo.add_segment("lan", LOSSLESS)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    topo.connect(a, seg)
+    topo.connect(b, seg)
+    return sim, topo, a, b
+
+
+def mkframe(src_host, dst_host, size=100, proto="test", port=5000):
+    return Frame(
+        src=list(src_host.nics.values())[0].address,
+        dst_ip=list(dst_host.nics.values())[0].address.ip,
+        proto=proto,
+        src_port=1,
+        dst_port=port,
+        payload=b"x",
+        size=size,
+    )
+
+
+def test_frame_delivered_to_bound_port():
+    sim, topo, a, b = lan_pair()
+    binding = b.bind("test", 5000)
+    got = []
+
+    def rx(sim, binding):
+        f = yield binding.get()
+        got.append((f.size, sim.now))
+
+    sim.process(rx(sim, binding))
+    list(a.nics.values())[0].send(mkframe(a, b, size=1000))
+    sim.run()
+    # 1000 bytes at 1e6 B/s = 1ms serialisation + 1ms latency.
+    assert got == [(1000, pytest.approx(0.002))]
+
+
+def test_unbound_port_counts_unclaimed():
+    sim, topo, a, b = lan_pair()
+    list(a.nics.values())[0].send(mkframe(a, b))
+    sim.run()
+    assert b.unclaimed_frames == 1
+
+
+def test_serialization_is_serial_per_nic():
+    """Two frames queued back-to-back arrive one serialisation apart."""
+    sim, topo, a, b = lan_pair()
+    binding = b.bind("test", 5000)
+    times = []
+
+    def rx(sim, binding):
+        for _ in range(2):
+            yield binding.get()
+            times.append(sim.now)
+
+    sim.process(rx(sim, binding))
+    nic = list(a.nics.values())[0]
+    nic.send(mkframe(a, b, size=1000))
+    nic.send(mkframe(a, b, size=1000))
+    sim.run()
+    assert times[0] == pytest.approx(0.002)
+    assert times[1] == pytest.approx(0.003)  # second waits for the wire
+
+
+def test_oversize_frame_ip_fragmented():
+    """Frames above the MTU are fragmented: delivered whole, charged per
+    fragment for wire time and counted as multiple tx frames."""
+    sim, topo, a, b = lan_pair()
+    binding = b.bind("test", 5000)
+    got = []
+
+    def rx(sim, binding):
+        f = yield binding.get()
+        got.append((f.size, sim.now))
+
+    sim.process(rx(sim, binding))
+    nic = list(a.nics.values())[0]
+    nic.send(mkframe(a, b, size=4000))  # MTU 1500 -> 3 fragments
+    sim.run()
+    assert got[0][0] == 4000
+    assert got[0][1] == pytest.approx(4000 / 1e6 + 0.001)
+    assert nic.tx_frames == 3
+
+
+def test_down_segment_eats_frames():
+    sim, topo, a, b = lan_pair()
+    b.bind("test", 5000)
+    topo.segments["lan"].up = False
+    list(a.nics.values())[0].send(mkframe(a, b))
+    sim.run()
+    assert topo.segments["lan"].frames_lost == 1
+
+
+def test_crashed_host_receives_nothing():
+    sim, topo, a, b = lan_pair()
+    binding = b.bind("test", 5000)
+    b.crash()
+    list(a.nics.values())[0].send(mkframe(a, b))
+    sim.run()
+    assert binding.rx_frames == 0
+
+
+def test_crash_and_recover_roundtrip():
+    sim, topo, a, b = lan_pair()
+    crashed, recovered = [], []
+    b.on_crash.append(lambda h: crashed.append(h.name))
+    b.on_recover.append(lambda h: recovered.append(h.name))
+    b.crash()
+    b.crash()  # idempotent
+    b.recover()
+    assert crashed == ["b"] and recovered == ["b"]
+    assert b.up and all(nic.up for nic in b.nics.values())
+
+
+def test_broadcast_reaches_all_but_sender():
+    sim = Simulator()
+    topo = Topology(sim)
+    seg = topo.add_segment("lan", LOSSLESS)
+    hosts = [topo.add_host(f"h{i}") for i in range(4)]
+    for h in hosts:
+        topo.connect(h, seg)
+    received = []
+    for h in hosts:
+        binding = h.bind("test", 7)
+
+        def rx(sim, binding, name):
+            f = yield binding.get()
+            received.append(name)
+
+        sim.process(rx(sim, binding, h.name))
+
+    f = Frame(
+        src=list(hosts[0].nics.values())[0].address,
+        dst_ip="*",
+        proto="test",
+        src_port=1,
+        dst_port=7,
+        payload=None,
+        size=10,
+    )
+    list(hosts[0].nics.values())[0].send(f)
+    sim.run(until=1.0)
+    assert sorted(received) == ["h1", "h2", "h3"]
+
+
+def test_multihop_forwarding_through_gateway():
+    """a —lan1— gw —lan2— b: frames for b are forwarded by gw."""
+    sim = Simulator()
+    topo = Topology(sim)
+    lan1 = topo.add_segment("lan1", LOSSLESS)
+    lan2 = topo.add_segment("lan2", LOSSLESS)
+    a = topo.add_host("a")
+    gw = topo.add_host("gw", forwarding=True)
+    b = topo.add_host("b")
+    topo.connect(a, lan1)
+    topo.connect(gw, lan1)
+    topo.connect(gw, lan2)
+    topo.connect(b, lan2)
+    binding = b.bind("test", 5000)
+
+    hop = topo.next_hop("a", b.ip_on_segment("lan2"))
+    assert hop is not None
+    nic, l2_ip = hop
+    assert l2_ip == gw.ip_on_segment("lan1")
+
+    frame = Frame(
+        src=nic.address,
+        dst_ip=b.ip_on_segment("lan2"),
+        proto="test",
+        src_port=1,
+        dst_port=5000,
+        payload=None,
+        size=100,
+        l2_dst=l2_ip,
+    )
+    nic.send(frame)
+    sim.run()
+    assert binding.rx_frames == 1
+    assert gw.forwarded_frames == 1
+
+
+def test_non_gateway_does_not_forward():
+    sim = Simulator()
+    topo = Topology(sim)
+    lan1 = topo.add_segment("lan1", LOSSLESS)
+    lan2 = topo.add_segment("lan2", LOSSLESS)
+    a = topo.add_host("a")
+    mid = topo.add_host("mid")  # forwarding=False
+    b = topo.add_host("b")
+    topo.connect(a, lan1)
+    topo.connect(mid, lan1)
+    topo.connect(mid, lan2)
+    topo.connect(b, lan2)
+    assert topo.route("a", "b") is None
+
+
+def test_route_prefers_fast_path_and_fails_over():
+    """Two routes a→b: direct fast LAN and a 2-hop WAN detour."""
+    sim = Simulator()
+    topo = Topology(sim)
+    lan = topo.add_segment("lan", ETHERNET_100)
+    wan1 = topo.add_segment("wan1", WAN_T3)
+    wan2 = topo.add_segment("wan2", WAN_T3)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    r = topo.add_host("r", forwarding=True)
+    topo.connect(a, lan)
+    topo.connect(b, lan)
+    topo.connect(a, wan1)
+    topo.connect(r, wan1)
+    topo.connect(r, wan2)
+    topo.connect(b, wan2)
+
+    assert topo.route("a", "b") == ["a", "lan", "b"]
+    lan.up = False
+    topo.bump_version()
+    assert topo.route("a", "b") == ["a", "wan1", "r", "wan2", "b"]
+    lan.up = True
+    topo.bump_version()
+    assert topo.route("a", "b") == ["a", "lan", "b"]
+
+
+def test_shared_segments_sorted_by_bandwidth():
+    from repro.net import MYRINET
+
+    sim = Simulator()
+    topo = Topology(sim)
+    eth = topo.add_segment("eth", ETHERNET_100)
+    myr = topo.add_segment("myr", MYRINET)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    for seg in (eth, myr):
+        topo.connect(a, seg)
+        topo.connect(b, seg)
+    shared = topo.shared_segments("a", "b")
+    assert [s.name for s in shared] == ["myr", "eth"]
+    myr.up = False
+    assert [s.name for s in topo.shared_segments("a", "b")] == ["eth"]
+
+
+def test_route_to_crashed_host_is_none():
+    sim, topo, a, b = lan_pair()
+    assert topo.route("a", "b") is not None
+    b.crash()
+    assert topo.route("a", "b") is None
+
+
+def test_nic_txq_overflow_drops():
+    """A flooded NIC drops excess frames rather than queueing unboundedly."""
+    sim, topo, a, b = lan_pair()
+    b.bind("test", 5000)
+    nic = list(a.nics.values())[0]
+    accepted = sum(1 for _ in range(1500) if nic.send(mkframe(a, b, size=1000)))
+    assert accepted == 1000  # the queue depth
+    assert nic.drops == 500
+    sim.run()
+    assert nic.tx_frames == 1000
+
+
+def test_down_nic_refuses_sends():
+    sim, topo, a, b = lan_pair()
+    nic = list(a.nics.values())[0]
+    nic.up = False
+    assert nic.send(mkframe(a, b)) is False
+    assert nic.drops == 1
+
+
+def test_duplicate_iface_and_segment_rejected():
+    sim, topo, a, b = lan_pair()
+    with pytest.raises(ValueError, match="duplicate iface"):
+        a.add_nic("if0", "10.9.9.9", topo.segments["lan"])
+    with pytest.raises(ValueError, match="duplicate segment"):
+        topo.add_segment("lan", LOSSLESS)
+    with pytest.raises(ValueError, match="duplicate host"):
+        topo.add_host("a")
+
+
+def test_double_bind_rejected():
+    sim, topo, a, b = lan_pair()
+    a.bind("test", 1)
+    with pytest.raises(ValueError, match="already bound"):
+        a.bind("test", 1)
+    a.unbind("test", 1)
+    a.bind("test", 1)  # rebindable after unbind

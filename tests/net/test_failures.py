@@ -1,0 +1,88 @@
+"""Unit tests for the failure injector."""
+
+from repro.net import FailureInjector, Medium, Topology
+from repro.sim import Simulator
+
+LAN = Medium(name="lan", bandwidth=1e6, latency=0.001, mtu=1500, frame_overhead=0)
+
+
+def small_topo(n=4):
+    sim = Simulator()
+    topo = Topology(sim)
+    seg = topo.add_segment("lan", LAN)
+    for i in range(n):
+        topo.connect(topo.add_host(f"h{i}"), seg)
+    return sim, topo
+
+
+def test_scheduled_host_down_and_recovery():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    inj.host_down_at(5.0, "h1", duration=3.0)
+    sim.run(until=4.9)
+    assert topo.hosts["h1"].up
+    sim.run(until=5.1)
+    assert not topo.hosts["h1"].up
+    sim.run(until=8.1)
+    assert topo.hosts["h1"].up
+    assert [(k, w) for _, k, w in inj.log] == [("host_down", "h1"), ("host_up", "h1")]
+
+
+def test_scheduled_segment_down_permanent():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    inj.segment_down_at(2.0, "lan")
+    sim.run()
+    assert not topo.segments["lan"].up
+
+
+def test_partition_cuts_spanning_segments_only():
+    sim = Simulator()
+    topo = Topology(sim)
+    seg_a = topo.add_segment("side-a", LAN)
+    seg_b = topo.add_segment("side-b", LAN)
+    seg_x = topo.add_segment("cross", LAN)
+    a1 = topo.add_host("a1")
+    a2 = topo.add_host("a2")
+    b1 = topo.add_host("b1")
+    topo.connect(a1, seg_a)
+    topo.connect(a2, seg_a)
+    topo.connect(a1, seg_x)
+    topo.connect(b1, seg_x)
+    topo.connect(b1, seg_b)
+    inj = FailureInjector(sim, topo)
+    inj.partition_at(1.0, ["a1", "a2"], ["b1"], duration=5.0)
+    sim.run(until=2.0)
+    assert topo.segments["side-a"].up
+    assert topo.segments["side-b"].up
+    assert not topo.segments["cross"].up
+    sim.run(until=7.0)
+    assert topo.segments["cross"].up
+
+
+def test_churn_produces_alternating_up_down():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    inj.churn_hosts(["h0", "h1"], mtbf=10.0, mttr=2.0, stop_at=200.0)
+    sim.run(until=200.0)
+    # Each host's log alternates down/up.
+    for h in ("h0", "h1"):
+        events = [k for _, k, w in inj.log if w == h]
+        assert len(events) > 2
+        for i, ev in enumerate(events):
+            assert ev == ("host_down" if i % 2 == 0 else "host_up")
+
+
+def test_churn_is_seed_deterministic():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        topo = Topology(sim)
+        seg = topo.add_segment("lan", LAN)
+        topo.connect(topo.add_host("h0"), seg)
+        inj = FailureInjector(sim, topo)
+        inj.churn_hosts(["h0"], mtbf=5.0, mttr=1.0, stop_at=100.0)
+        sim.run(until=100.0)
+        return inj.log
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

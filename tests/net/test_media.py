@@ -1,0 +1,51 @@
+"""Unit tests for medium timing/overhead models."""
+
+import pytest
+
+from repro.net import ATM_155, ETHERNET_100, LOOPBACK, Medium
+
+
+def test_ethernet_wire_bytes_adds_frame_overhead():
+    assert ETHERNET_100.wire_bytes(1500) == 1538
+    assert ETHERNET_100.wire_bytes(1) == 39
+
+
+def test_ethernet_efficiency_near_97_percent():
+    eff = ETHERNET_100.efficiency_at_mtu()
+    assert 0.97 < eff < 0.98
+
+
+def test_ethernet_line_rate():
+    # 12.5 MB/s line rate: a full frame takes 1538B / 12.5e6 B/s.
+    t = ETHERNET_100.serialize_time(1500)
+    assert t == pytest.approx(1538 / 12.5e6)
+
+
+def test_atm_cell_tax():
+    """ATM rounds up to 53-byte cells carrying 48 payload bytes."""
+    # 48 payload + 8 AAL5 trailer = 56 raw -> 2 cells -> 106 wire bytes.
+    assert ATM_155.wire_bytes(48) == 106
+    # Full MTU: 9180+8 = 9188 raw -> ceil(9188/48)=192 cells -> 10176 bytes.
+    assert ATM_155.wire_bytes(9180) == 192 * 53
+
+
+def test_atm_efficiency_ceiling():
+    """AAL5 efficiency at MTU ≈ 90%: the Fig. 1 ATM curve tops out there."""
+    eff = ATM_155.efficiency_at_mtu()
+    assert 0.89 < eff < 0.92
+
+
+def test_atm_faster_than_ethernet_at_mtu():
+    atm_goodput = ATM_155.mtu / ATM_155.serialize_time(ATM_155.mtu)
+    eth_goodput = ETHERNET_100.mtu / ETHERNET_100.serialize_time(ETHERNET_100.mtu)
+    assert atm_goodput > eth_goodput
+
+
+def test_loopback_has_no_overhead():
+    assert LOOPBACK.wire_bytes(1000) == 1000
+
+
+def test_custom_medium_without_cells():
+    m = Medium(name="x", bandwidth=1e6, latency=0.001, mtu=1000, frame_overhead=20)
+    assert m.wire_bytes(500) == 520
+    assert m.serialize_time(500) == pytest.approx(520e-6)

@@ -1,0 +1,167 @@
+"""Integration tests: playground verification, confinement, quotas, migration."""
+
+import random
+
+import pytest
+
+from repro.core import SnipeEnvironment
+from repro.daemon import TaskSpec, TaskState
+from repro.playground import Playground, sign_mobile_code
+from repro.security import TrustPolicy, generate_keypair
+
+
+SIGNER = "urn:snipe:user:codevendor"
+
+
+def pg_site(n_hosts=4, grants=None, seed=0):
+    env = SnipeEnvironment.lan_site(n_hosts=n_hosts, n_fs=1, seed=seed)
+    keys = generate_keypair(random.Random(42))
+    trust = TrustPolicy()
+    trust.pin_key(SIGNER, keys.public)
+    trust.trust(SIGNER, "sign-code")
+    playgrounds = {
+        name: Playground(
+            daemon, trust,
+            grants={SIGNER: grants if grants is not None else {"clock", "metadata", "net"}},
+        )
+        for name, daemon in env.daemons.items()
+    }
+    env.settle(1.0)
+    return env, keys, trust, playgrounds
+
+
+def publish_code(env, keys, source, rights=(), lifn="agent.code"):
+    bundle = sign_mobile_code(source, SIGNER, keys, rights)
+    fc = env.file_client("h0")
+
+    def store(sim):
+        yield fc.write(lifn, bundle, 2000)
+
+    env.run(until=env.sim.process(store(env.sim)))
+    return lifn
+
+
+def test_mobile_code_runs_and_returns_output():
+    env, keys, trust, pgs = pg_site()
+    lifn = publish_code(env, keys, """
+        var total = 0;
+        var i = 0;
+        while (i < 100) { total = total + i; i = i + 1; }
+        emit total;
+    """)
+    info = env.daemons["h2"].spawn(TaskSpec(program="mobile", mobile_code=lifn))
+    env.run(until=60.0)
+    assert info.state == TaskState.EXITED
+    assert info.exit_value == [4950]
+
+
+def test_tampered_code_rejected():
+    env, keys, trust, pgs = pg_site()
+    lifn = publish_code(env, keys, "emit 1;")
+    # Corrupt the stored bundle's source after signing — but integrity is
+    # caught by the LIFN hash first, so instead forge a bundle signed by
+    # nobody trustworthy.
+    mallory = generate_keypair(random.Random(666))
+    forged = sign_mobile_code("emit 666;", SIGNER, mallory, ())
+    fc = env.file_client("h0")
+
+    def store(sim):
+        yield fc.write("forged.code", forged, 2000)
+
+    env.run(until=env.sim.process(store(env.sim)))
+    info = env.daemons["h2"].spawn(TaskSpec(program="mobile", mobile_code="forged.code"))
+    env.run(until=30.0)
+    assert info.state == TaskState.FAILED
+    assert "signature" in info.error
+
+
+def test_rights_beyond_grant_rejected():
+    env, keys, trust, pgs = pg_site(grants={"clock"})
+    lifn = publish_code(env, keys, "emit now();", rights=("clock", "net"))
+    info = env.daemons["h1"].spawn(TaskSpec(program="mobile", mobile_code=lifn))
+    env.run(until=30.0)
+    assert info.state == TaskState.FAILED
+    assert "beyond the grant" in info.error
+
+
+def test_granted_syscall_works_denied_syscall_fails():
+    env, keys, trust, pgs = pg_site(grants={"clock"})
+    ok_lifn = publish_code(env, keys, "emit now();", rights=("clock",), lifn="ok.code")
+    bad_lifn = publish_code(
+        env, keys, 'publish("k", 1);', rights=(), lifn="bad.code"
+    )
+    ok = env.daemons["h1"].spawn(TaskSpec(program="mobile", mobile_code=ok_lifn))
+    bad = env.daemons["h2"].spawn(TaskSpec(program="mobile", mobile_code=bad_lifn))
+    env.run(until=60.0)
+    assert ok.state == TaskState.EXITED
+    assert isinstance(ok.exit_value[0], float)
+    assert bad.state == TaskState.FAILED
+    assert "denied" in bad.error
+    # The violation was logged with the daemon (§3.6).
+    assert any(kind == "syscall:publish" for _, _, kind in env.daemons["h2"].violations)
+
+
+def test_cpu_quota_kills_runaway_mobile_code():
+    env, keys, trust, pgs = pg_site()
+    lifn = publish_code(env, keys, "var i = 0; while (1) { i = i + 1; }")
+    info = env.daemons["h1"].spawn(
+        TaskSpec(program="mobile", mobile_code=lifn, cpu_quota=0.05)
+    )
+    env.run(until=120.0)
+    assert info.state == TaskState.KILLED
+    assert "quota" in info.error.lower()
+    # Either enforcement path is fine: the daemon's CPU account or the
+    # VM's step budget (they are calibrated to trip together).
+    assert any(
+        kind in ("vm-quota", "cpu-quota") for _, _, kind in env.daemons["h1"].violations
+    )
+
+
+def test_mobile_code_net_right_sends_messages():
+    env, keys, trust, pgs = pg_site()
+    got = []
+
+    @env.program("listener")
+    def listener(ctx):
+        msg = yield ctx.recv(tag="mobile")
+        got.append(msg.payload)
+        return "heard"
+
+    listener_info = env.spawn("listener", on="h3")
+    env.settle(0.5)
+    lifn = publish_code(
+        env, keys, f'send("{listener_info.urn}", 7 * 6);', rights=("net",)
+    )
+    env.daemons["h1"].spawn(TaskSpec(program="mobile", mobile_code=lifn))
+    env.run(until=60.0)
+    assert got == [42]
+
+
+def test_migrated_mobile_code_resumes_from_vm_snapshot():
+    """RM-style migration of mobile code: the VM snapshot travels and the
+    program completes with exactly the straight-run answer."""
+    env, keys, trust, pgs = pg_site()
+    lifn = publish_code(env, keys, """
+        var acc = 0;
+        var i = 0;
+        while (i < 2000) { acc = acc + i; i = i + 1; }
+        emit acc;
+    """)
+    spec = TaskSpec(program="mobile", mobile_code=lifn)
+    info = env.daemons["h1"].spawn(spec)
+    env.settle(0.004)  # a few slices in, mid-run
+
+    # Daemon-arranged migration (§5.6): checkpoint out, respawn on h2.
+    shipment = env.daemons["h1"].migrate_out(info.urn)
+    assert "vm" in shipment["state"]
+    new_spec = TaskSpec(
+        program="mobile",
+        mobile_code=lifn,
+        initial_state=shipment["state"],
+        urn_override=info.urn,
+    )
+    new_info = env.daemons["h2"].spawn(new_spec)
+    env.run(until=120.0)
+    assert env.daemons["h1"].tasks[info.urn].state == TaskState.MIGRATED
+    assert new_info.state == TaskState.EXITED
+    assert new_info.exit_value == [sum(range(2000))]

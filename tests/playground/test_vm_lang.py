@@ -1,0 +1,215 @@
+"""Unit + property tests for the SnipeScript compiler and the VM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.playground import CompileError, SnipeVM, VmError, VmQuotaError, compile_source
+
+
+def run_src(source, **vm_kw):
+    vm = SnipeVM(compile_source(source), **vm_kw)
+    vm.run()
+    return vm
+
+
+def test_arithmetic_and_emit():
+    vm = run_src("emit 1 + 2 * 3 - 4 / 2;")
+    assert vm.output == [5]
+
+
+def test_float_arithmetic():
+    vm = run_src("emit 1.5 * 2.0;")
+    assert vm.output == [3.0]
+
+
+def test_variables_and_reassignment():
+    vm = run_src("var x = 10; x = x + 5; emit x;")
+    assert vm.output == [15]
+
+
+def test_while_loop_sum():
+    vm = run_src("""
+        var total = 0;
+        var i = 1;
+        while (i <= 10) { total = total + i; i = i + 1; }
+        emit total;
+    """)
+    assert vm.output == [55]
+
+
+def test_if_else():
+    vm = run_src("""
+        var x = 7;
+        if (x % 2 == 0) { emit "even"; } else { emit "odd"; }
+    """)
+    assert vm.output == ["odd"]
+
+
+def test_functions_with_recursion():
+    vm = run_src("""
+        fun fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        emit fib(12);
+    """)
+    assert vm.output == [144]
+
+
+def test_forward_function_reference():
+    vm = run_src("""
+        emit double(21);
+        fun double(x) { return x * 2; }
+    """)
+    assert vm.output == [42]
+
+
+def test_lists_index_push_len():
+    vm = run_src("""
+        var xs = [1, 2, 3];
+        push(xs, 10);
+        xs[0] = 99;
+        emit xs[0] + xs[3];
+        emit len(xs);
+    """)
+    assert vm.output == [109, 4]
+
+
+def test_boolean_short_circuit():
+    # Division by zero on the right side must not execute.
+    vm = run_src("var x = 0; emit x != 0 and 1 / x; emit x == 0 or 1 / x;")
+    assert vm.output == [0, 1]
+
+
+def test_comments_and_strings():
+    vm = run_src('# header comment\nemit "hello world"; # trailing\n')
+    assert vm.output == ["hello world"]
+
+
+def test_nested_function_calls():
+    vm = run_src("""
+        fun add(a, b) { return a + b; }
+        fun mul(a, b) { return a * b; }
+        emit add(mul(2, 3), mul(4, 5));
+    """)
+    assert vm.output == [26]
+
+
+def test_locals_shadow_globals():
+    vm = run_src("""
+        var x = 1;
+        fun f(x) { x = x + 100; return x; }
+        emit f(5);
+        emit x;
+    """)
+    assert vm.output == [105, 1]
+
+
+def test_step_quota_enforced():
+    with pytest.raises(VmQuotaError, match="step quota"):
+        run_src("var i = 0; while (1) { i = i + 1; }", max_steps=10_000)
+
+
+def test_memory_quota_enforced():
+    with pytest.raises(VmQuotaError, match="memory quota"):
+        run_src(
+            "var xs = []; var i = 0; while (i < 100000) { push(xs, i); i = i + 1; }",
+            max_cells=500,
+        )
+
+
+def test_runtime_errors():
+    with pytest.raises(VmError, match="undefined variable"):
+        run_src("emit nope;")
+    with pytest.raises(VmError, match="DIV failed"):
+        run_src("emit 1 / 0;")
+    with pytest.raises(VmError, match="index failed"):
+        run_src("var xs = [1]; emit xs[5];")
+
+
+def test_compile_errors():
+    with pytest.raises(CompileError, match="takes 1 args, got 2"):
+        compile_source("fun f(a) { return a; } emit f(1, 2);")
+    with pytest.raises(CompileError):
+        compile_source("var x = ;")
+    with pytest.raises(CompileError, match="bad character"):
+        compile_source("emit 1 ~ 2;")
+
+
+def test_syscall_gating():
+    code = compile_source("emit now();")
+    vm = SnipeVM(code, syscalls={"now": lambda: 123.0})
+    vm.run()
+    assert vm.output == [123.0]
+    vm2 = SnipeVM(code, syscalls={})
+    with pytest.raises(VmError, match="denied or unknown"):
+        vm2.run()
+
+
+def test_snapshot_restore_identical_result():
+    source = """
+        fun square(x) { return x * x; }
+        var acc = 0;
+        var i = 0;
+        while (i < 50) { acc = acc + square(i); i = i + 1; }
+        emit acc;
+    """
+    code = compile_source(source)
+    straight = SnipeVM(code)
+    straight.run()
+
+    chopped = SnipeVM(code)
+    while not chopped.run(max_slice=7):
+        snap = chopped.snapshot()
+        chopped = SnipeVM(code)
+        chopped.restore(snap)
+    assert chopped.output == straight.output
+    assert chopped.steps == straight.steps
+
+
+def test_snapshot_preserves_aliasing():
+    """A list shared between a local and a global survives checkpointing."""
+    source = """
+        var shared = [0];
+        fun bump(xs) { xs[0] = xs[0] + 1; return 0; }
+        var i = 0;
+        while (i < 20) { bump(shared); i = i + 1; }
+        emit shared[0];
+    """
+    code = compile_source(source)
+    vm = SnipeVM(code)
+    while not vm.run(max_slice=3):
+        snap = vm.snapshot()
+        vm = SnipeVM(code)
+        vm.restore(snap)
+    assert vm.output == [20]
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=97))
+def test_vm_slicing_never_changes_results(n, slice_size):
+    """Property: any slicing schedule yields the straight-run output."""
+    source = f"""
+        var xs = [];
+        var i = 0;
+        while (i < {n}) {{ push(xs, i * i % 7); i = i + 1; }}
+        emit len(xs);
+        emit xs;
+    """
+    code = compile_source(source)
+    straight = SnipeVM(code)
+    straight.run()
+    sliced = SnipeVM(code)
+    while not sliced.run(max_slice=slice_size):
+        snap = sliced.snapshot()
+        sliced = SnipeVM(code)
+        sliced.restore(snap)
+    assert sliced.output == straight.output
+
+
+@settings(max_examples=20)
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_compiled_arithmetic_matches_python(a, b):
+    vm = run_src(f"emit {a} + {b}; emit {a} * {b}; emit {a} - {b};")
+    assert vm.output == [a + b, a * b, a - b]

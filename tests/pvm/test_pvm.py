@@ -1,0 +1,204 @@
+"""Tests for the PVM baseline — including the §2.2 failure modes."""
+
+import pytest
+
+from repro.pvm import PvmError, Pvmd
+
+from ..transport.conftest import make_lan
+
+
+def pvm_site(n_hosts=4, seed=0, programs=None):
+    sim, topo, hosts = make_lan(n_hosts=n_hosts, seed=seed)
+    programs = programs or {}
+    master = Pvmd(hosts[0], programs)
+    slaves = [Pvmd(h, programs, master_host="h0") for h in hosts[1:]]
+
+    def boot(sim):
+        for s in slaves:
+            yield s.join()
+
+    sim.run(until=sim.process(boot(sim)))
+    return sim, topo, hosts, master, slaves
+
+
+def run_gen(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_slaves_join_and_tables_agree():
+    sim, topo, hosts, master, slaves = pvm_site()
+    sim.run(until=sim.now + 1.0)
+    assert master.host_table == {0: "h0", 1: "h1", 2: "h2", 3: "h3"}
+    for s in slaves:
+        assert s.host_table == master.host_table
+    assert not master.vm_corrupt
+
+
+def test_spawn_round_robin_across_hosts():
+    done = []
+
+    def worker(ctx, n=0):
+        yield ctx.compute(0.01)
+        done.append((ctx.host.name, ctx.tid))
+
+    sim, topo, hosts, master, slaves = pvm_site(programs={"worker": worker})
+
+    def go(sim):
+        tids = yield master.spawn("worker", n=4)
+        return tids
+
+    tids = run_gen(sim, go(sim))
+    sim.run(until=sim.now + 2.0)
+    assert len(tids) == 4
+    assert {h for h, _ in done} == {"h0", "h1", "h2", "h3"}
+
+
+def test_message_passing_via_pvmds():
+    result = {}
+
+    def receiver(ctx):
+        env = yield ctx.recv(tag="data")
+        result["got"] = (env.payload, env.src_tid)
+
+    def sender(ctx, dst):
+        yield ctx.send(dst, {"x": 1}, tag="data")
+
+    sim, topo, hosts, master, slaves = pvm_site(
+        programs={"receiver": receiver, "sender": sender}
+    )
+    rtid = slaves[0].spawn_local("receiver", {})
+    stid = slaves[1].spawn_local("sender", {"dst": rtid})
+    sim.run(until=sim.now + 5.0)
+    assert result["got"] == ({"x": 1}, stid)
+    # The message was relayed: the receiver's pvmd served a route RPC.
+    assert slaves[0].rpc.requests_served >= 1
+
+
+def test_master_failure_breaks_spawn():
+    """§2.2: PVM 'cannot tolerate failure of its master host'."""
+
+    def worker(ctx):
+        yield ctx.compute(0.01)
+
+    sim, topo, hosts, master, slaves = pvm_site(programs={"worker": worker})
+    hosts[0].crash()
+
+    def go(sim):
+        try:
+            yield slaves[0].spawn("worker")
+        except PvmError as exc:
+            return str(exc)
+        return "ok"
+
+    assert "master unreachable" in run_gen(sim, go(sim))
+
+
+def test_slave_failure_tolerated():
+    done = []
+
+    def worker(ctx):
+        yield ctx.compute(0.01)
+        done.append(ctx.host.name)
+
+    sim, topo, hosts, master, slaves = pvm_site(programs={"worker": worker})
+    hosts[2].crash()
+
+    def go(sim):
+        return (yield master.spawn("worker", n=4))
+
+    tids = run_gen(sim, go(sim))
+    sim.run(until=sim.now + 5.0)
+    # One placement (the dead h2) was dropped; the rest ran.
+    assert len(tids) == 3
+    assert "h2" not in done
+
+
+def test_link_failure_during_host_table_update_corrupts_vm():
+    """§2.2: 'It also cannot tolerate link failures during host table
+    updates.'"""
+
+    sim, topo, hosts, master, slaves = pvm_site()
+    # h1 silently drops off the network; the master doesn't know.
+    hosts[1].crash()
+    late = Pvmd(topo.add_host("h9"), {}, master_host="h0")
+    topo.connect(topo.hosts["h9"], topo.segments["lan"])
+
+    def go(sim):
+        yield late.join()
+
+    run_gen(sim, go(sim))
+    assert master.vm_corrupt  # broadcast to h1 failed mid-update
+    # The recovered h1 now has a stale table: tids on h9 are unroutable.
+    hosts[1].recover()
+    assert 4 not in slaves[0].host_table  # h9's index never arrived
+
+
+def test_no_global_namespace():
+    """Task ids are meaningless outside their VM: routing an alien tid
+    fails (contrast: SNIPE URNs resolve anywhere)."""
+    sim, topo, hosts, master, slaves = pvm_site()
+    alien_tid = (99 << 18) | 1
+
+    def go(sim):
+        try:
+            yield slaves[0].route(alien_tid, None)
+        except PvmError as exc:
+            return str(exc)
+
+    assert "not in my table" in run_gen(sim, go(sim))
+
+
+def test_putinfo_getinfo_registry():
+    """The master's 'global registration of well-known services'."""
+    sim, topo, hosts, master, slaves = pvm_site()
+
+    def go(sim):
+        yield slaves[0].putinfo("my-service", {"tids": [1, 2]})
+        got = yield slaves[2].getinfo("my-service")
+        return got
+
+    assert run_gen(sim, go(sim)) == {"tids": [1, 2]}
+
+
+def test_getinfo_unknown_key_errors():
+    sim, topo, hosts, master, slaves = pvm_site()
+    from repro.rpc import RpcError
+
+    def go(sim):
+        try:
+            yield slaves[0].getinfo("nothing")
+        except RpcError as exc:
+            return str(exc)
+
+    assert "no info" in run_gen(sim, go(sim))
+
+
+def test_registry_dies_with_master():
+    """Unlike RC metadata, the PVM registry is a single point of failure."""
+    sim, topo, hosts, master, slaves = pvm_site()
+    from repro.rpc import RpcError
+
+    def go(sim):
+        yield slaves[0].putinfo("svc", 1)
+        hosts[0].crash()
+        try:
+            yield slaves[1].getinfo("svc")
+        except RpcError:
+            return "gone"
+
+    assert run_gen(sim, go(sim)) == "gone"
+
+
+def test_enroll_gives_addressable_tid():
+    """PVMPI's trick: external processes join the tid space."""
+    sim, topo, hosts, master, slaves = pvm_site()
+    tid, ctx = slaves[0].enroll()
+    tid2, ctx2 = slaves[1].enroll()
+    assert tid >> 18 == 1 and tid2 >> 18 == 2  # host indices
+
+    def go(sim):
+        yield ctx.send(tid2, "cross-host", tag="t")
+        env = yield ctx2.recv(tag="t")
+        return env.payload, env.src_tid
+
+    assert run_gen(sim, go(sim)) == ("cross-host", tid)

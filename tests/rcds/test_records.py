@@ -1,0 +1,140 @@
+"""Unit + property tests for the replicated assertion store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rcds.records import RCStore
+
+
+def test_local_update_and_lookup():
+    s = RCStore("a")
+    s.local_update("urn:x", {"cpu": 4, "os": "unix"}, wall=1.0)
+    got = s.lookup("urn:x")
+    assert got["cpu"]["value"] == 4
+    assert got["os"]["wall"] == 1.0
+
+
+def test_overwrite_takes_latest():
+    s = RCStore("a")
+    s.local_update("urn:x", {"v": 1}, wall=1.0)
+    s.local_update("urn:x", {"v": 2}, wall=2.0)
+    assert s.get("urn:x", "v") == 2
+
+
+def test_delete_tombstones():
+    s = RCStore("a")
+    s.local_update("urn:x", {"v": 1, "w": 2}, wall=1.0)
+    s.local_delete("urn:x", ["v"], wall=2.0)
+    assert s.get("urn:x", "v") is None
+    assert s.get("urn:x", "w") == 2
+
+
+def test_delete_all_keys():
+    s = RCStore("a")
+    s.local_update("urn:x", {"v": 1, "w": 2}, wall=1.0)
+    s.local_delete("urn:x", None, wall=2.0)
+    assert s.lookup("urn:x") == {}
+    assert "urn:x" not in s.query("urn:")
+
+
+def test_query_prefix():
+    s = RCStore("a")
+    s.local_update("urn:snipe:proc:p1", {"v": 1}, wall=1.0)
+    s.local_update("urn:snipe:proc:p2", {"v": 1}, wall=1.0)
+    s.local_update("snipe://h/", {"v": 1}, wall=1.0)
+    assert s.query("urn:snipe:proc:") == ["urn:snipe:proc:p1", "urn:snipe:proc:p2"]
+
+
+def test_sync_transfers_exactly_missing():
+    a, b = RCStore("a"), RCStore("b")
+    a.local_update("urn:x", {"v": 1}, wall=1.0)
+    missing = a.missing_for(b.digest())
+    assert len(missing) == 1
+    b.apply_remote(missing)
+    assert b.get("urn:x", "v") == 1
+    # Nothing more to ship in either direction.
+    assert a.missing_for(b.digest()) == []
+    assert b.missing_for(a.digest()) == []
+
+
+def test_concurrent_writes_converge_to_same_winner():
+    a, b = RCStore("a"), RCStore("b")
+    a.local_update("urn:x", {"v": "from-a"}, wall=1.0)
+    b.local_update("urn:x", {"v": "from-b"}, wall=1.0)
+    # Exchange both ways.
+    b.apply_remote(a.missing_for(b.digest()))
+    a.apply_remote(b.missing_for(a.digest()))
+    assert a.get("urn:x", "v") == b.get("urn:x", "v")
+    # Equal lamport clocks: origin id breaks the tie ('b' > 'a').
+    assert a.get("urn:x", "v") == "from-b"
+
+
+def test_later_lamport_wins_regardless_of_apply_order():
+    a, b = RCStore("a"), RCStore("b")
+    a.local_update("urn:x", {"v": 1}, wall=1.0)
+    b.apply_remote(a.missing_for(b.digest()))
+    b.local_update("urn:x", {"v": 2}, wall=2.0)  # causally after a's write
+    a.apply_remote(b.missing_for(a.digest()))
+    assert a.get("urn:x", "v") == 2
+    assert b.get("urn:x", "v") == 2
+
+
+def test_transitive_propagation_through_intermediary():
+    """a -> b -> c: c learns a's records it never saw directly."""
+    a, b, c = RCStore("a"), RCStore("b"), RCStore("c")
+    a.local_update("urn:x", {"v": 1}, wall=1.0)
+    b.apply_remote(a.missing_for(b.digest()))
+    c.apply_remote(b.missing_for(c.digest()))
+    assert c.get("urn:x", "v") == 1
+
+
+def test_apply_remote_idempotent():
+    a, b = RCStore("a"), RCStore("b")
+    a.local_update("urn:x", {"v": 1}, wall=1.0)
+    recs = a.missing_for(b.digest())
+    assert b.apply_remote(recs) == 1
+    assert b.apply_remote(recs) == 0
+    assert b.get("urn:x", "v") == 1
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # which replica writes
+            st.sampled_from(["u1", "u2"]),  # uri
+            st.sampled_from(["k1", "k2"]),  # key
+            st.integers(),  # value
+        ),
+        max_size=30,
+    )
+)
+def test_full_exchange_converges(ops):
+    """Any write sequence + full pairwise sync ⇒ identical snapshots."""
+    stores = [RCStore(f"s{i}") for i in range(3)]
+    for t, (who, uri, key, value) in enumerate(ops):
+        stores[who].local_update(uri, {key: value}, wall=float(t))
+    # Two full rounds of pairwise push guarantee transitive closure.
+    for _round in range(2):
+        for src in stores:
+            for dst in stores:
+                if src is not dst:
+                    dst.apply_remote(src.missing_for(dst.digest()))
+    snaps = [s.snapshot() for s in stores]
+    assert snaps[0] == snaps[1] == snaps[2]
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.integers(0, 1), st.booleans(), st.integers()), max_size=20))
+def test_updates_and_deletes_converge(ops):
+    stores = [RCStore("a"), RCStore("b")]
+    for t, (who, is_delete, value) in enumerate(ops):
+        if is_delete:
+            stores[who].local_delete("u", ["k"], wall=float(t))
+        else:
+            stores[who].local_update("u", {"k": value}, wall=float(t))
+    for _round in range(2):
+        stores[1].apply_remote(stores[0].missing_for(stores[1].digest()))
+        stores[0].apply_remote(stores[1].missing_for(stores[0].digest()))
+    assert stores[0].snapshot() == stores[1].snapshot()
+    assert stores[0].get("u", "k") == stores[1].get("u", "k")

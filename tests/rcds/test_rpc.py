@@ -1,0 +1,163 @@
+"""Unit tests for the RPC layer."""
+
+import pytest
+
+from repro.rpc import RpcClient, RpcError, RpcServer
+
+from ..transport.conftest import make_lan
+
+
+def test_basic_call():
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000)
+    server.register("add", lambda args: args["x"] + args["y"])
+    client = RpcClient(a)
+
+    def go(sim):
+        result = yield client.call("h1", 9000, "add", x=2, y=3)
+        return result
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) == 5
+
+
+def test_unknown_method_is_error():
+    sim, topo, (a, b) = make_lan()
+    RpcServer(b, 9000)
+    client = RpcClient(a)
+
+    def go(sim):
+        try:
+            yield client.call("h1", 9000, "nope")
+        except RpcError as exc:
+            return str(exc)
+
+    p = sim.process(go(sim))
+    assert "no method" in sim.run(until=p)
+
+
+def test_handler_exception_becomes_error_response():
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000)
+
+    def boom(args):
+        raise ValueError("kaput")
+
+    server.register("boom", boom)
+    client = RpcClient(a)
+
+    def go(sim):
+        with pytest.raises(RpcError, match="kaput"):
+            yield client.call("h1", 9000, "boom")
+        return "done"
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) == "done"
+
+
+def test_generator_handler_can_wait():
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000)
+
+    def slow(args):
+        yield b.sim.timeout(0.5)
+        return "slept"
+
+    server.register("slow", slow)
+    client = RpcClient(a)
+
+    def go(sim):
+        result = yield client.call("h1", 9000, "slow")
+        return (result, sim.now)
+
+    p = sim.process(go(sim))
+    result, t = sim.run(until=p)
+    assert result == "slept"
+    assert t >= 0.5
+
+
+def test_call_to_dead_host_raises():
+    sim, topo, (a, b) = make_lan()
+    RpcServer(b, 9000)
+    b.crash()
+    client = RpcClient(a)
+
+    def go(sim):
+        try:
+            yield client.call("h1", 9000, "x", timeout=0.5)
+        except RpcError:
+            return "error"
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) == "error"
+
+
+def test_hmac_auth_rejects_wrong_secret():
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000, secret=b"right")
+    server.register("op", lambda args: "ok")
+    good = RpcClient(a, secret=b"right")
+    bad = RpcClient(a, secret=b"wrong")
+
+    def go(sim):
+        ok = yield good.call("h1", 9000, "op")
+        try:
+            yield bad.call("h1", 9000, "op")
+            denied = False
+        except RpcError as exc:
+            denied = "auth" in str(exc)
+        return ok, denied
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) == ("ok", True)
+    assert server.auth_failures == 1
+
+
+def test_unauthenticated_request_rejected_when_secret_set():
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000, secret=b"s")
+    server.register("op", lambda args: "ok")
+    noauth = RpcClient(a)  # sends no tag at all
+
+    def go(sim):
+        try:
+            yield noauth.call("h1", 9000, "op")
+        except RpcError:
+            return "denied"
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) == "denied"
+
+
+def test_concurrent_calls_matched_by_request_id():
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000)
+    server.register("echo", lambda args: args["v"])
+    client = RpcClient(a)
+
+    def go(sim):
+        calls = [client.call("h1", 9000, "echo", v=i) for i in range(10)]
+        got = yield sim.all_of(calls)
+        return sorted(got.values())
+
+    p = sim.process(go(sim))
+    assert sim.run(until=p) == list(range(10))
+
+
+def test_service_time_serialises_requests():
+    """A server with service_time handles requests one at a time."""
+    sim, topo, (a, b) = make_lan()
+    server = RpcServer(b, 9000, service_time=0.1)
+    server.register("tick", lambda args: sim.now)
+    client = RpcClient(a)
+
+    def go(sim):
+        calls = [client.call("h1", 9000, "tick") for _ in range(3)]
+        got = yield sim.all_of(calls)
+        return sorted(got.values())
+
+    p = sim.process(go(sim))
+    times = sim.run(until=p)
+    # Each response is ~0.1s after the previous: the queue is serial.
+    assert times[1] - times[0] == pytest.approx(0.1, abs=0.02)
+    assert times[2] - times[1] == pytest.approx(0.1, abs=0.02)

@@ -1,0 +1,36 @@
+"""Unit tests for the naming helpers."""
+
+from repro.rcds import uri
+
+
+def test_constructors():
+    assert uri.host_url("tux") == "snipe://tux/"
+    assert uri.daemon_url("tux") == "snipe://tux/daemon"
+    assert uri.process_urn("worker.1") == "urn:snipe:proc:worker.1"
+    assert uri.service_urn("rm") == "urn:snipe:svc:rm"
+    assert uri.mcast_urn("feed") == "urn:snipe:mcast:feed"
+    assert uri.user_urn("alice") == "urn:snipe:user:alice"
+    assert uri.lifn_name("data") == "lifn:data"
+    assert uri.file_url("tux", "/a/b") == "file://tux/a/b"
+
+
+def test_scheme_of():
+    assert uri.scheme_of("snipe://h/") == "snipe"
+    assert uri.scheme_of("urn:snipe:proc:x") == "urn"
+    assert uri.scheme_of("lifn:x") == "lifn"
+    assert uri.scheme_of("nocolon") == ""
+
+
+def test_host_of():
+    assert uri.host_of("snipe://tux/") == "tux"
+    assert uri.host_of("snipe://tux/daemon") == "tux"
+    assert uri.host_of("file://nfs1/path/to/file") == "nfs1"
+    assert uri.host_of("urn:snipe:proc:x") is None
+    assert uri.host_of("snipe://") is None
+
+
+def test_urn_kind():
+    assert uri.urn_kind("urn:snipe:proc:worker.1") == ("proc", "worker.1")
+    assert uri.urn_kind("urn:snipe:mcast:a:b") == ("mcast", "a:b")
+    assert uri.urn_kind("snipe://h/") is None
+    assert uri.urn_kind("urn:other:proc:x") is None

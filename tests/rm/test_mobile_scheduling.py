@@ -1,0 +1,61 @@
+"""RM scheduling of mobile code onto playground hosts (§5.8)."""
+
+import random
+
+import pytest
+
+from repro.core import SnipeEnvironment
+from repro.daemon import TaskSpec, TaskState
+from repro.playground import Playground, sign_mobile_code
+from repro.rm.selection import rank_hosts
+from repro.security import TrustPolicy, generate_keypair
+
+SIGNER = "urn:snipe:user:vendor"
+
+
+def test_rank_hosts_requires_playground_for_mobile_code():
+    spec = TaskSpec(program="mobile", mobile_code="x.code")
+    metadata = {
+        "plain": {"arch": {"value": "x86"}, "memory": {"value": 1024}},
+        "sandboxed": {
+            "arch": {"value": "x86"},
+            "memory": {"value": 1024},
+            "playground": {"value": {"languages": ["snipescript"], "quotas": True}},
+        },
+    }
+    assert rank_hosts(spec, metadata) == ["sandboxed"]
+    # Ordinary specs are indifferent to playgrounds.
+    assert set(rank_hosts(TaskSpec(program="p"), metadata)) == {"plain", "sandboxed"}
+
+
+def test_rm_routes_mobile_code_to_playground_hosts():
+    env = SnipeEnvironment.lan_site(n_hosts=5, n_rc=3, n_rm=1, n_fs=1, seed=9)
+    keys = generate_keypair(random.Random(5))
+    trust = TrustPolicy()
+    trust.pin_key(SIGNER, keys.public)
+    trust.trust(SIGNER, "sign-code")
+    # Playgrounds only on h3 and h4.
+    for name in ("h3", "h4"):
+        Playground(env.daemons[name], trust, grants={SIGNER: set()})
+    env.settle(3.0)
+
+    fc = env.file_client("h0")
+    bundle = sign_mobile_code("emit 7;", SIGNER, keys, ())
+
+    def publish(sim):
+        yield fc.write("agent.code", bundle, 1_000)
+
+    env.run(until=env.sim.process(publish(env.sim)))
+    rmc = env.rm_client("h1")
+
+    def request(sim):
+        return (
+            yield rmc.request(TaskSpec(program="mobile", mobile_code="agent.code"))
+        )
+
+    result = env.run(until=env.sim.process(request(env.sim)))
+    assert result["host"] in ("h3", "h4")  # never a playground-less host
+    env.run(until=env.sim.now + 30.0)
+    host = result["host"]
+    assert env.daemons[host].tasks[result["urn"]].state == TaskState.EXITED
+    assert env.daemons[host].tasks[result["urn"]].exit_value == [7]

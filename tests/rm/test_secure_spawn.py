@@ -1,0 +1,143 @@
+"""End-to-end tests of the §4 secure-spawn flow."""
+
+import random
+
+import pytest
+
+from repro.daemon import TaskSpec, TaskState
+from repro.rcds import uri as uri_mod
+from repro.rm import ResourceManager
+from repro.rm.secure import SecureSpawner, require_spawn_authorization
+from repro.rpc import RpcClient, RpcError
+from repro.security import generate_keypair, issue_attestation, issue_grant
+
+from ..daemon.conftest import make_site
+from ..rm.test_rm import programs_with_worker
+
+RM_URN = "urn:snipe:svc:rm"
+USER = "urn:snipe:user:alice"
+
+
+def secure_site(use_sessions=False, seed=0):
+    (sim, topo, hosts, daemons, clients) = make_site(
+        n_hosts=4, seed=seed, programs=programs_with_worker()
+    )
+    rng = random.Random(321)
+    rm_keys = generate_keypair(rng)
+    user_keys = generate_keypair(rng)
+    host_keys = {uri_mod.host_url(h.name): generate_keypair(rng) for h in hosts}
+    rm = ResourceManager(hosts[0], clients[0])
+    spawner = SecureSpawner(
+        rm, RM_URN, rm_keys,
+        user_keys={USER: user_keys.public},
+        host_keys={url: kp.public for url, kp in host_keys.items()},
+        permissions={USER: {"cpu", "memory"}},
+        use_sessions=use_sessions,
+    )
+    for daemon in daemons:
+        require_spawn_authorization(daemon, RM_URN, rm_keys.public)
+    sim.run(until=3.0)
+    return sim, hosts, daemons, rm, spawner, user_keys, host_keys
+
+
+def request(sim, rm, spec, grant, attestation, client_host):
+    client = RpcClient(client_host)
+    p = client.call(rm.host.name, rm.port, "rm.secure_request",
+                    spec=spec, grant=grant, attestation=attestation)
+    return sim.run(until=p)
+
+
+def make_credentials(user_keys, host_keys, host="h2", process="urn:snipe:proc:sim.1",
+                     resources=("cpu",)):
+    host_url = uri_mod.host_url(host)
+    grant = issue_grant(USER, user_keys, process, host_url, tuple(resources))
+    att = issue_attestation(host_url, host_keys[host_url], process, tuple(resources))
+    return grant, att
+
+
+def test_authorized_spawn_succeeds():
+    sim, hosts, daemons, rm, spawner, user_keys, host_keys = secure_site()
+    grant, att = make_credentials(user_keys, host_keys)
+    result = request(sim, rm, TaskSpec(program="worker", params={"rounds": 1}),
+                     grant, att, hosts[3])
+    assert result["urn"] == "urn:snipe:proc:sim.1"
+    sim.run(until=sim.now + 5.0)
+    assert daemons[2].tasks["urn:snipe:proc:sim.1"].state == TaskState.EXITED
+    assert spawner.signatures_issued == 1
+
+
+def test_unauthorized_direct_spawn_refused():
+    sim, hosts, daemons, rm, spawner, user_keys, host_keys = secure_site()
+    client = RpcClient(hosts[3])
+    with pytest.raises(RpcError, match="requires a resource authorization"):
+        sim.run(until=client.call("h2", 3500, "daemon.spawn",
+                                  spec=TaskSpec(program="worker")))
+    assert daemons[2].spawn_denials == 1
+
+
+def test_forged_grant_denied_at_rm():
+    sim, hosts, daemons, rm, spawner, user_keys, host_keys = secure_site()
+    mallory = generate_keypair(random.Random(666))
+    grant, att = make_credentials(mallory, host_keys)  # wrong user key
+    with pytest.raises(RpcError, match="grant signature"):
+        request(sim, rm, TaskSpec(program="worker"), grant, att, hosts[3])
+    assert spawner.denials == 1
+
+
+def test_ungraned_resources_denied():
+    sim, hosts, daemons, rm, spawner, user_keys, host_keys = secure_site()
+    grant, att = make_credentials(user_keys, host_keys, resources=("cpu", "raw-disk"))
+    with pytest.raises(RpcError, match="lacks permission"):
+        request(sim, rm, TaskSpec(program="worker"), grant, att, hosts[3])
+
+
+def test_authorization_not_transferable_to_other_host():
+    """An authorization for h2 must not spawn on h1."""
+    sim, hosts, daemons, rm, spawner, user_keys, host_keys = secure_site()
+    grant, att = make_credentials(user_keys, host_keys, host="h2")
+    # A direct attempt to replay the spawn against h1's daemon:
+    from repro.security.authz import authorize
+    from repro.security.trust import TrustPolicy
+
+    auth = authorize(RM_URN, spawner.manager_keys, TrustPolicy(), grant, att,
+                     user_keys.public,
+                     host_keys[uri_mod.host_url("h2")].public,
+                     {"cpu", "memory"})
+    client = RpcClient(hosts[3])
+    spec = TaskSpec(program="worker", urn_override=grant.process)
+    with pytest.raises(RpcError, match="different host"):
+        sim.run(until=client.call("h1", 3500, "daemon.spawn",
+                                  spec=spec, authorization=auth))
+
+
+def test_session_mode_avoids_per_request_signatures():
+    """§4: over an authenticated connection, authorizations travel
+    without signatures — and tampering is still detected."""
+    sim, hosts, daemons, rm, spawner, user_keys, host_keys = secure_site(
+        use_sessions=True
+    )
+    for i in range(3):
+        grant, att = make_credentials(
+            user_keys, host_keys, process=f"urn:snipe:proc:sess.{i}"
+        )
+        result = request(sim, rm, TaskSpec(program="worker", params={"rounds": 1}),
+                         grant, att, hosts[3])
+        assert result["urn"] == f"urn:snipe:proc:sess.{i}"
+    # RSA signatures were only used on the RM's own issued statements
+    # (one per request, counted), but none crossed the wire — the daemon
+    # accepted MAC-sealed bodies over the session.
+    assert spawner.signatures_issued == 3
+    assert len(spawner._sessions) == 1  # one handshake, reused
+    # Replaying an old sealed message is rejected (sequence check).
+    channel = spawner._sessions["h2"]
+    stale = channel.seal({"manager": RM_URN, "process": "urn:snipe:proc:evil",
+                          "host": uri_mod.host_url("h2"), "resources": []})
+    client = RpcClient(hosts[3])
+    spec = TaskSpec(program="worker", urn_override="urn:snipe:proc:evil")
+    # Deliver it twice: first consumes the sequence number, second replays.
+    tampered = dict(stale)
+    tampered["body"] = {"manager": RM_URN, "process": "urn:snipe:proc:evil2",
+                        "host": uri_mod.host_url("h2"), "resources": ["root"]}
+    with pytest.raises(RpcError, match="rejected"):
+        sim.run(until=client.call("h2", 3500, "daemon.spawn",
+                                  spec=spec, sealed_authorization=tampered))

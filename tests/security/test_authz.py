@@ -1,0 +1,157 @@
+"""Unit tests for certificates, trust policies, and the two-certificate
+resource-access protocol of §4."""
+
+import random
+
+import pytest
+
+from repro.security import (
+    AuthorizationError,
+    TrustPolicy,
+    generate_keypair,
+    issue_attestation,
+    issue_grant,
+    make_certificate,
+    verify,
+    verify_certificate,
+)
+from repro.security.authz import authorize
+
+
+@pytest.fixture
+def principals():
+    rng = random.Random(99)
+    return {
+        name: generate_keypair(rng)
+        for name in ("rm", "user", "host", "mallory")
+    }
+
+
+def test_certificate_roundtrip(principals):
+    cert = make_certificate(
+        "urn:snipe:svc:rm", principals["rm"], "urn:snipe:user:alice",
+        principals["user"].public, {"realm": "utk.edu"},
+    )
+    assert verify_certificate(cert, principals["rm"].public)
+    assert cert.subject_key == principals["user"].public
+    assert cert.assertions["realm"] == "utk.edu"
+
+
+def test_certificate_tamper_detected(principals):
+    cert = make_certificate(
+        "urn:snipe:svc:rm", principals["rm"], "urn:snipe:user:alice",
+        principals["user"].public,
+    )
+    forged = type(cert)(
+        subject="urn:snipe:user:mallory",
+        assertions=cert.assertions,
+        issuer=cert.issuer,
+        issuer_fingerprint=cert.issuer_fingerprint,
+        signature=cert.signature,
+    )
+    assert not verify_certificate(forged, principals["rm"].public)
+
+
+def test_trust_policy_purpose_scoping(principals):
+    policy = TrustPolicy()
+    policy.pin_key("urn:snipe:svc:rm", principals["rm"].public)
+    policy.trust("urn:snipe:svc:rm", "certify-user")
+    cert = make_certificate(
+        "urn:snipe:svc:rm", principals["rm"], "urn:snipe:user:alice",
+        principals["user"].public,
+    )
+    assert policy.validate_certificate(cert, "certify-user")
+    # Same issuer, untrusted purpose.
+    assert not policy.validate_certificate(cert, "sign-code")
+
+
+def test_trust_revocation(principals):
+    policy = TrustPolicy()
+    policy.pin_key("urn:snipe:svc:rm", principals["rm"].public)
+    policy.trust("urn:snipe:svc:rm", "certify-user")
+    cert = make_certificate(
+        "urn:snipe:svc:rm", principals["rm"], "u", principals["user"].public
+    )
+    assert policy.validate_certificate(cert, "certify-user")
+    policy.revoke("urn:snipe:svc:rm")
+    assert not policy.validate_certificate(cert, "certify-user")
+
+
+def test_untrusted_issuer_rejected(principals):
+    policy = TrustPolicy()
+    policy.pin_key("urn:snipe:svc:mallory", principals["mallory"].public)
+    # mallory's key is pinned but never trusted for any purpose.
+    cert = make_certificate(
+        "urn:snipe:svc:mallory", principals["mallory"], "u", principals["user"].public
+    )
+    assert not policy.validate_certificate(cert, "certify-user")
+
+
+def _setup(principals):
+    grant = issue_grant(
+        "urn:snipe:user:alice", principals["user"], "urn:snipe:proc:p1",
+        "snipe://node1/", ("cpu", "disk"),
+    )
+    att = issue_attestation(
+        "snipe://node1/", principals["host"], "urn:snipe:proc:p1", ("cpu", "disk")
+    )
+    return grant, att
+
+
+def test_two_certificate_authorization_succeeds(principals):
+    grant, att = _setup(principals)
+    auth = authorize(
+        "urn:snipe:svc:rm", principals["rm"], TrustPolicy(), grant, att,
+        principals["user"].public, principals["host"].public,
+        permitted_resources={"cpu", "disk", "net"},
+    )
+    assert auth.process == "urn:snipe:proc:p1"
+    assert verify(principals["rm"].public, auth.body(), auth.signature)
+
+
+def test_forged_grant_rejected(principals):
+    grant, att = _setup(principals)
+    with pytest.raises(AuthorizationError, match="grant signature"):
+        authorize(
+            "rm", principals["rm"], TrustPolicy(), grant, att,
+            principals["mallory"].public,  # wrong user key
+            principals["host"].public,
+            permitted_resources={"cpu", "disk"},
+        )
+
+
+def test_mismatched_process_rejected(principals):
+    grant, _ = _setup(principals)
+    att = issue_attestation(
+        "snipe://node1/", principals["host"], "urn:snipe:proc:OTHER", ("cpu", "disk")
+    )
+    with pytest.raises(AuthorizationError, match="disagree on process"):
+        authorize(
+            "rm", principals["rm"], TrustPolicy(), grant, att,
+            principals["user"].public, principals["host"].public,
+            permitted_resources={"cpu", "disk"},
+        )
+
+
+def test_host_cannot_inflate_resources(principals):
+    grant, _ = _setup(principals)
+    att = issue_attestation(
+        "snipe://node1/", principals["host"], "urn:snipe:proc:p1",
+        ("cpu", "disk", "root-fs"),
+    )
+    with pytest.raises(AuthorizationError, match="never granted"):
+        authorize(
+            "rm", principals["rm"], TrustPolicy(), grant, att,
+            principals["user"].public, principals["host"].public,
+            permitted_resources={"cpu", "disk", "root-fs"},
+        )
+
+
+def test_permission_check_enforced(principals):
+    grant, att = _setup(principals)
+    with pytest.raises(AuthorizationError, match="lacks permission"):
+        authorize(
+            "rm", principals["rm"], TrustPolicy(), grant, att,
+            principals["user"].public, principals["host"].public,
+            permitted_resources={"cpu"},  # disk not permitted
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for authenticated session channels (hijack detection)."""
+
+import random
+
+import pytest
+
+from repro.security import ChannelError, SecureChannel
+from repro.security.channels import handshake
+
+
+def pair(seed_a=1, seed_b=2):
+    return handshake(random.Random(seed_a), random.Random(seed_b))
+
+
+def test_seal_open_roundtrip():
+    a, b = pair()
+    sealed = a.seal({"authz": "grant-123"})
+    assert b.open(sealed) == {"authz": "grant-123"}
+
+
+def test_bidirectional_sequences_independent():
+    a, b = pair()
+    assert b.open(a.seal("a1")) == "a1"
+    assert a.open(b.seal("b1")) == "b1"
+    assert b.open(a.seal("a2")) == "a2"
+
+
+def test_tampered_body_detected():
+    a, b = pair()
+    sealed = a.seal({"amount": 10})
+    sealed["body"] = {"amount": 10_000}
+    with pytest.raises(ChannelError, match="MAC"):
+        b.open(sealed)
+
+
+def test_replay_detected():
+    a, b = pair()
+    sealed = a.seal("once")
+    b.open(sealed)
+    with pytest.raises(ChannelError, match="sequence"):
+        b.open(sealed)
+
+
+def test_injection_without_key_detected():
+    a, b = pair()
+    mallory = SecureChannel(random.Random(666))
+    mallory.establish(b.public)  # wrong shared secret: b used a's public
+    with pytest.raises(ChannelError):
+        b.open(mallory.seal("evil"))
+
+
+def test_reordering_detected():
+    a, b = pair()
+    first = a.seal("1")
+    second = a.seal("2")
+    with pytest.raises(ChannelError, match="sequence"):
+        b.open(second)
+    b.open(first)  # still valid in order
+
+
+def test_unestablished_channel_refuses():
+    c = SecureChannel(random.Random(5))
+    with pytest.raises(ChannelError):
+        c.seal("x")
+    with pytest.raises(ChannelError):
+        c.open({"seq": 0, "body": "x", "mac": ""})

@@ -1,0 +1,83 @@
+"""Unit + property tests for RSA keys, hashes, and HMAC."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security import content_hash, generate_keypair, hmac_tag, sign, verify, verify_hmac
+from repro.security.hashes import canonical_bytes
+from repro.security.keys import _is_probable_prime
+
+
+def kp(seed=1):
+    return generate_keypair(random.Random(seed))
+
+
+def test_sign_verify_roundtrip():
+    keys = kp()
+    sig = sign(keys, b"hello snipe")
+    assert verify(keys.public, b"hello snipe", sig)
+
+
+def test_verify_rejects_tampered_message():
+    keys = kp()
+    sig = sign(keys, b"original")
+    assert not verify(keys.public, b"tampered", sig)
+
+
+def test_verify_rejects_wrong_key():
+    sig = sign(kp(1), b"msg")
+    assert not verify(kp(2).public, b"msg", sig)
+
+
+def test_verify_none_key_is_false():
+    assert not verify(None, b"msg", 123)
+
+
+def test_keygen_deterministic_from_rng():
+    assert kp(42) == kp(42)
+    assert kp(42) != kp(43)
+
+
+def test_fingerprint_stable_and_short():
+    keys = kp()
+    assert keys.fingerprint() == keys.public.fingerprint()
+    assert len(keys.fingerprint()) == 16
+
+
+def test_miller_rabin_agrees_on_small_numbers():
+    rng = random.Random(0)
+    primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+    for n in range(2, 50):
+        assert _is_probable_prime(n, rng) == (n in primes)
+
+
+@settings(max_examples=20)
+@given(st.binary(max_size=200))
+def test_sign_verify_any_message(message):
+    keys = kp(7)
+    assert verify(keys.public, message, sign(keys, message))
+
+
+def test_canonical_bytes_dict_order_independent():
+    a = {"x": 1, "y": {"b": 2, "a": 3}}
+    b = {"y": {"a": 3, "b": 2}, "x": 1}
+    assert canonical_bytes(a) == canonical_bytes(b)
+
+
+def test_content_hash_differs_on_change():
+    assert content_hash({"v": 1}) != content_hash({"v": 2})
+
+
+def test_hmac_roundtrip_and_tamper():
+    secret = b"shared"
+    tag = hmac_tag(secret, {"op": "update"})
+    assert verify_hmac(secret, {"op": "update"}, tag)
+    assert not verify_hmac(secret, {"op": "delete"}, tag)
+    assert not verify_hmac(b"wrong", {"op": "update"}, tag)
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+def test_content_hash_deterministic(d):
+    assert content_hash(d) == content_hash(dict(reversed(list(d.items()))))

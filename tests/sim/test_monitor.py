@@ -1,0 +1,92 @@
+"""Unit tests for the instrumentation classes."""
+
+import pytest
+
+from repro.sim import Counter, Probe, Simulator, TimeSeries, TraceMonitor, defuse
+
+
+def test_counter():
+    c = Counter("x")
+    c.incr()
+    c.incr(5)
+    assert c.value == 6
+
+
+def test_timeseries_stats():
+    ts = TimeSeries("bytes")
+    for t, v in [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)]:
+        ts.record(t, v)
+    assert ts.total() == 60.0
+    assert ts.mean() == 20.0
+    assert ts.max() == 30.0
+    assert ts.min() == 10.0
+    assert ts.rate() == pytest.approx(30.0)  # 60 over 2s
+    assert len(ts) == 3
+
+
+def test_timeseries_empty_and_single():
+    ts = TimeSeries("x")
+    assert ts.mean() == 0.0 and ts.rate() == 0.0
+    ts.record(5.0, 1.0)
+    assert ts.rate() == 0.0  # span is zero
+
+
+def test_probe_welford():
+    p = Probe("latency")
+    for v in [2.0, 4.0, 6.0]:
+        p.observe(v)
+    assert p.mean == pytest.approx(4.0)
+    assert p.variance == pytest.approx(4.0)
+    assert (p.min, p.max) == (2.0, 6.0)
+    empty = Probe("e")
+    assert empty.mean == 0.0 and empty.variance == 0.0
+
+
+def test_trace_monitor_registry_and_snapshot():
+    sim = Simulator()
+    mon = TraceMonitor(sim, trace=True)
+    mon.counter("ops").incr(3)
+    mon.probe("rtt").observe(1.5)
+    mon.timeseries("tx").record(0.0, 7.0)
+    # Same name returns the same object.
+    assert mon.counter("ops") is mon.counter("ops")
+    snap = mon.snapshot()
+    assert snap["counter.ops"] == 3.0
+    assert snap["probe.rtt.mean"] == 1.5
+    mon.trace("event", {"x": 1})
+    assert mon.trace_log == [(0.0, "event", {"x": 1})]
+
+
+def test_trace_disabled_records_nothing():
+    mon = TraceMonitor(None, trace=False)
+    mon.trace("ignored")
+    assert mon.trace_log == []
+
+
+def test_defuse_suppresses_background_crash():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("expected failure")
+
+    defuse(sim.process(bad(sim)))
+    sim.run()  # no raise: the failure was observed by the defuse callback
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("child died")
+
+    def waiter(sim, p):
+        try:
+            yield sim.all_of([p, sim.timeout(5)])
+        except ValueError as exc:
+            return str(exc)
+
+    p = sim.process(bad(sim))
+    w = sim.process(waiter(sim, p))
+    assert sim.run(until=w) == "child died"

@@ -1,0 +1,118 @@
+"""Property-based tests for kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Store
+from repro.sim.rng import RngRegistry, _derive_seed
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_events_always_processed_in_nondecreasing_time(delays):
+    """Whatever timeouts are scheduled, observed times never go backwards."""
+    sim = Simulator()
+    observed = []
+
+    def waiter(sim, d):
+        yield sim.timeout(d)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.process(waiter(sim, d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(st.lists(st.integers(), max_size=40))
+def test_store_preserves_order_and_content(items):
+    """A Store is a faithful FIFO: output equals input exactly."""
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def producer(sim, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(sim, store):
+        for _ in range(len(items)):
+            out.append((yield store.get()))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert out == items
+
+
+@given(st.lists(st.integers(), max_size=30), st.integers(min_value=1, max_value=5))
+def test_bounded_store_never_exceeds_capacity(items, cap):
+    sim = Simulator()
+    store = Store(sim, capacity=cap)
+    max_seen = 0
+
+    def producer(sim, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(sim, store):
+        nonlocal max_seen
+        for _ in range(len(items)):
+            max_seen = max(max_seen, len(store))
+            yield store.get()
+            yield sim.timeout(1)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert max_seen <= cap
+
+
+@given(st.integers(), st.text(max_size=20))
+def test_rng_streams_deterministic(seed, name):
+    a = RngRegistry(seed).stream(name).random()
+    b = RngRegistry(seed).stream(name).random()
+    assert a == b
+
+
+@given(st.integers())
+def test_rng_streams_independent(seed):
+    """Draw order in one stream must not affect another."""
+    r1 = RngRegistry(seed)
+    r2 = RngRegistry(seed)
+    # In r1, consume stream "x" heavily before touching "y".
+    for _ in range(100):
+        r1.stream("x").random()
+    y1 = r1.stream("y").random()
+    y2 = r2.stream("y").random()
+    assert y1 == y2
+
+
+@given(st.integers(), st.text(max_size=10), st.text(max_size=10))
+def test_distinct_stream_names_distinct_seeds(seed, a, b):
+    if a == b:
+        return
+    assert _derive_seed(seed, a) != _derive_seed(seed, b)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_whole_simulation_is_seed_deterministic(seed):
+    """Two simulators with the same seed produce identical event traces."""
+
+    def trace_run(seed):
+        sim = Simulator(seed=seed)
+        rng = sim.rng.stream("workload")
+        log = []
+
+        def worker(sim, i):
+            for _ in range(3):
+                yield sim.timeout(rng.expovariate(1.0))
+                log.append((round(sim.now, 12), i))
+
+        for i in range(5):
+            sim.process(worker(sim, i))
+        sim.run()
+        return log
+
+    assert trace_run(seed) == trace_run(seed)

@@ -1,0 +1,38 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_info_lists_packages():
+    result = run_cli("info")
+    assert result.returncode == 0
+    for pkg in ("repro.sim", "repro.transport", "repro.rcds", "repro.mpi"):
+        assert pkg in result.stdout
+
+
+def test_examples_lists_scripts():
+    result = run_cli("examples")
+    assert result.returncode == 0
+    assert "quickstart.py" in result.stdout
+    assert "weather_monitoring.py" in result.stdout
+
+
+def test_no_command_prints_usage():
+    result = run_cli()
+    assert result.returncode == 2
+    assert "usage:" in result.stdout
+
+
+def test_unknown_command_prints_usage():
+    result = run_cli("bogus")
+    assert result.returncode == 2

@@ -1,0 +1,38 @@
+"""Shared fixtures: small topologies for transport tests."""
+
+import pytest
+
+from repro.net import ETHERNET_100, Medium, Topology
+from repro.sim import Simulator
+
+
+def make_lan(loss_rate=0.0, n_hosts=2, medium=None, seed=0):
+    """A single switched LAN with n hosts; returns (sim, topo, hosts)."""
+    if medium is None:
+        medium = Medium(
+            name="lan",
+            bandwidth=ETHERNET_100.bandwidth,
+            latency=ETHERNET_100.latency,
+            mtu=ETHERNET_100.mtu,
+            frame_overhead=ETHERNET_100.frame_overhead,
+            loss_rate=loss_rate,
+        )
+    sim = Simulator(seed=seed)
+    topo = Topology(sim)
+    seg = topo.add_segment("lan", medium)
+    hosts = []
+    for i in range(n_hosts):
+        h = topo.add_host(f"h{i}")
+        topo.connect(h, seg)
+        hosts.append(h)
+    return sim, topo, hosts
+
+
+@pytest.fixture
+def lan():
+    return make_lan()
+
+
+@pytest.fixture
+def lossy_lan():
+    return make_lan(loss_rate=0.05)

@@ -1,0 +1,67 @@
+"""Unit tests for unreliable datagrams."""
+
+from repro.net import Medium
+from repro.transport import DatagramEndpoint
+
+from .conftest import make_lan
+
+
+def test_datagram_roundtrip(lan):
+    sim, topo, (a, b) = lan
+    tx = DatagramEndpoint(a, 4000)
+    rx = DatagramEndpoint(b, 4000)
+    got = []
+
+    def receiver(sim, rx):
+        msg = yield rx.recv()
+        got.append(msg)
+
+    sim.process(receiver(sim, rx))
+    assert tx.send("h1", 4000, "ping", 100)
+    sim.run(until=0.5)
+    assert got[0].payload == "ping"
+    assert got[0].size == 100
+
+
+def test_large_datagram_fragments(lan):
+    sim, topo, (a, b) = lan
+    tx = DatagramEndpoint(a, 4000)
+    rx = DatagramEndpoint(b, 4000)
+    got = []
+
+    def receiver(sim, rx):
+        msg = yield rx.recv()
+        got.append(msg.size)
+
+    sim.process(receiver(sim, rx))
+    tx.send("h1", 4000, b"big", 10_000)  # ~7 fragments
+    sim.run(until=0.5)
+    assert got == [10_000]
+
+
+def test_datagram_lost_under_heavy_loss():
+    """With 30% per-frame loss, a many-fragment datagram rarely survives."""
+    sim, topo, (a, b) = make_lan(loss_rate=0.30)
+    tx = DatagramEndpoint(a, 4000)
+    rx = DatagramEndpoint(b, 4000)
+    delivered = []
+
+    def receiver(sim, rx):
+        while True:
+            msg = yield rx.recv()
+            delivered.append(msg)
+
+    sim.process(receiver(sim, rx))
+    for _ in range(10):
+        tx.send("h1", 4000, "x", 30_000)  # ~21 fragments each
+    sim.run(until=5.0)
+    # P(all 21 fragments survive) ≈ 0.7^21 ≈ 0.05%: expect ~0 deliveries.
+    assert len(delivered) < 3
+    assert rx.rx_messages == len(delivered)
+
+
+def test_datagram_no_route_returns_false(lan):
+    sim, topo, (a, b) = lan
+    tx = DatagramEndpoint(a, 4000)
+    b.crash()
+    assert tx.send("h1", 4000, "x", 10) is False

@@ -1,0 +1,102 @@
+"""Unit tests for the experimental Ethernet multicast protocol."""
+
+import pytest
+
+from repro.transport import EthernetMulticast, SendError
+
+from .conftest import make_lan
+
+
+def group(n=4, loss_rate=0.0, seed=0):
+    sim, topo, hosts = make_lan(loss_rate=loss_rate, n_hosts=n, seed=seed)
+    eps = [EthernetMulticast(h, 7000, "lan") for h in hosts]
+    return sim, topo, hosts, eps
+
+
+def test_one_broadcast_reaches_all_members():
+    sim, topo, hosts, eps = group(n=5)
+    received = []
+
+    def receiver(sim, ep, name):
+        msg = yield ep.recv()
+        received.append((name, msg.payload))
+
+    for h, ep in zip(hosts[1:], eps[1:]):
+        sim.process(receiver(sim, ep, h.name))
+    members = [h.name for h in hosts]
+    p = eps[0].send_group(members, 7000, "announce", 5000)
+    sim.run(until=p)
+    sim.run(until=sim.now + 0.5)
+    assert sorted(received) == [(f"h{i}", "announce") for i in range(1, 5)]
+
+
+def test_multicast_cheaper_than_n_unicasts():
+    """Sender TX bytes for multicast ≈ one copy, not N copies."""
+    sim, topo, hosts, eps = group(n=5)
+    size = 500_000
+    p = eps[0].send_group([h.name for h in hosts], 7000, None, size)
+
+    def drain(sim, ep):
+        while True:
+            yield ep.recv()
+
+    for ep in eps[1:]:
+        sim.process(drain(sim, ep))
+    sim.run(until=p)
+    nic = list(hosts[0].nics.values())[0]
+    # One serialised copy plus protocol headers; far below 4 copies.
+    assert nic.tx_bytes < 1.2 * size
+
+
+def test_loss_recovery_all_members_complete():
+    sim, topo, hosts, eps = group(n=4, loss_rate=0.05)
+    done = []
+
+    def receiver(sim, ep, name):
+        msg = yield ep.recv()
+        done.append(name)
+
+    for h, ep in zip(hosts[1:], eps[1:]):
+        sim.process(receiver(sim, ep, h.name))
+    p = eps[0].send_group([h.name for h in hosts], 7000, "data", 300_000)
+    sim.run(until=p)
+    sim.run(until=sim.now + 0.5)
+    assert sorted(done) == ["h1", "h2", "h3"]
+    assert eps[0].retransmits > 0
+
+
+def test_dead_member_fails_send_with_names():
+    sim, topo, hosts, eps = group(n=3)
+    hosts[2].crash()
+
+    def drain(sim, ep):
+        while True:
+            yield ep.recv()
+
+    sim.process(drain(sim, eps[1]))
+
+    def sender(sim):
+        try:
+            yield eps[0].send_group(["h0", "h1", "h2"], 7000, "x", 1000)
+        except SendError as exc:
+            return str(exc)
+        return "ok"
+
+    eps[0].initial_rto = 0.005
+    eps[0].max_retries = 3
+    p = sim.process(sender(sim))
+    result = sim.run(until=p)
+    assert "h2" in result
+
+
+def test_sender_excluded_from_members():
+    sim, topo, hosts, eps = group(n=2)
+
+    def drain(sim, ep):
+        while True:
+            yield ep.recv()
+
+    sim.process(drain(sim, eps[1]))
+    # Including self in the member list must not deadlock.
+    p = eps[0].send_group(["h0", "h1"], 7000, "x", 100)
+    assert sim.run(until=p) == 100

@@ -1,0 +1,124 @@
+"""Property-based tests for the transports."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net import Medium, Topology
+from repro.sim import Simulator
+from repro.transport import SrudpEndpoint, StreamEndpoint
+
+FAST = Medium(name="fast", bandwidth=10e6, latency=1e-4, mtu=1500, frame_overhead=20)
+
+
+def lossy_pair(loss, seed):
+    sim = Simulator(seed=seed)
+    topo = Topology(sim)
+    seg = topo.add_segment(
+        "lan",
+        Medium(name="lan", bandwidth=10e6, latency=1e-4, mtu=1500,
+               frame_overhead=20, loss_rate=loss),
+    )
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    topo.connect(a, seg)
+    topo.connect(b, seg)
+    return sim, a, b
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.15),
+    sizes=st.lists(st.integers(min_value=0, max_value=60_000), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_srudp_delivers_every_message_exactly_once(loss, sizes, seed):
+    """Whatever the loss rate and message mix, SRUDP delivers each
+    message exactly once with payload intact."""
+    sim, a, b = lossy_pair(loss, seed)
+    tx = SrudpEndpoint(a, 5000)
+    rx = SrudpEndpoint(b, 5000)
+    received = []
+
+    def receiver():
+        while True:
+            msg = yield rx.recv()
+            received.append((msg.payload, msg.size))
+
+    sim.process(receiver(), name="rx")
+
+    def sender():
+        for i, size in enumerate(sizes):
+            yield tx.send("b", 5000, ("msg", i), size)
+
+    p = sim.process(sender(), name="tx")
+    sim.run(until=p)
+    sim.run(until=sim.now + 2.0)
+    assert sorted(received) == sorted((("msg", i), s) for i, s in enumerate(sizes))
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.10),
+    n_msgs=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_stream_preserves_order_under_loss(loss, n_msgs, seed):
+    """TCP semantics: per-connection messages arrive in send order."""
+    sim, a, b = lossy_pair(loss, seed)
+    tx = StreamEndpoint(a, 6000)
+    rx = StreamEndpoint(b, 6000)
+    order = []
+
+    def receiver():
+        for _ in range(n_msgs):
+            msg = yield rx.recv()
+            order.append(msg.payload)
+
+    r = sim.process(receiver(), name="rx")
+
+    def sender():
+        for i in range(n_msgs):
+            yield tx.send("b", 6000, i, 20_000)
+
+    sim.process(sender(), name="tx")
+    sim.run(until=r)
+    assert order == list(range(n_msgs))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payload=st.integers(min_value=0, max_value=10_000_000),
+    overhead=st.integers(min_value=0, max_value=100),
+    cell=st.booleans(),
+)
+def test_medium_wire_bytes_sane(payload, overhead, cell):
+    m = Medium(
+        name="x", bandwidth=1e6, latency=1e-3, mtu=1500, frame_overhead=overhead,
+        cell_size=53 if cell else 0, cell_payload=48 if cell else 0,
+    )
+    wire = m.wire_bytes(payload)
+    assert wire >= payload + (0 if cell else overhead)
+    # Monotonic in payload.
+    assert m.wire_bytes(payload + 1) >= wire
+    assert m.serialize_time(payload) >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_transfer_time_deterministic_per_seed(seed):
+    def run(seed):
+        sim, a, b = lossy_pair(0.05, seed)
+        tx = SrudpEndpoint(a, 5000)
+        rx = SrudpEndpoint(b, 5000)
+        t = {}
+
+        def receiver():
+            yield rx.recv()
+            t["done"] = sim.now
+
+        sim.process(receiver(), name="rx")
+        p = tx.send("b", 5000, None, 100_000)
+        sim.run(until=p)
+        return t["done"]
+
+    assert run(seed) == run(seed)

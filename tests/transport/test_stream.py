@@ -1,0 +1,144 @@
+"""Unit tests for the TCP-like stream transport."""
+
+import pytest
+
+from repro.transport import SendError, SrudpEndpoint, StreamEndpoint
+
+from .conftest import make_lan
+
+
+def run_transfer(sim, tx, rx, dst, size, payload="p", n=1):
+    received = []
+
+    def receiver(sim, rx):
+        for _ in range(n):
+            msg = yield rx.recv()
+            received.append(msg)
+
+    r = sim.process(receiver(sim, rx))
+
+    def sender(sim, tx):
+        for i in range(n):
+            yield tx.send(dst, rx.port, payload, size)
+
+    sim.process(sender(sim, tx))
+    sim.run(until=r)
+    return received
+
+
+def test_roundtrip_with_handshake(lan):
+    sim, topo, (a, b) = lan
+    tx = StreamEndpoint(a, 6000)
+    rx = StreamEndpoint(b, 6000)
+    msgs = run_transfer(sim, tx, rx, "h1", 5000, payload={"k": "v"})
+    assert msgs[0].payload == {"k": "v"}
+    assert msgs[0].size == 5000
+
+
+def test_multiple_messages_reuse_connection(lan):
+    sim, topo, (a, b) = lan
+    tx = StreamEndpoint(a, 6000)
+    rx = StreamEndpoint(b, 6000)
+    msgs = run_transfer(sim, tx, rx, "h1", 10_000, n=5)
+    assert len(msgs) == 5
+    # Only one connection was created client-side.
+    assert len(tx._conns) == 1
+
+
+def test_messages_arrive_in_order(lan):
+    sim, topo, (a, b) = lan
+    tx = StreamEndpoint(a, 6000)
+    rx = StreamEndpoint(b, 6000)
+    order = []
+
+    def receiver(sim, rx):
+        for _ in range(10):
+            msg = yield rx.recv()
+            order.append(msg.payload)
+
+    r = sim.process(receiver(sim, rx))
+
+    def sender(sim, tx):
+        for i in range(10):
+            yield tx.send("h1", 6000, i, 50_000)
+
+    sim.process(sender(sim, tx))
+    sim.run(until=r)
+    assert order == list(range(10))
+
+
+def test_loss_recovery(lossy_lan):
+    sim, topo, (a, b) = lossy_lan
+    tx = StreamEndpoint(a, 6000)
+    rx = StreamEndpoint(b, 6000)
+    msgs = run_transfer(sim, tx, rx, "h1", 500_000)
+    assert msgs[0].size == 500_000
+    assert tx.fast_retransmits + tx.timeouts > 0
+
+
+def test_connect_to_dead_host_fails(lan):
+    sim, topo, (a, b) = lan
+    tx = StreamEndpoint(a, 6000, initial_rto=0.01, max_retries=3)
+    b.crash()
+
+    def sender(sim, tx):
+        try:
+            yield tx.send("h1", 6000, "x", 100)
+        except SendError:
+            return "failed"
+        return "sent"
+
+    p = sim.process(sender(sim, tx))
+    assert sim.run(until=p) == "failed"
+
+
+def test_reconnect_after_dead_connection(lan):
+    """A failed connection is replaced on the next send."""
+    sim, topo, (a, b) = lan
+    tx = StreamEndpoint(a, 6000, initial_rto=0.005, max_retries=2)
+    rx = StreamEndpoint(b, 6000)
+    b.crash()
+
+    def scenario(sim):
+        try:
+            yield tx.send("h1", 6000, "x", 100)
+        except SendError:
+            pass
+        b.recover()
+        got = yield tx.send("h1", 6000, "y", 100)
+        return got
+
+    p = sim.process(scenario(sim))
+    assert sim.run(until=p) == 100
+
+
+def test_slow_start_then_congestion_avoidance(lan):
+    """cwnd grows past its initial value during a long transfer."""
+    sim, topo, (a, b) = lan
+    tx = StreamEndpoint(a, 6000)
+    rx = StreamEndpoint(b, 6000)
+    run_transfer(sim, tx, rx, "h1", 1_000_000)
+    conn = next(iter(tx._conns.values()))
+    assert conn.cwnd > 2.0
+
+
+def test_tcp_slower_than_srudp_first_message():
+    """Handshake + heavier headers: TCP's first message takes longer."""
+    sim, topo, (a, b) = make_lan()
+    s_tx = SrudpEndpoint(a, 5000)
+    s_rx = SrudpEndpoint(b, 5000)
+    t_tx = StreamEndpoint(a, 6000)
+    t_rx = StreamEndpoint(b, 6000)
+    times = {}
+
+    def rx_loop(sim, ep, key):
+        yield ep.recv()
+        times[key] = sim.now
+
+    sim.process(rx_loop(sim, s_rx, "srudp"))
+    sim.process(rx_loop(sim, t_rx, "tcp"))
+    p1 = s_tx.send("h1", 5000, "a", 100_000)
+    p2 = t_tx.send("h1", 6000, "b", 100_000)
+    sim.run(until=sim.all_of([p1, p2]))
+    sim.run(until=sim.now + 0.5)
+    assert times["srudp"] < times["tcp"]
