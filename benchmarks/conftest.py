@@ -5,11 +5,37 @@ deterministic simulator and prints the rows; pytest-benchmark reports
 the harness's wall-clock cost. Shape assertions (who wins, by what
 factor) run on the returned rows, so a benchmark run is also a
 reproduction check.
+
+Each run also leaves a machine-readable twin next to the printed table:
+``BENCH_<name>.json`` in the repository root, written through
+:func:`repro.obs.report.write_bench_json` — rows, wall-clock seconds,
+and the scenario name — so runs can be archived and diffed
+(``python -m repro obs diff``).
 """
 
-import pytest
+import pathlib
+import time
+
+#: Where BENCH_<name>.json files land: the repository root.
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[1]
 
 
 def run_once(benchmark, fn, **kwargs):
-    """Run *fn* exactly once under pytest-benchmark and return its rows."""
-    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+    """Run *fn* exactly once under pytest-benchmark and return its rows.
+
+    Side effect: writes ``BENCH_<fn-name>.json`` with the rows and the
+    measured wall-clock time of the single run.
+    """
+    from repro.obs.report import write_bench_json
+
+    t0 = time.perf_counter()
+    rows = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - t0
+    name = fn.__name__
+    try:
+        write_bench_json(name, rows, str(BENCH_DIR), wall_s=wall_s)
+    except (TypeError, OSError):
+        # Unserialisable rows or a read-only checkout must not fail the
+        # benchmark itself; the printed table is still authoritative.
+        pass
+    return rows

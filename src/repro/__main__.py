@@ -7,6 +7,8 @@ Commands:
   ``scripts/run_all_experiments.py``).
 * ``fig1`` — just the Fig. 1 reproduction, with an ASCII rendering.
 * ``info`` — package and inventory summary.
+* ``obs`` — observability reports: ``obs report [export.json]`` and
+  ``obs diff BASE NEW`` (see :mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -80,8 +82,12 @@ def main(argv=None) -> int:
         "fig1": _cmd_fig1,
         "info": _cmd_info,
     }
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     if not argv or argv[0] not in commands:
-        print("usage: python -m repro {examples|experiments|fig1|info}")
+        print("usage: python -m repro {examples|experiments|fig1|info|obs}")
         return 2
     return commands[argv[0]]()
 

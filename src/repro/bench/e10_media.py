@@ -49,7 +49,7 @@ def media_selection(size: int = 20_000_000, seed: int = 0) -> List[Dict]:
         done = {}
 
         def receiver():
-            msg = yield rx.recv()
+            yield rx.recv()
             done["t"] = sim.now
 
         sim.process(receiver(), name="rx")

@@ -76,7 +76,7 @@ def _run_pvm(n_hosts: int, ops_per_phase: int, seed: int) -> List[Dict]:
         h = topo.add_host(f"h{i}")
         topo.connect(h, seg)
         hosts.append(h)
-    master = Pvmd(hosts[0], programs)
+    Pvmd(hosts[0], programs)  # the master pvmd
     slaves = [Pvmd(h, programs, master_host="h0") for h in hosts[1:]]
 
     def boot():

@@ -70,7 +70,7 @@ def failover_timeline(
                     state["failed"] = True
                     return
 
-        send_proc = sim.process(sender(), name="tx")
+        sim.process(sender(), name="tx")
 
         def cutter():
             yield sim.timeout(cut_at)

@@ -158,7 +158,7 @@ def srudp_window_ablation(
         done = {}
 
         def receiver():
-            msg = yield rx.recv()
+            yield rx.recv()
             done["t"] = sim.now
 
         sim.process(receiver(), name="rx")

@@ -9,7 +9,7 @@ resource" — finds it again with at most one stale-location retry.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.rcds.client import QUORUM, RCClient
 from repro.rpc import RpcClient, RpcError, RpcServer, Sized

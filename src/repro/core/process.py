@@ -20,8 +20,8 @@ are implemented here:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core.messages import xdr_size
 from repro.daemon.daemon import DAEMON_PORT, SnipeDaemon

@@ -82,6 +82,11 @@ class SnipeDaemon:
         #: Optional multicast service (attached by repro.daemon.mcast).
         self.mcast = None
 
+        metrics = self.sim.obs.metrics
+        self._m_spawns = metrics.counter("daemon.spawns")
+        self._m_task_lifetime = metrics.histogram("daemon.task_lifetime")
+        self._m_load = metrics.gauge("daemon.load", host=host.name)
+
         self.rpc = RpcServer(host, DAEMON_PORT, secret=secret)
         self.rpc.register("daemon.spawn", self._h_spawn)
         self.rpc.register("daemon.kill", self._h_kill)
@@ -138,6 +143,7 @@ class SnipeDaemon:
             yield self.sim.timeout(self.load_interval)
             if not self.host.up:
                 continue
+            self._m_load.set(self.load())
             try:
                 yield self.rc.update(
                     uri_mod.host_url(self.host.name),
@@ -187,6 +193,12 @@ class SnipeDaemon:
         return info
 
     def _launch(self, info: TaskInfo, ctx: TaskContext, gen) -> None:
+        self._m_spawns.inc()
+        if self.sim.obs.tracer.enabled:
+            self.sim.obs.tracer.event(
+                "daemon.spawn", host=self.host.name, urn=info.urn,
+                program=info.spec.program,
+            )
         info.state = TaskState.RUNNING
         self.tasks[info.urn] = info
         self.contexts[info.urn] = ctx
@@ -214,6 +226,8 @@ class SnipeDaemon:
                 info.state = TaskState.FAILED
                 info.error = str(exc)
         info.ended_at = self.sim.now
+        if info.started_at is not None:
+            self._m_task_lifetime.observe(info.ended_at - info.started_at)
         self._publish_process(info)
         self._fire_notifications(info)
 

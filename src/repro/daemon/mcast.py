@@ -24,12 +24,11 @@ single-router baseline.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
 
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import QUORUM
 from repro.rpc import RpcError
-from repro.sim.events import defuse
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.files.server import FILE_PORT, FileServer
+from repro.files.server import FileServer
 from repro.rcds import uri as uri_mod
 from repro.rpc import RpcClient, RpcError
 from repro.sim.errors import Interrupt

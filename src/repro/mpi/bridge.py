@@ -26,7 +26,6 @@ from repro.rcds.client import QUORUM, RCClient
 from repro.rpc import RpcError, payload_size
 from repro.sim.events import Event
 from repro.sim.resources import Store
-from repro.transport.base import SendError
 from repro.transport.srudp import SrudpEndpoint
 
 if TYPE_CHECKING:  # pragma: no cover

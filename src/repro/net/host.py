@@ -160,6 +160,17 @@ class Host:
             if hop is not None:
                 nic, l2_ip = hop
                 frame.l2_dst = None if l2_ip == frame.dst_ip else l2_ip
+                tracer = self.sim.obs.tracer
+                if tracer.enabled:
+                    tracer.event(
+                        "frame.forward",
+                        trace_id=frame.trace_id,
+                        gateway=self.name,
+                        proto=frame.proto,
+                        dst=frame.dst_ip,
+                        out_iface=nic.iface,
+                        net=nic.segment.name,
+                    )
                 nic.send(frame)
                 self.forwarded_frames += 1
                 return
@@ -174,6 +185,8 @@ class Host:
         for nic in self.nics.values():
             nic.up = False
         self.topology.bump_version()
+        self.sim.obs.metrics.counter("host.crashes").inc()
+        self.sim.obs.tracer.event("host.crash", host=self.name)
         for fn in list(self.on_crash):
             fn(self)
 
@@ -184,6 +197,7 @@ class Host:
         for nic in self.nics.values():
             nic.up = True
         self.topology.bump_version()
+        self.sim.obs.tracer.event("host.recover", host=self.name)
         for fn in list(self.on_recover):
             fn(self)
 

@@ -8,7 +8,7 @@ serialisation rate no matter what the protocol does.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.net.packet import Address, Frame
 from repro.sim.resources import Store

@@ -59,6 +59,11 @@ class Frame:
     l2_dst: Optional[str] = None
     #: Filled in by the delivering segment so receivers know the medium.
     via_segment: Optional[str] = None
+    #: Causal trace id stamped by the sending transport: every frame a
+    #: logical message send produces (first transmissions, retransmits,
+    #: reroutes, gateway forwards) carries the same id, so one send can be
+    #: reconstructed end-to-end from the trace stream.
+    trace_id: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

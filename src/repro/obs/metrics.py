@@ -1,0 +1,229 @@
+"""Tagged metrics: counters, gauges, and log-bucketed histograms.
+
+The registry is the quantitative half of the observability layer (the
+tracer in :mod:`repro.obs.tracing` is the causal half). Components ask it
+for a metric once — ``registry.histogram("transport.msg_latency",
+proto="srudp")`` — cache the returned object, and feed it on the hot
+path; identical (name, tags) pairs always resolve to the same object, so
+every SRUDP endpoint in a simulation accumulates into one histogram.
+
+Histograms are HDR-style: observations land in geometric buckets growing
+by ``GROWTH`` per step, so quantile estimates carry a bounded *relative*
+error (≤ ``GROWTH - 1``) over an unbounded dynamic range at O(1) memory
+per occupied bucket. Count, sum, min and max are tracked exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Geometric bucket growth factor. 1.1 keeps quantile estimates within
+#: 10 % of the true value, plenty for p50/p95/p99 latency comparisons.
+GROWTH = 1.1
+
+_LOG_GROWTH = math.log(GROWTH)
+
+TagTuple = Tuple[Tuple[str, str], ...]
+
+
+def _tag_key(tags: Dict[str, Any]) -> TagTuple:
+    return tuple(sorted((k, str(v)) for k, v in tags.items()))
+
+
+def _flat_name(name: str, tags: TagTuple) -> str:
+    if not tags:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in tags)
+    return f"{name}{{{inner}}}"
+
+
+class MetricCounter:
+    """A monotonically increasing tagged counter."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: TagTuple = ()) -> None:
+        self.name = name
+        self.tags = tags
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MetricCounter {_flat_name(self.name, self.tags)}={self.value}>"
+
+
+class Gauge:
+    """A tagged point-in-time value (load, queue depth, table size)."""
+
+    __slots__ = ("name", "tags", "value", "updated_at")
+
+    def __init__(self, name: str, tags: TagTuple = ()) -> None:
+        self.name = name
+        self.tags = tags
+        self.value = 0.0
+        self.updated_at: Optional[float] = None
+
+    def set(self, value: float, at: Optional[float] = None) -> None:
+        self.value = value
+        self.updated_at = at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Gauge {_flat_name(self.name, self.tags)}={self.value}>"
+
+
+class Histogram:
+    """Log-bucketed histogram with exact count/sum/min/max.
+
+    Bucket *i* covers ``(GROWTH**(i-1), GROWTH**i]``; an observation is
+    charged to the bucket whose upper bound first reaches it, and
+    quantiles report that upper bound, clamped into the exact observed
+    [min, max]. Values ≤ 0 land in a dedicated underflow bucket reported
+    as 0.0 (virtual-time durations are never negative in practice).
+    """
+
+    __slots__ = ("name", "tags", "counts", "n", "sum", "_min", "_max")
+
+    def __init__(self, name: str, tags: TagTuple = ()) -> None:
+        self.name = name
+        self.tags = tags
+        self.counts: Dict[Optional[int], int] = {}  # None == underflow (v <= 0)
+        self.n = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        self.sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        idx = None if value <= 0 else math.ceil(math.log(value) / _LOG_GROWTH)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+
+    # -- summary statistics ------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile *p* (0..100), ±10 % relative."""
+        if self.n == 0:
+            return 0.0
+        target = max(1, math.ceil(self.n * p / 100.0))
+        cum = 0
+        # None (underflow) sorts first: it holds the smallest observations.
+        for idx in sorted(self.counts, key=lambda i: -math.inf if i is None else i):
+            cum += self.counts[idx]
+            if cum >= target:
+                est = 0.0 if idx is None else GROWTH**idx
+                return min(max(est, self._min), self._max)
+        return self._max  # pragma: no cover - cum always reaches n
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Histogram {_flat_name(self.name, self.tags)} n={self.n} "
+            f"p50={self.p50:.4g} p99={self.p99:.4g}>"
+        )
+
+
+class MetricsRegistry:
+    """Interns (name, tags) -> metric and exports them all at once."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock = clock or (lambda: 0.0)
+        self._counters: Dict[Tuple[str, TagTuple], MetricCounter] = {}
+        self._gauges: Dict[Tuple[str, TagTuple], Gauge] = {}
+        self._histograms: Dict[Tuple[str, TagTuple], Histogram] = {}
+
+    # -- metric factories (interned) ---------------------------------------
+    def counter(self, name: str, **tags: Any) -> MetricCounter:
+        key = (name, _tag_key(tags))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = MetricCounter(name, key[1])
+        return c
+
+    def gauge(self, name: str, **tags: Any) -> Gauge:
+        key = (name, _tag_key(tags))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, key[1])
+        return g
+
+    def histogram(self, name: str, **tags: Any) -> Histogram:
+        key = (name, _tag_key(tags))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, key[1])
+        return h
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name->number view (histograms expand to sub-keys)."""
+        out: Dict[str, float] = {}
+        for (_, _), c in self._counters.items():
+            out[_flat_name(c.name, c.tags)] = c.value
+        for (_, _), g in self._gauges.items():
+            out[_flat_name(g.name, g.tags)] = g.value
+        for (_, _), h in self._histograms.items():
+            base = _flat_name(h.name, h.tags)
+            out[f"{base}.count"] = float(h.n)
+            out[f"{base}.mean"] = h.mean
+            out[f"{base}.p50"] = h.p50
+            out[f"{base}.p95"] = h.p95
+            out[f"{base}.p99"] = h.p99
+            out[f"{base}.max"] = h.max
+        return out
+
+    def export(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-serialisable structured dump (the ``obs report`` input)."""
+        return {
+            "counters": [
+                {"name": c.name, "tags": dict(c.tags), "value": c.value}
+                for c in self._counters.values()
+            ],
+            "gauges": [
+                {"name": g.name, "tags": dict(g.tags), "value": g.value}
+                for g in self._gauges.values()
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "tags": dict(h.tags),
+                    "count": h.n,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                    "p99": h.p99,
+                }
+                for h in self._histograms.values()
+            ],
+        }

@@ -13,9 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.rpc import RpcClient, RpcError, RpcServer, payload_size
-from repro.sim.errors import Interrupt
 from repro.sim.events import defuse
-from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host

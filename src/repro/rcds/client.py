@@ -51,6 +51,10 @@ class RCClient:
         self._rpc = RpcClient(host, secret=secret)
         self._rng = host.sim.rng.stream(f"rc-client.{host.name}")
         self.failovers = 0
+        metrics = self.sim.obs.metrics
+        self._m_failovers = metrics.counter("rcds.failovers")
+        self._m_lookup_latency = metrics.histogram("rcds.lookup_latency")
+        self._m_update_latency = metrics.histogram("rcds.update_latency")
 
     # -- helpers --------------------------------------------------------------
     def _required(self, consistency: str) -> int:
@@ -83,6 +87,7 @@ class RCClient:
                     return results
             except RpcError:
                 self.failovers += 1
+                self._m_failovers.inc()
         raise ConsistencyError(
             f"{method}: only {len(results)}/{need} replicas reachable"
         )
@@ -94,7 +99,9 @@ class RCClient:
     def _lookup(self, uri: str, consistency: str):
         need = self._required(consistency)
         targets = self._candidate_order()
+        t0 = self.sim.now
         results = yield from self._fanout("rc.lookup", need, targets, uri=uri)
+        self._m_lookup_latency.observe(self.sim.now - t0)
         if len(results) == 1:
             return results[0][1]
         # Merge: per key, keep the assertion with the newest timestamp.
@@ -116,9 +123,11 @@ class RCClient:
             targets = [self.replicas[0]]  # single-master baseline: no failover
         else:
             targets = self._candidate_order()
+        t0 = self.sim.now
         results = yield from self._fanout(
             "rc.update", need, targets, uri=uri, assertions=assertions
         )
+        self._m_update_latency.observe(self.sim.now - t0)
         return results[0][1]
 
     def delete(self, uri: str, keys: Optional[List[str]] = None, consistency: str = ONE):

@@ -51,15 +51,26 @@ class RCServer:
         self._client = RpcClient(host, secret=secret)
         self.syncs_ok = 0
         self.syncs_failed = 0
+        obs = self.sim.obs
+        self._m_syncs_ok = obs.metrics.counter("rcds.syncs_ok")
+        self._m_syncs_failed = obs.metrics.counter("rcds.syncs_failed")
+        self._m_updates = obs.metrics.counter("rcds.updates")
+        self._m_lookups = obs.metrics.counter("rcds.lookups")
+        #: How stale a record was when anti-entropy delivered it here:
+        #: virtual now minus the record's origin stamp, per applied record.
+        self._m_lag = obs.metrics.histogram("rcds.propagation_lag")
+        self._obs = obs
         self._sync_proc = self.sim.process(
             self._anti_entropy(), name=f"rc-sync:{host.name}"
         )
 
     # -- RPC handlers -------------------------------------------------------
     def _h_lookup(self, args: Dict) -> Dict:
+        self._m_lookups.inc()
         return self.store.lookup(args["uri"])
 
     def _h_update(self, args: Dict) -> Dict:
+        self._m_updates.inc()
         records = self.store.local_update(args["uri"], args["assertions"], self.sim.now)
         return {"stamped": self.sim.now, "count": len(records)}
 
@@ -74,8 +85,16 @@ class RCServer:
         """Push-pull merge: apply the caller's records, return what it lacks."""
         their_vector = args["vector"]
         want = self.store.missing_for(their_vector)
+        self._observe_lag(args.get("records", []))
         self.store.apply_remote(args.get("records", []))
         return {"vector": self.store.digest(), "records": want}
+
+    def _observe_lag(self, records) -> None:
+        """Catalog update propagation lag: age of each record arriving via
+        anti-entropy, measured against its origin's accept stamp."""
+        now = self.sim.now
+        for record in records:
+            self._m_lag.observe(now - record.entry.wall)
 
     # -- anti-entropy ---------------------------------------------------------
     def _anti_entropy(self):
@@ -94,6 +113,10 @@ class RCServer:
 
     def _sync_with(self, peer_host: str, peer_port: int):
         """One push-pull round with a specific peer (also callable directly)."""
+        # Manual finish() rather than a with-block: the span stays open
+        # across the RPC yields, and generator code cannot rely on the
+        # ambient span stack surviving a context switch.
+        span = self._obs.span("rcds.sync", peer=f"{peer_host}:{peer_port}")
         try:
             reply = yield self._client.call(
                 peer_host,
@@ -103,6 +126,7 @@ class RCServer:
                 vector=self.store.digest(),
                 records=[],  # pull-first: learn their vector, then push
             )
+            self._observe_lag(reply["records"])
             self.store.apply_remote(reply["records"])
             # Push what the peer lacks according to its reported vector.
             missing = self.store.missing_for(reply["vector"])
@@ -116,8 +140,12 @@ class RCServer:
                     records=missing,
                 )
             self.syncs_ok += 1
+            self._m_syncs_ok.inc()
+            span.finish("ok")
         except RpcError:
             self.syncs_failed += 1
+            self._m_syncs_failed.inc()
+            span.finish("error:RpcError")
 
     def close(self) -> None:
         self.rpc.close()

@@ -67,6 +67,12 @@ class ResourceManager:
         self.allocations: Dict[int, Dict] = {}
         self.requests = 0
         self.rejects = 0
+        metrics = self.sim.obs.metrics
+        self._m_requests = metrics.counter("rm.requests")
+        self._m_rejects = metrics.counter("rm.rejects")
+        #: Request arrival to successful allocation (catalog queries,
+        #: candidate ranking, and — in active mode — the daemon spawn RPC).
+        self._m_spawn_latency = metrics.histogram("rm.spawn_latency")
         self._rng = self.sim.rng.stream(f"rm.{host.name}:{port}")
         self.rpc = RpcServer(host, port, secret=secret, service_time=service_time)
         self.rpc.register("rm.request", self._h_request)
@@ -124,21 +130,26 @@ class ResourceManager:
 
     def _request(self, spec: TaskSpec, owner: str):
         self.requests += 1
+        self._m_requests.inc()
+        t0 = self.sim.now
         goal = self.goals.get(owner)
         if goal is not None and self._owner_allocations(owner) >= goal:
             self.rejects += 1
+            self._m_rejects.inc()
             raise AllocationError(
                 f"allocation goal: {owner} already holds {goal} allocations"
             )
         ranked = yield from self._select(spec)
         if not ranked:
             self.rejects += 1
+            self._m_rejects.inc()
             raise AllocationError(f"no host satisfies {spec.program!r} requirements")
         token = next(_tokens)
         if self.mode == PASSIVE:
             # Reserve only; the requester performs the spawn itself (§3.5).
             chosen = ranked[0]
             self.allocations[token] = {"owner": owner, "host": chosen, "urn": None}
+            self._m_spawn_latency.observe(self.sim.now - t0)
             return {"token": token, "host": chosen, "mode": PASSIVE}
         errors = []
         for candidate in ranked:
@@ -150,6 +161,7 @@ class ResourceManager:
                 self.allocations[token] = {
                     "owner": owner, "host": candidate, "urn": result["urn"],
                 }
+                self._m_spawn_latency.observe(self.sim.now - t0)
                 return {
                     "token": token, "host": candidate,
                     "urn": result["urn"], "mode": ACTIVE,
@@ -158,6 +170,7 @@ class ResourceManager:
                 errors.append(f"{candidate}: {exc}")
                 continue
         self.rejects += 1
+        self._m_rejects.inc()
         raise AllocationError(f"all candidates failed: {errors}")
 
     def _h_release(self, args: Dict) -> bool:

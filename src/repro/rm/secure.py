@@ -21,12 +21,11 @@ each daemon once, then MAC-seals authorizations over the session — the
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Set
 
 from repro.daemon.daemon import DAEMON_PORT, SnipeDaemon
 from repro.rcds import uri as uri_mod
 from repro.rm.manager import ResourceManager
-from repro.rpc import RpcError
 from repro.security.authz import (
     AccessGrant,
     AuthorizationError,

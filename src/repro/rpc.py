@@ -17,7 +17,6 @@ from typing import Any, Callable, Dict, Optional
 from repro.security.hashes import canonical_bytes, hmac_tag, verify_hmac
 from repro.sim.errors import Interrupt
 from repro.sim.events import defuse
-from repro.sim.resources import Store
 from repro.transport.base import SendError
 from repro.transport.srudp import SrudpEndpoint
 
@@ -93,6 +92,8 @@ class RpcServer:
         self.handlers: Dict[str, Callable] = {}
         self.requests_served = 0
         self.auth_failures = 0
+        self._m_served = self.sim.obs.metrics.counter("rpc.requests_served")
+        self._m_auth_failures = self.sim.obs.metrics.counter("rpc.auth_failures")
         self._proc = self.sim.process(self._serve(), name=f"rpc:{host.name}:{port}")
 
     def register(self, method: str, fn: Callable) -> None:
@@ -124,6 +125,7 @@ class RpcServer:
                     body = {"method": req.method, "req_id": req.req_id}
                     if req.auth is None or not verify_hmac(self.secret, body, req.auth):
                         self.auth_failures += 1
+                        self._m_auth_failures.inc()
                         self._reply(msg, Response(req.req_id, False, error="auth"))
                         continue
                 handler = self.handlers.get(req.method)
@@ -151,6 +153,7 @@ class RpcServer:
             if inspect.isgenerator(result):
                 result = yield from result
             self.requests_served += 1
+            self._m_served.inc()
             self._reply(msg, Response(req.req_id, True, result=result))
         except Exception as exc:  # handler fault -> error response
             self._reply(msg, Response(req.req_id, False, error=str(exc)))
@@ -177,6 +180,7 @@ class RpcClient:
         self.secret = secret
         self.endpoint = SrudpEndpoint(host, port if port is not None else host.ephemeral_port())
         self._waiting: Dict[int, Any] = {}
+        self._metrics = self.sim.obs.metrics
         self._dispatcher = self.sim.process(self._dispatch(), name=f"rpc-client:{host.name}")
 
     def _dispatch(self):
@@ -229,6 +233,7 @@ class RpcClient:
             req.auth = hmac_tag(self.secret, {"method": method, "req_id": req.req_id})
         reply_ev = self.sim.event()
         self._waiting[req.req_id] = reply_ev
+        t0 = self.sim.now
         try:
             wire = payload_size(args) if _size is None else ENVELOPE_BYTES + _size
             send_ev = self.endpoint.send(dst_host, dst_port, req, wire)
@@ -236,6 +241,7 @@ class RpcClient:
             # The send itself may fail (peer unreachable): watch both.
             yield self.sim.any_of([reply_ev, self.sim.timeout(timeout)])
             if not reply_ev.triggered:
+                self._metrics.counter("rpc.errors", method=method).inc()
                 # Reap a send failure for a clearer error, if there is one.
                 if send_ev.triggered and not send_ev.ok:
                     try:
@@ -245,7 +251,11 @@ class RpcClient:
                 raise RpcError(f"{method}@{dst_host}:{dst_port}: timed out after {timeout}s")
             resp = reply_ev.value
             if not resp.ok:
+                self._metrics.counter("rpc.errors", method=method).inc()
                 raise RpcError(f"{method}@{dst_host}: {resp.error}")
+            self._metrics.histogram("rpc.call_latency", method=method).observe(
+                self.sim.now - t0
+            )
             return resp.result
         finally:
             self._waiting.pop(req.req_id, None)

@@ -38,6 +38,17 @@ class Simulator:
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._crashed: List[Tuple[Process, BaseException]] = []
+        self._obs = None
+
+    @property
+    def obs(self):
+        """This simulation's observability hub (metrics + tracer), created
+        on first touch so bare kernels pay nothing for it."""
+        if self._obs is None:
+            from repro.obs import Observability
+
+            self._obs = Observability(clock=lambda: self.now)
+        return self._obs
 
     # -- event factories -------------------------------------------------
     def event(self) -> Event:

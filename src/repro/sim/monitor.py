@@ -1,14 +1,20 @@
 """Lightweight instrumentation: counters, time series, and event traces.
 
 Benchmarks and tests observe the system through these rather than by
-groping around in component internals.
+groping around in component internals. For spans, tagged histograms, and
+causal message traces, :class:`TraceMonitor` fronts the richer
+:mod:`repro.obs` layer attached to the simulator (``sim.obs``); the
+primitives here remain for cheap ad-hoc accounting.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability, Span
+    from repro.obs.metrics import Histogram
     from repro.sim.kernel import Simulator
 
 
@@ -59,12 +65,22 @@ class TimeSeries:
         vals = self.values
         return min(vals) if vals else 0.0
 
+    #: Smallest time span ``rate()`` divides by when all samples share one
+    #: timestamp (a same-instant burst must not report a rate of zero).
+    RATE_EPSILON = 1e-9
+
     def rate(self) -> float:
-        """Total value divided by the sampled time span (e.g. bytes/s)."""
+        """Total value divided by the sampled time span (e.g. bytes/s).
+
+        Contract: fewer than two samples is "no rate" (0.0). With two or
+        more samples the span is clamped to at least ``RATE_EPSILON``, so
+        a burst recorded at identical timestamps reports a (very large)
+        finite rate instead of silently returning 0.0 for nonzero totals.
+        """
         if len(self.samples) < 2:
             return 0.0
         span = self.samples[-1][0] - self.samples[0][0]
-        return self.total() / span if span > 0 else 0.0
+        return self.total() / max(span, self.RATE_EPSILON)
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -111,15 +127,28 @@ class Probe:
 
 
 class TraceMonitor:
-    """Central sink for named counters/series/probes plus an event trace."""
+    """Central sink for named counters/series/probes plus an event trace.
 
-    def __init__(self, sim: Optional["Simulator"] = None, trace: bool = False) -> None:
+    ``trace_log`` is a bounded ring buffer: once *trace_capacity* records
+    are held, each append evicts the oldest and bumps ``trace_dropped``,
+    so long simulations can trace freely without unbounded memory growth.
+    """
+
+    def __init__(
+        self,
+        sim: Optional["Simulator"] = None,
+        trace: bool = False,
+        trace_capacity: int = 100_000,
+    ) -> None:
         self.sim = sim
         self.tracing = trace
+        self.trace_capacity = trace_capacity
         self.counters: Dict[str, Counter] = {}
         self.series: Dict[str, TimeSeries] = {}
         self.probes: Dict[str, Probe] = {}
-        self.trace_log: List[Tuple[float, str, Any]] = []
+        self.trace_log: Deque[Tuple[float, str, Any]] = deque()
+        self.trace_dropped = 0
+        self._obs: Optional["Observability"] = None
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -143,13 +172,46 @@ class TraceMonitor:
         """Append a trace record at the current virtual time (if tracing)."""
         if self.tracing:
             now = self.sim.now if self.sim is not None else 0.0
+            if self.trace_capacity > 0 and len(self.trace_log) >= self.trace_capacity:
+                self.trace_log.popleft()
+                self.trace_dropped += 1
             self.trace_log.append((now, kind, detail))
 
+    # -- the richer observability layer ------------------------------------
+    @property
+    def obs(self) -> "Observability":
+        """The simulation's :class:`~repro.obs.Observability` hub (shared
+        with every instrumented component via ``sim.obs``)."""
+        if self.sim is not None:
+            return self.sim.obs
+        if self._obs is None:  # standalone monitor (tests, offline use)
+            from repro.obs import Observability
+
+            self._obs = Observability()
+        return self._obs
+
+    def span(self, name: str, **tags: Any) -> "Span":
+        """``with monitor.span("rcds.update", uri=...):`` — a traced span
+        recording virtual start/end, nesting, and outcome."""
+        return self.obs.span(name, **tags)
+
+    def histogram(self, name: str, **tags: Any) -> "Histogram":
+        """A tagged log-bucketed histogram (p50/p95/p99) from the registry."""
+        return self.obs.metrics.histogram(name, **tags)
+
     def snapshot(self) -> Dict[str, float]:
-        """Flat dict of all counters and probe means — handy for asserts."""
+        """Flat dict of counters, probe means, and registry metrics.
+
+        Registry metrics are included only when something has touched the
+        simulator's observability hub — pure-legacy users see exactly the
+        counters and probes they recorded.
+        """
         out: Dict[str, float] = {}
         for name, c in self.counters.items():
             out[f"counter.{name}"] = float(c.value)
         for name, p in self.probes.items():
             out[f"probe.{name}.mean"] = p.mean
+        obs = self._obs if self.sim is None else self.sim._obs
+        if obs is not None:
+            out.update(obs.metrics.snapshot())
         return out

@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, List, Tuple
 
 from repro.sim.errors import SimulationError
 from repro.sim.events import Event

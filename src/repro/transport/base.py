@@ -65,6 +65,22 @@ class TransportEndpoint:
         self.closed = False
         self.tx_messages = 0
         self.rx_messages = 0
+        # Observability: per-protocol metrics are interned by the registry,
+        # so every endpoint of one protocol feeds the same histogram.
+        obs = self.sim.obs
+        self._tracer = obs.tracer
+        self._m_tx = obs.metrics.counter("transport.tx_messages", proto=self.proto)
+        self._m_rx = obs.metrics.counter("transport.rx_messages", proto=self.proto)
+        self._m_latency = obs.metrics.histogram("transport.msg_latency", proto=self.proto)
+        self._m_send_latency = obs.metrics.histogram(
+            "transport.send_latency", proto=self.proto
+        )
+        self._m_retransmits = obs.metrics.counter(
+            "transport.retransmits", proto=self.proto
+        )
+        self._m_send_errors = obs.metrics.counter(
+            "transport.send_errors", proto=self.proto
+        )
         self._rx_proc = self.sim.process(
             self._rx_loop(), name=f"{self.proto}:{host.name}:{port}"
         )
@@ -82,6 +98,23 @@ class TransportEndpoint:
             if self._rx_proc.is_alive:
                 self._rx_proc.interrupt("closed")
 
+    # -- accounting helpers -------------------------------------------------
+    def _note_tx(self) -> None:
+        """Count one outgoing application message."""
+        self.tx_messages += 1
+        self._m_tx.inc()
+
+    def _note_rx(self, sent_at: Optional[float] = None) -> None:
+        """Count one delivered message; *sent_at* feeds the end-to-end
+        delivery-latency histogram."""
+        self.rx_messages += 1
+        self._m_rx.inc()
+        if sent_at is not None:
+            self._m_latency.observe(self.sim.now - sent_at)
+
+    def _note_retransmit(self) -> None:
+        self._m_retransmits.inc()
+
     # -- frame helpers --------------------------------------------------------
     def max_payload(self, dst_host: str) -> int:
         """Usable bytes per frame toward *dst_host* after headers."""
@@ -97,10 +130,17 @@ class TransportEndpoint:
         dst_port: int,
         payload: Any,
         body_bytes: int,
+        trace_id: Optional[int] = None,
     ) -> bool:
-        """Push one protocol frame toward *dst_host*. False if unroutable."""
+        """Push one protocol frame toward *dst_host*. False if unroutable.
+
+        *trace_id* stamps the frame for causal tracing; a ``frame.tx``
+        record naming the chosen interface/network is emitted per frame
+        when tracing is on, which is what makes mid-message reroutes
+        visible in a trace.
+        """
         if dst_host == self.host.name:
-            self._send_local(dst_port, payload, body_bytes)
+            self._send_local(dst_port, payload, body_bytes, trace_id=trace_id)
             return True
         choice = self.paths.select(dst_host)
         if choice is None:
@@ -115,10 +155,25 @@ class TransportEndpoint:
             payload=payload,
             size=body_bytes + self.header_bytes,
             l2_dst=l2,
+            trace_id=trace_id,
         )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "frame.tx",
+                trace_id=trace_id,
+                proto=self.proto,
+                src=self.host.name,
+                dst=dst_host,
+                iface=nic.iface,
+                net=nic.segment.name,
+                bytes=frame.size,
+            )
         return nic.send(frame)
 
-    def _send_local(self, dst_port: int, payload: Any, body_bytes: int) -> None:
+    def _send_local(
+        self, dst_port: int, payload: Any, body_bytes: int,
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Loopback delivery on the same host (no NIC, tiny fixed cost)."""
         from repro.net.media import LOOPBACK
 
@@ -145,6 +200,7 @@ class TransportEndpoint:
                 payload=e.value,
                 size=body_bytes + self.header_bytes,
                 via_segment="loopback",
+                trace_id=trace_id,
             )
             binding.rx_frames += 1
             binding.inbox.try_put(frame)

@@ -37,6 +37,7 @@ class _MData:
     payload: Any
     reply_port: int
     sender: str
+    t0: float = 0.0  # virtual send time, for delivery-latency accounting
 
 
 @dataclass
@@ -92,7 +93,9 @@ class EthernetMulticast(TransportEndpoint):
             name=f"mcast-send:{self.host.name}",
         )
 
-    def _broadcast(self, dst_port: int, item: Any, body_bytes: int) -> bool:
+    def _broadcast(
+        self, dst_port: int, item: Any, body_bytes: int, trace_id=None
+    ) -> bool:
         nic = self.host.nic_on_segment(self.segment_name)
         if nic is None or not nic.up:
             return False
@@ -104,7 +107,19 @@ class EthernetMulticast(TransportEndpoint):
             dst_port=dst_port,
             payload=item,
             size=body_bytes + self.header_bytes,
+            trace_id=trace_id,
         )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "frame.tx",
+                trace_id=trace_id,
+                proto=self.proto,
+                src=self.host.name,
+                dst=BROADCAST,
+                iface=nic.iface,
+                net=nic.segment.name,
+                bytes=frame.size,
+            )
         return nic.send(frame)
 
     def _sender(self, members: List[str], dst_port: int, payload: Any, size: int):
@@ -119,7 +134,15 @@ class EthernetMulticast(TransportEndpoint):
         nsegs = max(1, -(-size // mss))
         ctrl: Store = Store(self.sim)
         self._ctrl[msg_id] = ctrl
-        self.tx_messages += 1
+        self._note_tx()
+        t0 = self.sim.now
+        tracer = self._tracer
+        trace_id = tracer.new_trace_id()
+        if tracer.enabled:
+            tracer.event(
+                "mcast.send", trace_id=trace_id, msg=msg_id, src=self.host.name,
+                members=len(members), bytes=size, nsegs=nsegs,
+            )
         try:
             done: Set[str] = set()
             rto = self.initial_rto
@@ -131,11 +154,17 @@ class EthernetMulticast(TransportEndpoint):
                     return 1
                 return min(mss, size - seq * mss)
 
-            def push(seq: int, ack_req: bool) -> bool:
+            def push(seq: int, ack_req: bool, retransmit: bool = False) -> bool:
+                if retransmit and tracer.enabled:
+                    tracer.event(
+                        "mcast.retransmit", trace_id=trace_id, msg=msg_id, seq=seq
+                    )
                 return self._broadcast(
                     dst_port,
-                    _MData(msg_id, seq, nsegs, size, ack_req, payload, self.port, self.host.name),
+                    _MData(msg_id, seq, nsegs, size, ack_req, payload,
+                           self.port, self.host.name, t0),
                     seg_bytes(seq),
+                    trace_id=trace_id,
                 )
 
             # Pace the broadcast against the NIC: blasting thousands of
@@ -164,16 +193,27 @@ class EthernetMulticast(TransportEndpoint):
                     retries = 0
                     for i, seq in enumerate(item.missing):
                         self.retransmits += 1
-                        push(seq, ack_req=(i == len(item.missing) - 1))
+                        self._note_retransmit()
+                        push(seq, ack_req=(i == len(item.missing) - 1), retransmit=True)
                 else:
                     retries += 1
                     if retries > self.max_retries:
                         missing = sorted(set(members) - done)
+                        self._m_send_errors.inc()
+                        if tracer.enabled:
+                            tracer.event(
+                                "mcast.failed", trace_id=trace_id, msg=msg_id,
+                                stragglers=missing,
+                            )
                         raise SendError(f"mcast: no confirmation from {missing}")
                     rto = min(rto * 2, 2.0)
                     # Probe: re-broadcast the last segment with ack_req set.
                     self.retransmits += 1
-                    push(nsegs - 1, ack_req=True)
+                    self._note_retransmit()
+                    push(nsegs - 1, ack_req=True, retransmit=True)
+            self._m_send_latency.observe(self.sim.now - t0)
+            if tracer.enabled:
+                tracer.event("mcast.acked", trace_id=trace_id, msg=msg_id)
             return size
         finally:
             self._ctrl.pop(msg_id, None)
@@ -213,7 +253,12 @@ class EthernetMulticast(TransportEndpoint):
             self._delivered.add(key)
             if len(self._delivered) > 8192:
                 self._delivered.clear()  # tombstone horizon
-            self.rx_messages += 1
+            self._note_rx(sent_at=data.t0)
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "mcast.deliver", trace_id=frame.trace_id, msg=data.msg_id,
+                    src=data.sender, dst=self.host.name, bytes=data.total_size,
+                )
             self._rx_queue.try_put(
                 Message(
                     src_host=data.sender,

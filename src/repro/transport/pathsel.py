@@ -37,6 +37,8 @@ class PathSelector:
         self._cache: dict = {}
         self.switches = 0  # route changes observed (E8 metric)
         self._last_choice: dict = {}
+        self._obs = host.sim.obs
+        self._m_switches = self._obs.metrics.counter("pathsel.switches")
 
     def select(self, dst_host: str) -> Optional[Tuple["NIC", str, Optional[str]]]:
         """Path to *dst_host*: (nic, dst_ip, l2_next_hop_ip_or_None).
@@ -54,6 +56,15 @@ class PathSelector:
             sig = (choice[0].iface, choice[2])
             if prev is not None and prev != sig:
                 self.switches += 1
+                self._m_switches.inc()
+                self._obs.tracer.event(
+                    "path.switch",
+                    host=self.host.name,
+                    dst=dst_host,
+                    old_iface=prev[0],
+                    new_iface=sig[0],
+                    net=choice[0].segment.name,
+                )
             self._last_choice[dst_host] = sig
         if len(self._cache) > 50_000:
             self._cache.clear()

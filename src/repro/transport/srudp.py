@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.sim.errors import Interrupt
 from repro.sim.resources import Store
@@ -40,6 +40,7 @@ class _Data:
     ack_req: bool
     payload: Any  # the message object; delivered once on completion
     reply_port: int
+    t0: float = 0.0  # virtual send time, for delivery-latency accounting
 
 
 @dataclass
@@ -82,18 +83,31 @@ class SrudpEndpoint(TransportEndpoint):
     def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
         """Reliably send a message; the returned Process event succeeds on
         full acknowledgement and fails with :class:`SendError` otherwise."""
+        # One fresh trace id per message, allocated at call time so the
+        # caller's ambient span (if any) is recorded as the parent.
+        trace_id = self._tracer.new_trace_id()
+        parent = self._tracer.current_trace_id
         return self.sim.process(
-            self._sender(dst_host, dst_port, payload, size),
+            self._sender(dst_host, dst_port, payload, size, trace_id, parent),
             name=f"srudp-send:{self.host.name}->{dst_host}",
         )
 
-    def _sender(self, dst_host: str, dst_port: int, payload: Any, size: int):
+    def _sender(self, dst_host: str, dst_port: int, payload: Any, size: int,
+                trace_id: int, parent: Optional[int] = None):
         msg_id = next(_msg_ids)
         mss = self.max_payload(dst_host)
         nsegs = max(1, -(-size // mss))
         acks: Store = Store(self.sim)
         self._ack_routes[msg_id] = acks
-        self.tx_messages += 1
+        self._note_tx()
+        t0 = self.sim.now
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.event(
+                "srudp.send", trace_id=trace_id, msg=msg_id,
+                src=self.host.name, dst=dst_host, bytes=size, nsegs=nsegs,
+                parent_trace=parent,
+            )
         try:
             unacked: Set[int] = set(range(nsegs))
             cumulative = 0
@@ -108,9 +122,15 @@ class SrudpEndpoint(TransportEndpoint):
                     return 1
                 return min(mss, size - seq * mss)
 
-            def push(seq: int, ack_req: bool) -> bool:
-                data = _Data(msg_id, seq, nsegs, size, ack_req, payload, self.port)
-                return self._send_frame(dst_host, dst_port, data, seg_bytes(seq))
+            def push(seq: int, ack_req: bool, retransmit: bool = False) -> bool:
+                data = _Data(msg_id, seq, nsegs, size, ack_req, payload, self.port, t0)
+                if retransmit and tracer.enabled:
+                    tracer.event(
+                        "srudp.retransmit", trace_id=trace_id, msg=msg_id, seq=seq
+                    )
+                return self._send_frame(
+                    dst_host, dst_port, data, seg_bytes(seq), trace_id=trace_id
+                )
 
             while unacked:
                 # Fill the window with new segments.
@@ -141,6 +161,11 @@ class SrudpEndpoint(TransportEndpoint):
                     rto = max(self.min_rto, 2.5 * self._srtt)
                     retries = 0
                     if ack.done:
+                        self._m_send_latency.observe(self.sim.now - t0)
+                        if tracer.enabled:
+                            tracer.event(
+                                "srudp.acked", trace_id=trace_id, msg=msg_id
+                            )
                         return size
                     cumulative = max(cumulative, ack.cumulative)
                     newly_acked = {
@@ -154,11 +179,18 @@ class SrudpEndpoint(TransportEndpoint):
                     missing = [s for s in ack.missing if s in unacked]
                     for i, seq in enumerate(missing):
                         self.retransmits += 1
-                        push(seq, ack_req=(i == len(missing) - 1))
+                        self._note_retransmit()
+                        push(seq, ack_req=(i == len(missing) - 1), retransmit=True)
                 else:
                     # Timeout: probe with the lowest unacked segment.
                     retries += 1
                     if retries > self.max_retries:
+                        self._m_send_errors.inc()
+                        if tracer.enabled:
+                            tracer.event(
+                                "srudp.failed", trace_id=trace_id, msg=msg_id,
+                                outstanding=len(unacked),
+                            )
                         raise SendError(
                             f"srudp: {dst_host}:{dst_port} unreachable "
                             f"(msg {msg_id}, {len(unacked)}/{nsegs} outstanding)"
@@ -166,7 +198,9 @@ class SrudpEndpoint(TransportEndpoint):
                     rto = min(rto * 2, 2.0)
                     if unacked:
                         self.retransmits += 1
-                        push(min(unacked), ack_req=True)
+                        self._note_retransmit()
+                        push(min(unacked), ack_req=True, retransmit=True)
+            self._m_send_latency.observe(self.sim.now - t0)
             return size
         finally:
             self._ack_routes.pop(msg_id, None)
@@ -207,7 +241,12 @@ class SrudpEndpoint(TransportEndpoint):
             self._done[key] = True
             while len(self._done) > 4096:
                 self._done.popitem(last=False)
-            self.rx_messages += 1
+            self._note_rx(sent_at=data.t0)
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "srudp.deliver", trace_id=frame.trace_id, msg=data.msg_id,
+                    src=frame.src.host, dst=self.host.name, bytes=data.total_size,
+                )
             self._rx_queue.try_put(
                 Message(
                     src_host=frame.src.host,
@@ -225,7 +264,11 @@ class SrudpEndpoint(TransportEndpoint):
     def _send_ack(self, frame, data: _Data, cumulative: int, missing, done: bool) -> None:
         ack = _Ack(data.msg_id, cumulative, tuple(missing), done)
         body = ACK_BODY_BYTES + ACK_MISS_BYTES * len(ack.missing)
-        self._send_frame(frame.src.host, data.reply_port, ack, body)
+        # ACKs inherit the data frame's trace id: the reverse path is part
+        # of the same causal story.
+        self._send_frame(
+            frame.src.host, data.reply_port, ack, body, trace_id=frame.trace_id
+        )
 
 
 class _RxState:

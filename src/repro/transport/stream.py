@@ -46,6 +46,7 @@ class _Seg:
     total_size: int
     payload: Any
     reply_port: int
+    t0: float = 0.0  # virtual send time, for delivery-latency accounting
 
 
 @dataclass
@@ -106,18 +107,25 @@ class _Conn:
                 item[3].fail(SendError(f"tcp: connect to {self.dst_host} failed"))
         self.rto = ep.initial_rto
         while True:
-            payload, size, mss, done_ev = yield self.outbox.get()
+            payload, size, mss, done_ev, t0, trace_id = yield self.outbox.get()
             try:
-                yield from self._send_message(payload, size, mss)
+                yield from self._send_message(payload, size, mss, t0, trace_id)
             except SendError as exc:
+                ep._m_send_errors.inc()
+                if ep._tracer.enabled:
+                    ep._tracer.event("tcp.failed", trace_id=trace_id,
+                                     dst=self.dst_host)
                 self.dead = True
                 done_ev.fail(exc)
                 return
+            ep._m_send_latency.observe(sim.now - t0)
             done_ev.succeed(size)
 
-    def _send_message(self, payload: Any, size: int, mss: int):
+    def _send_message(self, payload: Any, size: int, mss: int,
+                      t0: float, trace_id: int):
         ep = self.ep
         sim = ep.sim
+        tracer = ep._tracer
         msg_id = next(_msg_ids)
         nsegs = max(1, -(-size // mss))
         base = 0
@@ -132,12 +140,21 @@ class _Conn:
                 return 1
             return min(mss, size - seq * mss)
 
-        def push(seq: int) -> None:
+        if tracer.enabled:
+            tracer.event(
+                "tcp.send", trace_id=trace_id, msg=msg_id, conn=self.conn_id,
+                src=ep.host.name, dst=self.dst_host, bytes=size, nsegs=nsegs,
+            )
+
+        def push(seq: int, retransmit: bool = False) -> None:
+            if retransmit and tracer.enabled:
+                tracer.event("tcp.retransmit", trace_id=trace_id, msg=msg_id, seq=seq)
             ep._send_frame(
                 self.dst_host,
                 self.dst_port,
-                _Seg(self.conn_id, msg_id, seq, nsegs, size, payload, ep.port),
+                _Seg(self.conn_id, msg_id, seq, nsegs, size, payload, ep.port, t0),
                 seg_bytes(seq),
+                trace_id=trace_id,
             )
 
         while base < nsegs:
@@ -158,6 +175,8 @@ class _Conn:
                 self.srtt = rtt if self.srtt == 0 else 0.875 * self.srtt + 0.125 * rtt
                 self.rto = max(ep.min_rto, 2.5 * self.srtt)
                 if ack.done or ack.next_needed >= nsegs:
+                    if tracer.enabled:
+                        tracer.event("tcp.acked", trace_id=trace_id, msg=msg_id)
                     return
                 if ack.next_needed > base:
                     advanced = ack.next_needed - base
@@ -176,9 +195,11 @@ class _Conn:
                     if dupacks == 3:
                         # Fast retransmit + multiplicative decrease.
                         ep.fast_retransmits += 1
+                        ep._m_fast_retransmits.inc()
+                        ep._note_retransmit()
                         self.ssthresh = max(2.0, self.cwnd / 2)
                         self.cwnd = self.ssthresh
-                        push(base)
+                        push(base, retransmit=True)
                         dupacks = 0
                 else:
                     last_ack = ack.next_needed
@@ -191,6 +212,11 @@ class _Conn:
                         f"(msg {msg_id}, {base}/{nsegs} acked)"
                     )
                 ep.timeouts += 1
+                ep._m_timeouts.inc()
+                ep._note_retransmit()
+                if tracer.enabled:
+                    tracer.event("tcp.timeout", trace_id=trace_id, msg=msg_id,
+                                 base=base)
                 self.ssthresh = max(2.0, self.cwnd / 2)
                 self.cwnd = 2.0
                 self.rto = min(self.rto * 2, 2.0)
@@ -235,19 +261,29 @@ class StreamEndpoint(TransportEndpoint):
         self._rx_conns: Dict[Tuple[str, int], _RxConn] = {}
         self.fast_retransmits = 0
         self.timeouts = 0
+        self._m_fast_retransmits = self.sim.obs.metrics.counter(
+            "transport.fast_retransmits", proto=self.proto
+        )
+        self._m_timeouts = self.sim.obs.metrics.counter(
+            "transport.timeouts", proto=self.proto
+        )
 
     # -- sending ----------------------------------------------------------
     def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
         """Queue a message on the (possibly new) connection; returns an
         event that succeeds when the whole message is acknowledged."""
-        self.tx_messages += 1
+        self._note_tx()
         key = (dst_host, dst_port)
         conn = self._conns.get(key)
         if conn is None or conn.dead:
             conn = self._conns[key] = _Conn(self, dst_host, dst_port)
         done = self.sim.event()
         mss = self.max_payload(dst_host)
-        conn.outbox.try_put((payload, size, mss, done))
+        # Latency is charged from enqueue: connection queueing is part of
+        # what the application experiences.
+        conn.outbox.try_put(
+            (payload, size, mss, done, self.sim.now, self._tracer.new_trace_id())
+        )
         return done
 
     def connect(self, dst_host: str, dst_port: int) -> None:
@@ -298,6 +334,7 @@ class StreamEndpoint(TransportEndpoint):
                 rxc.reply_port,
                 _Ack(seg.conn_id, seg.msg_id, seg.nsegs, True),
                 ACK_BODY_BYTES,
+                trace_id=frame.trace_id,
             )
             return
         received.add(seg.seq)
@@ -307,7 +344,12 @@ class StreamEndpoint(TransportEndpoint):
         done = next_needed >= seg.nsegs
         rxc.msgs[seg.msg_id] = (received, done)
         if done:
-            self.rx_messages += 1
+            self._note_rx(sent_at=seg.t0)
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "tcp.deliver", trace_id=frame.trace_id, msg=seg.msg_id,
+                    src=frame.src.host, dst=self.host.name, bytes=seg.total_size,
+                )
             self._rx_queue.try_put(
                 Message(
                     src_host=frame.src.host,
@@ -324,4 +366,5 @@ class StreamEndpoint(TransportEndpoint):
             rxc.reply_port,
             _Ack(seg.conn_id, seg.msg_id, next_needed, done),
             ACK_BODY_BYTES,
+            trace_id=frame.trace_id,
         )

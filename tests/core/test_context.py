@@ -1,6 +1,5 @@
 """Integration tests: the SNIPE client library on a full site."""
 
-import pytest
 
 from repro.core import SnipeEnvironment, make_replicated_process
 from repro.daemon import TaskSpec, TaskState

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import SnipeEnvironment, make_replicated_service, service_locations
-from repro.daemon import TaskSpec, TaskState
+from repro.daemon import TaskSpec
 from repro.net.media import ETHERNET_100
 
 

@@ -1,6 +1,5 @@
 """Migration tests (§5.6): self-initiated moves with zero message loss."""
 
-import pytest
 
 from repro.core import SnipeEnvironment
 from repro.daemon import TaskSpec, TaskState

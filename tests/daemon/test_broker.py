@@ -6,7 +6,6 @@
     may handle the request itself, or refer the request to a broker."
 """
 
-import pytest
 
 from repro.daemon import TaskSpec
 from repro.daemon.daemon import DAEMON_PORT

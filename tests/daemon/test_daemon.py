@@ -4,7 +4,7 @@ import pytest
 
 from repro.daemon import ProgramRegistry, TaskSpec, TaskState
 from repro.daemon.daemon import DAEMON_PORT, SpawnError
-from repro.rpc import RpcClient, RpcError
+from repro.rpc import RpcClient
 
 from .conftest import make_site
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.daemon import ProgramRegistry, TaskSpec
+from repro.daemon import ProgramRegistry
 from repro.daemon.mcast import MAJORITY, SINGLE
 
 from .conftest import make_site
@@ -144,7 +144,6 @@ def test_recv_unjoined_group_raises():
 def test_router_change_notifies_watchers():
     """§5.2.4: processes on the group's notify list hear about new routers."""
     from repro.core import SnipeEnvironment
-    from repro.daemon import TaskSpec
 
     env = SnipeEnvironment.lan_site(n_hosts=5, n_rc=3, seed=4)
     events = []
@@ -165,7 +164,7 @@ def test_router_change_notifies_watchers():
         yield ctx.join_group("g")
         return "joined"
 
-    w = env.spawn("watcher", on="h3")
+    env.spawn("watcher", on="h3")
     env.settle(0.5)
     env.spawn("joiner", on="h1")
     env.run(until=30.0)

@@ -1,6 +1,5 @@
 """Tests for file servers, sinks/sources, replication, closest-replica reads."""
 
-import pytest
 
 from repro.files import FileClient, FileError, FileServer, ReplicationDaemon
 from repro.rcds import RCClient, RCServer

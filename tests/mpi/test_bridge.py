@@ -1,6 +1,5 @@
 """Tests for PVMPI vs MPI_Connect bridging across two MPPs."""
 
-import pytest
 
 from repro.bench.topologies import two_mpp_site
 from repro.mpi import MpiConnectBridge, MpiJob, PvmpiBridge
@@ -22,7 +21,7 @@ def cross_mpp_pingpong(site, make_bridges, n_msgs=3, size=10_000):
             for i in range(n_msgs):
                 t0 = sim.now
                 yield bridge.send(0, remote, 0, {"i": i}, tag=1, size=size)
-                reply = yield bridge.recv(0, tag=2)
+                yield bridge.recv(0, tag=2)
                 rtts.append(sim.now - t0)
             return "a-done"
         return None

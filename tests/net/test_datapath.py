@@ -136,7 +136,7 @@ def test_broadcast_reaches_all_but_sender():
         binding = h.bind("test", 7)
 
         def rx(sim, binding, name):
-            f = yield binding.get()
+            yield binding.get()
             received.append(name)
 
         sim.process(rx(sim, binding, h.name))

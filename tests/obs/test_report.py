@@ -1,0 +1,108 @@
+"""Unit tests for report rendering, export diffing, and BENCH files."""
+
+import json
+
+from repro.obs import MetricsRegistry, diff_exports, load_export, save_export
+from repro.obs.report import render_diff, render_report, write_bench_json
+
+
+def sample_export():
+    reg = MetricsRegistry()
+    reg.counter("transport.retransmits", proto="srudp").inc(5)
+    reg.gauge("daemon.load", host="h0").set(0.5)
+    h = reg.histogram("transport.msg_latency", proto="srudp")
+    for v in (0.01, 0.02, 0.04):
+        h.observe(v)
+    return reg.export()
+
+
+def test_render_report_groups_by_subsystem():
+    text = render_report(sample_export())
+    assert "-- transport --" in text
+    assert "-- daemon --" in text
+    assert "transport.retransmits" in text
+    assert "proto=srudp" in text
+    assert "p50" in text and "p99" in text
+
+
+def test_render_report_empty():
+    assert "(no metrics recorded)" in render_report({})
+
+
+def test_diff_exports_aligns_and_deltas():
+    base = sample_export()
+    reg = MetricsRegistry()
+    reg.counter("transport.retransmits", proto="srudp").inc(8)
+    reg.counter("transport.new_metric").inc(1)
+    new = reg.export()
+    rows = diff_exports(base, new)
+    by_key = {(r["metric"], r["column"]): r for r in rows}
+    retr = by_key[("transport.retransmits", "value")]
+    assert retr["base"] == 5 and retr["new"] == 8
+    assert retr["delta"] == 3
+    assert retr["pct"] == 60.0
+    # Present on one side only: other side blank, no delta.
+    only_new = by_key[("transport.new_metric", "value")]
+    assert only_new["base"] == "" and only_new["new"] == 1
+    assert "delta" not in only_new
+    only_base = by_key[("daemon.load", "value")]
+    assert only_base["new"] == ""
+    assert "transport.retransmits" in render_diff(base, new)
+
+
+def test_save_and_load_export(tmp_path):
+    export = sample_export()
+    path = tmp_path / "run.json"
+    save_export(export, str(path))
+    assert load_export(str(path)) == json.loads(json.dumps(export))
+
+
+def test_write_bench_json_and_load(tmp_path):
+    rows = [{"series": "srudp", "mbps": 11.5}]
+    path = write_bench_json(
+        "fig1", rows, str(tmp_path), wall_s=1.25, metrics=sample_export()
+    )
+    assert path.endswith("BENCH_fig1.json")
+    data = json.loads(open(path).read())
+    assert data["name"] == "fig1"
+    assert data["rows"] == rows
+    assert data["wall_s"] == 1.25
+    # load_export unwraps the metrics payload from a BENCH file.
+    assert load_export(path)["counters"]
+
+
+def test_load_bench_without_metrics_synthesizes_gauges(tmp_path):
+    """A rows-only BENCH file still renders and diffs: numeric columns
+    become bench.<name>.<col> gauges, string columns become tags."""
+    rows = [
+        {"series": "srudp", "size": 16384, "mbps": 11.5},
+        {"series": "tcp", "size": 16384, "mbps": 9.8},
+    ]
+    path = write_bench_json("fig1", rows, str(tmp_path), wall_s=2.0)
+    export = load_export(path)
+    gauges = {(g["name"], g["tags"].get("row")): g for g in export["gauges"]}
+    g = gauges[("bench.fig1.mbps", "0")]
+    assert g["value"] == 11.5
+    assert g["tags"]["series"] == "srudp"
+    assert gauges[("bench.fig1.mbps", "1")]["value"] == 9.8
+    assert ("bench.fig1.wall_s", None) in gauges
+    assert "bench.fig1.mbps" in render_report(export)
+    # Two runs of the same benchmark diff by row index.
+    new_dir = tmp_path / "new"
+    new_dir.mkdir()
+    rows2 = [dict(r, mbps=r["mbps"] + 1.0) for r in rows]
+    path2 = write_bench_json("fig1", rows2, str(new_dir), wall_s=2.0)
+    drows = diff_exports(load_export(path), load_export(path2))
+    mbps = [r for r in drows if r["metric"] == "bench.fig1.mbps"]
+    assert all(r["delta"] == 1.0 for r in mbps) and len(mbps) == 2
+
+
+def test_load_bench_dict_of_tables(tmp_path):
+    """BENCH rows may be {table: [rows]}; each sub-table gets a table tag."""
+    rows = {"summary": [{"policy": "multipath", "gap_ms": 85.0}]}
+    path = write_bench_json("failover", rows, str(tmp_path))
+    export = load_export(path)
+    (g,) = [g for g in export["gauges"] if g["name"] == "bench.failover.gap_ms"]
+    assert g["tags"]["table"] == "summary"
+    assert g["tags"]["policy"] == "multipath"
+    assert g["value"] == 85.0

@@ -1,0 +1,146 @@
+"""Acceptance tests: one logical send reconstructed end-to-end by trace id.
+
+The causal-trace contract: a transport allocates one trace id per message
+send and stamps it on every frame the message produces — first
+transmissions, selective retransmits, and reroutes over a different
+interface — so filtering the JSON trace dump on that single id yields the
+message's full story.
+"""
+
+from repro.net import ETHERNET_100, MYRINET, Medium, Topology
+from repro.obs import load_jsonl
+from repro.sim import Simulator
+from repro.transport import SrudpEndpoint
+
+
+def lossy_pair(loss_rate=0.05, seed=3):
+    medium = Medium(
+        name="lan",
+        bandwidth=ETHERNET_100.bandwidth,
+        latency=ETHERNET_100.latency,
+        mtu=ETHERNET_100.mtu,
+        frame_overhead=ETHERNET_100.frame_overhead,
+        loss_rate=loss_rate,
+    )
+    sim = Simulator(seed=seed)
+    sim.obs.tracer.enabled = True
+    topo = Topology(sim)
+    seg = topo.add_segment("lan", medium)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    topo.connect(a, seg)
+    topo.connect(b, seg)
+    return sim, topo, a, b
+
+
+def transfer(sim, a, b, size):
+    tx = SrudpEndpoint(a, 5000)
+    rx = SrudpEndpoint(b, 5000)
+    got = {}
+
+    def receiver():
+        msg = yield rx.recv()
+        got["size"] = msg.size
+
+    sim.process(receiver(), name="rx")
+    p = tx.send("b", 5000, "payload", size)
+    sim.run(until=p)
+    sim.run(until=sim.now + 0.5)
+    assert got["size"] == size
+    return tx
+
+
+def test_srudp_send_reconstructable_under_loss(tmp_path):
+    sim, topo, a, b = lossy_pair(loss_rate=0.05)
+    transfer(sim, a, b, 300_000)
+
+    tracer = sim.obs.tracer
+    sends = tracer.events(kind="srudp.send")
+    assert len(sends) == 1
+    tid = sends[0]["trace"]
+
+    story = tracer.events(trace_id=tid)
+    kinds = [r["kind"] for r in story]
+    # The full lifecycle is present under one id...
+    assert kinds[0] == "srudp.send"
+    assert "srudp.retransmit" in kinds  # 5% loss over ~200 frames must hit
+    assert "srudp.deliver" in kinds
+    assert "srudp.acked" in kinds
+    # ...with every individual frame transmission attributed to it.
+    frames = [r for r in story if r["kind"] == "frame.tx"]
+    nsegs = sends[0]["nsegs"]
+    retransmits = sum(1 for k in kinds if k == "srudp.retransmit")
+    assert len(frames) >= nsegs + retransmits  # data frames (+ final ack)
+    # Causal order holds in virtual time: send <= retransmits <= deliver.
+    t_send = story[0]["t"]
+    t_deliver = next(r["t"] for r in story if r["kind"] == "srudp.deliver")
+    for r in story:
+        if r["kind"] == "srudp.retransmit":
+            assert t_send <= r["t"] <= t_deliver
+
+    # The same reconstruction works from the JSON dump on disk.
+    path = tmp_path / "trace.jsonl"
+    sim.obs.tracer.dump_jsonl(str(path))
+    records = load_jsonl(path.read_text().splitlines())
+    replay = [r for r in records if r.get("trace") == tid]
+    assert replay == story
+
+
+def test_srudp_reroute_visible_in_one_trace():
+    """Kill the fast segment mid-transfer: the same trace id shows frames
+    on both media plus the path selector's switch event (E8 failover)."""
+    sim = Simulator(seed=11)
+    sim.obs.tracer.enabled = True
+    topo = Topology(sim)
+    eth = topo.add_segment("eth", ETHERNET_100)
+    myr = topo.add_segment("myr", MYRINET)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    for h in (a, b):
+        topo.connect(h, eth)
+        topo.connect(h, myr)
+
+    def killer():
+        yield sim.timeout(0.004)  # mid-transfer on myrinet
+        myr.up = False
+        topo.bump_version()
+
+    sim.process(killer(), name="killer")
+    transfer(sim, a, b, 2_000_000)
+
+    tracer = sim.obs.tracer
+    (send,) = tracer.events(kind="srudp.send")
+    tid = send["trace"]
+    nets = {r["net"] for r in tracer.events(trace_id=tid, kind="frame.tx")}
+    assert nets == {"myr", "eth"}  # started fast, finished on the survivor
+    switches = tracer.events(kind="path.switch")
+    assert any(s["old_iface"] != s["new_iface"] for s in switches)
+    assert sim.obs.metrics.counter("pathsel.switches").value >= 1
+    deliver = tracer.events(trace_id=tid, kind="srudp.deliver")
+    assert len(deliver) == 1
+
+
+def test_rpc_forwarding_keeps_trace_id():
+    """A frame routed through a gateway keeps its trace id: the forward
+    event carries the same id as the originating send."""
+    from repro.net import WAN_T3
+
+    sim = Simulator(seed=5)
+    sim.obs.tracer.enabled = True
+    topo = Topology(sim)
+    wan1 = topo.add_segment("wan1", WAN_T3)
+    wan2 = topo.add_segment("wan2", WAN_T3)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    gw = topo.add_host("gw", forwarding=True)
+    topo.connect(a, wan1)
+    topo.connect(gw, wan1)
+    topo.connect(gw, wan2)
+    topo.connect(b, wan2)
+    transfer(sim, a, b, 10_000)
+
+    tracer = sim.obs.tracer
+    (send,) = tracer.events(kind="srudp.send")
+    tid = send["trace"]
+    forwards = tracer.events(trace_id=tid, kind="frame.forward")
+    assert forwards and all(f["gateway"] == "gw" for f in forwards)

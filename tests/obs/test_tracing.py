@@ -1,0 +1,106 @@
+"""Unit tests for spans, trace events, and the bounded trace ring."""
+
+from repro.obs import MetricsRegistry, Observability, Tracer, load_jsonl
+
+
+def make_tracer(**kw):
+    t = [0.0]
+    tracer = Tracer(clock=lambda: t[0], enabled=True, **kw)
+    return tracer, t
+
+
+def test_span_nesting_records_parent():
+    tracer, t = make_tracer()
+    with tracer.span("outer", region="a") as outer:
+        t[0] = 1.0
+        with tracer.span("inner") as inner:
+            t[0] = 2.0
+    assert inner.parent_id == outer.span_id
+    assert inner.trace_id == outer.trace_id  # inherited, not fresh
+    records = tracer.records()
+    assert [r["name"] for r in records] == ["inner", "outer"]  # close order
+    inner_rec, outer_rec = records
+    assert inner_rec["parent"] == outer.span_id
+    assert outer_rec["t"] == 0.0 and outer_rec["end"] == 2.0
+    assert outer_rec["outcome"] == "ok"
+    assert outer_rec["region"] == "a"
+
+
+def test_span_error_outcome():
+    tracer, _ = make_tracer()
+    try:
+        with tracer.span("op"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    (rec,) = tracer.records()
+    assert rec["outcome"] == "error:ValueError"
+
+
+def test_span_manual_finish_is_idempotent():
+    tracer, t = make_tracer()
+    span = tracer.span("sync")
+    t[0] = 3.0
+    span.finish("ok")
+    span.finish("error:late")  # ignored
+    (rec,) = tracer.records()
+    assert rec["outcome"] == "ok" and rec["end"] == 3.0
+
+
+def test_span_durations_feed_metrics_even_when_disabled():
+    metrics = MetricsRegistry()
+    t = [0.0]
+    tracer = Tracer(clock=lambda: t[0], enabled=False, metrics=metrics)
+    span = tracer.span("rcds.sync")
+    t[0] = 0.25
+    span.finish()
+    assert tracer.records() == []  # no trace record while disabled
+    h = metrics.histogram("span.rcds.sync")
+    assert h.n == 1 and h.max == 0.25
+
+
+def test_event_noop_when_disabled():
+    tracer = Tracer(enabled=False)
+    tracer.event("x", foo=1)
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_ring_buffer_evicts_oldest_and_counts_drops():
+    tracer, _ = make_tracer(capacity=3)
+    for i in range(5):
+        tracer.event("e", i=i)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r["i"] for r in tracer.records()] == [2, 3, 4]
+
+
+def test_events_filter_by_trace_and_kind():
+    tracer, _ = make_tracer()
+    tid = tracer.new_trace_id()
+    other = tracer.new_trace_id()
+    tracer.event("send", trace_id=tid)
+    tracer.event("send", trace_id=other)
+    tracer.event("deliver", trace_id=tid)
+    assert len(tracer.events(trace_id=tid)) == 2
+    assert [r["kind"] for r in tracer.events(trace_id=tid, kind="deliver")] == ["deliver"]
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer, t = make_tracer()
+    tracer.event("a", x=1)
+    t[0] = 1.5
+    tracer.event("b", y="z")
+    path = tmp_path / "trace.jsonl"
+    assert tracer.dump_jsonl(str(path)) == 2
+    back = load_jsonl(path.read_text().splitlines())
+    assert back == tracer.records()
+    assert load_jsonl(tracer.to_jsonl().splitlines()) == tracer.records()
+
+
+def test_observability_bundle_export():
+    obs = Observability(clock=lambda: 1.0, trace=True, trace_capacity=10)
+    obs.metrics.counter("x.ops").inc()
+    obs.event("e")
+    out = obs.export()
+    assert out["counters"][0]["name"] == "x.ops"
+    assert out["trace"] == {"records": 1, "dropped": 0, "capacity": 10}

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import SnipeEnvironment
 from repro.daemon import TaskSpec, TaskState
@@ -57,7 +56,7 @@ def test_mobile_code_runs_and_returns_output():
 
 def test_tampered_code_rejected():
     env, keys, trust, pgs = pg_site()
-    lifn = publish_code(env, keys, "emit 1;")
+    publish_code(env, keys, "emit 1;")
     # Corrupt the stored bundle's source after signing — but integrity is
     # caught by the LIFN hash first, so instead forge a bundle signed by
     # nobody trustworthy.

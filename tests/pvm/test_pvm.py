@@ -1,6 +1,5 @@
 """Tests for the PVM baseline — including the §2.2 failure modes."""
 
-import pytest
 
 from repro.pvm import PvmError, Pvmd
 

@@ -1,6 +1,5 @@
 """Integration tests: RC servers + clients over the simulated network."""
 
-import pytest
 
 from repro.rcds import ALL, MASTER, ONE, QUORUM, ConsistencyError, RCClient, RCServer
 from repro.rcds.lifn import LifnRegistry

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import SnipeEnvironment
 from repro.daemon import TaskSpec, TaskState

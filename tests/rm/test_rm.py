@@ -1,9 +1,7 @@
 """Tests for resource managers: selection, modes, goals, redundancy, migration."""
 
-import pytest
 
 from repro.daemon import ProgramRegistry, TaskSpec, TaskState
-from repro.rcds import RCClient
 from repro.rm import AllocationError, ResourceManager, RmClient
 from repro.rm.selection import rank_hosts
 
@@ -188,5 +186,4 @@ def test_rm_migration_preserves_urn_and_state():
     assert new_info.exit_value == 30  # finished the FULL count across hosts
     # It resumed from the checkpoint, not from zero: total CPU across both
     # hosts is ~30 steps worth, not ~60.
-    old_cpu = daemons[old_idx].tasks[result["urn"]].spec
     assert (new_info.spec.initial_state or {}).get("i", 0) > 0

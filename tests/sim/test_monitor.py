@@ -28,7 +28,19 @@ def test_timeseries_empty_and_single():
     ts = TimeSeries("x")
     assert ts.mean() == 0.0 and ts.rate() == 0.0
     ts.record(5.0, 1.0)
-    assert ts.rate() == 0.0  # span is zero
+    assert ts.rate() == 0.0  # a single sample has no span
+
+
+def test_timeseries_rate_identical_timestamps():
+    """A burst recorded at one instant must not report a 0.0 rate: the
+    span falls back to RATE_EPSILON, so the rate is huge but finite."""
+    ts = TimeSeries("burst")
+    ts.record(2.0, 10.0)
+    ts.record(2.0, 30.0)
+    assert ts.rate() == pytest.approx(40.0 / TimeSeries.RATE_EPSILON)
+    # A real span still divides normally.
+    ts.record(4.0, 40.0)
+    assert ts.rate() == pytest.approx(80.0 / 2.0)
 
 
 def test_probe_welford():
@@ -54,13 +66,32 @@ def test_trace_monitor_registry_and_snapshot():
     assert snap["counter.ops"] == 3.0
     assert snap["probe.rtt.mean"] == 1.5
     mon.trace("event", {"x": 1})
-    assert mon.trace_log == [(0.0, "event", {"x": 1})]
+    assert list(mon.trace_log) == [(0.0, "event", {"x": 1})]
 
 
 def test_trace_disabled_records_nothing():
     mon = TraceMonitor(None, trace=False)
     mon.trace("ignored")
-    assert mon.trace_log == []
+    assert list(mon.trace_log) == []
+
+
+def test_trace_log_ring_buffer_eviction():
+    mon = TraceMonitor(None, trace=True, trace_capacity=3)
+    for i in range(5):
+        mon.trace("e", {"i": i})
+    assert [data["i"] for _, _, data in mon.trace_log] == [2, 3, 4]
+    assert mon.trace_dropped == 2
+
+
+def test_trace_monitor_span_and_histogram_delegate():
+    sim = Simulator()
+    mon = TraceMonitor(sim)
+    with mon.span("phase", stage="x"):
+        pass
+    mon.histogram("queue.wait").observe(0.5)
+    snap = mon.snapshot()
+    assert snap["span.phase.count"] == 1.0
+    assert snap["queue.wait.p50"] == 0.5
 
 
 def test_defuse_suppresses_background_crash():

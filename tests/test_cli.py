@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 
 def run_cli(*args, timeout=120):
@@ -36,3 +35,29 @@ def test_no_command_prints_usage():
 def test_unknown_command_prints_usage():
     result = run_cli("bogus")
     assert result.returncode == 2
+
+
+def test_obs_report_demo_scenario(tmp_path):
+    out = tmp_path / "run.json"
+    result = run_cli("obs", "report", "--json", str(out))
+    assert result.returncode == 0
+    # Per-transport latency percentiles and retransmit counts (the demo
+    # runs srudp, tcp, and mcast under 5% loss, so all three appear).
+    assert "p50" in result.stdout and "p99" in result.stdout
+    assert "transport.msg_latency" in result.stdout
+    assert "transport.retransmits" in result.stdout
+    for proto in ("proto=srudp", "proto=tcp", "proto=mcast"):
+        assert proto in result.stdout
+    assert out.is_file()
+
+
+def test_obs_report_renders_saved_export_and_diff(tmp_path):
+    out = tmp_path / "run.json"
+    assert run_cli("obs", "report", "--json", str(out)).returncode == 0
+    rendered = run_cli("obs", "report", str(out))
+    assert rendered.returncode == 0
+    assert "transport.msg_latency" in rendered.stdout
+    diff = run_cli("obs", "diff", str(out), str(out))
+    assert diff.returncode == 0
+    assert "delta" in diff.stdout
+    assert "transport.retransmits" in diff.stdout

@@ -1,6 +1,5 @@
 """Unit tests for unreliable datagrams."""
 
-from repro.net import Medium
 from repro.transport import DatagramEndpoint
 
 from .conftest import make_lan

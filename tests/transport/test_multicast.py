@@ -1,6 +1,5 @@
 """Unit tests for the experimental Ethernet multicast protocol."""
 
-import pytest
 
 from repro.transport import EthernetMulticast, SendError
 
@@ -53,7 +52,7 @@ def test_loss_recovery_all_members_complete():
     done = []
 
     def receiver(sim, ep, name):
-        msg = yield ep.recv()
+        yield ep.recv()
         done.append(name)
 
     for h, ep in zip(hosts[1:], eps[1:]):

@@ -1,10 +1,8 @@
 """Unit tests for the selective-resend UDP transport."""
 
-import pytest
 
 from repro.transport import SendError, SrudpEndpoint
 
-from .conftest import make_lan
 
 
 def test_small_message_roundtrip(lan):

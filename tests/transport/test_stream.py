@@ -1,6 +1,5 @@
 """Unit tests for the TCP-like stream transport."""
 
-import pytest
 
 from repro.transport import SendError, SrudpEndpoint, StreamEndpoint
 
@@ -96,7 +95,7 @@ def test_reconnect_after_dead_connection(lan):
     """A failed connection is replaced on the next send."""
     sim, topo, (a, b) = lan
     tx = StreamEndpoint(a, 6000, initial_rto=0.005, max_retries=2)
-    rx = StreamEndpoint(b, 6000)
+    StreamEndpoint(b, 6000)
     b.crash()
 
     def scenario(sim):
