@@ -1,0 +1,19 @@
+"""E11 — MTTR of lease-detected crash + checkpoint restart (§5.2.3, §5.6)."""
+
+from repro.bench.e11_recovery import recovery_mttr
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e11_recovery_mttr(benchmark):
+    rows = run_once(benchmark, recovery_mttr)
+    print_table("E11: recovery MTTR vs heartbeat lease TTL", rows)
+    assert all(r["within_bound"] for r in rows)
+    # Detection dominates MTTR, and it tracks the lease TTL: a shorter
+    # lease must not recover slower than a lease 4x as long.
+    by_ttl = {r["lease_ttl_s"]: r for r in rows}
+    assert by_ttl[1.5]["mttr_s"] < by_ttl[6.0]["mttr_s"]
+    # Detection can never beat the lease itself.
+    for r in rows:
+        assert r["detect_s"] >= 0.0

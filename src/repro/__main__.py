@@ -9,6 +9,8 @@ Commands:
 * ``info`` — package and inventory summary.
 * ``obs`` — observability reports: ``obs report [export.json]`` and
   ``obs diff BASE NEW`` (see :mod:`repro.obs.cli`).
+* ``chaos`` — seeded fault injection with invariant checking:
+  ``chaos run --seed N`` and ``chaos sweep`` (see :mod:`repro.robust.cli`).
 """
 
 from __future__ import annotations
@@ -86,8 +88,12 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.robust.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     if not argv or argv[0] not in commands:
-        print("usage: python -m repro {examples|experiments|fig1|info|obs}")
+        print("usage: python -m repro {examples|experiments|fig1|info|obs|chaos}")
         return 2
     return commands[argv[0]]()
 

@@ -28,6 +28,27 @@ def checkpoint_lifn(urn: str) -> str:
     return f"checkpoints/{urn.rsplit(':', 1)[-1]}.ckpt"
 
 
+def spec_from_record(record: dict, keep_urn: bool = True) -> TaskSpec:
+    """Reconstruct a spawnable :class:`TaskSpec` from a checkpoint record.
+
+    Used by :func:`restart_from_files` and by the Guardian when it
+    respawns a dead task on a fresh host.
+    """
+    return TaskSpec(
+        program=record["program"],
+        params=record["params"],
+        arch=record["arch"],
+        os=record["os"],
+        min_memory=record["min_memory"],
+        cpu_quota=record["cpu_quota"],
+        memory_quota=record["memory_quota"],
+        mobile_code=record["mobile_code"],
+        owner=record["owner"],
+        initial_state=dict(record["state"]),
+        urn_override=record["urn"] if keep_urn else None,
+    )
+
+
 def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replicas: int = 2):
     """Write this task's checkpoint to the file service (a process).
 
@@ -72,8 +93,12 @@ def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replica
         if written == 0:
             raise RuntimeError(f"checkpoint {lifn!r}: no file server reachable")
         # Register the checkpoint in the process's own metadata so a
-        # resource manager can find it after the host dies.
-        yield ctx.rc.update(ctx.urn, {"checkpoint-lifn": lifn})
+        # resource manager or Guardian can find it after the host dies.
+        yield ctx.rc.update(ctx.urn, {"checkpoint-lifn": lifn, "checkpoint-at": ctx.sim.now})
+        # A checkpointed task is recoverable — from now on a Guardian may
+        # respawn it, so watch for the fence that would make us a zombie.
+        if hasattr(ctx, "enable_supervision"):
+            ctx.enable_supervision()
         return lifn
 
     return ctx.sim.process(go(), name=f"ckpt:{ctx.urn}")
@@ -89,20 +114,7 @@ def restart_from_files(host: "Host", rc: "RCClient", lifn: str, keep_urn: bool =
     def go():
         fc = FileClient(host, rc)
         got = yield fc.read(lifn)
-        record = got["payload"]
-        spec = TaskSpec(
-            program=record["program"],
-            params=record["params"],
-            arch=record["arch"],
-            os=record["os"],
-            min_memory=record["min_memory"],
-            cpu_quota=record["cpu_quota"],
-            memory_quota=record["memory_quota"],
-            mobile_code=record["mobile_code"],
-            owner=record["owner"],
-            initial_state=dict(record["state"]),
-            urn_override=record["urn"] if keep_urn else None,
-        )
+        spec = spec_from_record(got["payload"], keep_urn=keep_urn)
         client = RpcClient(host)
         try:
             result = yield client.call(

@@ -18,6 +18,7 @@ from repro.daemon.tasks import ProgramRegistry, TaskInfo, TaskSpec
 from repro.files.client import FileClient
 from repro.files.replicate import ReplicationDaemon
 from repro.files.server import FileServer
+from repro.guardian.guardian import GUARDIAN_PORT, Guardian
 from repro.net.failures import FailureInjector
 from repro.net.media import ETHERNET_100, Medium
 from repro.net.segment import Segment
@@ -46,6 +47,7 @@ class SnipeEnvironment:
         self.file_servers: Dict[str, FileServer] = {}
         self.replication_daemons: Dict[str, ReplicationDaemon] = {}
         self.rms: Dict[str, ResourceManager] = {}
+        self.guardians: Dict[str, Guardian] = {}
         self._clients: Dict[str, RCClient] = {}
 
     # -- topology ---------------------------------------------------------
@@ -122,6 +124,20 @@ class SnipeEnvironment:
         )
         self.rms[host_name] = rm
         return rm
+
+    def add_guardian(self, host_name: str, port: int = GUARDIAN_PORT, **kw) -> Guardian:
+        """Place a guardian on a host (boot its daemon first so notify
+        delivery works); run at least two for a self-healing site."""
+        guardian = Guardian(
+            self.topology.hosts[host_name],
+            self.rc_client(host_name),
+            daemon=self.daemons.get(host_name),
+            port=port,
+            secret=self.secret,
+            **kw,
+        )
+        self.guardians[host_name] = guardian
+        return guardian
 
     # -- clients for hosts/programs ------------------------------------------
     def file_client(self, host_name: str) -> FileClient:

@@ -89,6 +89,11 @@ class SnipeContext(TaskContext):
         self._next_seq: Dict[Tuple[str, int], int] = {}
         #: Out-of-order arrivals held until their predecessors land.
         self._ooo: Dict[Tuple[str, int], Dict[int, Envelope]] = {}
+        #: Highest incarnation seen per source URN. Envelopes from an
+        #: older incarnation are *fenced* (dropped): once the Guardian has
+        #: restarted a task, the zombie original's late messages must not
+        #: interleave with the successor's stream.
+        self._max_inc: Dict[str, int] = {}
         #: This context's incarnation (carried across live migration,
         #: fresh after a checkpoint restart).
         self.incarnation = next(_incarnations)
@@ -101,6 +106,8 @@ class SnipeContext(TaskContext):
         self.msgs_sent = 0
         self.msgs_received = 0
         self.msgs_deduped = 0
+        self.msgs_fenced = 0
+        self._fence_watch_proc = None
         # Restore communication state shipped by a migration.
         comm = self.checkpoint_state.pop("__comm__", None)
         if comm is not None:
@@ -108,6 +115,7 @@ class SnipeContext(TaskContext):
             self._send_seq = dict(comm["send_seq"])
             self._next_seq = dict(comm["next_seq"])
             self._ooo = {k: dict(v) for k, v in comm["ooo"].items()}
+            self._max_inc = dict(comm.get("max_inc", {}))
             self.incarnation = comm["incarnation"]
         self._rx_proc = self.sim.process(self._rx_loop(), name=f"ctx-rx:{self.urn}")
         if self.rc is not None:
@@ -121,8 +129,47 @@ class SnipeContext(TaskContext):
                 "comm-host": self.host.name,
                 "comm-port": self.port,
                 "comm-addresses": [str(a) for a in self.host.addresses],
+                "incarnation": self.incarnation,
             },
         )
+
+    # -- supervision (Guardian fencing, §5.6) -------------------------------------
+    #: Cadence of the fenced-below check while supervised.
+    fence_watch_interval = 1.0
+
+    def enable_supervision(self) -> None:
+        """Start watching our own RC record for a Guardian fence.
+
+        Called when the task first checkpoints (that is the moment it
+        becomes recoverable, hence the moment a successor could exist).
+        When a Guardian writes ``fenced-below: N`` with N > our
+        incarnation, this instance has been superseded and terminates
+        itself quietly via :meth:`SnipeDaemon.fence` — covering the
+        zombie case where the "dead" host was merely partitioned.
+        """
+        if self._fence_watch_proc is not None or self.rc is None:
+            return
+        self._fence_watch_proc = self.sim.process(
+            self._fence_watch(), name=f"fence-watch:{self.urn}"
+        )
+
+    def _fence_watch(self):
+        try:
+            while self.info.state not in TaskState.TERMINAL:
+                yield self.sim.timeout(self.fence_watch_interval)
+                if self.info.state in TaskState.TERMINAL:
+                    return
+                try:
+                    fence = yield self.rc.get(self.urn, "fenced-below")
+                except Exception:
+                    continue  # catalog unreachable (e.g. partitioned); keep trying
+                if fence is not None and self.incarnation < fence:
+                    # Pass ourselves so a displaced zombie cannot fence a
+                    # successor that reused its URN on this daemon.
+                    self.daemon.fence(self.urn, "superseded", ctx=self)
+                    return
+        except Interrupt:
+            return
 
     # -- resolution -------------------------------------------------------------
     def _resolve(self, dst_urn: str):
@@ -242,6 +289,15 @@ class SnipeContext(TaskContext):
         per-destination serialization guarantees the sync cannot skip an
         in-flight earlier message.
         """
+        max_inc = self._max_inc.get(env.src_urn, 0)
+        if env.src_inc < max_inc:
+            # A newer incarnation of this source has already spoken: the
+            # sender is a fenced zombie and its stragglers are dropped.
+            self.msgs_fenced += 1
+            self.sim.obs.metrics.counter("ctx.msgs_fenced").inc()
+            return
+        if env.src_inc > max_inc:
+            self._max_inc[env.src_urn] = env.src_inc
         key = (env.src_urn, env.src_inc)
         expected = self._next_seq.get(key)
         if expected is None:
@@ -390,6 +446,7 @@ class SnipeContext(TaskContext):
             "send_seq": dict(self._send_seq),
             "next_seq": dict(self._next_seq),
             "ooo": {k: dict(v) for k, v in self._ooo.items()},
+            "max_inc": dict(self._max_inc),
             "incarnation": self.incarnation,
         }
         state = dict(self.checkpoint_state)

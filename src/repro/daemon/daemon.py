@@ -60,6 +60,7 @@ class SnipeDaemon:
         programs: ProgramRegistry,
         secret: Optional[bytes] = None,
         load_interval: float = 1.0,
+        lease_ttl: float = 3.0,
         context_factory: Optional[Callable[["SnipeDaemon", TaskInfo], TaskContext]] = None,
     ) -> None:
         self.sim = host.sim
@@ -67,6 +68,12 @@ class SnipeDaemon:
         self.rc = rc
         self.programs = programs
         self.load_interval = load_interval
+        #: Heartbeat lease horizon: each load-loop tick re-asserts
+        #: ``lease-expires = now + lease_ttl`` in the host's metadata. A
+        #: host whose lease has lapsed is presumed dead by the Guardian
+        #: (and skipped by RM placement) — the paper's failure-detection
+        #: window made explicit.
+        self.lease_ttl = lease_ttl
         self.context_factory = context_factory or TaskContext
         self.url = uri_mod.daemon_url(host.name)
         self.tasks: Dict[str, TaskInfo] = {}
@@ -90,6 +97,7 @@ class SnipeDaemon:
         self.rpc = RpcServer(host, DAEMON_PORT, secret=secret)
         self.rpc.register("daemon.spawn", self._h_spawn)
         self.rpc.register("daemon.kill", self._h_kill)
+        self.rpc.register("daemon.fence", self._h_fence)
         self.rpc.register("daemon.signal", self._h_signal)
         self.rpc.register("daemon.suspend", self._h_suspend)
         self.rpc.register("daemon.resume", self._h_resume)
@@ -102,7 +110,11 @@ class SnipeDaemon:
         self.rpc.register("daemon.migrate_out", self._h_migrate_out)
         self._client = RpcClient(host, secret=secret)
 
+        #: Deaths we could not publish because the host itself was down;
+        #: reconciled (carefully — a successor may exist) on recovery.
+        self._unpublished: set = set()
         host.on_crash.append(self._on_host_crash)
+        host.on_recover.append(self._on_host_recover)
         if rc is not None:
             self.sim.process(self._register_host(), name=f"daemon-reg:{host.name}")
             self.sim.process(self._load_loop(), name=f"daemon-load:{host.name}")
@@ -130,6 +142,7 @@ class SnipeDaemon:
             "data-formats": ["xdr"],
             "protocols": ["srudp", "tcp", "udp"],
             "interfaces": interfaces,
+            "lease-expires": self.sim.now + self.lease_ttl,
         }
 
     def _register_host(self):
@@ -147,7 +160,11 @@ class SnipeDaemon:
             try:
                 yield self.rc.update(
                     uri_mod.host_url(self.host.name),
-                    {"load": self.load(), "tasks": len(self.running_tasks())},
+                    {
+                        "load": self.load(),
+                        "tasks": len(self.running_tasks()),
+                        "lease-expires": self.sim.now + self.lease_ttl,
+                    },
                 )
             except Exception:
                 continue
@@ -193,6 +210,13 @@ class SnipeDaemon:
         return info
 
     def _launch(self, info: TaskInfo, ctx: TaskContext, gen) -> None:
+        stale = self.tasks.get(info.urn)
+        if stale is not None and stale.state not in TaskState.TERMINAL:
+            # Respawn of an URN we still host: whatever runs here is a
+            # superseded incarnation (e.g. a partition zombie that the
+            # Guardian replaced). Fence it before it loses its map entry,
+            # or it could never be stopped through the daemon again.
+            self.fence(info.urn, "superseded")
         self._m_spawns.inc()
         if self.sim.obs.tracer.enabled:
             self.sim.obs.tracer.event(
@@ -246,6 +270,39 @@ class SnipeDaemon:
         self._fire_notifications(info)
         return True
 
+    def fence(self, urn: str, reason: str = "fenced", ctx=None) -> bool:
+        """Quietly terminate a superseded incarnation (§5.6 fencing).
+
+        Unlike :meth:`kill` this publishes *nothing*: the Guardian has
+        already respawned the task elsewhere and rewritten its RC record,
+        so any write from this corpse would win the last-writer-wins race
+        and advertise a dead location. Watchers likewise hear from the
+        successor, not the corpse.
+
+        *ctx*, when given, is the calling context fencing itself: if the
+        daemon's registration for *urn* no longer points at it (a newer
+        incarnation respawned here and displaced it), the call is a no-op
+        so a zombie can never fence its own successor through the maps.
+        """
+        if ctx is not None and self.contexts.get(urn) is not ctx:
+            return False
+        info = self.tasks.get(urn)
+        proc = self._procs.get(urn)
+        if info is None or info.state in TaskState.TERMINAL:
+            return False
+        info.fenced = True
+        info.state = TaskState.KILLED
+        info.error = reason
+        info.ended_at = self.sim.now
+        if proc is not None and proc.is_alive:
+            proc.interrupt(reason)
+        self.sim.obs.metrics.counter("daemon.fenced").inc()
+        if self.sim.obs.tracer.enabled:
+            self.sim.obs.tracer.event(
+                "daemon.fence", host=self.host.name, urn=urn, reason=reason
+            )
+        return True
+
     def suspend(self, urn: str) -> bool:
         info = self.tasks.get(urn)
         ctx = self.contexts.get(urn)
@@ -282,7 +339,7 @@ class SnipeDaemon:
 
     # -- RC publication & notifications -----------------------------------------
     def _publish_process(self, info: TaskInfo) -> None:
-        if self.rc is None or not self.host.up:
+        if self.rc is None or not self.host.up or info.fenced:
             return
         assertions = {
             "state": info.state,
@@ -295,7 +352,7 @@ class SnipeDaemon:
         defuse(self.rc.update(info.urn, assertions))
 
     def _fire_notifications(self, info: TaskInfo) -> None:
-        if self.rc is None or not self.host.up:
+        if self.rc is None or not self.host.up or info.fenced:
             return
         defuse(
             self.sim.process(
@@ -338,11 +395,54 @@ class SnipeDaemon:
             info.state = TaskState.KILLED
             info.error = "host-crash"
             info.ended_at = self.sim.now
+            self._unpublished.add(urn)
             proc = self._procs.get(urn)
             if proc is not None and proc.is_alive:
                 proc.interrupt("host-crash")
         # No RC update, no notifications: the host is dead. Watchers learn
-        # from timeouts and stale metadata — exactly the paper's model.
+        # from timeouts, lapsed leases, and stale metadata — exactly the
+        # paper's model. If the host later recovers, _on_host_recover
+        # reconciles these deaths against the catalog.
+
+    def _on_host_recover(self, host) -> None:
+        if self.rc is None or not self._unpublished:
+            return
+        defuse(self.sim.process(self._reconcile(), name=f"daemon-reconcile:{self.host.name}"))
+
+    def _reconcile(self):
+        """After a crash+recovery, report locally-known deaths — but only
+        for tasks the catalog still attributes to *this* host and this
+        instance. If a Guardian already respawned the task elsewhere (or a
+        newer incarnation exists anywhere), a write from us would clobber
+        the successor's record under last-writer-wins, so we stay silent.
+        """
+        pending, self._unpublished = self._unpublished, set()
+        for urn in sorted(pending):
+            info = self.tasks.get(urn)
+            if info is None or info.fenced:
+                continue
+            try:
+                meta = yield self.rc.lookup(urn, consistency="quorum")
+            except Exception:
+                self._unpublished.add(urn)  # catalog unreachable; retry next recovery
+                continue
+
+            def val(key):
+                entry = meta.get(key)
+                return entry["value"] if entry else None
+
+            if val("host") != self.host.name or val("state") != TaskState.RUNNING:
+                continue  # a successor (or someone else) owns the record now
+            inc = val("incarnation")
+            ctx = self.contexts.get(urn)
+            local_inc = getattr(ctx, "incarnation", None)
+            if inc is not None and local_inc is not None and inc > local_inc:
+                continue  # record belongs to a newer incarnation
+            fence = val("fenced-below")
+            if fence is not None and local_inc is not None and local_inc < fence:
+                continue  # a Guardian is already respawning this task
+            self._publish_process(info)
+            self._fire_notifications(info)
 
     # -- RPC handlers -----------------------------------------------------------
     def set_brokers(self, brokers) -> None:
@@ -382,6 +482,9 @@ class SnipeDaemon:
 
     def _h_kill(self, args: Dict) -> bool:
         return self.kill(args["urn"], args.get("reason", "killed"))
+
+    def _h_fence(self, args: Dict) -> bool:
+        return self.fence(args["urn"], args.get("reason", "fenced"))
 
     def _h_signal(self, args: Dict) -> bool:
         return self.signal(args["urn"], args["signal"])

@@ -82,6 +82,12 @@ class TaskInfo:
     memory_used: float = 0.0
     started_at: float = 0.0
     ended_at: Optional[float] = None
+    #: True when this instance was terminated because a newer incarnation
+    #: superseded it (Guardian fencing). Fenced deaths are never published
+    #: to RC — the catalog already names the successor, and a later write
+    #: from the corpse would win the last-writer-wins race and advertise a
+    #: dead location.
+    fenced: bool = False
 
 
 def new_task_urn(spec: TaskSpec, host: str) -> str:

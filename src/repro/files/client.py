@@ -13,6 +13,7 @@ from repro.files.server import FILE_PORT
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import RCClient
 from repro.rcds.lifn import LifnRegistry
+from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcClient, RpcError
 from repro.security.hashes import content_hash
 
@@ -27,13 +28,23 @@ class FileError(Exception):
 class FileClient:
     """File operations from one host against the replicated file service."""
 
-    def __init__(self, host: "Host", rc: RCClient, secret: Optional[bytes] = None) -> None:
+    def __init__(
+        self,
+        host: "Host",
+        rc: RCClient,
+        secret: Optional[bytes] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.sim = host.sim
         self.host = host
         self.rc = rc
         self.lifns = LifnRegistry(rc)
         self._rpc = RpcClient(host, secret=secret)
         self.integrity_failures = 0
+        #: Rounds over the replica set; a round where every replica fails
+        #: (FileError) is retried under this policy.
+        self.retry = retry or RetryPolicy.single()
+        self._rng = host.sim.rng.stream(f"file-client.{host.name}")
 
     # -- server discovery ---------------------------------------------------
     def file_servers(self):
@@ -55,20 +66,28 @@ class FileClient:
         return self.sim.process(self._write(lifn, payload, size, server), name=f"fwrite:{lifn}")
 
     def _write(self, lifn: str, payload: Any, size: int, server: Optional[tuple]):
-        if server is None:
-            servers = yield from self._file_servers()
-            if not servers:
-                raise FileError("no file servers registered")
-            local = [s for s in servers if s[0] == self.host.name]
-            server = local[0] if local else servers[0]
-        try:
-            result = yield self._rpc.call(
-                server[0], server[1], "file.put",
-                timeout=5.0, _size=size, name=lifn, payload=payload, size=size,
+        def one_round(_attempt: int):
+            target = server
+            if target is None:
+                servers = yield from self._file_servers()
+                if not servers:
+                    raise FileError("no file servers registered")
+                local = [s for s in servers if s[0] == self.host.name]
+                target = local[0] if local else servers[0]
+            try:
+                result = yield self._rpc.call(
+                    target[0], target[1], "file.put",
+                    timeout=5.0, _size=size, name=lifn, payload=payload, size=size,
+                )
+            except RpcError as exc:
+                raise FileError(f"write {lifn!r} to {target}: {exc}") from None
+            return result
+
+        return (
+            yield from self.retry.run(
+                self.sim, one_round, retry_on=(FileError,), rng=self._rng, op="file.put"
             )
-        except RpcError as exc:
-            raise FileError(f"write {lifn!r} to {server}: {exc}") from None
-        return result
+        )
 
     # -- read ---------------------------------------------------------------------
     def read(self, lifn: str, verify: bool = True):
@@ -76,41 +95,48 @@ class FileClient:
         return self.sim.process(self._read(lifn, verify), name=f"fread:{lifn}")
 
     def _read(self, lifn: str, verify: bool):
-        locations = yield self.lifns.locations(lifn)
-        if not locations:
-            raise FileError(f"no replicas registered for {lifn!r}")
-        expected_hash = yield self.lifns.content_hash(lifn)
-        # Closest-first ordering (§6).
-        topo = self.host.topology
+        def one_round(_attempt: int):
+            locations = yield self.lifns.locations(lifn)
+            if not locations:
+                raise FileError(f"no replicas registered for {lifn!r}")
+            expected_hash = yield self.lifns.content_hash(lifn)
+            # Closest-first ordering (§6).
+            topo = self.host.topology
 
-        def rank(url: str) -> int:
-            h = uri_mod.host_of(url)
-            if h == self.host.name:
-                return 0
-            if h in topo.hosts and topo.shared_segments(self.host.name, h):
-                return 1
-            return 2
+            def rank(url: str) -> int:
+                h = uri_mod.host_of(url)
+                if h == self.host.name:
+                    return 0
+                if h in topo.hosts and topo.shared_segments(self.host.name, h):
+                    return 1
+                return 2
 
-        errors = []
-        for url in sorted(locations, key=lambda u: (rank(u), u)):
-            server_host = uri_mod.host_of(url)
-            if server_host is None:
-                continue
-            try:
-                result = yield self._rpc.call(
-                    server_host, FILE_PORT, "file.get", timeout=2.0, name=lifn
-                )
-            except RpcError as exc:
-                errors.append(f"{url}: {exc}")
-                continue
-            if verify and expected_hash is not None:
-                if content_hash(result["payload"]) != expected_hash:
-                    self.integrity_failures += 1
-                    errors.append(f"{url}: integrity check failed")
+            errors = []
+            for url in sorted(locations, key=lambda u: (rank(u), u)):
+                server_host = uri_mod.host_of(url)
+                if server_host is None:
                     continue
-            result["location"] = url
-            return result
-        raise FileError(f"all replicas of {lifn!r} failed: {errors}")
+                try:
+                    result = yield self._rpc.call(
+                        server_host, FILE_PORT, "file.get", timeout=2.0, name=lifn
+                    )
+                except RpcError as exc:
+                    errors.append(f"{url}: {exc}")
+                    continue
+                if verify and expected_hash is not None:
+                    if content_hash(result["payload"]) != expected_hash:
+                        self.integrity_failures += 1
+                        errors.append(f"{url}: integrity check failed")
+                        continue
+                result["location"] = url
+                return result
+            raise FileError(f"all replicas of {lifn!r} failed: {errors}")
+
+        return (
+            yield from self.retry.run(
+                self.sim, one_round, retry_on=(FileError,), rng=self._rng, op="file.get"
+            )
+        )
 
     # -- sink/source conveniences (§5.9) ------------------------------------------
     def open_write(self, lifn: str, server_host: str, file_server) -> tuple:

@@ -1,0 +1,11 @@
+"""Self-healing supervision: the Guardian service.
+
+Guardians watch the heartbeat leases the host daemons keep in RC
+metadata, detect dead hosts within a bounded window, and restart their
+checkpointed tasks elsewhere — fencing the old incarnation so a zombie
+original can never double-execute. See :mod:`repro.guardian.guardian`.
+"""
+
+from repro.guardian.guardian import GUARDIAN_PORT, Guardian
+
+__all__ = ["GUARDIAN_PORT", "Guardian"]

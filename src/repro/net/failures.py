@@ -3,12 +3,24 @@
 This is the stand-in for the paper's unreliable Internet: experiments E3,
 E5, E7 and E8 use it to kill hosts, cut segments, and partition the
 network, either at fixed times (reproducible scenarios) or as a Poisson
-failure/repair process (availability measurements).
+failure/repair process (availability measurements). The chaos harness
+(:mod:`repro.robust.chaos`) layers seeded schedules of all three on top.
+
+Concurrent scripts are safe: each host/segment carries a hold *refcount*,
+so a scheduled ``host_down_at`` overlapping ``churn_hosts`` on the same
+host neither re-crashes an already-down host nor "recovers" a host that
+another script still holds down — the overlapping action is skipped and
+logged (``*_skipped`` log entries, ``failures.skipped`` counter).
+
+Every injected event is also emitted into the observability layer
+(counters ``failures.host_down|host_up|segment_down|segment_up`` and
+trace events), so ``obs report`` shows the fault timeline alongside the
+latency tables it produced.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.topology import Topology
@@ -23,6 +35,16 @@ class FailureInjector:
         self.topology = topology
         self._rng = sim.rng.stream("failures")
         self.log: List[Tuple[float, str, str]] = []
+        #: Hold refcounts: how many injection scripts currently want this
+        #: host/segment down. Transitions happen only at 0 <-> 1.
+        self._host_holds: Dict[str, int] = {}
+        self._segment_holds: Dict[str, int] = {}
+        metrics = sim.obs.metrics
+        self._m_host_down = metrics.counter("failures.host_down")
+        self._m_host_up = metrics.counter("failures.host_up")
+        self._m_segment_down = metrics.counter("failures.segment_down")
+        self._m_segment_up = metrics.counter("failures.segment_up")
+        self._m_skipped = metrics.counter("failures.skipped")
 
     # -- scheduled one-shots -----------------------------------------------
     def host_down_at(self, t: float, host: str, duration: Optional[float] = None) -> None:
@@ -50,7 +72,8 @@ class FailureInjector:
         self.sim.process(script(), name=f"fail:segment:{segment}")
 
     def partition_at(
-        self, t: float, side_a: Iterable[str], side_b: Iterable[str], duration: Optional[float] = None
+        self, t: float, side_a: Iterable[str], side_b: Iterable[str],
+        duration: Optional[float] = None,
     ) -> None:
         """Partition: cut every segment with NICs from both host sets."""
         side_a, side_b = set(side_a), set(side_b)
@@ -98,20 +121,62 @@ class FailureInjector:
             self._host_up(host)
 
     # -- primitives --------------------------------------------------------
+    def _trace(self, kind: str, name: str) -> None:
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.event(f"failure.{kind}", target=name)
+
     def _host_down(self, name: str) -> None:
+        holds = self._host_holds.get(name, 0)
+        self._host_holds[name] = holds + 1
+        if holds:
+            # Another script already holds this host down; stacking the
+            # hold is enough — crashing a corpse would double-run cleanups.
+            self.log.append((self.sim.now, "host_down_skipped", name))
+            self._m_skipped.inc()
+            return
         self.topology.hosts[name].crash()
         self.log.append((self.sim.now, "host_down", name))
+        self._m_host_down.inc()
+        self._trace("host_down", name)
 
     def _host_up(self, name: str) -> None:
+        holds = self._host_holds.get(name, 0)
+        if holds > 1:
+            # Someone else still wants it down: release our hold only.
+            self._host_holds[name] = holds - 1
+            self.log.append((self.sim.now, "host_up_skipped", name))
+            self._m_skipped.inc()
+            return
+        self._host_holds[name] = 0
         self.topology.hosts[name].recover()
         self.log.append((self.sim.now, "host_up", name))
+        self._m_host_up.inc()
+        self._trace("host_up", name)
 
     def _segment_down(self, name: str) -> None:
+        holds = self._segment_holds.get(name, 0)
+        self._segment_holds[name] = holds + 1
+        if holds:
+            self.log.append((self.sim.now, "segment_down_skipped", name))
+            self._m_skipped.inc()
+            return
         self.topology.segments[name].up = False
         self.topology.bump_version()
         self.log.append((self.sim.now, "segment_down", name))
+        self._m_segment_down.inc()
+        self._trace("segment_down", name)
 
     def _segment_up(self, name: str) -> None:
+        holds = self._segment_holds.get(name, 0)
+        if holds > 1:
+            self._segment_holds[name] = holds - 1
+            self.log.append((self.sim.now, "segment_up_skipped", name))
+            self._m_skipped.inc()
+            return
+        self._segment_holds[name] = 0
         self.topology.segments[name].up = True
         self.topology.bump_version()
         self.log.append((self.sim.now, "segment_up", name))
+        self._m_segment_up.inc()
+        self._trace("segment_up", name)

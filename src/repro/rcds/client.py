@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcClient, RpcError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,6 +42,7 @@ class RCClient:
         replicas: List[Tuple[str, int]],
         secret: Optional[bytes] = None,
         rpc_timeout: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not replicas:
             raise ValueError("RCClient needs at least one replica address")
@@ -48,6 +50,11 @@ class RCClient:
         self.host = host
         self.replicas = list(replicas)
         self.rpc_timeout = rpc_timeout
+        #: Temporal retry discipline: each *round* tries every candidate
+        #: replica once; the policy decides whether a failed round is
+        #: retried (with backoff) or surfaces as ConsistencyError. The
+        #: default single-round policy matches the historical behaviour.
+        self.retry = retry or RetryPolicy.single()
         self._rpc = RpcClient(host, secret=secret)
         self._rng = host.sim.rng.stream(f"rc-client.{host.name}")
         self.failovers = 0
@@ -75,21 +82,34 @@ class RCClient:
         return local + rest
 
     def _fanout(self, method: str, need: int, targets: List[Tuple[str, int]], **args):
-        """Call *method* on successive replicas until *need* succeed."""
-        results = []
-        for i, (rhost, rport) in enumerate(targets):
-            try:
-                result = yield self._rpc.call(
-                    rhost, rport, method, timeout=self.rpc_timeout, **args
-                )
-                results.append(((rhost, rport), result))
-                if len(results) >= need:
-                    return results
-            except RpcError:
-                self.failovers += 1
-                self._m_failovers.inc()
-        raise ConsistencyError(
-            f"{method}: only {len(results)}/{need} replicas reachable"
+        """Call *method* on successive replicas until *need* succeed.
+
+        One round walks every candidate; ``self.retry`` decides whether a
+        failed round (ConsistencyError) is re-attempted with backoff.
+        """
+
+        def one_round(_attempt: int):
+            results = []
+            for rhost, rport in targets:
+                try:
+                    result = yield self._rpc.call(
+                        rhost, rport, method, timeout=self.rpc_timeout, **args
+                    )
+                    results.append(((rhost, rport), result))
+                    if len(results) >= need:
+                        return results
+                except RpcError:
+                    self.failovers += 1
+                    self._m_failovers.inc()
+            raise ConsistencyError(
+                f"{method}: only {len(results)}/{need} replicas reachable"
+            )
+
+        return (
+            yield from self.retry.run(
+                self.sim, one_round, retry_on=(ConsistencyError,),
+                rng=self._rng, op=method,
+            )
         )
 
     # -- public API (all return sim processes; use with ``yield``) ----------

@@ -14,22 +14,38 @@ from repro.daemon.tasks import TaskSpec
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import RCClient
 from repro.rm.manager import AllocationError
+from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcClient, RpcError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
 
 
+class RmUnreachable(AllocationError):
+    """No RM answered at all — transient, unlike a policy rejection."""
+
+
 class RmClient:
     """Finds RMs via the catalog and issues requests with failover."""
 
-    def __init__(self, host: "Host", rc: RCClient, secret: Optional[bytes] = None) -> None:
+    def __init__(
+        self,
+        host: "Host",
+        rc: RCClient,
+        secret: Optional[bytes] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.sim = host.sim
         self.host = host
         self.rc = rc
         self._rpc = RpcClient(host, secret=secret)
         self._rng = host.sim.rng.stream(f"rm-client.{host.name}")
         self.failovers = 0
+        #: Rounds over the discovered manager set; a round that reaches no
+        #: RM at all (RmUnreachable) is retried under this policy. Policy
+        #: rejections (goals, no suitable host) never retry — every RM
+        #: would answer the same.
+        self.retry = retry or RetryPolicy.single()
 
     def managers(self):
         """Registered RMs as (host, port) pairs (a process)."""
@@ -49,25 +65,33 @@ class RmClient:
         return self.sim.process(self._request(spec, owner, timeout), name="rm-request")
 
     def _request(self, spec: TaskSpec, owner: str, timeout: float):
-        managers = yield from self._managers()
-        if not managers:
-            raise AllocationError("no resource managers registered")
-        self._rng.shuffle(managers)
-        errors = []
-        for rm_host, rm_port in managers:
-            try:
-                result = yield self._rpc.call(
-                    rm_host, rm_port, "rm.request", timeout=timeout,
-                    spec=spec, owner=owner,
-                )
-                return result
-            except RpcError as exc:
-                if "allocation goal" in str(exc) or "no host satisfies" in str(exc):
-                    # Policy rejection: every RM will say the same; give up.
-                    raise AllocationError(str(exc)) from None
-                self.failovers += 1
-                errors.append(f"{rm_host}:{rm_port}: {exc}")
-        raise AllocationError(f"no RM reachable: {errors}")
+        def one_round(_attempt: int):
+            managers = yield from self._managers()
+            if not managers:
+                raise RmUnreachable("no resource managers registered")
+            self._rng.shuffle(managers)
+            errors = []
+            for rm_host, rm_port in managers:
+                try:
+                    result = yield self._rpc.call(
+                        rm_host, rm_port, "rm.request", timeout=timeout,
+                        spec=spec, owner=owner,
+                    )
+                    return result
+                except RpcError as exc:
+                    if "allocation goal" in str(exc) or "no host satisfies" in str(exc):
+                        # Policy rejection: every RM will say the same; give up.
+                        raise AllocationError(str(exc)) from None
+                    self.failovers += 1
+                    errors.append(f"{rm_host}:{rm_port}: {exc}")
+            raise RmUnreachable(f"no RM reachable: {errors}")
+
+        return (
+            yield from self.retry.run(
+                self.sim, one_round, retry_on=(RmUnreachable,),
+                rng=self._rng, op="rm.request",
+            )
+        )
 
     def migrate(self, urn: str, to: Optional[str] = None, timeout: float = 5.0):
         """Ask any live RM to migrate *urn* (a process)."""

@@ -44,12 +44,23 @@ def rank_hosts(
     spec: TaskSpec,
     host_metadata: Dict[str, Dict[str, Dict[str, Any]]],
     rng: Optional[random.Random] = None,
+    now: Optional[float] = None,
 ) -> List[str]:
-    """Candidate hosts for *spec*, least loaded first (ties shuffled)."""
+    """Candidate hosts for *spec*, least loaded first (ties shuffled).
+
+    When *now* is given, hosts whose heartbeat lease has lapsed
+    (``lease-expires`` < now) are excluded — the catalog may still carry
+    their metadata, but a host that stopped refreshing its lease is
+    presumed dead and must not receive placements.
+    """
     candidates = []
     for host, assertions in host_metadata.items():
         if not host_matches(spec, assertions):
             continue
+        if now is not None:
+            lease_info = assertions.get("lease-expires")
+            if lease_info is not None and lease_info["value"] < now:
+                continue
         load_info = assertions.get("load")
         load = load_info["value"] if load_info else 0.0
         candidates.append((load, host))

@@ -1,0 +1,17 @@
+"""Robustness primitives: unified retries and the chaos harness.
+
+The paper promises "long-running, reliable, fault-tolerant" applications
+(§1); this package holds the machinery the reproduction uses to *earn*
+that adjective rather than assert it:
+
+* :class:`RetryPolicy` — one retry discipline (exponential backoff,
+  deterministic jitter, overall deadline budget, obs counters) shared by
+  every client in the system instead of per-client ad-hoc loops.
+* :mod:`repro.robust.chaos` — a seeded fault-injection harness that runs
+  a checkpointing workload under host churn, link cuts and partitions,
+  and checks end-to-end invariants after quiescence.
+"""
+
+from repro.robust.retry import RetryError, RetryPolicy
+
+__all__ = ["RetryError", "RetryPolicy"]

@@ -1,0 +1,334 @@
+"""Seeded chaos harness: faults + self-healing + invariant checking.
+
+Builds a star site (a stable service core, plus workers that are each
+alone on a private segment behind a gateway), runs a checkpointing
+workload across the workers, and drives a seeded schedule of host
+crashes and partitions against them while the Guardians repair the
+damage. After quiescence it checks the system-wide invariants that
+self-healing must preserve:
+
+* **completed-exactly-once** — every submitted task reports exactly one
+  effective completion (duplicate reports are deduplicated and counted,
+  and must agree on the result);
+* **no-incarnation-regression** — the incarnations a receiver accepts
+  per task never decrease, and every Guardian recovery strictly raised
+  the incarnation;
+* **catalogs-converged** — after anti-entropy settles, every RC replica
+  independently reports the same terminal state for every task;
+* **no-silent-loss** — every unit of work was reported (restart suffix
+  re-reports are fine, gaps are not), no envelope is still parked in a
+  reorder buffer, and everything the workers got an ack for was either
+  delivered, deduplicated, or deliberately fenced at the receiver.
+
+Worker segments go down *without* the worker host crashing — that is the
+zombie scenario: the Guardian (correctly, per its lease evidence)
+declares the worker dead and respawns it, and the fencing machinery must
+then keep the surviving original from double-executing. Host crashes use
+the refcounted injector one-shots, so overlapping fault windows compose.
+
+Entry points: :func:`run_chaos` (one seed -> report dict), used by
+``python -m repro chaos run --seed N`` and the parametrized pytest
+suite in ``tests/robust/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.checkpoint import checkpoint_to_files
+from repro.core.environment import SnipeEnvironment
+from repro.daemon.tasks import TaskSpec, TaskState
+from repro.rcds.server import RC_PORT
+from repro.rpc import RpcClient
+
+#: Seeds the CI smoke and the pytest suite pin.
+DEFAULT_SEEDS = (1, 2, 3, 4, 5)
+
+
+def build_chaos_env(seed: int, n_workers: int = 4) -> Tuple[SnipeEnvironment, List[str]]:
+    """The chaos site: stable core (RC x3, RM, files, guardians) behind a
+    gateway, each worker alone on its own segment so it can be isolated."""
+    env = SnipeEnvironment(seed=seed)
+    env.add_segment("core-lan")
+    for name in ("c0", "c1", "c2"):
+        env.add_host(name, segments=["core-lan"])
+    gw = env.add_host("gw", segments=["core-lan"], forwarding=True)
+    workers = []
+    for i in range(n_workers):
+        seg = env.add_segment(f"s-w{i}")
+        env.topology.connect(gw, seg)
+        env.add_host(f"w{i}", segments=[f"s-w{i}"], arch="worker")
+        workers.append(f"w{i}")
+    env.add_rc_servers(["c0", "c1", "c2"])
+    for name in ("c0", "c1", "c2", "gw", *workers):
+        env.boot_daemon(name)
+    env.add_rm("c0")
+    env.add_file_server("c0")
+    env.add_file_server("c1")
+    env.add_guardian("c1")
+    env.add_guardian("c2")
+    return env, workers
+
+
+def _install_programs(env: SnipeEnvironment, acked: Dict[str, int], coll_state: Dict):
+    @env.program("chaos-worker")
+    def chaos_worker(ctx, total, ckpt_every, collector_urn, step):
+        i = ctx.checkpoint_state.get("i", 0)
+        # Checkpoint immediately: from the first instant there is a
+        # durable state for the Guardian to restart from.
+        yield checkpoint_to_files(ctx)
+        while i < total:
+            yield ctx.compute(step)
+            i += 1
+            ctx.checkpoint_state["i"] = i
+            yield ctx.send(collector_urn,
+                           {"urn": ctx.urn, "i": i, "inc": ctx.incarnation},
+                           tag="progress")
+            acked[ctx.urn] = acked.get(ctx.urn, 0) + 1
+            # Output-commit discipline: checkpoint only after the report
+            # for this step was acknowledged. A checkpoint that ran ahead
+            # of unacknowledged output would let a crash lose the report
+            # for work the successor (resuming past it) never redoes.
+            if i % ckpt_every == 0:
+                yield checkpoint_to_files(ctx)
+        # App-level fence check before claiming completion: a superseded
+        # incarnation leaves the completion report to its successor.
+        try:
+            fence = yield ctx.rc.get(ctx.urn, "fenced-below")
+        except Exception:
+            fence = None
+        if fence is not None and ctx.incarnation < fence:
+            return i
+        yield ctx.send(collector_urn,
+                       {"urn": ctx.urn, "result": i, "inc": ctx.incarnation},
+                       tag="done")
+        acked[ctx.urn] = acked.get(ctx.urn, 0) + 1
+        return i
+
+    @env.program("chaos-collector")
+    def chaos_collector(ctx):
+        while True:
+            msg = yield ctx.recv()
+            p = msg.payload
+            urn = p["urn"]
+            coll_state["incs"].setdefault(urn, []).append(msg.src_inc)
+            if msg.tag == "done":
+                if urn in coll_state["done"]:
+                    coll_state["dup_done"][urn] = coll_state["dup_done"].get(urn, 0) + 1
+                    if coll_state["done"][urn] != p["result"]:
+                        coll_state["mismatch"].append(urn)
+                else:
+                    coll_state["done"][urn] = p["result"]
+            else:
+                coll_state["progress"].setdefault(urn, set()).add(p["i"])
+
+
+def _schedule_faults(
+    env: SnipeEnvironment,
+    workers: List[str],
+    fault_stop: float,
+    churn: bool,
+    partitions: bool,
+) -> List[str]:
+    """Seeded fault plan. All faults start after t=3 (first checkpoints
+    are durable by then) and end by *fault_stop* so the system can
+    quiesce; every window has a recovery."""
+    rng = env.sim.rng.stream("chaos.schedule")
+    events: List[str] = []
+    if churn:
+        # Scheduled crash/repair windows (refcount-safe when overlapping).
+        n_crashes = max(2, len(workers))
+        for _ in range(n_crashes):
+            w = workers[rng.randrange(len(workers))]
+            t = rng.uniform(3.0, fault_stop * 0.8)
+            d = rng.uniform(1.5, 6.0)
+            env.failures.host_down_at(t, w, duration=d)
+            events.append(f"t={t:5.1f}s crash {w} for {d:.1f}s")
+        # Plus Poisson churn on half the fleet for good measure.
+        victims = workers[::2]
+
+        def start_churn():
+            yield env.sim.timeout(3.0)
+            env.failures.churn_hosts(victims, mtbf=15.0, mttr=2.0,
+                                     stop_at=fault_stop)
+
+        env.sim.process(start_churn(), name="chaos:churn-start")
+        events.append(f"t=  3.0s churn mtbf=15s mttr=2s on {victims} until t={fault_stop:.0f}s")
+    if partitions:
+        for _ in range(max(1, len(workers) // 2)):
+            w = workers[rng.randrange(len(workers))]
+            t = rng.uniform(4.0, fault_stop * 0.8)
+            d = rng.uniform(5.0, 10.0)
+            env.failures.segment_down_at(t, f"s-{w}", duration=d)
+            events.append(f"t={t:5.1f}s partition {w} for {d:.1f}s (host stays up: zombie)")
+    events.sort()
+    return events
+
+
+def _check_catalogs(env: SnipeEnvironment, urns: List[str]):
+    """Direct per-replica reads (no failover): do the replicas agree?"""
+    client = RpcClient(env.topology.hosts["gw"])
+    disagreements = []
+    for urn in urns:
+        states = {}
+        for replica, _port in env.rc_replicas:
+            try:
+                assertions = yield client.call(replica, RC_PORT, "rc.lookup", uri=urn)
+            except Exception:
+                states[replica] = "<unreachable>"
+                continue
+            info = assertions.get("state")
+            states[replica] = info["value"] if info else None
+        if len(set(states.values())) != 1 or set(states.values()) != {TaskState.EXITED}:
+            disagreements.append((urn, states))
+    client.close()
+    return disagreements
+
+
+def run_chaos(
+    seed: int,
+    n_workers: int = 4,
+    total: int = 60,
+    ckpt_every: int = 4,
+    duration: float = 120.0,
+    churn: bool = True,
+    partitions: bool = True,
+    step: float = 0.3,
+) -> Dict:
+    """One seeded chaos run; returns a report dict (``report["ok"]``)."""
+    env, workers = build_chaos_env(seed, n_workers)
+    acked: Dict[str, int] = {}
+    coll_state: Dict = {"done": {}, "dup_done": {}, "progress": {}, "incs": {}, "mismatch": []}
+    _install_programs(env, acked, coll_state)
+    env.settle(2.0)
+
+    coll = env.spawn(TaskSpec(program="chaos-collector", name="chaos-coll"), on="c0")
+    tasks = []
+    for i, w in enumerate(workers):
+        spec = TaskSpec(
+            program="chaos-worker",
+            arch="worker",  # keep (re)placement on the worker fleet
+            name=f"chaos-w{i}",
+            params={"total": total, "ckpt_every": ckpt_every,
+                    "collector_urn": coll.urn, "step": step},
+        )
+        tasks.append(env.spawn(spec, on=w))
+    urns = [t.urn for t in tasks]
+
+    fault_stop = min(duration * 0.45, 45.0)
+    events = _schedule_faults(env, workers, fault_stop, churn, partitions)
+
+    # Run to quiescence: everyone done, or the duration budget spent.
+    deadline = env.sim.now + duration
+    while env.sim.now < deadline:
+        env.run(until=min(env.sim.now + 5.0, deadline))
+        if len(coll_state["done"]) == len(urns) and env.sim.now > fault_stop + 12.0:
+            break
+    env.settle(3.0)  # let anti-entropy converge the catalogs
+
+    recoveries = [r for g in env.guardians.values() for r in g.recoveries]
+    unrecoverable: Dict[str, str] = {}
+    for g in env.guardians.values():
+        unrecoverable.update(g.unrecoverable)
+    coll_ctx = env.daemons["c0"].contexts[coll.urn]
+
+    invariants: List[Tuple[str, bool, str]] = []
+    # 1. Every task completed exactly once.
+    completed = [u for u in urns if coll_state["done"].get(u) == total]
+    dups = sum(coll_state["dup_done"].values())
+    invariants.append((
+        "completed-exactly-once",
+        len(completed) == len(urns) and not coll_state["mismatch"],
+        f"{len(completed)}/{len(urns)} completed once; "
+        f"{dups} duplicate reports deduplicated; "
+        f"{len(coll_state['mismatch'])} result mismatches",
+    ))
+    # 2. Incarnations never regress.
+    regressed = [
+        u for u, incs in coll_state["incs"].items()
+        if any(b < a for a, b in zip(incs, incs[1:]))
+    ]
+    bad_recs = [r for r in recoveries if (r["new_inc"] or 0) <= (r["old_inc"] or 0)]
+    invariants.append((
+        "no-incarnation-regression",
+        not regressed and not bad_recs,
+        f"{len(recoveries)} recoveries, all raised incarnation; "
+        f"{len(regressed)} receivers saw a regression",
+    ))
+    # 3. Catalog replicas agree on terminal state.
+    disagreements = env.run(until=env.sim.process(_check_catalogs(env, urns)))
+    invariants.append((
+        "catalogs-converged",
+        not disagreements,
+        "all replicas report state=exited for every task"
+        if not disagreements else f"disagreeing records: {disagreements}",
+    ))
+    # 4. Nothing silently lost.
+    missing = {
+        u: sorted(set(range(1, total + 1)) - coll_state["progress"].get(u, set()))
+        for u in urns
+        if set(range(1, total + 1)) - coll_state["progress"].get(u, set())
+    }
+    held = sum(len(v) for v in coll_ctx._ooo.values())
+    recv_events = coll_ctx.msgs_received + coll_ctx.msgs_deduped + coll_ctx.msgs_fenced
+    acked_total = sum(acked.values())
+    invariants.append((
+        "no-silent-loss",
+        not missing and held == 0 and recv_events >= acked_total,
+        f"{acked_total} acked sends vs {coll_ctx.msgs_received} delivered + "
+        f"{coll_ctx.msgs_deduped} deduped + {coll_ctx.msgs_fenced} fenced; "
+        f"{held} parked out-of-order; missing work: {missing or 'none'}",
+    ))
+
+    latencies = [r["recovered_at"] - r["detected_at"] for r in recoveries]
+    return {
+        "seed": seed,
+        "workers": n_workers,
+        "total": total,
+        "events": events,
+        "fault_log": list(env.failures.log),
+        "recoveries": recoveries,
+        "unrecoverable": unrecoverable,
+        "msgs_fenced": coll_ctx.msgs_fenced,
+        "invariants": invariants,
+        "ok": all(ok for _, ok, _ in invariants),
+        "recovery_latency": {
+            "count": len(latencies),
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max": max(latencies) if latencies else 0.0,
+        },
+        "finished_at": env.sim.now,
+    }
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable chaos report for the CLI."""
+    lines = [
+        f"chaos run: seed={report['seed']} workers={report['workers']} "
+        f"x {report['total']} steps",
+        "",
+        "fault schedule:",
+    ]
+    lines += [f"  {e}" for e in report["events"]] or ["  (none)"]
+    lines.append("")
+    lines.append(f"recoveries: {len(report['recoveries'])}")
+    for r in report["recoveries"]:
+        lines.append(
+            f"  {r['urn']}: {r['from']} -> {r['to']} "
+            f"inc {r['old_inc']}->{r['new_inc']} "
+            f"(detected t={r['detected_at']:.1f}s, recovered t={r['recovered_at']:.1f}s)"
+        )
+    if report["unrecoverable"]:
+        lines.append(f"unrecoverable (no checkpoint): {report['unrecoverable']}")
+    rl = report["recovery_latency"]
+    if rl["count"]:
+        lines.append(f"recovery latency: mean {rl['mean']:.2f}s, max {rl['max']:.2f}s")
+    lines.append(f"fenced messages dropped at collector: {report['msgs_fenced']}")
+    lines.append("")
+    lines.append("invariants:")
+    for name, ok, detail in report["invariants"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    lines.append("")
+    lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "
+                 f"(simulated {report['finished_at']:.1f}s)")
+    return "\n".join(lines)

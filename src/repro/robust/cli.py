@@ -1,0 +1,70 @@
+"""``python -m repro chaos`` — run the seeded chaos harness.
+
+Subcommands:
+
+* ``run`` — one chaos run: build the star site, drive the seeded fault
+  schedule over the checkpointing workload, print the fault timeline,
+  recovery log, and invariant table. Exit status 0 iff every invariant
+  holds. ``--seed N`` picks the schedule; same seed, same run.
+* ``sweep`` — run several seeds back to back (default: the CI seeds)
+  and print one summary line each; exit non-zero if any seed fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.robust.chaos import DEFAULT_SEEDS, format_report, run_chaos
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=4, help="worker hosts (default 4)")
+    p.add_argument("--steps", type=int, default=60,
+                   help="work units per task (default 60)")
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="simulated-seconds budget (default 120)")
+    p.add_argument("--no-churn", action="store_true", help="disable host crash/churn")
+    p.add_argument("--no-partitions", action="store_true",
+                   help="disable segment partitions (no zombie scenarios)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro chaos",
+                                     description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_run = sub.add_parser("run", help="one seeded chaos run")
+    p_run.add_argument("--seed", type=int, default=1)
+    _add_run_args(p_run)
+    p_sweep = sub.add_parser("sweep", help="run a set of seeds")
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS))
+    _add_run_args(p_sweep)
+    args = parser.parse_args(argv)
+
+    kwargs = dict(
+        n_workers=args.workers,
+        total=args.steps,
+        duration=args.duration,
+        churn=not args.no_churn,
+        partitions=not args.no_partitions,
+    )
+    if args.cmd == "run":
+        report = run_chaos(args.seed, **kwargs)
+        print(format_report(report))
+        return 0 if report["ok"] else 1
+    failures = 0
+    for seed in args.seeds:
+        report = run_chaos(seed, **kwargs)
+        bad = [name for name, ok, _ in report["invariants"] if not ok]
+        print(
+            f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+            f"recoveries={len(report['recoveries'])} "
+            f"fenced={report['msgs_fenced']} "
+            + (f"failed: {bad}" if bad else "")
+        )
+        failures += 0 if report["ok"] else 1
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""One retry discipline for every client in the system.
+
+Before this module, each client grew its own loop: the RPC client had a
+single timeout, the RC client failed over across replicas, the RM client
+across managers, the file client across file-server replicas — all with
+slightly different give-up rules and none with backoff. A
+:class:`RetryPolicy` unifies the *temporal* half of that logic:
+
+* exponential backoff (``base_delay * multiplier**k``, capped),
+* deterministic jitter drawn from a named :mod:`repro.sim.rng` stream so
+  retry storms decorrelate without breaking reproducibility,
+* an overall *deadline* budget measured in virtual time from the first
+  attempt — a retrying caller never outlives its caller's patience,
+* obs counters (``robust.attempts``, ``robust.retries``,
+  ``robust.giveups`` tagged by operation) so a report shows where the
+  system is struggling.
+
+The *spatial* half — which replica/candidate to try next — stays with
+each client; a policy's ``run`` wraps one whole candidate round and
+retries it as a unit. On exhaustion the last underlying exception is
+re-raised, so existing ``except RpcError/ConsistencyError/...`` call
+sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+
+class RetryError(Exception):
+    """A policy gave up without any underlying exception to re-raise
+    (only possible with ``attempts < 1``)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between.
+
+    ``attempts`` counts total tries (1 = no retry). ``deadline`` bounds
+    the whole affair in virtual seconds from the first attempt: a retry
+    whose backoff would cross the deadline is not taken. ``jitter`` is
+    the +/- fraction applied to each backoff when an RNG is supplied.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    deadline: Optional[float] = None
+    jitter: float = 0.5
+
+    @classmethod
+    def single(cls) -> "RetryPolicy":
+        """No retry: one attempt, counters only (a drop-in null policy)."""
+        return cls(attempts=1)
+
+    def backoff(self, retry_index: int, rng=None) -> float:
+        """Delay before retry *retry_index* (1-based), jittered if *rng*."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (retry_index - 1))
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def run(
+        self,
+        sim,
+        make_attempt: Callable[[int], Any],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        rng=None,
+        op: str = "op",
+    ):
+        """Generator: drive ``make_attempt`` under this policy.
+
+        ``make_attempt(i)`` is called with the attempt index and may
+        return a generator (delegated with ``yield from``), a sim event
+        (yielded), or a plain value. Exceptions matching *retry_on* are
+        retried; anything else propagates immediately. Use as
+        ``result = yield from policy.run(sim, attempt, ...)``.
+        """
+        metrics = sim.obs.metrics
+        m_attempts = metrics.counter("robust.attempts", op=op)
+        m_retries = metrics.counter("robust.retries", op=op)
+        m_giveups = metrics.counter("robust.giveups", op=op)
+        start = sim.now
+        last: Optional[BaseException] = None
+        for i in range(self.attempts):
+            if i:
+                delay = self.backoff(i, rng)
+                if self.deadline is not None and (sim.now - start) + delay > self.deadline:
+                    break
+                m_retries.inc()
+                yield sim.timeout(delay)
+            m_attempts.inc()
+            try:
+                result = make_attempt(i)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                elif hasattr(result, "add_callback"):  # a sim Event/Process
+                    result = yield result
+                return result
+            except retry_on as exc:
+                last = exc
+        m_giveups.inc()
+        if last is None:
+            raise RetryError(f"{op}: no attempts made (attempts={self.attempts})")
+        raise last

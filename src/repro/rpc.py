@@ -207,13 +207,29 @@ class RpcClient:
         method: str,
         timeout: float = 5.0,
         _size: Optional[int] = None,
+        retry=None,
         **args,
     ):
         """Process event yielding the result, or failing with RpcError.
 
         ``_size`` overrides the request's wire size (for calls carrying
         bulk payloads whose declared size exceeds their encoding).
+        ``retry`` is an optional :class:`repro.robust.RetryPolicy`; when
+        given, transient :class:`RpcError` failures are retried with
+        backoff under the policy's deadline budget.
         """
+        if retry is not None:
+            rng = self.sim.rng.stream(f"retry.rpc.{self.host.name}")
+            return self.sim.process(
+                retry.run(
+                    self.sim,
+                    lambda i: self._call(dst_host, dst_port, method, args, timeout, _size),
+                    retry_on=(RpcError,),
+                    rng=rng,
+                    op=method,
+                ),
+                name=f"call:{method}@{dst_host}",
+            )
         return self.sim.process(
             self._call(dst_host, dst_port, method, args, timeout, _size),
             name=f"call:{method}@{dst_host}",

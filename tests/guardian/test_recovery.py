@@ -1,0 +1,184 @@
+"""End-to-end self-healing: Guardian detection, restart, and fencing."""
+
+from repro.core import SnipeEnvironment
+from repro.core.checkpoint import checkpoint_to_files
+from repro.daemon import TaskSpec, TaskState
+
+
+def healing_env(seed=3):
+    """A LAN site with two guardians and a checkpointing worker program."""
+    env = SnipeEnvironment.lan_site(n_hosts=5, n_rc=3, n_rm=1, n_fs=2, seed=seed)
+    env.add_guardian("h1")
+    env.add_guardian("h2")
+    received = []
+
+    @env.program("collector")
+    def collector(ctx):
+        while True:
+            msg = yield ctx.recv()
+            received.append((msg.tag, msg.payload, msg.src_inc))
+
+    @env.program("worker")
+    def worker(ctx, total, ckpt_every, collector_urn):
+        i = ctx.checkpoint_state.get("i", 0)
+        while i < total:
+            yield ctx.compute(0.2)
+            i += 1
+            ctx.checkpoint_state["i"] = i
+            yield ctx.send(collector_urn, {"i": i, "inc": ctx.incarnation}, tag="progress")
+            # Output-commit: checkpoint only after the report was acked,
+            # so a successor can never resume past an unreported step.
+            if i % ckpt_every == 0:
+                yield checkpoint_to_files(ctx)
+        yield ctx.send(collector_urn, {"inc": ctx.incarnation}, tag="done")
+        return i
+
+    env.settle(1.0)  # guardians register
+    return env, received
+
+
+def all_recoveries(env):
+    return [r for g in env.guardians.values() for r in g.recoveries]
+
+
+def test_guardian_recovers_task_from_crashed_host():
+    """Kill a checkpointing task's host mid-run: the Guardian must respawn
+    it from the latest checkpoint on a live host, and it completes once."""
+    env, received = healing_env(seed=3)
+    coll = env.spawn(TaskSpec(program="collector"), on="h0")
+    work = env.spawn(
+        TaskSpec(program="worker",
+                 params={"total": 30, "ckpt_every": 5, "collector_urn": coll.urn}),
+        on="h4",
+    )
+    old_inc = env.daemons["h4"].contexts[work.urn].incarnation
+    # Crash h4 mid-run (~10 steps in, latest checkpoint at i=10). Permanent.
+    env.failures.host_down_at(env.sim.now + 2.1, "h4")
+    env.run(until=60.0)
+
+    recs = all_recoveries(env)
+    assert len(recs) == 1, f"expected exactly one recovery, got {recs}"
+    rec = recs[0]
+    assert rec["urn"] == work.urn
+    assert rec["from"] == "h4"
+    assert rec["to"] not in (None, "h4")
+    assert rec["new_inc"] > (rec["old_inc"] or 0)
+    assert rec["old_inc"] == old_inc
+
+    # The successor ran to completion on the new host.
+    revived = env.daemons[rec["to"]].tasks[work.urn]
+    assert revived.state == TaskState.EXITED
+    assert revived.exit_value == 30
+    # Exactly one completion signal, from the new incarnation.
+    dones = [(payload, inc) for tag, payload, inc in received if tag == "done"]
+    assert len(dones) == 1
+    assert dones[0][1] == rec["new_inc"]
+    # Every unit of work was reported (restarts may redo a checkpointed
+    # suffix, but nothing is lost).
+    seen_i = {payload["i"] for tag, payload, _ in received if tag == "progress"}
+    assert seen_i == set(range(1, 31))
+
+
+def test_zombie_incarnation_is_fenced_after_partition():
+    """A partitioned (not crashed) host looks dead to the Guardian. After
+    recovery, the original keeps running — a zombie. Its late messages
+    must be dropped by receivers, and it must terminate itself (quietly)
+    once it sees the fence."""
+    env = SnipeEnvironment(seed=11)
+    env.add_segment("core")
+    env.add_segment("edge")
+    for name in ("h0", "h1", "h2"):
+        env.add_host(name, segments=["core"])
+    env.add_host("gw", segments=["core", "edge"], forwarding=True)
+    env.add_host("w", segments=["edge"])
+    env.add_rc_servers(["h0", "h1", "h2"])
+    for name in ("h0", "h1", "h2", "gw", "w"):
+        env.boot_daemon(name)
+    env.add_rm("h0")
+    env.add_file_server("h0")
+    env.add_file_server("h1")
+    env.add_guardian("h1")
+    env.add_guardian("h2")
+    received = []
+
+    @env.program("collector")
+    def collector(ctx):
+        while True:
+            msg = yield ctx.recv()
+            received.append((msg.tag, msg.payload, msg.src_inc))
+
+    @env.program("worker")
+    def worker(ctx, total, ckpt_every, collector_urn):
+        i = ctx.checkpoint_state.get("i", 0)
+        while i < total:
+            yield ctx.compute(0.2)
+            i += 1
+            ctx.checkpoint_state["i"] = i
+            yield ctx.send(collector_urn, {"i": i, "inc": ctx.incarnation}, tag="progress")
+            # Output-commit: checkpoint only after the report was acked,
+            # so a successor can never resume past an unreported step.
+            if i % ckpt_every == 0:
+                yield checkpoint_to_files(ctx)
+        yield ctx.send(collector_urn, {"inc": ctx.incarnation}, tag="done")
+        return i
+
+    env.settle(2.0)
+    coll = env.spawn(TaskSpec(program="collector"), on="h0")
+    work = env.spawn(
+        TaskSpec(program="worker",
+                 params={"total": 100, "ckpt_every": 5, "collector_urn": coll.urn}),
+        on="w",
+    )
+    old_inc = env.daemons["w"].contexts[work.urn].incarnation
+    # Isolate w (and only w): its lease lapses but the task keeps running.
+    env.failures.partition_at(env.sim.now + 1.6, ["w"], ["h0", "h1", "h2", "gw"],
+                              duration=12.0)
+    env.run(until=90.0)
+
+    recs = all_recoveries(env)
+    assert len(recs) == 1
+    rec = recs[0]
+    assert rec["from"] == "w"
+    assert rec["new_inc"] > old_inc
+
+    # The zombie was fenced: terminated without publishing, and its late
+    # messages (buffered across the partition) were dropped on arrival.
+    zombie = env.daemons["w"].tasks[work.urn]
+    assert zombie.fenced
+    assert zombie.state == TaskState.KILLED
+    coll_ctx = env.daemons["h0"].contexts[coll.urn]
+    assert coll_ctx.msgs_fenced > 0
+    # Exactly one completion, from the successor incarnation.
+    dones = [(payload, inc) for tag, payload, inc in received if tag == "done"]
+    assert len(dones) == 1
+    assert dones[0][1] == rec["new_inc"]
+    # No message from the zombie incarnation ever arrived post-recovery
+    # interleaved into the stream: once the successor spoke, everything
+    # recorded is from the successor.
+    first_new = next(i for i, (_, _, inc) in enumerate(received) if inc == rec["new_inc"])
+    assert all(inc == rec["new_inc"] for _, _, inc in received[first_new:])
+    # The catalog agrees the task finished (successor's record survived).
+    def check(sim):
+        meta = yield env.rc_client("h2").lookup(work.urn)
+        return (meta.get("state") or {}).get("value")
+
+    state = env.run(until=env.sim.process(check(env.sim)))
+    assert state == TaskState.EXITED
+
+
+def test_dead_task_without_checkpoint_is_recorded_unrecoverable():
+    env, _ = healing_env(seed=5)
+
+    @env.program("sleeper")
+    def sleeper(ctx):
+        while True:
+            yield ctx.sleep(1.0)
+
+    info = env.spawn(TaskSpec(program="sleeper"), on="h3")
+    env.failures.host_down_at(env.sim.now + 1.0, "h3")
+    env.run(until=20.0)
+    assert not all_recoveries(env)
+    unrecoverable = {}
+    for g in env.guardians.values():
+        unrecoverable.update(g.unrecoverable)
+    assert unrecoverable.get(info.urn) == "h3"

@@ -86,3 +86,56 @@ def test_churn_is_seed_deterministic():
 
     assert run(7) == run(7)
     assert run(7) != run(8)
+
+
+def test_overlapping_scripts_do_not_double_crash_or_early_recover():
+    """A scheduled outage overlapping churn must not re-crash a downed
+    host, and must not recover a host another script still holds down."""
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    # Script A holds h1 down over [2, 10); script B over [4, 6).
+    inj.host_down_at(2.0, "h1", duration=8.0)
+    inj.host_down_at(4.0, "h1", duration=2.0)
+    sim.run(until=5.0)
+    assert not topo.hosts["h1"].up
+    kinds = [(k, w) for _, k, w in inj.log]
+    assert ("host_down_skipped", "h1") in kinds  # B's crash was a no-op
+    # B releases at t=6: h1 must STAY down (A still holds it).
+    sim.run(until=7.0)
+    assert not topo.hosts["h1"].up
+    kinds = [(k, w) for _, k, w in inj.log]
+    assert ("host_up_skipped", "h1") in kinds
+    # A releases at t=10: now it really recovers.
+    sim.run(until=11.0)
+    assert topo.hosts["h1"].up
+    effective = [k for _, k, w in inj.log if not k.endswith("_skipped")]
+    assert effective == ["host_down", "host_up"]
+
+
+def test_overlapping_segment_holds_refcount():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    inj.segment_down_at(1.0, "lan", duration=10.0)
+    inj.segment_down_at(2.0, "lan", duration=2.0)
+    sim.run(until=5.0)
+    assert not topo.segments["lan"].up  # first hold still active
+    sim.run(until=12.0)
+    assert topo.segments["lan"].up
+
+
+def test_injector_emits_obs_counters_and_trace_events():
+    sim, topo = small_topo()
+    sim.obs.tracer.enabled = True
+    inj = FailureInjector(sim, topo)
+    inj.host_down_at(1.0, "h0", duration=1.0)
+    inj.segment_down_at(2.0, "lan", duration=1.0)
+    sim.run(until=5.0)
+    metrics = sim.obs.metrics
+    assert metrics.counter("failures.host_down").value == 1
+    assert metrics.counter("failures.host_up").value == 1
+    assert metrics.counter("failures.segment_down").value == 1
+    assert metrics.counter("failures.segment_up").value == 1
+    kinds = [ev["kind"] for ev in sim.obs.tracer.events()]
+    for kind in ("failure.host_down", "failure.host_up",
+                 "failure.segment_down", "failure.segment_up"):
+        assert kind in kinds

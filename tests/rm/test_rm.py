@@ -187,3 +187,31 @@ def test_rm_migration_preserves_urn_and_state():
     # It resumed from the checkpoint, not from zero: total CPU across both
     # hosts is ~30 steps worth, not ~60.
     assert (new_info.spec.initial_state or {}).get("i", 0) > 0
+
+
+def test_rank_hosts_skips_lapsed_leases():
+    """Placement must avoid hosts whose heartbeat lease has expired."""
+    spec = TaskSpec(program="worker")
+    metadata = {
+        "fresh": {"arch": {"value": "x86"}, "load": {"value": 2.0},
+                  "memory": {"value": 1024}, "lease-expires": {"value": 100.0}},
+        "stale": {"arch": {"value": "x86"}, "load": {"value": 0.0},
+                  "memory": {"value": 1024}, "lease-expires": {"value": 9.0}},
+        "legacy": {"arch": {"value": "x86"}, "load": {"value": 1.0},
+                   "memory": {"value": 1024}},  # no lease key: kept
+    }
+    assert rank_hosts(spec, metadata, now=10.0) == ["legacy", "fresh"]
+    # Without a clock, leases are ignored (backward compatible).
+    assert rank_hosts(spec, metadata) == ["stale", "legacy", "fresh"]
+
+
+def test_rm_request_avoids_crashed_host():
+    """End to end: a crashed host's lease lapses, so an RM placing a new
+    task picks a live host even though the corpse's metadata looks idle."""
+    sim, topo, hosts, daemons, clients, rms = rm_site(n_hosts=3)
+    topo.hosts["h2"].crash()
+    sim.run(until=sim.now + 6.0)  # h2's lease (3s) lapses
+    rm_client = RmClient(hosts[0], clients[0])
+    spec = TaskSpec(program="worker", params={"rounds": 1, "cost": 0.1})
+    result = sim.run(until=rm_client.request(spec))
+    assert result["host"] != "h2"

@@ -1,0 +1,135 @@
+"""Unit tests for the unified retry policy."""
+
+import pytest
+
+from repro.robust import RetryPolicy
+from repro.sim import Simulator
+
+
+def drive(sim, gen):
+    """Run a retry generator to completion inside a sim process."""
+    return sim.run(until=sim.process(gen, name="retry-test"))
+
+
+def test_backoff_is_exponential_and_capped():
+    p = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+    assert p.backoff(1) == pytest.approx(0.1)
+    assert p.backoff(2) == pytest.approx(0.2)
+    assert p.backoff(3) == pytest.approx(0.4)
+    assert p.backoff(4) == pytest.approx(0.5)  # capped
+    assert p.backoff(10) == pytest.approx(0.5)
+
+
+def test_backoff_jitter_is_seed_deterministic():
+    p = RetryPolicy(base_delay=1.0, jitter=0.5)
+
+    def delays(seed):
+        rng = Simulator(seed=seed).rng.stream("jitter-test")
+        return [p.backoff(i, rng) for i in range(1, 5)]
+
+    assert delays(3) == delays(3)
+    assert delays(3) != delays(4)
+    # Jitter stays within +/- 50%.
+    for d in delays(3):
+        assert 0.5 <= d / 1.0 or d <= 1.5
+
+
+def test_run_retries_until_success_and_sleeps_backoff():
+    sim = Simulator()
+    p = RetryPolicy(attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.0)
+    calls = []
+
+    def attempt(i):
+        calls.append((i, sim.now))
+        if i < 2:
+            raise ValueError(f"flaky {i}")
+        return "ok"
+
+    result = drive(sim, p.run(sim, attempt, retry_on=(ValueError,)))
+    assert result == "ok"
+    assert [i for i, _ in calls] == [0, 1, 2]
+    # Backoffs 0.1 then 0.2 accumulate in virtual time.
+    assert calls[1][1] == pytest.approx(0.1)
+    assert calls[2][1] == pytest.approx(0.3)
+    m = sim.obs.metrics
+    assert m.counter("robust.attempts", op="op").value == 3
+    assert m.counter("robust.retries", op="op").value == 2
+    assert m.counter("robust.giveups", op="op").value == 0
+
+
+def test_run_exhaustion_reraises_last_underlying_error():
+    sim = Simulator()
+    p = RetryPolicy(attempts=3, base_delay=0.01, jitter=0.0)
+
+    def attempt(i):
+        raise ValueError(f"always broken ({i})")
+
+    with pytest.raises(ValueError, match=r"always broken \(2\)"):
+        drive(sim, p.run(sim, attempt, retry_on=(ValueError,)))
+    assert sim.obs.metrics.counter("robust.giveups", op="op").value == 1
+
+
+def test_run_does_not_retry_unlisted_exceptions():
+    sim = Simulator()
+    p = RetryPolicy(attempts=5, base_delay=0.01, jitter=0.0)
+    calls = []
+
+    def attempt(i):
+        calls.append(i)
+        raise KeyError("fatal")
+
+    with pytest.raises(KeyError):
+        drive(sim, p.run(sim, attempt, retry_on=(ValueError,)))
+    assert calls == [0]
+
+
+def test_deadline_budget_stops_retrying():
+    sim = Simulator()
+    # Backoffs 1, 2, 4... with a 2.5s budget: attempt 0 (t=0), attempt 1
+    # (t=1), then the 2s backoff would cross the deadline -> give up.
+    p = RetryPolicy(attempts=10, base_delay=1.0, multiplier=2.0,
+                    max_delay=10.0, deadline=2.5, jitter=0.0)
+    calls = []
+
+    def attempt(i):
+        calls.append(i)
+        raise ValueError("down")
+
+    with pytest.raises(ValueError):
+        drive(sim, p.run(sim, attempt, retry_on=(ValueError,)))
+    assert calls == [0, 1]
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_single_policy_never_sleeps_or_draws_jitter():
+    sim = Simulator()
+    p = RetryPolicy.single()
+    draws = []
+
+    class Rng:
+        def random(self):
+            draws.append(1)
+            return 0.5
+
+    def attempt(i):
+        return i
+
+    assert drive(sim, p.run(sim, attempt, rng=Rng())) == 0
+    assert sim.now == 0.0
+    assert draws == []  # determinism: no RNG consumed on the happy path
+
+
+def test_run_accepts_generator_attempts():
+    sim = Simulator()
+    p = RetryPolicy(attempts=3, base_delay=0.05, jitter=0.0)
+
+    def attempt(i):
+        yield sim.timeout(0.1)
+        if i == 0:
+            raise ValueError("first round fails after work")
+        return f"round-{i}"
+
+    result = drive(sim, p.run(sim, attempt, retry_on=(ValueError,)))
+    assert result == "round-1"
+    # 0.1 (failed round) + 0.05 (backoff) + 0.1 (winning round).
+    assert sim.now == pytest.approx(0.25)
