@@ -8,6 +8,7 @@ producing the full record, e.g.:
 """
 
 from repro.bench.e10_media import media_selection
+from repro.bench.e12_overload import overload_goodput
 from repro.bench.e2_mpiconnect import mpiconnect_vs_pvmpi, summarize_speedup
 from repro.bench.e3_availability import availability_vs_replicas
 from repro.bench.e4_rm import rm_scalability
@@ -71,6 +72,9 @@ def main() -> None:
     print_table("E9 ablation: anti-entropy period", anti_entropy_ablation())
 
     print_table("E10: media selection", media_selection())
+
+    print_table("E12: overload goodput and control-plane latency",
+                overload_goodput())
 
 
 if __name__ == "__main__":

@@ -27,6 +27,8 @@ from repro.core.messages import xdr_size
 from repro.daemon.daemon import DAEMON_PORT, SnipeDaemon
 from repro.daemon.tasks import TaskContext, TaskInfo, TaskSpec, TaskState
 from repro.rcds import uri as uri_mod
+from repro.robust import TIMEOUTS
+from repro.robust.overload import CONTROL
 from repro.rpc import RpcError, payload_size
 from repro.sim.errors import Interrupt
 from repro.sim.events import Event, defuse
@@ -160,7 +162,9 @@ class SnipeContext(TaskContext):
                 if self.info.state in TaskState.TERMINAL:
                     return
                 try:
-                    fence = yield self.rc.get(self.urn, "fenced-below")
+                    # Control lane: a saturated catalog must not delay
+                    # the zombie's self-termination check.
+                    fence = yield self.rc.get(self.urn, "fenced-below", lane=CONTROL)
                 except Exception:
                     continue  # catalog unreachable (e.g. partitioned); keep trying
                 if fence is not None and self.incarnation < fence:
@@ -413,7 +417,8 @@ class SnipeContext(TaskContext):
             info = self.daemon.spawn(spec)
             return info.urn
         result = yield self.daemon._client.call(
-            on_host, DAEMON_PORT, "daemon.spawn", timeout=2.0, spec=spec, direct=True
+            on_host, DAEMON_PORT, "daemon.spawn", timeout=TIMEOUTS["ctx.spawn"],
+            spec=spec, direct=True
         )
         return result["urn"]
 
@@ -471,7 +476,7 @@ class SnipeContext(TaskContext):
         try:
             yield self.daemon._client.call(
                 to_host, DAEMON_PORT, "daemon.spawn",
-                timeout=2.0, spec=new_spec, direct=True,
+                timeout=TIMEOUTS["ctx.spawn"], spec=new_spec, direct=True,
             )
         except RpcError:
             # Migration failed: keep running here, tell the caller.

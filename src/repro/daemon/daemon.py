@@ -35,6 +35,8 @@ from repro.daemon.tasks import (
 )
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import RCClient
+from repro.robust import TIMEOUTS
+from repro.robust.overload import CONTROL
 from repro.rpc import RpcClient, RpcError, RpcServer
 from repro.sim.errors import Interrupt
 from repro.sim.events import defuse
@@ -93,6 +95,12 @@ class SnipeDaemon:
         self._m_spawns = metrics.counter("daemon.spawns")
         self._m_task_lifetime = metrics.histogram("daemon.task_lifetime")
         self._m_load = metrics.gauge("daemon.load", host=host.name)
+        #: Lease heartbeat outcomes: a failed heartbeat is a dropped
+        #: control-plane message, the direct precursor of a false death.
+        self.heartbeats_ok = 0
+        self.heartbeats_failed = 0
+        self._m_hb_ok = metrics.counter("daemon.heartbeats_ok")
+        self._m_hb_failed = metrics.counter("daemon.heartbeats_failed")
 
         self.rpc = RpcServer(host, DAEMON_PORT, secret=secret)
         self.rpc.register("daemon.spawn", self._h_spawn)
@@ -147,7 +155,10 @@ class SnipeDaemon:
 
     def _register_host(self):
         try:
-            yield self.rc.update(uri_mod.host_url(self.host.name), self._host_assertions())
+            yield self.rc.update(
+                uri_mod.host_url(self.host.name), self._host_assertions(),
+                lane=CONTROL,
+            )
         except Exception:
             pass  # RC unreachable at boot; load loop keeps retrying
 
@@ -158,6 +169,9 @@ class SnipeDaemon:
                 continue
             self._m_load.set(self.load())
             try:
+                # The lease re-assertion is the daemon's heartbeat: it
+                # rides the control lane so bulk saturation can never
+                # lapse a live host's lease.
                 yield self.rc.update(
                     uri_mod.host_url(self.host.name),
                     {
@@ -165,8 +179,13 @@ class SnipeDaemon:
                         "tasks": len(self.running_tasks()),
                         "lease-expires": self.sim.now + self.lease_ttl,
                     },
+                    lane=CONTROL,
                 )
+                self.heartbeats_ok += 1
+                self._m_hb_ok.inc()
             except Exception:
+                self.heartbeats_failed += 1
+                self._m_hb_failed.inc()
                 continue
 
     def load(self) -> float:
@@ -382,7 +401,8 @@ class SnipeDaemon:
                     continue
                 yield self._client.call(
                     w_host, DAEMON_PORT, "daemon.notify",
-                    timeout=1.0, urn=watcher_urn, event=event,
+                    timeout=TIMEOUTS["daemon.notify"], lane=CONTROL,
+                    urn=watcher_urn, event=event,
                 )
             except (RpcError, Exception):
                 continue
@@ -472,7 +492,8 @@ class SnipeDaemon:
             try:
                 result = yield self._client.call(
                     b_host, b_port, "rm.request",
-                    timeout=5.0, spec=spec, owner=spec.owner or "anonymous",
+                    timeout=TIMEOUTS["broker.refer"], spec=spec,
+                    owner=spec.owner or "anonymous",
                 )
                 return {"urn": result.get("urn"), "state": "running",
                         "via_broker": f"{b_host}:{b_port}"}

@@ -13,6 +13,7 @@ from repro.files.server import FILE_PORT
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import RCClient
 from repro.rcds.lifn import LifnRegistry
+from repro.robust import TIMEOUTS
 from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcClient, RpcError
 from repro.security.hashes import content_hash
@@ -77,7 +78,8 @@ class FileClient:
             try:
                 result = yield self._rpc.call(
                     target[0], target[1], "file.put",
-                    timeout=5.0, _size=size, name=lifn, payload=payload, size=size,
+                    timeout=TIMEOUTS["file.put"], _size=size,
+                    name=lifn, payload=payload, size=size,
                 )
             except RpcError as exc:
                 raise FileError(f"write {lifn!r} to {target}: {exc}") from None
@@ -103,13 +105,17 @@ class FileClient:
             # Closest-first ordering (§6).
             topo = self.host.topology
 
-            def rank(url: str) -> int:
+            def rank(url: str) -> tuple:
                 h = uri_mod.host_of(url)
+                # A replica behind an open circuit breaker sorts after
+                # every healthy one at any distance: quarantine first,
+                # topology second.
+                sick = self._rpc.breaker_open(h, FILE_PORT) if h else False
                 if h == self.host.name:
-                    return 0
+                    return (sick, 0)
                 if h in topo.hosts and topo.shared_segments(self.host.name, h):
-                    return 1
-                return 2
+                    return (sick, 1)
+                return (sick, 2)
 
             errors = []
             for url in sorted(locations, key=lambda u: (rank(u), u)):
@@ -118,7 +124,8 @@ class FileClient:
                     continue
                 try:
                     result = yield self._rpc.call(
-                        server_host, FILE_PORT, "file.get", timeout=2.0, name=lifn
+                        server_host, FILE_PORT, "file.get",
+                        timeout=TIMEOUTS["file.get"], name=lifn
                     )
                 except RpcError as exc:
                     errors.append(f"{url}: {exc}")

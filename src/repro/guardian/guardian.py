@@ -42,6 +42,7 @@ from repro.files.client import FileClient
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import QUORUM, RCClient
 from repro.rm.client import RmClient
+from repro.robust.overload import CONTROL
 from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcServer
 from repro.sim.events import defuse
@@ -104,6 +105,10 @@ class Guardian:
         self._m_unrecoverable = metrics.counter("guardian.unrecoverable")
         self._m_detect = metrics.histogram("guardian.detect_latency")
         self._m_recover = metrics.histogram("guardian.recovery_latency")
+        self._m_deaths = metrics.counter("guardian.deaths_declared")
+        #: Count of first-time death declarations (E12's false-death
+        #: metric: under pure overload this must stay at zero).
+        self.deaths_declared = 0
 
         self.rpc = RpcServer(host, port, secret=secret)
         self.rpc.register("guardian.status", self._h_status)
@@ -152,14 +157,14 @@ class Guardian:
 
     def _dead_hosts(self):
         """Hosts whose lease has lapsed, as ``{host: lease-expiry}``."""
-        urls = yield self.rc.query("snipe://")
+        urls = yield self.rc.query("snipe://", lane=CONTROL)
         dead = {}
         for url in urls:
             host_name = uri_mod.host_of(url)
             if host_name is None or not url.endswith("/"):
                 continue  # sub-resources like snipe://h/fileserver
             try:
-                lease = yield self.rc.get(url, "lease-expires")
+                lease = yield self.rc.get(url, "lease-expires", lane=CONTROL)
             except Exception:
                 continue
             if lease is not None and lease + self.grace < self.sim.now:
@@ -236,6 +241,8 @@ class Guardian:
                 continue
             if urn not in self._detected:
                 self._detected[urn] = self.sim.now
+                self.deaths_declared += 1
+                self._m_deaths.inc()
                 if state == TaskState.RUNNING and task_host in dead:
                     # Detect latency relative to the lease lapsing — the
                     # bound the harness checks is lease_ttl + scan + grace.
@@ -289,7 +296,10 @@ class Guardian:
         live_guardians = yield from self._live_guardians(dead)
         if not self._owns(urn, live_guardians):
             return
-        self._detected.setdefault(urn, self.sim.now)
+        if urn not in self._detected:
+            self._detected[urn] = self.sim.now
+            self.deaths_declared += 1
+            self._m_deaths.inc()
         self._start_recovery(urn, lifn, val("host"), val("incarnation"))
 
     # -- recovery --------------------------------------------------------------

@@ -45,6 +45,10 @@ class FailureInjector:
         self._m_segment_down = metrics.counter("failures.segment_down")
         self._m_segment_up = metrics.counter("failures.segment_up")
         self._m_skipped = metrics.counter("failures.skipped")
+        self._m_congested = metrics.counter("failures.segment_congested")
+        self._m_decongested = metrics.counter("failures.segment_decongested")
+        self._m_slowed = metrics.counter("failures.host_slowed")
+        self._m_unslowed = metrics.counter("failures.host_unslowed")
 
     # -- scheduled one-shots -----------------------------------------------
     def host_down_at(self, t: float, host: str, duration: Optional[float] = None) -> None:
@@ -92,6 +96,69 @@ class FailureInjector:
                     self._segment_up(name)
 
         self.sim.process(script(), name="fail:partition")
+
+    # -- degradation (overload scenarios) -----------------------------------
+    def congest_segment_at(
+        self, t: float, segment: str, factor: float, duration: Optional[float] = None
+    ) -> None:
+        """Degrade *segment* at time *t*: divide bandwidth and multiply
+        latency by *factor*; restore after *duration* if given.
+
+        Media are frozen and shared between segments, so congestion swaps
+        the segment's ``medium`` for a degraded replica rather than
+        mutating it. Overlapping congestion windows stack
+        multiplicatively and unwind in any order (each script undoes
+        exactly its own factor).
+        """
+
+        def script():
+            import dataclasses
+
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            seg = self.topology.segments[segment]
+            seg.medium = dataclasses.replace(
+                seg.medium,
+                bandwidth=seg.medium.bandwidth / factor,
+                latency=seg.medium.latency * factor,
+            )
+            self.log.append((self.sim.now, "segment_congested", segment))
+            self._m_congested.inc()
+            self._trace("segment_congested", segment)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                seg.medium = dataclasses.replace(
+                    seg.medium,
+                    bandwidth=seg.medium.bandwidth * factor,
+                    latency=seg.medium.latency / factor,
+                )
+                self.log.append((self.sim.now, "segment_decongested", segment))
+                self._m_decongested.inc()
+                self._trace("segment_decongested", segment)
+
+        self.sim.process(script(), name=f"fail:congest:{segment}")
+
+    def slow_host_at(
+        self, t: float, host: str, factor: float, duration: Optional[float] = None
+    ) -> None:
+        """Slow *host* at time *t*: divide ``cpu_speed`` by *factor* (all
+        compute takes *factor* times longer); restore after *duration*.
+        Overlaps stack multiplicatively, like congestion."""
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            h = self.topology.hosts[host]
+            h.cpu_speed /= factor
+            self.log.append((self.sim.now, "host_slowed", host))
+            self._m_slowed.inc()
+            self._trace("host_slowed", host)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                h.cpu_speed *= factor
+                self.log.append((self.sim.now, "host_unslowed", host))
+                self._m_unslowed.inc()
+                self._trace("host_unslowed", host)
+
+        self.sim.process(script(), name=f"fail:slow:{host}")
 
     # -- stochastic churn -----------------------------------------------------
     def churn_hosts(

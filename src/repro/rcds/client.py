@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.robust import TIMEOUTS
+from repro.robust.overload import BULK
 from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcClient, RpcError
 
@@ -41,7 +43,7 @@ class RCClient:
         host: "Host",
         replicas: List[Tuple[str, int]],
         secret: Optional[bytes] = None,
-        rpc_timeout: float = 1.0,
+        rpc_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not replicas:
@@ -49,7 +51,7 @@ class RCClient:
         self.sim = host.sim
         self.host = host
         self.replicas = list(replicas)
-        self.rpc_timeout = rpc_timeout
+        self.rpc_timeout = rpc_timeout if rpc_timeout is not None else TIMEOUTS["rc.call"]
         #: Temporal retry discipline: each *round* tries every candidate
         #: replica once; the policy decides whether a failed round is
         #: retried (with backoff) or surfaces as ConsistencyError. The
@@ -75,13 +77,19 @@ class RCClient:
         raise ValueError(f"unknown consistency level {consistency!r}")
 
     def _candidate_order(self) -> List[Tuple[str, int]]:
-        """Local replica first (closest-resource heuristic), then random."""
+        """Local replica first (closest-resource heuristic), then random —
+        but replicas under an open circuit breaker sink to the back so a
+        quarantined server is only tried once every healthy one failed."""
         local = [r for r in self.replicas if r[0] == self.host.name]
         rest = [r for r in self.replicas if r[0] != self.host.name]
         self._rng.shuffle(rest)
-        return local + rest
+        order = local + rest
+        healthy = [r for r in order if not self._rpc.breaker_open(*r)]
+        sick = [r for r in order if self._rpc.breaker_open(*r)]
+        return healthy + sick
 
-    def _fanout(self, method: str, need: int, targets: List[Tuple[str, int]], **args):
+    def _fanout(self, method: str, need: int, targets: List[Tuple[str, int]],
+                lane: str = BULK, **args):
         """Call *method* on successive replicas until *need* succeed.
 
         One round walks every candidate; ``self.retry`` decides whether a
@@ -93,7 +101,7 @@ class RCClient:
             for rhost, rport in targets:
                 try:
                     result = yield self._rpc.call(
-                        rhost, rport, method, timeout=self.rpc_timeout, **args
+                        rhost, rport, method, timeout=self.rpc_timeout, lane=lane, **args
                     )
                     results.append(((rhost, rport), result))
                     if len(results) >= need:
@@ -113,14 +121,16 @@ class RCClient:
         )
 
     # -- public API (all return sim processes; use with ``yield``) ----------
-    def lookup(self, uri: str, consistency: str = ONE):
-        return self.sim.process(self._lookup(uri, consistency), name=f"rc.lookup:{uri}")
+    def lookup(self, uri: str, consistency: str = ONE, lane: str = BULK):
+        return self.sim.process(
+            self._lookup(uri, consistency, lane), name=f"rc.lookup:{uri}"
+        )
 
-    def _lookup(self, uri: str, consistency: str):
+    def _lookup(self, uri: str, consistency: str, lane: str = BULK):
         need = self._required(consistency)
         targets = self._candidate_order()
         t0 = self.sim.now
-        results = yield from self._fanout("rc.lookup", need, targets, uri=uri)
+        results = yield from self._fanout("rc.lookup", need, targets, lane=lane, uri=uri)
         self._m_lookup_latency.observe(self.sim.now - t0)
         if len(results) == 1:
             return results[0][1]
@@ -132,12 +142,14 @@ class RCClient:
                     merged[key] = info
         return merged
 
-    def update(self, uri: str, assertions: Dict[str, Any], consistency: str = ONE):
+    def update(self, uri: str, assertions: Dict[str, Any], consistency: str = ONE,
+               lane: str = BULK):
         return self.sim.process(
-            self._update(uri, assertions, consistency), name=f"rc.update:{uri}"
+            self._update(uri, assertions, consistency, lane), name=f"rc.update:{uri}"
         )
 
-    def _update(self, uri: str, assertions: Dict[str, Any], consistency: str):
+    def _update(self, uri: str, assertions: Dict[str, Any], consistency: str,
+                lane: str = BULK):
         need = self._required(consistency)
         if consistency == MASTER:
             targets = [self.replicas[0]]  # single-master baseline: no failover
@@ -145,40 +157,51 @@ class RCClient:
             targets = self._candidate_order()
         t0 = self.sim.now
         results = yield from self._fanout(
-            "rc.update", need, targets, uri=uri, assertions=assertions
+            "rc.update", need, targets, lane=lane, uri=uri, assertions=assertions
         )
         self._m_update_latency.observe(self.sim.now - t0)
         return results[0][1]
 
-    def delete(self, uri: str, keys: Optional[List[str]] = None, consistency: str = ONE):
-        return self.sim.process(self._delete(uri, keys, consistency), name=f"rc.delete:{uri}")
+    def delete(self, uri: str, keys: Optional[List[str]] = None, consistency: str = ONE,
+               lane: str = BULK):
+        return self.sim.process(
+            self._delete(uri, keys, consistency, lane), name=f"rc.delete:{uri}"
+        )
 
-    def _delete(self, uri: str, keys: Optional[List[str]], consistency: str):
+    def _delete(self, uri: str, keys: Optional[List[str]], consistency: str,
+                lane: str = BULK):
         need = self._required(consistency)
         targets = [self.replicas[0]] if consistency == MASTER else self._candidate_order()
-        results = yield from self._fanout("rc.delete", need, targets, uri=uri, keys=keys)
+        results = yield from self._fanout(
+            "rc.delete", need, targets, lane=lane, uri=uri, keys=keys
+        )
         return results[0][1]
 
-    def query(self, prefix: str):
+    def query(self, prefix: str, lane: str = BULK):
         """URIs under *prefix* from any reachable replica."""
-        return self.sim.process(self._query(prefix), name=f"rc.query:{prefix}")
+        return self.sim.process(self._query(prefix, lane), name=f"rc.query:{prefix}")
 
-    def _query(self, prefix: str):
-        results = yield from self._fanout("rc.query", 1, self._candidate_order(), prefix=prefix)
+    def _query(self, prefix: str, lane: str = BULK):
+        results = yield from self._fanout(
+            "rc.query", 1, self._candidate_order(), lane=lane, prefix=prefix
+        )
         return results[0][1]
 
     # -- convenience -----------------------------------------------------------
-    def get(self, uri: str, key: str, consistency: str = ONE):
+    def get(self, uri: str, key: str, consistency: str = ONE, lane: str = BULK):
         """One assertion's value (or None)."""
-        return self.sim.process(self._get(uri, key, consistency), name=f"rc.get:{uri}")
+        return self.sim.process(
+            self._get(uri, key, consistency, lane), name=f"rc.get:{uri}"
+        )
 
-    def _get(self, uri: str, key: str, consistency: str):
-        assertions = yield self.lookup(uri, consistency)
+    def _get(self, uri: str, key: str, consistency: str, lane: str = BULK):
+        assertions = yield self.lookup(uri, consistency, lane=lane)
         info = assertions.get(key)
         return info["value"] if info else None
 
-    def set(self, uri: str, key: str, value: Any, consistency: str = ONE):
-        return self.update(uri, {key: value}, consistency)
+    def set(self, uri: str, key: str, value: Any, consistency: str = ONE,
+            lane: str = BULK):
+        return self.update(uri, {key: value}, consistency, lane=lane)
 
     def close(self) -> None:
         self._rpc.close()

@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.rcds.records import RCStore
+from repro.robust import TIMEOUTS
+from repro.robust.overload import CONTROL
 from repro.rpc import RpcClient, RpcError, RpcServer
 from repro.sim.errors import Interrupt
 
@@ -122,7 +124,8 @@ class RCServer:
                 peer_host,
                 peer_port,
                 "rc.sync",
-                timeout=2.0,
+                timeout=TIMEOUTS["rc.sync"],
+                lane=CONTROL,
                 vector=self.store.digest(),
                 records=[],  # pull-first: learn their vector, then push
             )
@@ -135,7 +138,8 @@ class RCServer:
                     peer_host,
                     peer_port,
                     "rc.sync",
-                    timeout=2.0,
+                    timeout=TIMEOUTS["rc.sync"],
+                    lane=CONTROL,
                     vector=self.store.digest(),
                     records=missing,
                 )

@@ -14,6 +14,7 @@ from repro.daemon.tasks import TaskSpec
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import RCClient
 from repro.rm.manager import AllocationError
+from repro.robust import TIMEOUTS
 from repro.robust.retry import RetryPolicy
 from repro.rpc import RpcClient, RpcError
 
@@ -60,8 +61,11 @@ class RmClient:
                 out.append((hostname, int(port)))
         return sorted(out)
 
-    def request(self, spec: TaskSpec, owner: str = "anonymous", timeout: float = 5.0):
+    def request(self, spec: TaskSpec, owner: str = "anonymous",
+                timeout: Optional[float] = None):
         """Ask any live RM to allocate/spawn per *spec* (a process)."""
+        if timeout is None:
+            timeout = TIMEOUTS["rm.request"]
         return self.sim.process(self._request(spec, owner, timeout), name="rm-request")
 
     def _request(self, spec: TaskSpec, owner: str, timeout: float):
@@ -70,6 +74,9 @@ class RmClient:
             if not managers:
                 raise RmUnreachable("no resource managers registered")
             self._rng.shuffle(managers)
+            # Quarantined managers sink to the back of the round: try the
+            # healthy ones before spending the timeout budget on a probe.
+            managers.sort(key=lambda m: self._rpc.breaker_open(*m))
             errors = []
             for rm_host, rm_port in managers:
                 try:
@@ -93,13 +100,17 @@ class RmClient:
             )
         )
 
-    def migrate(self, urn: str, to: Optional[str] = None, timeout: float = 5.0):
+    def migrate(self, urn: str, to: Optional[str] = None,
+                timeout: Optional[float] = None):
         """Ask any live RM to migrate *urn* (a process)."""
+        if timeout is None:
+            timeout = TIMEOUTS["rm.migrate"]
         return self.sim.process(self._migrate(urn, to, timeout), name=f"rm-migrate:{urn}")
 
     def _migrate(self, urn: str, to: Optional[str], timeout: float):
         managers = yield from self._managers()
         self._rng.shuffle(managers)
+        managers.sort(key=lambda m: self._rpc.breaker_open(*m))
         errors = []
         for rm_host, rm_port in managers:
             try:

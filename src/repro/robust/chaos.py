@@ -28,27 +28,46 @@ the refcounted injector one-shots, so overlapping fault windows compose.
 
 Entry points: :func:`run_chaos` (one seed -> report dict), used by
 ``python -m repro chaos run --seed N`` and the parametrized pytest
-suite in ``tests/robust/test_chaos.py``.
+suite in ``tests/robust/test_chaos.py``; and :func:`run_overload`
+(``--scenario overload``), which saturates the same site with bulk
+traffic instead of killing hosts and checks that the control plane —
+lease heartbeats, Guardian probes — stays live and that no false
+death is declared (experiment E12).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.checkpoint import checkpoint_to_files
 from repro.core.environment import SnipeEnvironment
 from repro.daemon.tasks import TaskSpec, TaskState
 from repro.rcds.server import RC_PORT
-from repro.rpc import RpcClient
+from repro.robust import TIMEOUTS
+from repro.rpc import RpcClient, RpcError
 
 #: Seeds the CI smoke and the pytest suite pin.
 DEFAULT_SEEDS = (1, 2, 3, 4, 5)
 
 
-def build_chaos_env(seed: int, n_workers: int = 4) -> Tuple[SnipeEnvironment, List[str]]:
+def build_chaos_env(
+    seed: int,
+    n_workers: int = 4,
+    rc_service_time: Optional[float] = None,
+    configure: Optional[Callable] = None,
+) -> Tuple[SnipeEnvironment, List[str]]:
     """The chaos site: stable core (RC x3, RM, files, guardians) behind a
-    gateway, each worker alone on its own segment so it can be isolated."""
+    gateway, each worker alone on its own segment so it can be isolated.
+
+    ``rc_service_time`` makes the RC replicas single-threaded bottleneck
+    servers (the overload scenario saturates them); ``configure(sim)``
+    runs before any endpoint exists, so it can set
+    :class:`repro.robust.overload.OverloadConfig` fields that are read at
+    queue-construction time.
+    """
     env = SnipeEnvironment(seed=seed)
+    if configure is not None:
+        configure(env.sim)
     env.add_segment("core-lan")
     for name in ("c0", "c1", "c2"):
         env.add_host(name, segments=["core-lan"])
@@ -59,7 +78,8 @@ def build_chaos_env(seed: int, n_workers: int = 4) -> Tuple[SnipeEnvironment, Li
         env.topology.connect(gw, seg)
         env.add_host(f"w{i}", segments=[f"s-w{i}"], arch="worker")
         workers.append(f"w{i}")
-    env.add_rc_servers(["c0", "c1", "c2"])
+    server_kw = {} if rc_service_time is None else {"service_time": rc_service_time}
+    env.add_rc_servers(["c0", "c1", "c2"], **server_kw)
     for name in ("c0", "c1", "c2", "gw", *workers):
         env.boot_daemon(name)
     env.add_rm("c0")
@@ -327,6 +347,246 @@ def format_report(report: Dict) -> str:
     lines.append("")
     lines.append("invariants:")
     for name, ok, detail in report["invariants"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    lines.append("")
+    lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "
+                 f"(simulated {report['finished_at']:.1f}s)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Overload scenario (experiment E12)
+# ---------------------------------------------------------------------------
+
+def run_overload(
+    seed: int,
+    saturation: float = 5.0,
+    adaptive: bool = True,
+    n_workers: int = 4,
+    duration: float = 32.0,
+    service_time: float = 0.1,
+    congest_factor: float = 3.0,
+    slow_factor: float = 4.0,
+    control_p99_bound: float = 0.5,
+) -> Dict:
+    """One seeded overload run; returns a report dict (``report["ok"]``).
+
+    The chaos site is rebuilt with the RC replicas as single-threaded
+    bottleneck servers (``service_time`` per request, so the site's bulk
+    capacity is ``n_replicas / service_time`` lookups per second), then:
+
+    * long-running checkpointing workers keep leases and progress
+      reports flowing — the control plane that must survive;
+    * open-loop Poisson generators on the worker hosts offer
+      ``saturation`` times the site's capacity in bulk ``rc.lookup``
+      calls (capped outstanding per host, so the sim stays bounded);
+    * mid-run, the core LAN is congested and half the workers are
+      CPU-starved — overload *plus* degradation, the regime where fixed
+      timeouts misfire.
+
+    No host ever crashes, so **any** Guardian death declaration is a
+    false positive. ``adaptive=False`` is the static baseline: fixed
+    timeouts, no circuit breakers, no priority lanes (the bounded queues
+    themselves stay — they are the environment, not the treatment).
+    """
+
+    def configure(sim):
+        cfg = sim.overload
+        cfg.adaptive = adaptive
+        cfg.breakers = adaptive
+        cfg.lanes = adaptive
+        # Small enough that a full bulk queue (capacity x service_time of
+        # backlog) far exceeds the lease TTL: without lanes, heartbeats
+        # queue behind that backlog or get shed with it.
+        cfg.server_bulk_capacity = 128
+
+    env, workers = build_chaos_env(
+        seed, n_workers, rc_service_time=service_time, configure=configure
+    )
+    acked: Dict[str, int] = {}
+    coll_state: Dict = {"done": {}, "dup_done": {}, "progress": {}, "incs": {}, "mismatch": []}
+    _install_programs(env, acked, coll_state)
+    wstats = {"steps": 0, "send_failures": 0, "ckpt_failures": 0}
+
+    @env.program("overload-worker")
+    def overload_worker(ctx, total, ckpt_every, collector_urn, step):
+        # The chaos-worker, hardened for overload: progress reports and
+        # checkpoints are best-effort, because bulk-plane failures are
+        # *expected* here and a program crash would read as a (true)
+        # death, drowning the false-death signal this scenario measures.
+        i = 0
+        while i < total:
+            yield ctx.compute(step)
+            i += 1
+            wstats["steps"] += 1
+            try:
+                yield ctx.send(collector_urn,
+                               {"urn": ctx.urn, "i": i, "inc": ctx.incarnation},
+                               tag="progress")
+            except Exception:
+                wstats["send_failures"] += 1
+            if i % ckpt_every == 0:
+                try:
+                    yield checkpoint_to_files(ctx)
+                except Exception:
+                    wstats["ckpt_failures"] += 1
+        return i
+
+    env.settle(2.0)
+
+    coll = env.spawn(TaskSpec(program="chaos-collector", name="ovl-coll"), on="c0")
+    for i, w in enumerate(workers):
+        # Enough steps that every worker is still mid-run (lease live,
+        # reports flowing) for the whole overload window.
+        spec = TaskSpec(
+            program="overload-worker",
+            arch="worker",
+            name=f"ovl-w{i}",
+            params={"total": 400, "ckpt_every": 8,
+                    "collector_urn": coll.urn, "step": 0.25},
+        )
+        env.spawn(spec, on=w)
+
+    # -- bulk load: open-loop Poisson rc.lookup generators -------------------
+    replicas = list(env.rc_replicas)
+    capacity = len(replicas) / service_time
+    offered_rate = saturation * capacity
+    t_load0, t_load1 = 4.0, duration - 8.0
+    max_outstanding = 48  # per generator host; bounds sim event count
+    load = {"offered": 0, "issued": 0, "ok": 0, "failed": 0, "ok_in_window": 0}
+
+    def _load_gen(host_name: str):
+        client = RpcClient(env.topology.hosts[host_name])
+        rng = env.sim.rng.stream(f"overload.load.{host_name}")
+        state = {"outstanding": 0, "rr": 0}
+
+        def one_call(rhost: str, rport: int):
+            try:
+                yield client.call(rhost, rport, "rc.lookup",
+                                  timeout=TIMEOUTS["rc.call"],
+                                  uri=f"snipe://host/{rhost}")
+                load["ok"] += 1
+                if t_load0 <= env.sim.now <= t_load1:
+                    load["ok_in_window"] += 1
+            except RpcError:
+                load["failed"] += 1
+            finally:
+                state["outstanding"] -= 1
+
+        def gen():
+            yield env.sim.timeout(max(0.0, t_load0 - env.sim.now))
+            rate = offered_rate / len(workers)
+            while env.sim.now < t_load1:
+                yield env.sim.timeout(rng.expovariate(rate))
+                load["offered"] += 1
+                if state["outstanding"] >= max_outstanding:
+                    load["failed"] += 1  # client-side shed: site hopeless
+                    continue
+                state["outstanding"] += 1
+                load["issued"] += 1
+                rhost, rport = replicas[state["rr"] % len(replicas)]
+                state["rr"] += 1
+                env.sim.process(one_call(rhost, rport),
+                                name=f"ovl-call:{host_name}")
+
+        env.sim.process(gen(), name=f"ovl-load:{host_name}")
+
+    for w in workers:
+        _load_gen(w)
+
+    # -- degradation window inside the load window ---------------------------
+    env.failures.congest_segment_at(8.0, "core-lan", congest_factor, duration=12.0)
+    for w in workers[: max(1, len(workers) // 2)]:
+        env.failures.slow_host_at(10.0, w, slow_factor, duration=8.0)
+
+    env.run(until=duration)
+    env.settle(4.0)  # drain queues; late false deaths would show up here
+
+    metrics = env.sim.obs.metrics
+    snap = metrics.snapshot()
+    hist = metrics.histogram("overload.control_latency")
+    control_p99 = hist.percentile(99)
+    deaths = sum(g.deaths_declared for g in env.guardians.values())
+    recoveries = sum(len(g.recoveries) for g in env.guardians.values())
+    hb_ok = sum(d.heartbeats_ok for d in env.daemons.values())
+    hb_failed = sum(d.heartbeats_failed for d in env.daemons.values())
+    sheds = int(metrics.counter("rpc.requests_shed").value)
+    rx_drops = int(sum(v for k, v in snap.items()
+                       if k.startswith("transport.rx_drops")))
+    breaker_opens = int(sum(v for k, v in snap.items()
+                            if k.startswith("robust.breaker_opened")))
+    window = t_load1 - t_load0
+    goodput = load["ok_in_window"] / window if window > 0 else 0.0
+
+    criteria: List[Tuple[str, bool, str]] = [
+        ("no-false-deaths",
+         deaths == 0 and recoveries == 0,
+         f"{deaths} deaths declared, {recoveries} recoveries "
+         f"(every host stayed up: any death is false)"),
+        ("no-lost-heartbeats",
+         hb_failed == 0,
+         f"{hb_ok} lease heartbeats delivered, {hb_failed} failed"),
+        ("control-p99-bounded",
+         hist.n > 0 and control_p99 <= control_p99_bound,
+         f"control-plane p99 {control_p99 * 1000:.1f}ms over {hist.n} calls "
+         f"(bound {control_p99_bound * 1000:.0f}ms)"),
+    ]
+    return {
+        "seed": seed,
+        "saturation": saturation,
+        "adaptive": adaptive,
+        "workers": n_workers,
+        "service_time": service_time,
+        "capacity_ops_s": capacity,
+        "offered_rate_ops_s": offered_rate,
+        "load": dict(load),
+        "goodput_ops_s": goodput,
+        "control_p99_s": control_p99,
+        "control_calls": hist.n,
+        "deaths_declared": deaths,
+        "recoveries": recoveries,
+        "heartbeats_ok": hb_ok,
+        "heartbeats_failed": hb_failed,
+        "requests_shed": sheds,
+        "rx_drops": rx_drops,
+        "breaker_opens": breaker_opens,
+        "worker_stats": dict(wstats),
+        "criteria": criteria,
+        "ok": all(ok for _, ok, _ in criteria),
+        "finished_at": env.sim.now,
+    }
+
+
+def format_overload_report(report: Dict) -> str:
+    """Human-readable overload report for the CLI."""
+    mode = "adaptive" if report["adaptive"] else "static baseline"
+    lines = [
+        f"overload run: seed={report['seed']} "
+        f"saturation={report['saturation']:.1f}x ({mode})",
+        "",
+        f"site capacity : {report['capacity_ops_s']:.0f} lookups/s "
+        f"(3 RC replicas, {report['service_time'] * 1000:.0f}ms service time)",
+        f"offered load  : {report['offered_rate_ops_s']:.0f} lookups/s "
+        f"({report['load']['offered']} offered, {report['load']['issued']} issued)",
+        f"bulk goodput  : {report['goodput_ops_s']:.1f} lookups/s "
+        f"({report['load']['ok']} ok / {report['load']['failed']} failed)",
+        f"shedding      : {report['requests_shed']} server-shed, "
+        f"{report['rx_drops']} transport backpressure drops, "
+        f"{report['breaker_opens']} breaker opens",
+        f"control plane : p99 {report['control_p99_s'] * 1000:.1f}ms "
+        f"over {report['control_calls']} calls; "
+        f"heartbeats {report['heartbeats_ok']} ok / "
+        f"{report['heartbeats_failed']} failed",
+        f"guardian      : {report['deaths_declared']} deaths declared, "
+        f"{report['recoveries']} recoveries (expected: 0 — no host crashed)",
+        f"workload      : {report['worker_stats']['steps']} steps, "
+        f"{report['worker_stats']['send_failures']} report failures, "
+        f"{report['worker_stats']['ckpt_failures']} checkpoint failures "
+        f"(best-effort bulk)",
+        "",
+        "criteria:",
+    ]
+    for name, ok, detail in report["criteria"]:
         lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
     lines.append("")
     lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "

@@ -2,10 +2,15 @@
 
 Subcommands:
 
-* ``run`` — one chaos run: build the star site, drive the seeded fault
-  schedule over the checkpointing workload, print the fault timeline,
-  recovery log, and invariant table. Exit status 0 iff every invariant
-  holds. ``--seed N`` picks the schedule; same seed, same run.
+* ``run`` — one run of a scenario. ``--scenario faults`` (default)
+  builds the star site, drives the seeded fault schedule over the
+  checkpointing workload, and prints the fault timeline, recovery log,
+  and invariant table. ``--scenario overload`` saturates the same site
+  with bulk traffic instead (``--saturation N`` times capacity; pass
+  ``--static`` to disable the adaptive overload controls and see the
+  baseline behaviour) and checks that the control plane survives. Exit
+  status 0 iff every invariant/criterion holds. ``--seed N`` picks the
+  schedule; same seed, same run.
 * ``sweep`` — run several seeds back to back (default: the CI seeds)
   and print one summary line each; exit non-zero if any seed fails.
 """
@@ -15,18 +20,54 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
-from repro.robust.chaos import DEFAULT_SEEDS, format_report, run_chaos
+from repro.robust.chaos import (
+    DEFAULT_SEEDS,
+    format_overload_report,
+    format_report,
+    run_chaos,
+    run_overload,
+)
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scenario", choices=("faults", "overload"), default="faults",
+                   help="faults: crash/partition chaos (default); "
+                        "overload: bulk saturation, no crashes")
     p.add_argument("--workers", type=int, default=4, help="worker hosts (default 4)")
     p.add_argument("--steps", type=int, default=60,
-                   help="work units per task (default 60)")
-    p.add_argument("--duration", type=float, default=120.0,
-                   help="simulated-seconds budget (default 120)")
-    p.add_argument("--no-churn", action="store_true", help="disable host crash/churn")
+                   help="[faults] work units per task (default 60)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated-seconds budget "
+                        "(default: 120 for faults, 32 for overload)")
+    p.add_argument("--no-churn", action="store_true",
+                   help="[faults] disable host crash/churn")
     p.add_argument("--no-partitions", action="store_true",
-                   help="disable segment partitions (no zombie scenarios)")
+                   help="[faults] disable segment partitions (no zombie scenarios)")
+    p.add_argument("--saturation", type=float, default=5.0,
+                   help="[overload] offered load as a multiple of site "
+                        "capacity (default 5.0)")
+    p.add_argument("--static", action="store_true",
+                   help="[overload] baseline: fixed timeouts, no breakers, "
+                        "no priority lanes")
+
+
+def _run_one(seed: int, args) -> dict:
+    if args.scenario == "overload":
+        return run_overload(
+            seed,
+            saturation=args.saturation,
+            adaptive=not args.static,
+            n_workers=args.workers,
+            duration=args.duration if args.duration is not None else 32.0,
+        )
+    return run_chaos(
+        seed,
+        n_workers=args.workers,
+        total=args.steps,
+        duration=args.duration if args.duration is not None else 120.0,
+        churn=not args.no_churn,
+        partitions=not args.no_partitions,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -41,27 +82,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_run_args(p_sweep)
     args = parser.parse_args(argv)
 
-    kwargs = dict(
-        n_workers=args.workers,
-        total=args.steps,
-        duration=args.duration,
-        churn=not args.no_churn,
-        partitions=not args.no_partitions,
-    )
     if args.cmd == "run":
-        report = run_chaos(args.seed, **kwargs)
-        print(format_report(report))
+        report = _run_one(args.seed, args)
+        if args.scenario == "overload":
+            print(format_overload_report(report))
+        else:
+            print(format_report(report))
         return 0 if report["ok"] else 1
     failures = 0
     for seed in args.seeds:
-        report = run_chaos(seed, **kwargs)
-        bad = [name for name, ok, _ in report["invariants"] if not ok]
-        print(
-            f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
-            f"recoveries={len(report['recoveries'])} "
-            f"fenced={report['msgs_fenced']} "
-            + (f"failed: {bad}" if bad else "")
-        )
+        report = _run_one(seed, args)
+        if args.scenario == "overload":
+            bad = [name for name, ok, _ in report["criteria"] if not ok]
+            print(
+                f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+                f"goodput={report['goodput_ops_s']:.1f}/s "
+                f"control_p99={report['control_p99_s'] * 1000:.0f}ms "
+                f"deaths={report['deaths_declared']} "
+                f"hb_failed={report['heartbeats_failed']} "
+                + (f"failed: {bad}" if bad else "")
+            )
+        else:
+            bad = [name for name, ok, _ in report["invariants"] if not ok]
+            print(
+                f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+                f"recoveries={len(report['recoveries'])} "
+                f"fenced={report['msgs_fenced']} "
+                + (f"failed: {bad}" if bad else "")
+            )
         failures += 0 if report["ok"] else 1
     return 0 if failures == 0 else 1
 

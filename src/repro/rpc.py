@@ -14,6 +14,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.robust import TIMEOUTS
+from repro.robust.overload import BULK, CONTROL, AdaptiveTimeouts, BreakerBoard
 from repro.security.hashes import canonical_bytes, hmac_tag, verify_hmac
 from repro.sim.errors import Interrupt
 from repro.sim.events import defuse
@@ -50,6 +52,9 @@ class Request:
     reply_port: int
     req_id: int = field(default_factory=lambda: next(_req_ids))
     auth: Optional[str] = None
+    #: Priority lane: control-plane requests (leases, fencing, probes)
+    #: jump bulk data in every ingress queue between caller and handler.
+    lane: str = BULK
 
 
 @dataclass
@@ -92,12 +97,29 @@ class RpcServer:
         self.handlers: Dict[str, Callable] = {}
         self.requests_served = 0
         self.auth_failures = 0
+        self.requests_shed = 0
         self._m_served = self.sim.obs.metrics.counter("rpc.requests_served")
         self._m_auth_failures = self.sim.obs.metrics.counter("rpc.auth_failures")
+        self._m_shed = self.sim.obs.metrics.counter("rpc.requests_shed")
+        # Server ingress is shed-oldest rather than backpressure: under
+        # sustained overload the oldest queued bulk request belongs to a
+        # caller that has already timed out, and burning service time on
+        # it only steals capacity from requests that can still succeed.
+        # Control-lane requests are never shed. The transport retains its
+        # exactly-once bookkeeping — a shed request simply times out at
+        # the client and is retried or failed over like any other loss.
+        q = self.endpoint._rx_queue
+        q.bulk_capacity = self.sim.overload.server_bulk_capacity
+        q.shed_oldest = True
+        q.on_shed = self._on_shed
         self._proc = self.sim.process(self._serve(), name=f"rpc:{host.name}:{port}")
 
     def register(self, method: str, fn: Callable) -> None:
         self.handlers[method] = fn
+
+    def _on_shed(self, msg) -> None:
+        self.requests_shed += 1
+        self._m_shed.inc()
 
     def close(self) -> None:
         self.endpoint.close()
@@ -181,6 +203,9 @@ class RpcClient:
         self.endpoint = SrudpEndpoint(host, port if port is not None else host.ephemeral_port())
         self._waiting: Dict[int, Any] = {}
         self._metrics = self.sim.obs.metrics
+        self._timeouts = AdaptiveTimeouts(self.sim.overload)
+        self._breakers = BreakerBoard(self.sim, scope="rpc")
+        self._m_control_latency = self._metrics.histogram("overload.control_latency")
         self._dispatcher = self.sim.process(self._dispatch(), name=f"rpc-client:{host.name}")
 
     def _dispatch(self):
@@ -200,30 +225,46 @@ class RpcClient:
         if self._dispatcher.is_alive:
             self._dispatcher.interrupt("closed")
 
+    def breaker_open(self, dst_host: str, dst_port: int) -> bool:
+        """Is the destination currently quarantined? Clients use this to
+        order failover candidates so they try healthy replicas first."""
+        if not self.sim.overload.breakers:
+            return False
+        return self._breakers.is_open((dst_host, dst_port))
+
     def call(
         self,
         dst_host: str,
         dst_port: int,
         method: str,
-        timeout: float = 5.0,
+        timeout: Optional[float] = None,
         _size: Optional[int] = None,
         retry=None,
+        lane: str = BULK,
         **args,
     ):
         """Process event yielding the result, or failing with RpcError.
 
-        ``_size`` overrides the request's wire size (for calls carrying
-        bulk payloads whose declared size exceeds their encoding).
-        ``retry`` is an optional :class:`repro.robust.RetryPolicy`; when
-        given, transient :class:`RpcError` failures are retried with
-        backoff under the policy's deadline budget.
+        ``timeout`` is the *static* timeout: the cold-start value and the
+        floor anchor for the per-destination adaptive estimate (None
+        means the :data:`repro.robust.TIMEOUTS` default). ``_size``
+        overrides the request's wire size (for calls carrying bulk
+        payloads whose declared size exceeds their encoding). ``retry``
+        is an optional :class:`repro.robust.RetryPolicy`; when given,
+        transient :class:`RpcError` failures are retried with backoff
+        under the policy's deadline budget. ``lane=CONTROL`` marks the
+        call as control-plane: it jumps bulk traffic in every ingress
+        queue and is never load-shed.
         """
+        if timeout is None:
+            timeout = TIMEOUTS["rpc.default"]
         if retry is not None:
             rng = self.sim.rng.stream(f"retry.rpc.{self.host.name}")
             return self.sim.process(
                 retry.run(
                     self.sim,
-                    lambda i: self._call(dst_host, dst_port, method, args, timeout, _size),
+                    lambda i: self._call(dst_host, dst_port, method, args, timeout,
+                                         _size, lane),
                     retry_on=(RpcError,),
                     rng=rng,
                     op=method,
@@ -231,7 +272,7 @@ class RpcClient:
                 name=f"call:{method}@{dst_host}",
             )
         return self.sim.process(
-            self._call(dst_host, dst_port, method, args, timeout, _size),
+            self._call(dst_host, dst_port, method, args, timeout, _size, lane),
             name=f"call:{method}@{dst_host}",
         )
 
@@ -243,8 +284,23 @@ class RpcClient:
         args: Dict[str, Any],
         timeout: float,
         _size: Optional[int] = None,
+        lane: str = BULK,
     ):
-        req = Request(method=method, args=args, reply_port=self.endpoint.port)
+        config = self.sim.overload
+        # The *requested* lane keeps feeding the control-latency histogram
+        # even in the static baseline (lanes off), so E12 can compare what
+        # happens to logically-control traffic with and without priority.
+        requested_lane = lane
+        if not config.lanes:
+            lane = BULK  # baseline: no priority classification anywhere
+        bkey = (dst_host, dst_port)
+        if config.breakers and not self._breakers.allow(bkey):
+            # Quarantined destination: fail fast so the caller's failover
+            # moves on instead of burning its deadline on a sick replica.
+            self._metrics.counter("rpc.errors", method=method).inc()
+            raise RpcError(f"{method}@{dst_host}:{dst_port}: circuit open")
+        effective = self._timeouts.timeout_for(dst_host, dst_port, method, timeout)
+        req = Request(method=method, args=args, reply_port=self.endpoint.port, lane=lane)
         if self.secret is not None:
             req.auth = hmac_tag(self.secret, {"method": method, "req_id": req.req_id})
         reply_ev = self.sim.event()
@@ -255,23 +311,35 @@ class RpcClient:
             send_ev = self.endpoint.send(dst_host, dst_port, req, wire)
             defuse(send_ev)  # reaped below; must not count as uncaught
             # The send itself may fail (peer unreachable): watch both.
-            yield self.sim.any_of([reply_ev, self.sim.timeout(timeout)])
+            yield self.sim.any_of([reply_ev, self.sim.timeout(effective)])
             if not reply_ev.triggered:
                 self._metrics.counter("rpc.errors", method=method).inc()
+                self._timeouts.note_timeout(dst_host, dst_port, method, timeout)
+                if config.breakers:
+                    self._breakers.record(bkey, False)
                 # Reap a send failure for a clearer error, if there is one.
                 if send_ev.triggered and not send_ev.ok:
                     try:
                         send_ev.value
                     except SendError as exc:
                         raise RpcError(f"{method}@{dst_host}: {exc}") from None
-                raise RpcError(f"{method}@{dst_host}:{dst_port}: timed out after {timeout}s")
+                raise RpcError(
+                    f"{method}@{dst_host}:{dst_port}: timed out after {effective}s"
+                )
             resp = reply_ev.value
+            rtt = self.sim.now - t0
+            # Any response — even an application error — proves the
+            # destination alive: the breaker quarantines sick *hosts*,
+            # not failing requests.
+            self._timeouts.observe(dst_host, dst_port, method, timeout, rtt)
+            if config.breakers:
+                self._breakers.record(bkey, True)
             if not resp.ok:
                 self._metrics.counter("rpc.errors", method=method).inc()
                 raise RpcError(f"{method}@{dst_host}: {resp.error}")
-            self._metrics.histogram("rpc.call_latency", method=method).observe(
-                self.sim.now - t0
-            )
+            self._metrics.histogram("rpc.call_latency", method=method).observe(rtt)
+            if requested_lane == CONTROL:
+                self._m_control_latency.observe(rtt)
             return resp.result
         finally:
             self._waiting.pop(req.req_id, None)

@@ -39,6 +39,7 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._crashed: List[Tuple[Process, BaseException]] = []
         self._obs = None
+        self._overload = None
 
     @property
     def obs(self):
@@ -49,6 +50,18 @@ class Simulator:
 
             self._obs = Observability(clock=lambda: self.now)
         return self._obs
+
+    @property
+    def overload(self):
+        """This simulation's overload-control configuration (adaptive
+        timeouts, circuit breakers, lane bounds), created on first touch.
+        Flip its fields before building endpoints to change behaviour;
+        ``adaptive=False`` is the static-timeout baseline."""
+        if self._overload is None:
+            from repro.robust.overload import OverloadConfig
+
+            self._overload = OverloadConfig()
+        return self._overload
 
     # -- event factories -------------------------------------------------
     def event(self) -> Event:

@@ -65,6 +65,7 @@ class TransportEndpoint:
         self.closed = False
         self.tx_messages = 0
         self.rx_messages = 0
+        self.rx_drops = 0
         # Observability: per-protocol metrics are interned by the registry,
         # so every endpoint of one protocol feeds the same histogram.
         obs = self.sim.obs
@@ -80,6 +81,9 @@ class TransportEndpoint:
         )
         self._m_send_errors = obs.metrics.counter(
             "transport.send_errors", proto=self.proto
+        )
+        self._m_rx_drops = obs.metrics.counter(
+            "transport.rx_drops", proto=self.proto
         )
         self._rx_proc = self.sim.process(
             self._rx_loop(), name=f"{self.proto}:{host.name}:{port}"
@@ -114,6 +118,13 @@ class TransportEndpoint:
 
     def _note_retransmit(self) -> None:
         self._m_retransmits.inc()
+
+    def _note_rx_drop(self) -> None:
+        """Count one message refused at a full receive queue. For reliable
+        transports this is backpressure, not loss: the ACK is withheld and
+        the sender retransmits once the consumer drains the queue."""
+        self.rx_drops += 1
+        self._m_rx_drops.inc()
 
     # -- frame helpers --------------------------------------------------------
     def max_payload(self, dst_host: str) -> int:

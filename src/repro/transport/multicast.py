@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.net.packet import BROADCAST, Frame
+from repro.robust.overload import BULK, LaneStore, lane_for_request
 from repro.sim.errors import Interrupt
 from repro.sim.resources import Store
 from repro.transport.base import Message, SendError, TransportEndpoint
@@ -67,13 +68,18 @@ class EthernetMulticast(TransportEndpoint):
         initial_rto: float = 0.05,
         min_rto: float = 0.002,
         max_retries: int = 12,
+        rx_capacity: Optional[int] = None,
     ) -> None:
         self.segment_name = segment_name
         super().__init__(host, port)
         self.initial_rto = initial_rto
         self.min_rto = min_rto
         self.max_retries = max_retries
-        self._rx_queue: Store = Store(self.sim)
+        # Bounded ingress, same discipline as SRUDP: a full bulk lane
+        # withholds the _MDone confirmation so the sender NACK-repairs.
+        if rx_capacity is None:
+            rx_capacity = self.sim.overload.transport_rx_capacity
+        self._rx_queue: LaneStore = LaneStore(self.sim, bulk_capacity=rx_capacity)
         self._ctrl: Dict[int, Store] = {}  # msg_id -> sender control inbox
         self._rx_state: Dict[Tuple[str, int], Set[int]] = {}
         self._delivered: Set[Tuple[str, int]] = set()
@@ -249,6 +255,25 @@ class EthernetMulticast(TransportEndpoint):
         got = self._rx_state.setdefault(key, set())
         got.add(data.seq)
         if len(got) == data.nsegs:
+            admitted = self._rx_queue.try_put(
+                Message(
+                    src_host=data.sender,
+                    src_ip=frame.src.ip,
+                    src_port=frame.src_port,
+                    payload=data.payload,
+                    size=data.total_size,
+                ),
+                lane=(
+                    lane_for_request(data.payload)
+                    if self.sim.overload.lanes
+                    else BULK
+                ),
+            )
+            if not admitted:
+                # Bulk lane full: don't confirm; the sender's repair loop
+                # resends and delivery happens once the consumer drains.
+                self._note_rx_drop()
+                return
             del self._rx_state[key]
             self._delivered.add(key)
             if len(self._delivered) > 8192:
@@ -259,15 +284,6 @@ class EthernetMulticast(TransportEndpoint):
                     "mcast.deliver", trace_id=frame.trace_id, msg=data.msg_id,
                     src=data.sender, dst=self.host.name, bytes=data.total_size,
                 )
-            self._rx_queue.try_put(
-                Message(
-                    src_host=data.sender,
-                    src_ip=frame.src.ip,
-                    src_port=frame.src_port,
-                    payload=data.payload,
-                    size=data.total_size,
-                )
-            )
             self._unicast_ctrl(data, _MDone(data.msg_id, self.host.name), CTRL_BODY_BYTES)
         elif data.ack_req:
             horizon = max(got) + 1

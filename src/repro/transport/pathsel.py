@@ -9,6 +9,12 @@ when a segment dies mid-transfer the very next burst flows over the next
 best path — this is the §6 claim that the system "switch[es]
 routes/interfaces as links failed without user applications intervention"
 (experiment E8).
+
+Reroute and quarantine must agree: when the overload layer's circuit
+breaker declares a (destination, interface) pair sick, ``select`` demotes
+that interface and shops the remaining shared segments, falling back to
+the fastest one only when every candidate is quarantined. Transports
+report outcomes through :meth:`PathSelector.note_result`.
 """
 
 from __future__ import annotations
@@ -39,6 +45,43 @@ class PathSelector:
         self._last_choice: dict = {}
         self._obs = host.sim.obs
         self._m_switches = self._obs.metrics.counter("pathsel.switches")
+        self._breakers = None  # lazy BreakerBoard keyed (dst_host, iface)
+
+    @property
+    def breakers(self):
+        """Per-(destination, interface) circuit breakers, built lazily so
+        selectors on quiet endpoints cost nothing."""
+        if self._breakers is None:
+            from repro.robust.overload import BreakerBoard
+
+            board = BreakerBoard(
+                self.host.sim,
+                scope="path",
+                window=8,
+                min_samples=2,
+                failure_threshold=0.75,
+                open_for=2.0,
+            )
+            # Cached choices can't see breaker flips; drop them on any
+            # transition so the next select() re-shops the segments.
+            board.on_transition = lambda key, old, new: self._invalidate(key[0])
+            self._breakers = board
+        return self._breakers
+
+    def note_result(self, dst_host: str, ok: bool) -> None:
+        """Transport feedback: the last chosen path to *dst_host* carried a
+        message successfully (or exhausted its retries). Feeds the path
+        breaker so a sick interface is demoted at the next selection."""
+        if not self.host.sim.overload.breakers:
+            return
+        last = self._last_choice.get(dst_host)
+        if last is None:
+            return
+        self.breakers.record((dst_host, last[0]), ok)
+
+    def _invalidate(self, dst_host: str) -> None:
+        for key in [k for k in self._cache if k[0] == dst_host]:
+            del self._cache[key]
 
     def select(self, dst_host: str) -> Optional[Tuple["NIC", str, Optional[str]]]:
         """Path to *dst_host*: (nic, dst_ip, l2_next_hop_ip_or_None).
@@ -47,10 +90,11 @@ class PathSelector:
         or fails). Results are cached per topology version.
         """
         key = (dst_host, self.topology._version, self.policy)
-        if key in self._cache:
-            return self._cache[key]
-        choice = self._compute(dst_host)
-        self._cache[key] = choice
+        cached = self._cache.get(key)
+        if cached is not None and self.host.sim.now < cached[1]:
+            return cached[0]
+        choice, expires = self._compute(dst_host)
+        self._cache[key] = (choice, expires)
         prev = self._last_choice.get(dst_host)
         if choice is not None:
             sig = (choice[0].iface, choice[2])
@@ -70,19 +114,46 @@ class PathSelector:
             self._cache.clear()
         return choice
 
-    def _compute(self, dst_host: str) -> Optional[Tuple["NIC", str, Optional[str]]]:
+    def _compute(
+        self, dst_host: str
+    ) -> Tuple[Optional[Tuple["NIC", str, Optional[str]]], float]:
+        """(choice, cache-expiry). The expiry is finite only when the
+        choice demoted a quarantined interface: once that breaker is due
+        for its probe, a cached detour must not outlive the quarantine."""
         topo = self.topology
         target = topo.hosts.get(dst_host)
         if target is None or not target.up:
-            return None
+            return None, float("inf")
         if self.policy == SNIPE:
             shared = topo.shared_segments(self.host.name, dst_host)
             if shared:
-                seg = shared[0]  # fastest medium
-                nic = self.host.nic_on_segment(seg.name)
-                dst_ip = target.ip_on_segment(seg.name)
-                if nic is not None and dst_ip is not None:
-                    return nic, dst_ip, None
+                # Fastest shared medium first, but demote any interface
+                # whose circuit breaker is open: quarantine and reroute
+                # must point the same way. If *every* shared candidate is
+                # quarantined, fall back to the fastest anyway — a bad
+                # path still beats no path, and it doubles as the probe.
+                fallback = None
+                expires = float("inf")
+                quarantine = (
+                    self._breakers if self.host.sim.overload.breakers else None
+                )
+                for seg in shared:
+                    nic = self.host.nic_on_segment(seg.name)
+                    dst_ip = target.ip_on_segment(seg.name)
+                    if nic is None or dst_ip is None:
+                        continue
+                    if fallback is None:
+                        fallback = (nic, dst_ip, None)
+                    if quarantine is not None and quarantine.is_open(
+                        (dst_host, nic.iface)
+                    ):
+                        due = quarantine.due_at((dst_host, nic.iface))
+                        if due is not None:
+                            expires = min(expires, due)
+                        continue
+                    return (nic, dst_ip, None), expires
+                if fallback is not None:
+                    return fallback, expires
         else:
             # Plain IP: a shared segment is used only if it's the
             # first-configured interface's segment (no media shopping).
@@ -90,7 +161,7 @@ class PathSelector:
             if first_nic is not None and first_nic.up and first_nic.segment.up:
                 dst_ip = target.ip_on_segment(first_nic.segment.name)
                 if dst_ip is not None and target.nic_on_segment(first_nic.segment.name).up:
-                    return first_nic, dst_ip, None
+                    return (first_nic, dst_ip, None), float("inf")
         # Fall back to routed delivery toward any of the target's IPs.
         for nic in target.nics.values():
             if not nic.up:
@@ -99,5 +170,5 @@ class PathSelector:
             if hop is not None:
                 out_nic, l2_ip = hop
                 l2 = None if l2_ip == nic.address.ip else l2_ip
-                return out_nic, nic.address.ip, l2
-        return None
+                return (out_nic, nic.address.ip, l2), float("inf")
+        return None, float("inf")

@@ -17,6 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.robust.overload import BULK, LaneStore, RttEstimator, lane_for_request
 from repro.sim.errors import Interrupt
 from repro.sim.resources import Store
 from repro.transport.base import Message, SendError, TransportEndpoint
@@ -66,18 +67,36 @@ class SrudpEndpoint(TransportEndpoint):
         initial_rto: float = 0.05,
         min_rto: float = 0.002,
         max_retries: int = 12,
+        rx_capacity: Optional[int] = None,
     ) -> None:
         super().__init__(host, port, path_policy)
         self.window = window
         self.initial_rto = initial_rto
         self.min_rto = min_rto
         self.max_retries = max_retries
-        self._rx_queue: Store = Store(self.sim)
+        # Bounded two-lane ingress: control messages (fencing, leases,
+        # guardian probes) jump the bulk queue; a full bulk lane withholds
+        # the final ACK so the sender retransmits — backpressure, never
+        # silent loss.
+        if rx_capacity is None:
+            rx_capacity = self.sim.overload.transport_rx_capacity
+        self._rx_queue: LaneStore = LaneStore(self.sim, bulk_capacity=rx_capacity)
         self._ack_routes: Dict[int, Store] = {}  # msg_id -> sender's ack inbox
         self._rx_state: Dict[Tuple[str, int], _RxState] = {}
         self._done: "OrderedDict[Tuple[str, int], bool]" = OrderedDict()
         self.retransmits = 0
+        # Per-destination Jacobson RTT estimators (adaptive mode) and the
+        # legacy endpoint-wide smoothed RTT (static baseline).
+        self._rtt: Dict[str, RttEstimator] = {}
         self._srtt = 0.0
+
+    def _estimator(self, dst_host: str) -> RttEstimator:
+        est = self._rtt.get(dst_host)
+        if est is None:
+            est = self._rtt[dst_host] = RttEstimator(
+                initial_rto=self.initial_rto, min_rto=self.min_rto, max_rto=2.0
+            )
+        return est
 
     # -- sending ----------------------------------------------------------
     def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
@@ -114,7 +133,11 @@ class SrudpEndpoint(TransportEndpoint):
             inflight: Set[int] = set()
             next_new = 0
             retries = 0
-            rto = self.initial_rto
+            # Adaptive mode: per-destination Jacobson estimator owns the
+            # RTO (srtt + 4·rttvar, doubled per timeout). Static mode
+            # keeps the legacy endpoint-wide 2.5·srtt with ad-hoc backoff.
+            est = self._estimator(dst_host) if self.sim.overload.adaptive else None
+            rto = est.rto() if est is not None else self.initial_rto
             pending = None  # outstanding acks.get(); reused across timeouts
 
             def seg_bytes(seq: int) -> int:
@@ -157,11 +180,18 @@ class SrudpEndpoint(TransportEndpoint):
                     pending = None
                 if isinstance(ack, _Ack):
                     rtt = self.sim.now - sent_at
-                    self._srtt = rtt if self._srtt == 0 else 0.875 * self._srtt + 0.125 * rtt
-                    rto = max(self.min_rto, 2.5 * self._srtt)
+                    if est is not None:
+                        est.observe(rtt)
+                        rto = est.rto()
+                    else:
+                        self._srtt = (
+                            rtt if self._srtt == 0 else 0.875 * self._srtt + 0.125 * rtt
+                        )
+                        rto = max(self.min_rto, 2.5 * self._srtt)
                     retries = 0
                     if ack.done:
                         self._m_send_latency.observe(self.sim.now - t0)
+                        self.paths.note_result(dst_host, True)
                         if tracer.enabled:
                             tracer.event(
                                 "srudp.acked", trace_id=trace_id, msg=msg_id
@@ -186,6 +216,7 @@ class SrudpEndpoint(TransportEndpoint):
                     retries += 1
                     if retries > self.max_retries:
                         self._m_send_errors.inc()
+                        self.paths.note_result(dst_host, False)
                         if tracer.enabled:
                             tracer.event(
                                 "srudp.failed", trace_id=trace_id, msg=msg_id,
@@ -195,12 +226,17 @@ class SrudpEndpoint(TransportEndpoint):
                             f"srudp: {dst_host}:{dst_port} unreachable "
                             f"(msg {msg_id}, {len(unacked)}/{nsegs} outstanding)"
                         )
-                    rto = min(rto * 2, 2.0)
+                    if est is not None:
+                        est.backoff()
+                        rto = est.rto()
+                    else:
+                        rto = min(rto * 2, 2.0)
                     if unacked:
                         self.retransmits += 1
                         self._note_retransmit()
                         push(min(unacked), ack_req=True, retransmit=True)
             self._m_send_latency.observe(self.sim.now - t0)
+            self.paths.note_result(dst_host, True)
             return size
         finally:
             self._ack_routes.pop(msg_id, None)
@@ -237,6 +273,26 @@ class SrudpEndpoint(TransportEndpoint):
             state = self._rx_state[key] = _RxState(data.nsegs)
         state.add(data.seq)
         if state.complete:
+            admitted = self._rx_queue.try_put(
+                Message(
+                    src_host=frame.src.host,
+                    src_ip=frame.src.ip,
+                    src_port=frame.src_port,
+                    payload=data.payload,
+                    size=data.total_size,
+                ),
+                lane=(
+                    lane_for_request(data.payload)
+                    if self.sim.overload.lanes
+                    else BULK
+                ),
+            )
+            if not admitted:
+                # Bulk lane full: withhold the final ACK and keep the
+                # reassembly state. The sender times out and retransmits;
+                # the message is delivered once the consumer drains.
+                self._note_rx_drop()
+                return
             del self._rx_state[key]
             self._done[key] = True
             while len(self._done) > 4096:
@@ -247,15 +303,6 @@ class SrudpEndpoint(TransportEndpoint):
                     "srudp.deliver", trace_id=frame.trace_id, msg=data.msg_id,
                     src=frame.src.host, dst=self.host.name, bytes=data.total_size,
                 )
-            self._rx_queue.try_put(
-                Message(
-                    src_host=frame.src.host,
-                    src_ip=frame.src.ip,
-                    src_port=frame.src_port,
-                    payload=data.payload,
-                    size=data.total_size,
-                )
-            )
             self._send_ack(frame, data, cumulative=data.nsegs, missing=(), done=True)
         elif data.ack_req:
             cum, missing = state.report()

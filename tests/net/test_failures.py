@@ -139,3 +139,52 @@ def test_injector_emits_obs_counters_and_trace_events():
     for kind in ("failure.host_down", "failure.host_up",
                  "failure.segment_down", "failure.segment_up"):
         assert kind in kinds
+
+
+def test_congest_segment_degrades_and_restores_medium():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    base = topo.segments["lan"].medium
+    inj.congest_segment_at(2.0, "lan", factor=4.0, duration=3.0)
+    sim.run(until=2.1)
+    congested = topo.segments["lan"].medium
+    assert congested.bandwidth == base.bandwidth / 4.0
+    assert congested.latency == base.latency * 4.0
+    assert congested.mtu == base.mtu  # only speed degrades, not framing
+    sim.run(until=5.1)
+    restored = topo.segments["lan"].medium
+    assert restored.bandwidth == base.bandwidth
+    assert restored.latency == base.latency
+    assert [(k, w) for _, k, w in inj.log] == [
+        ("segment_congested", "lan"), ("segment_decongested", "lan"),
+    ]
+    assert sim.obs.metrics.counter("failures.segment_congested").value == 1
+    assert sim.obs.metrics.counter("failures.segment_decongested").value == 1
+
+
+def test_congestion_windows_stack_multiplicatively():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    base = topo.segments["lan"].medium
+    inj.congest_segment_at(1.0, "lan", factor=2.0, duration=4.0)
+    inj.congest_segment_at(2.0, "lan", factor=3.0, duration=1.0)
+    sim.run(until=2.5)  # both windows active
+    assert topo.segments["lan"].medium.bandwidth == base.bandwidth / 6.0
+    sim.run(until=3.5)  # inner window unwound
+    assert topo.segments["lan"].medium.bandwidth == base.bandwidth / 2.0
+    sim.run(until=5.5)  # fully restored
+    assert topo.segments["lan"].medium.bandwidth == base.bandwidth
+
+
+def test_slow_host_scales_cpu_and_restores():
+    sim, topo = small_topo()
+    inj = FailureInjector(sim, topo)
+    base = topo.hosts["h1"].cpu_speed
+    inj.slow_host_at(1.0, "h1", factor=10.0, duration=2.0)
+    sim.run(until=1.5)
+    assert topo.hosts["h1"].cpu_speed == base / 10.0
+    assert topo.hosts["h1"].up  # slow, not dead
+    sim.run(until=3.5)
+    assert topo.hosts["h1"].cpu_speed == base
+    assert sim.obs.metrics.counter("failures.host_slowed").value == 1
+    assert sim.obs.metrics.counter("failures.host_unslowed").value == 1

@@ -1,0 +1,272 @@
+"""Unit tests for the overload-control primitives (repro.robust.overload)."""
+
+import pytest
+
+from repro.robust.overload import (
+    BULK,
+    CLOSED,
+    CONTROL,
+    HALF_OPEN,
+    OPEN,
+    AdaptiveTimeouts,
+    BreakerBoard,
+    CircuitBreaker,
+    LaneStore,
+    OverloadConfig,
+    RttEstimator,
+    lane_for_request,
+)
+from repro.sim import Simulator
+
+
+# -- RTT estimation ---------------------------------------------------------
+
+def test_estimator_cold_start_uses_initial_rto():
+    est = RttEstimator(initial_rto=0.5, min_rto=0.01, max_rto=10.0)
+    assert est.cold
+    assert est.rto() == pytest.approx(0.5)
+
+
+def test_estimator_converges_to_steady_rtt():
+    est = RttEstimator(initial_rto=5.0, min_rto=0.001, max_rto=30.0)
+    for _ in range(50):
+        est.observe(0.1)
+    # Constant samples: srtt -> rtt, rttvar -> 0, so rto -> ~srtt.
+    assert est.srtt == pytest.approx(0.1, rel=1e-6)
+    assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+    assert est.rto() == pytest.approx(0.1, rel=0.01)
+
+
+def test_estimator_first_sample_initialises_rfc6298():
+    est = RttEstimator()
+    est.observe(0.2)
+    assert est.srtt == pytest.approx(0.2)
+    assert est.rttvar == pytest.approx(0.1)
+    assert est.rto() == pytest.approx(0.2 + 4 * 0.1)
+
+
+def test_estimator_variance_widens_rto_under_jitter():
+    est = RttEstimator(initial_rto=1.0, min_rto=0.001, max_rto=30.0)
+    for rtt in (0.1, 0.5, 0.1, 0.5, 0.1, 0.5):
+        est.observe(rtt)
+    # Alternating samples keep rttvar well above zero: the rto carries
+    # real headroom over the mean instead of hugging it.
+    assert est.rto() > est.srtt * 1.5
+
+
+def test_estimator_backoff_doubles_and_caps():
+    est = RttEstimator(initial_rto=0.1, min_rto=0.001, max_rto=1.0)
+    est.observe(0.1)  # rto = 0.1 + 4*0.05 = 0.3
+    base = est.rto()
+    est.backoff()
+    assert est.rto() == pytest.approx(min(1.0, base * 2))
+    for _ in range(10):
+        est.backoff()
+    assert est.rto() == pytest.approx(1.0)  # capped at max_rto
+    # A fresh sample resets the backoff shift.
+    est.observe(0.1)
+    assert est.rto() < 1.0
+
+
+def test_estimator_respects_floor():
+    est = RttEstimator(initial_rto=1.0, min_rto=0.5, max_rto=30.0)
+    for _ in range(20):
+        est.observe(0.001)  # suspiciously fast path
+    assert est.rto() >= 0.5
+
+
+# -- circuit breaker --------------------------------------------------------
+
+def test_breaker_needs_min_samples_before_tripping():
+    br = CircuitBreaker(window=8, min_samples=4, failure_threshold=0.5)
+    for _ in range(3):
+        br.record(False, now=0.0)
+    assert br.state == CLOSED  # 3 failures, but below min_samples
+
+
+def test_breaker_opens_at_failure_threshold_and_rejects():
+    br = CircuitBreaker(window=8, min_samples=4, failure_threshold=0.5, open_for=1.0)
+    for ok in (True, False, False, True, False, False):
+        br.record(ok, now=0.0)
+    assert br.state == OPEN
+    assert not br.allow(now=0.5)  # still inside the open window
+
+
+def test_breaker_half_open_probe_then_reclose():
+    br = CircuitBreaker(window=8, min_samples=2, failure_threshold=0.5, open_for=1.0)
+    br.record(False, now=0.0)
+    br.record(False, now=0.0)
+    assert br.state == OPEN
+    # Past the open window: exactly one probe is admitted.
+    assert br.allow(now=1.5)
+    assert br.state == HALF_OPEN
+    assert not br.allow(now=1.5)  # second caller still rejected
+    br.record(True, now=1.6)
+    assert br.state == CLOSED
+    assert br.allow(now=1.7)
+
+
+def test_breaker_failed_probe_reopens_with_doubled_window():
+    br = CircuitBreaker(window=8, min_samples=2, failure_threshold=0.5,
+                        open_for=1.0, max_open=3.0)
+    br.record(False, now=0.0)
+    br.record(False, now=0.0)
+    assert br.allow(now=1.5)  # probe
+    br.record(False, now=1.6)  # probe fails
+    assert br.state == OPEN
+    assert br.open_for == pytest.approx(2.0)
+    assert not br.allow(now=3.0)  # 1.4s into a 2s window
+    assert br.allow(now=3.7)  # next probe
+    br.record(False, now=3.8)
+    assert br.open_for == pytest.approx(3.0)  # capped at max_open
+    # A successful probe resets the penalty to its base value.
+    assert br.allow(now=7.0)
+    br.record(True, now=7.1)
+    assert br.state == CLOSED
+    assert br.open_for == pytest.approx(1.0)
+
+
+def test_breaker_ignores_stragglers_while_open():
+    br = CircuitBreaker(window=8, min_samples=2, failure_threshold=0.5, open_for=5.0)
+    br.record(False, now=0.0)
+    br.record(False, now=0.0)
+    assert br.state == OPEN
+    br.record(True, now=1.0)  # late reply from before the trip
+    assert br.state == OPEN  # only the probe may reclose it
+
+
+def test_breaker_board_peek_and_due_probe_via_record():
+    sim = Simulator()
+    board = BreakerBoard(sim, scope="test", window=8, min_samples=2,
+                         failure_threshold=0.5, open_for=1.0)
+    key = ("b", "eth0")
+    board.record(key, False)
+    board.record(key, False)
+    assert board.is_open(key)
+    assert not board.is_open(("other", "eth0"))  # unknown key: closed
+    sim.run(until=2.0)
+    # Past due: the peek reports available so candidate ordering lets a
+    # probe happen...
+    assert not board.is_open(key)
+    # ...and a recorded outcome from a peek-only user acts as that probe.
+    board.record(key, True)
+    assert board.breaker(key).state == CLOSED
+
+
+def test_breaker_board_counts_rejections():
+    sim = Simulator()
+    board = BreakerBoard(sim, scope="test", window=8, min_samples=2,
+                         failure_threshold=0.5, open_for=10.0)
+    board.record(("x", 1), False)
+    board.record(("x", 1), False)
+    assert not board.allow(("x", 1))
+    assert sim.obs.metrics.counter("robust.breaker_rejected", scope="test").value == 1
+    assert sim.obs.metrics.counter("robust.breaker_opened", scope="test").value == 1
+
+
+# -- priority lanes ---------------------------------------------------------
+
+def test_lanestore_control_jumps_bulk():
+    sim = Simulator()
+    q = LaneStore(sim)
+    q.try_put("b1", lane=BULK)
+    q.try_put("c1", lane=CONTROL)
+    q.try_put("b2", lane=BULK)
+    assert q.get().value == "c1"
+    assert q.get().value == "b1"
+    assert q.get().value == "b2"
+
+
+def test_lanestore_backpressure_rejects_when_full():
+    sim = Simulator()
+    q = LaneStore(sim, bulk_capacity=2)
+    assert q.try_put("b1")
+    assert q.try_put("b2")
+    assert not q.try_put("b3")  # bulk full -> backpressure
+    assert q.rejected == 1
+    assert q.try_put("c1", lane=CONTROL)  # control always admitted
+    assert len(q) == 3
+
+
+def test_lanestore_shed_oldest_evicts_head():
+    sim = Simulator()
+    shed = []
+    q = LaneStore(sim, bulk_capacity=2, shed_oldest=True, on_shed=shed.append)
+    q.try_put("b1")
+    q.try_put("b2")
+    assert q.try_put("b3")  # admitted by evicting b1
+    assert shed == ["b1"]
+    assert q.sheds == 1
+    assert q.get().value == "b2"
+    assert q.get().value == "b3"
+
+
+def test_lanestore_direct_handoff_to_waiting_getter():
+    sim = Simulator()
+    q = LaneStore(sim, bulk_capacity=0)  # no queueing capacity at all
+    ev = q.get()
+    assert not ev.triggered
+    assert q.try_put("item")  # waiting consumer: no queue forms
+    assert ev.triggered and ev.value == "item"
+
+
+# -- lane classification ----------------------------------------------------
+
+class _Req:
+    def __init__(self, method, lane=None):
+        self.method = method
+        if lane is not None:
+            self.lane = lane
+
+
+def test_lane_for_request_explicit_tag_wins():
+    assert lane_for_request(_Req("rc.lookup", lane=CONTROL)) == CONTROL
+
+
+def test_lane_for_request_method_table_is_the_safety_net():
+    assert lane_for_request(_Req("daemon.fence")) == CONTROL
+    assert lane_for_request(_Req("rc.sync")) == CONTROL
+    assert lane_for_request(_Req("rc.lookup")) == BULK
+    assert lane_for_request("not-a-request") == BULK
+
+
+# -- adaptive timeouts ------------------------------------------------------
+
+def test_adaptive_timeouts_static_when_disabled():
+    at = AdaptiveTimeouts(OverloadConfig(adaptive=False))
+    at.observe("h", 1, "m", 5.0, 0.01)
+    assert at.timeout_for("h", 1, "m", 5.0) == 5.0
+    assert at.estimators == {}  # nothing learned, nothing stored
+
+
+def test_adaptive_timeouts_cold_start_is_static_value():
+    at = AdaptiveTimeouts(OverloadConfig())
+    assert at.timeout_for("h", 1, "m", 5.0) == pytest.approx(5.0)
+
+
+def test_adaptive_timeouts_learn_per_method_with_floor():
+    cfg = OverloadConfig(timeout_floor_factor=0.5, max_timeout=30.0)
+    at = AdaptiveTimeouts(cfg)
+    for _ in range(30):
+        at.observe("h", 1, "fast", 5.0, 0.01)
+    # Learned timeout collapses toward the observed RTT but never below
+    # floor_factor x static.
+    assert at.timeout_for("h", 1, "fast", 5.0) == pytest.approx(2.5)
+    # A different method on the same destination is a separate estimator.
+    assert at.timeout_for("h", 1, "slow", 5.0) == pytest.approx(5.0)
+
+
+def test_adaptive_timeouts_backoff_after_timeouts():
+    at = AdaptiveTimeouts(OverloadConfig(max_timeout=30.0))
+    at.observe("h", 1, "m", 5.0, 1.0)
+    base = at.timeout_for("h", 1, "m", 5.0)
+    at.note_timeout("h", 1, "m", 5.0)
+    assert at.timeout_for("h", 1, "m", 5.0) == pytest.approx(min(30.0, base * 2))
+
+
+def test_sim_overload_property_is_lazy_and_stable():
+    sim = Simulator()
+    cfg = sim.overload
+    assert isinstance(cfg, OverloadConfig)
+    cfg.adaptive = False
+    assert sim.overload is cfg  # same object every access
