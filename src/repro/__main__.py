@@ -11,6 +11,9 @@ Commands:
   ``obs diff BASE NEW`` (see :mod:`repro.obs.cli`).
 * ``chaos`` — seeded fault injection with invariant checking:
   ``chaos run --seed N`` and ``chaos sweep`` (see :mod:`repro.robust.cli`).
+* ``check`` — model checking: explored schedules, reference-model
+  oracles, failing-schedule shrinking: ``check run``, ``check sweep``,
+  ``check replay TRACE`` (see :mod:`repro.check.cli`).
 """
 
 from __future__ import annotations
@@ -92,8 +95,12 @@ def main(argv=None) -> int:
         from repro.robust.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
     if not argv or argv[0] not in commands:
-        print("usage: python -m repro {examples|experiments|fig1|info|obs|chaos}")
+        print("usage: python -m repro {examples|experiments|fig1|info|obs|chaos|check}")
         return 2
     return commands[argv[0]]()
 

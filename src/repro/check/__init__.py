@@ -1,0 +1,69 @@
+"""repro.check — the deterministic simulator as a model checker.
+
+The simulator already makes every run a pure function of its seed; this
+package adds the three missing pieces of a model checker on top of it:
+
+* **schedule exploration** — :class:`ExplorationScheduler` plugs into
+  :meth:`repro.sim.kernel.Simulator.set_scheduler` and permutes
+  same-timestamp event ties from a seed, so one integer fully determines
+  a schedule and different integers genuinely explore different
+  interleavings (priorities are never reordered);
+* **reference-model oracles** — small, obviously-correct models checked
+  *continuously* against the real implementation through the kernel's
+  probe bus: an LWW-map model for catalog replica convergence
+  (:class:`ConvergenceOracle`), an exactly-once/FIFO model for
+  URN-addressed message streams (:class:`DeliveryOracle`), and a
+  single-owner model for Guardian restarts — never two live, unfenced
+  incarnations of one URN (:class:`SingleOwnerOracle`);
+* **search and shrinking** — :func:`run_check` drives a seeded workload
+  + fault plan under an explored schedule; ``python -m repro check
+  sweep`` searches seeds; on a violation, :func:`minimize`
+  delta-debugs the fault timeline (and drops the tie permutation when
+  it is not needed) down to a minimized trace that ``python -m repro
+  check replay`` re-fails deterministically.
+
+Deliberately seeded bugs (``--bug``, see :data:`BUGS`) exist to prove
+the oracles can catch what they claim to catch.
+"""
+
+from repro.check.explore import (
+    BUGS,
+    ExplorationScheduler,
+    FaultEvent,
+    apply_fault_plan,
+    run_check,
+    sample_fault_plan,
+    seeded_bug,
+)
+from repro.check.oracles import (
+    ConvergenceOracle,
+    DeliveryOracle,
+    LwwMap,
+    ProbeBus,
+    SingleOwnerOracle,
+    Violation,
+    lww_merge,
+)
+from repro.check.shrink import ddmin, load_trace, minimize, replay_trace, write_trace
+
+__all__ = [
+    "BUGS",
+    "ConvergenceOracle",
+    "DeliveryOracle",
+    "ExplorationScheduler",
+    "FaultEvent",
+    "LwwMap",
+    "ProbeBus",
+    "SingleOwnerOracle",
+    "Violation",
+    "apply_fault_plan",
+    "ddmin",
+    "load_trace",
+    "lww_merge",
+    "minimize",
+    "replay_trace",
+    "run_check",
+    "sample_fault_plan",
+    "seeded_bug",
+    "write_trace",
+]

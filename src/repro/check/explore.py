@@ -1,0 +1,376 @@
+"""Schedule exploration: seeded tie-breaking, explicit fault plans, and
+the check harness that runs a workload under oracle supervision.
+
+One integer — the seed — fully determines a run: it picks the fault
+plan (an explicit, replayable list of :class:`FaultEvent`), seeds every
+workload RNG stream, and seeds the :class:`ExplorationScheduler` that
+permutes same-timestamp event ties inside the kernel. Replaying the
+same (scenario, seed, plan, bug) tuple therefore reproduces the same
+execution bit-for-bit, which is what makes shrinking
+(:mod:`repro.check.shrink`) possible.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.check.oracles import (
+    ConvergenceOracle,
+    DeliveryOracle,
+    ProbeBus,
+    SingleOwnerOracle,
+    Violation,
+)
+from repro.core.process import SnipeContext
+from repro.daemon.tasks import TaskSpec
+from repro.guardian.guardian import Guardian
+from repro.rcds.records import RCStore
+from repro.robust.chaos import (
+    build_chaos_env,
+    install_chaos_programs,
+    install_overload_worker,
+    new_coll_state,
+    start_load_generators,
+)
+
+
+class ExplorationScheduler:
+    """Seeded same-timestamp tie-breaker for the simulation kernel.
+
+    ``pick(now, n)`` chooses uniformly among the *n* runnable events
+    sharing the head (timestamp, priority); seed 0 always picks index 0,
+    which is the kernel's default FIFO schedule. The pick sequence is a
+    pure function of the seed and of the schedule so far, so a seed is a
+    complete schedule description.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(0x5EED ^ (seed * 0x9E3779B1)) if seed else None
+        self.picks = 0
+        self.reordered = 0
+
+    def pick(self, now: float, n: int) -> int:
+        self.picks += 1
+        if self._rng is None or n <= 1:
+            return 0
+        choice = self._rng.randrange(n)
+        if choice:
+            self.reordered += 1
+        return choice
+
+
+# ---------------------------------------------------------------------------
+# Explicit fault plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, explicit and serializable (so shrinkable).
+
+    ``kind`` is one of ``crash`` (host down), ``partition`` (segment
+    down, host stays up — the zombie scenario), ``congest`` (segment
+    bandwidth/latency degraded by ``factor``) or ``slow`` (host CPU
+    divided by ``factor``); every window heals after ``duration``.
+    """
+
+    kind: str
+    target: str
+    t: float
+    duration: float
+    factor: float = 1.0
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "target": self.target, "t": self.t,
+                "duration": self.duration, "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FaultEvent":
+        return cls(kind=d["kind"], target=d["target"], t=d["t"],
+                   duration=d["duration"], factor=d.get("factor", 1.0))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" x{self.factor:g}" if self.kind in ("congest", "slow") else ""
+        return f"t={self.t:5.1f}s {self.kind} {self.target} for {self.duration:.1f}s{extra}"
+
+
+def apply_fault_plan(env, plan: List[FaultEvent]) -> None:
+    """Arm every event of *plan* on the environment's failure injector."""
+    for ev in plan:
+        if ev.kind == "crash":
+            env.failures.host_down_at(ev.t, ev.target, duration=ev.duration)
+        elif ev.kind == "partition":
+            env.failures.segment_down_at(ev.t, ev.target, duration=ev.duration)
+        elif ev.kind == "congest":
+            env.failures.congest_segment_at(ev.t, ev.target, ev.factor,
+                                            duration=ev.duration)
+        elif ev.kind == "slow":
+            env.failures.slow_host_at(ev.t, ev.target, ev.factor,
+                                      duration=ev.duration)
+        else:
+            raise ValueError(f"unknown fault kind {ev.kind!r}")
+
+
+def sample_fault_plan(
+    scenario: str, seed: int, workers: List[str], horizon: float
+) -> List[FaultEvent]:
+    """Seeded explicit fault plan for a scenario.
+
+    ``faults`` always includes at least one worker *partition* (the
+    host survives — only a correct fencing chain keeps the zombie from
+    double-owning its URN) plus a seeded mix of crashes and further
+    partitions. ``overload`` schedules degradation windows — congestion
+    on the core LAN and CPU-starved workers — on top of the bulk load.
+    All times are rounded so plans serialize cleanly.
+    """
+    rng = random.Random(0xFA017 ^ (seed * 0x61C88647))
+    r2 = lambda x: round(x, 2)  # noqa: E731
+    plan: List[FaultEvent] = []
+    if scenario == "faults":
+        w = workers[rng.randrange(len(workers))]
+        plan.append(FaultEvent("partition", f"s-{w}",
+                               r2(rng.uniform(3.0, horizon * 0.4)),
+                               r2(rng.uniform(6.0, 10.0))))
+        for _ in range(rng.randrange(1, 4)):
+            w = workers[rng.randrange(len(workers))]
+            kind = rng.choice(("crash", "partition"))
+            target = w if kind == "crash" else f"s-{w}"
+            plan.append(FaultEvent(kind, target,
+                                   r2(rng.uniform(3.0, horizon * 0.6)),
+                                   r2(rng.uniform(2.0, 8.0))))
+    elif scenario == "overload":
+        plan.append(FaultEvent("congest", "core-lan",
+                               r2(rng.uniform(4.0, 7.0)),
+                               r2(rng.uniform(6.0, 10.0)),
+                               factor=round(rng.uniform(2.0, 4.0), 1)))
+        for w in workers[: max(1, len(workers) // 2)]:
+            plan.append(FaultEvent("slow", w,
+                                   r2(rng.uniform(5.0, 9.0)),
+                                   r2(rng.uniform(4.0, 8.0)),
+                                   factor=round(rng.uniform(2.0, 5.0), 1)))
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    return sorted(plan, key=lambda e: (e.t, e.kind, e.target))
+
+
+# ---------------------------------------------------------------------------
+# Deliberately seeded bugs
+# ---------------------------------------------------------------------------
+
+#: name -> (what it breaks, which oracle must catch it).
+BUGS: Dict[str, str] = {
+    "no-fence-write": "Guardian skips the fenced-below quorum writes during "
+                      "recovery (caught by the single-owner oracle)",
+    "no-rx-fencing": "receivers accept envelopes from superseded incarnations "
+                     "(caught by the delivery oracle)",
+    "no-lww": "catalog replicas apply entries without the last-writer-wins "
+              "comparison (caught by the convergence oracle)",
+}
+
+_BUG_HOOKS = {
+    "no-fence-write": (Guardian, "fence_writes_enabled"),
+    "no-rx-fencing": (SnipeContext, "rx_fencing_enabled"),
+    "no-lww": (RCStore, "lww_enabled"),
+}
+
+
+@contextmanager
+def seeded_bug(name: Optional[str]):
+    """Disable one safety mechanism for the duration of the block."""
+    if name is None:
+        yield
+        return
+    if name not in _BUG_HOOKS:
+        raise ValueError(f"unknown bug {name!r} (known: {sorted(_BUG_HOOKS)})")
+    cls, attr = _BUG_HOOKS[name]
+    saved = getattr(cls, attr)
+    setattr(cls, attr, False)
+    try:
+        yield
+    finally:
+        setattr(cls, attr, saved)
+
+
+# ---------------------------------------------------------------------------
+# The check harness
+# ---------------------------------------------------------------------------
+
+#: Virtual seconds between oracle sweeps of the run loop.
+CHUNK = 0.5
+
+DEFAULT_PARAMS = {
+    "n_workers": 3,
+    "total": 16,
+    "step": 0.2,
+    "duration": 60.0,
+    "saturation": 3.0,
+    "service_time": 0.05,
+}
+
+
+def run_check(
+    scenario: str = "faults",
+    seed: int = 1,
+    bug: Optional[str] = None,
+    plan: Optional[List[FaultEvent]] = None,
+    explore: bool = True,
+    n_workers: int = 3,
+    total: int = 16,
+    step: float = 0.2,
+    duration: float = 60.0,
+    saturation: float = 3.0,
+    service_time: float = 0.05,
+) -> Dict:
+    """One model-checking run; returns a report dict (``report["ok"]``).
+
+    Builds the chaos star site, attaches the probe bus and all three
+    oracles, runs the checkpointing workload under the seeded fault
+    *plan* (sampled from the seed when not given) with tie-permutation
+    *explore* enabled, and sweeps the oracles every :data:`CHUNK`
+    virtual seconds. The run stops at the first violation — everything
+    after it is noise for shrinking purposes.
+
+    Violations are *recorded*, never raised: several components
+    legitimately wrap their loops in broad ``except`` clauses, so an
+    oracle exception could be swallowed at the point of detection. A
+    process crash escaping the kernel (strict mode) is itself recorded
+    as a ``process-crash`` violation.
+    """
+    if scenario not in ("faults", "overload"):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    with seeded_bug(bug):
+        report = _run(scenario, seed, plan, explore, n_workers, total, step,
+                      duration, saturation, service_time)
+    report["bug"] = bug
+    report["params"] = {
+        "n_workers": n_workers, "total": total, "step": step,
+        "duration": duration, "saturation": saturation,
+        "service_time": service_time,
+    }
+    return report
+
+
+def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
+         saturation, service_time):
+    if scenario == "overload":
+        def configure(sim):
+            # Bounded server queues small enough that overload actually
+            # bites (cf. run_overload); the adaptive controls stay on —
+            # the oracles check safety, not the overload treatment.
+            sim.overload.server_bulk_capacity = 128
+
+        env, workers = build_chaos_env(
+            seed, n_workers, rc_service_time=service_time, configure=configure
+        )
+    else:
+        env, workers = build_chaos_env(seed, n_workers)
+    sim = env.sim
+
+    bus = ProbeBus()
+    sim.probes = bus
+    convergence = ConvergenceOracle(sim)
+    convergence.attach(env)
+    delivery = DeliveryOracle(sim)
+    owner = SingleOwnerOracle(sim)
+    bus.subscribe(delivery.on_probe)
+    bus.subscribe(owner.on_probe)
+    oracles = [convergence, delivery, owner]
+
+    scheduler = ExplorationScheduler(seed) if explore else None
+    if scheduler is not None:
+        sim.set_scheduler(scheduler)
+
+    acked: Dict[str, int] = {}
+    coll_state = new_coll_state()
+    install_chaos_programs(env, acked, coll_state)
+    wstats = {"steps": 0, "send_failures": 0, "ckpt_failures": 0}
+    if scenario == "overload":
+        install_overload_worker(env, wstats)
+
+    env.settle(2.0)
+    coll = env.spawn(TaskSpec(program="chaos-collector", name="check-coll"), on="c0")
+    program = "overload-worker" if scenario == "overload" else "chaos-worker"
+    urns = []
+    for i, w in enumerate(workers):
+        spec = TaskSpec(
+            program=program, arch="worker", name=f"check-w{i}",
+            params={"total": total, "ckpt_every": 3,
+                    "collector_urn": coll.urn, "step": step},
+        )
+        urns.append(env.spawn(spec, on=w).urn)
+
+    if scenario == "overload":
+        capacity = len(env.rc_replicas) / service_time
+        start_load_generators(env, workers, saturation * capacity,
+                              4.0, duration - 6.0)
+
+    if plan is None:
+        plan = sample_fault_plan(scenario, seed, workers, horizon=duration * 0.5)
+    apply_fault_plan(env, plan)
+    fault_end = max((e.t + e.duration for e in plan), default=0.0)
+
+    violations: List[Violation] = []
+    crashed = False
+
+    def sweep() -> None:
+        for oracle in oracles:
+            violations.extend(oracle.violations)
+            oracle.violations = []
+
+    while sim.now < duration:
+        try:
+            env.run(until=min(sim.now + CHUNK, duration))
+        except Exception as exc:  # strict mode: a component process died
+            violations.append(Violation(
+                "process-crash", sim.now, f"{type(exc).__name__}: {exc}"
+            ))
+            crashed = True
+            break
+        sweep()
+        if violations:
+            break
+        if (scenario == "faults"
+                and len(coll_state["done"]) == len(urns)
+                and sim.now > fault_end + 6.0):
+            break
+
+    completed = sum(1 for u in urns if coll_state["done"].get(u) == total)
+    if not violations and not crashed:
+        try:
+            env.settle(4.0)  # drain queues, let anti-entropy converge
+        except Exception as exc:
+            violations.append(Violation(
+                "process-crash", sim.now, f"{type(exc).__name__}: {exc}"
+            ))
+        sweep()
+        completed = sum(1 for u in urns if coll_state["done"].get(u) == total)
+        if not violations and scenario == "faults":
+            if completed == len(urns):
+                convergence.check_quiescent(urns)
+            else:
+                violations.append(Violation(
+                    "liveness", sim.now,
+                    f"only {completed}/{len(urns)} workers completed within "
+                    f"the {duration:.0f}s budget",
+                ))
+            sweep()
+
+    recoveries = sum(len(g.recoveries) for g in env.guardians.values())
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "explore": explore,
+        "plan": [e.to_dict() for e in plan],
+        "violations": [v.to_dict() for v in violations],
+        "ok": not violations,
+        "completed": completed,
+        "workers": len(urns),
+        "recoveries": recoveries,
+        "delivered": delivery.delivered,
+        "schedule_picks": scheduler.picks if scheduler else 0,
+        "schedule_reordered": scheduler.reordered if scheduler else 0,
+        "finished_at": sim.now,
+    }

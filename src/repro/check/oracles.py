@@ -1,0 +1,328 @@
+"""Reference-model oracles, checked continuously through the probe bus.
+
+Instrumented components (contexts, guardians, catalog stores) emit
+semantic events on ``sim.probes``; each oracle folds those events into a
+small reference model and records a :class:`Violation` the moment the
+implementation disagrees with the model — *at the step it happens*, not
+at quiescence, so a shrunk trace points at the divergent event rather
+than at its downstream wreckage.
+
+Probe vocabulary (emitted only when ``sim.probes`` is set):
+
+========================  ====================================================
+``ctx.start``             a :class:`~repro.core.process.SnipeContext` came up
+                          (``urn, inc, host, info``)
+``ctx.send``              an envelope was assigned its stream sequence number
+                          (``src, inc, dst, seq, tag``)
+``ctx.deliver``           an envelope was admitted to the application
+                          (``dst, dst_inc, src, src_inc, seq, tag``)
+``guardian.fence``        a ``fenced-below`` quorum write succeeded
+                          (``urn, fence``)
+========================  ====================================================
+
+plus the per-replica :attr:`repro.rcds.records.RCStore.on_apply` hook,
+which the convergence oracle uses instead of a probe (it needs the
+replica identity and the store itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.daemon.tasks import TaskState
+
+
+@dataclass
+class Violation:
+    """One oracle/model disagreement, timestamped in virtual time."""
+
+    oracle: str
+    time: float
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"oracle": self.oracle, "time": self.time, "detail": self.detail}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.oracle}] t={self.time:.3f}s {self.detail}"
+
+
+class ProbeBus:
+    """Fan-out for semantic probe events (``sim.probes``).
+
+    Deliberately minimal: subscribers are called synchronously, in
+    subscription order, from inside the emitting component. Oracle
+    callbacks must therefore be O(1) and must never raise — they record
+    violations instead (an exception here would surface inside an
+    unrelated component's ``except`` clause and be swallowed or
+    misattributed).
+    """
+
+    __slots__ = ("_subs",)
+
+    def __init__(self) -> None:
+        self._subs: List[Callable[[str, Dict[str, Any]], None]] = []
+
+    def subscribe(self, fn: Callable[[str, Dict[str, Any]], None]) -> None:
+        self._subs.append(fn)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        for fn in self._subs:
+            fn(kind, fields)
+
+
+# ---------------------------------------------------------------------------
+# LWW reference model (shared with the property tests)
+# ---------------------------------------------------------------------------
+
+def lww_merge(a, b):
+    """Winner of two catalog entries under last-writer-wins.
+
+    Entries are anything with a ``stamp()`` ordering key (see
+    :meth:`repro.rcds.records.Entry.stamp`). This two-line function *is*
+    the specification the replicas must agree with: it is commutative
+    (up to stamp ties, which unequal origins make impossible),
+    associative, and idempotent — the property tests in
+    ``tests/rcds/test_lww_properties.py`` verify exactly that, so the
+    oracle below rests on a checked foundation.
+    """
+    return a if a.stamp() >= b.stamp() else b
+
+
+class LwwMap:
+    """Reference model of a replica: (uri, key) -> LWW-winning entry.
+
+    Folding any permutation of the same entry set through ``apply``
+    yields the same map — that is the convergence argument, and the
+    property the real :class:`~repro.rcds.records.RCStore` must match.
+    """
+
+    def __init__(self) -> None:
+        self.regs: Dict[Tuple[str, str], Any] = {}
+
+    def apply(self, uri: str, key: str, entry) -> Any:
+        """Fold one entry in; returns the register's winning entry."""
+        cur = self.regs.get((uri, key))
+        win = entry if cur is None else lww_merge(cur, entry)
+        self.regs[(uri, key)] = win
+        return win
+
+    def get(self, uri: str, key: str) -> Optional[Any]:
+        return self.regs.get((uri, key))
+
+    def visible(self) -> Dict[Tuple[str, str], Any]:
+        """Non-tombstoned register values (for whole-map comparisons)."""
+        return {
+            rk: e.value for rk, e in self.regs.items() if not getattr(e, "deleted", False)
+        }
+
+
+class ConvergenceOracle:
+    """Each catalog replica must equal the LWW fold of what it applied.
+
+    A :class:`LwwMap` mirror shadows every replica through the store's
+    ``on_apply`` hook; after each applied record the replica's register
+    must hold the same winner as the mirror (O(1) per apply). Any
+    apply-order dependence — e.g. the seeded ``no-lww`` bug, where a
+    replica blindly overwrites — diverges at the exact record that
+    exposes it.
+
+    :meth:`check_quiescent` adds the cross-replica half at the end of a
+    run: once anti-entropy has settled, every replica must report the
+    same (terminal) state for every workload task.
+    """
+
+    name = "lww-convergence"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        self.mirrors: Dict[str, LwwMap] = {}
+        self._stores: Dict[str, Any] = {}
+
+    def attach(self, env) -> None:
+        """Hook every RC replica in *env* (call before the workload)."""
+        for host_name, server in env.rc_servers.items():
+            self._stores[host_name] = server.store
+            mirror = self.mirrors[host_name] = LwwMap()
+            server.store.on_apply = self._hook(host_name, server.store, mirror)
+
+    def _hook(self, replica: str, store, mirror: LwwMap):
+        def on_apply(uri: str, key: str, entry) -> None:
+            model = mirror.apply(uri, key, entry)
+            actual = store.data.get(uri, {}).get(key)
+            if actual is None or actual.stamp() != model.stamp():
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"replica {replica} holds stamp "
+                    f"{None if actual is None else actual.stamp()} for "
+                    f"({uri!r}, {key!r}) but the LWW fold of its applied "
+                    f"entries wins with {model.stamp()}",
+                ))
+
+        return on_apply
+
+    def check_quiescent(self, urns: List[str]) -> None:
+        """After settle: replicas agree on a terminal state per task."""
+        for urn in urns:
+            states = {
+                replica: store.get(urn, "state")
+                for replica, store in self._stores.items()
+            }
+            values = set(states.values())
+            if len(values) != 1:
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"replicas disagree on {urn} state at quiescence: {states}",
+                ))
+            elif not values <= TaskState.TERMINAL:
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"{urn} not terminal at quiescence: {states}",
+                ))
+
+
+# ---------------------------------------------------------------------------
+# Message-delivery oracle
+# ---------------------------------------------------------------------------
+
+class DeliveryOracle:
+    """Exactly-once, per-stream FIFO, no ghost messages, no zombie talk.
+
+    A *stream* is (src urn, src incarnation, dst urn, dst incarnation):
+    sender restarts start a new sequence space, and a receiver restarted
+    from a checkpoint legitimately re-syncs onto live streams, so both
+    incarnations are part of the stream identity. Within one stream,
+    deliveries must be contiguous ascending after the first (the sync
+    point); across streams, a receiver incarnation must never accept
+    from a source incarnation older than one it already heard
+    (incarnation regression = a fenced zombie's straggler got through).
+
+    Group fan-out envelopes carry ``seq == 0`` and are outside the
+    point-to-point guarantee; they are ignored.
+    """
+
+    name = "delivery"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        #: (src, src_inc, dst) -> sequence numbers actually sent.
+        self.sent: Dict[Tuple[str, int, str], Set[int]] = {}
+        #: stream -> last delivered sequence number.
+        self.cursor: Dict[Tuple[str, int, str, int], int] = {}
+        #: (dst, dst_inc, src) -> highest src incarnation delivered.
+        self.max_src_inc: Dict[Tuple[str, int, str], int] = {}
+        self.delivered = 0
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind == "ctx.send":
+            self.sent.setdefault((f["src"], f["inc"], f["dst"]), set()).add(f["seq"])
+        elif kind == "ctx.deliver":
+            self._on_deliver(f)
+
+    def _on_deliver(self, f: Dict[str, Any]) -> None:
+        src, src_inc = f["src"], f["src_inc"]
+        dst, dst_inc, seq = f["dst"], f["dst_inc"], f["seq"]
+        if seq == 0:
+            return  # group fan-out: not a point-to-point stream
+        self.delivered += 1
+        if seq not in self.sent.get((src, src_inc, dst), ()):
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{dst} (inc {dst_inc}) delivered seq {seq} from {src} "
+                f"(inc {src_inc}) which that incarnation never sent",
+            ))
+            return
+        ik = (dst, dst_inc, src)
+        high = self.max_src_inc.get(ik, 0)
+        if src_inc < high:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"incarnation regression at {dst} (inc {dst_inc}): accepted "
+                f"{src} inc {src_inc} after already hearing inc {high} — "
+                f"a fenced zombie's message was admitted",
+            ))
+            return
+        self.max_src_inc[ik] = src_inc
+        stream = (src, src_inc, dst, dst_inc)
+        last = self.cursor.get(stream)
+        if last is not None and seq != last + 1:
+            what = "duplicate of" if seq <= last else "gap before"
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"stream {src}#{src_inc} -> {dst}#{dst_inc}: delivered seq "
+                f"{seq} after {last} ({what} the FIFO cursor)",
+            ))
+        self.cursor[stream] = seq if last is None else max(last, seq)
+
+
+# ---------------------------------------------------------------------------
+# Single-owner (Guardian restart) oracle
+# ---------------------------------------------------------------------------
+
+class SingleOwnerOracle:
+    """Never two live incarnations of one URN with the older unfenced.
+
+    Whenever a context starts as incarnation *N* of a URN, every older
+    incarnation that is still running must already be fence-covered: a
+    successful ``fenced-below`` quorum write with fence > its
+    incarnation (the zombie will then terminate itself and receivers
+    will drop its stragglers — that *is* single ownership in an
+    asynchronous system; killing the zombie instantaneously is
+    impossible). An *equal* incarnation is a live-migration handoff
+    (the URN and incarnation move together) and is legitimate overlap.
+    An older incarnation on the *same host* as the newcomer is also
+    covered: the shared daemon fences it synchronously during spawn.
+
+    This is the oracle that catches the seeded ``no-fence-write`` bug:
+    a Guardian that respawns without fencing leaves a merely-partitioned
+    original running unfenced next to its successor.
+    """
+
+    name = "single-owner"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        #: urn -> [(incarnation, TaskInfo)] for every context ever started.
+        self.instances: Dict[str, List[Tuple[int, Any]]] = {}
+        #: urn -> highest fence successfully quorum-written.
+        self.fences: Dict[str, int] = {}
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind == "guardian.fence":
+            urn = f["urn"]
+            self.fences[urn] = max(self.fences.get(urn, 0), f["fence"])
+        elif kind == "ctx.start":
+            self._on_start(f)
+
+    def _on_start(self, f: Dict[str, Any]) -> None:
+        urn, inc, info = f["urn"], f["inc"], f["info"]
+        fence = self.fences.get(urn, 0)
+        for old_inc, old_info in self.instances.get(urn, []):
+            if old_inc >= inc:
+                continue  # equal = migration handoff; newer = stale probe order
+            # The TaskInfo reference is live: the owning daemon mutates
+            # its state in place, so this reads the zombie's state *now*.
+            if old_info.state in TaskState.TERMINAL or old_info.fenced:
+                continue
+            if fence > old_inc:
+                continue  # covered: the old incarnation is fenced below
+            if old_info.host == f["host"]:
+                # Same daemon: spawn() fences a stale non-terminal task of
+                # the same URN synchronously in _launch(), with no yield
+                # between this probe and the fence (see
+                # SnipeDaemon._launch). A duplicate spawn landing on the
+                # host that still runs the old incarnation is therefore
+                # resolved locally, without a quorum fence write.
+                continue
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{urn} started incarnation {inc} on {f['host']} while "
+                f"incarnation {old_inc} is still {old_info.state} on "
+                f"{old_info.host} and unfenced (fence={fence}) — "
+                f"two live owners of one URN",
+            ))
+        self.instances.setdefault(urn, []).append((inc, info))

@@ -19,7 +19,6 @@ are implemented here:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -40,8 +39,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Envelope framing overhead charged on the wire.
 ENVELOPE_OVERHEAD = 64
-
-_incarnations = itertools.count(1)
 
 
 @dataclass
@@ -66,6 +63,11 @@ class Envelope:
 class SnipeContext(TaskContext):
     """The full client-library context (daemon's ``context_factory``)."""
 
+    #: Test hook for the model checker (:mod:`repro.check`): when False,
+    #: the receiver accepts envelopes from superseded incarnations instead
+    #: of fencing them — a deliberately seeded bug that the delivery
+    #: oracle's no-incarnation-regression check must catch.
+    rx_fencing_enabled = True
     #: How long sends are buffered/retried before giving up.
     buffer_timeout = 30.0
     #: Retry cadence while a destination is unresolvable/unreachable.
@@ -97,8 +99,9 @@ class SnipeContext(TaskContext):
         #: interleave with the successor's stream.
         self._max_inc: Dict[str, int] = {}
         #: This context's incarnation (carried across live migration,
-        #: fresh after a checkpoint restart).
-        self.incarnation = next(_incarnations)
+        #: fresh after a checkpoint restart). Allocated per simulation so
+        #: identical runs assign identical incarnations (replayability).
+        self.incarnation = self.sim.sequence("incarnation")
         self._resolve_cache: Dict[str, Tuple[float, Any]] = {}
         self._redirect: Optional[Tuple[str, int]] = None
         #: Set while a migration is capturing state: arrivals in this
@@ -120,6 +123,11 @@ class SnipeContext(TaskContext):
             self._max_inc = dict(comm.get("max_inc", {}))
             self.incarnation = comm["incarnation"]
         self._rx_proc = self.sim.process(self._rx_loop(), name=f"ctx-rx:{self.urn}")
+        if self.sim.probes is not None:
+            self.sim.probes.emit(
+                "ctx.start", urn=self.urn, inc=self.incarnation,
+                host=self.host.name, info=self.info,
+            )
         if self.rc is not None:
             defuse(self.sim.process(self._register_comm(), name=f"ctx-reg:{self.urn}"))
 
@@ -241,6 +249,11 @@ class SnipeContext(TaskContext):
         seq = self._send_seq.get(dst_urn, 0) + 1
         self._send_seq[dst_urn] = seq
         env = Envelope(self.urn, dst_urn, seq, tag, payload, size, self.incarnation)
+        if self.sim.probes is not None:
+            self.sim.probes.emit(
+                "ctx.send", src=self.urn, inc=self.incarnation,
+                dst=dst_urn, seq=seq, tag=tag,
+            )
         deadline = self.sim.now + self.buffer_timeout
         while True:
             loc = yield from self._resolve(dst_urn)
@@ -294,7 +307,7 @@ class SnipeContext(TaskContext):
         in-flight earlier message.
         """
         max_inc = self._max_inc.get(env.src_urn, 0)
-        if env.src_inc < max_inc:
+        if env.src_inc < max_inc and self.rx_fencing_enabled:
             # A newer incarnation of this source has already spoken: the
             # sender is a fenced zombie and its stragglers are dropped.
             self.msgs_fenced += 1
@@ -326,6 +339,11 @@ class SnipeContext(TaskContext):
 
     def _deliver(self, env: Envelope) -> None:
         self.msgs_received += 1
+        if self.sim.probes is not None:
+            self.sim.probes.emit(
+                "ctx.deliver", dst=self.urn, dst_inc=self.incarnation,
+                src=env.src_urn, src_inc=env.src_inc, seq=env.seq, tag=env.tag,
+            )
         for i, (tag, ev) in enumerate(self._waiters):
             if tag is None or env.tag == tag:
                 del self._waiters[i]

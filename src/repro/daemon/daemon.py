@@ -221,7 +221,7 @@ class SnipeDaemon:
             if self.playground is None:
                 raise SpawnError(f"{self.host.name}: no playground for mobile code")
             return self.playground.spawn_mobile(spec)
-        info = TaskInfo(urn=new_task_urn(spec, self.host.name), spec=spec,
+        info = TaskInfo(urn=new_task_urn(spec, self.host.name, sim=self.sim), spec=spec,
                         host=self.host.name, started_at=self.sim.now)
         ctx = self.context_factory(self, info)
         fn = self.programs.get(spec.program)

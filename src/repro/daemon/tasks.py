@@ -90,11 +90,21 @@ class TaskInfo:
     fenced: bool = False
 
 
-def new_task_urn(spec: TaskSpec, host: str) -> str:
+def new_task_urn(spec: TaskSpec, host: str, sim: Optional["Simulator"] = None) -> str:
+    """Mint a URN for a new task.
+
+    When *sim* is given the sequence number comes from that simulation's
+    own counter, so identical runs mint identical URNs regardless of what
+    ran earlier in the process — URN text feeds the Guardians' hash
+    sharding, so this is a behavioural requirement for replayable runs,
+    not cosmetics. The module-global counter remains as a fallback for
+    sim-less callers.
+    """
     if spec.urn_override is not None:
         return spec.urn_override
     stem = spec.name or spec.program
-    return uri_mod.process_urn(f"{stem}.{next(_task_seq)}")
+    seq = sim.sequence("task-urn") if sim is not None else next(_task_seq)
+    return uri_mod.process_urn(f"{stem}.{seq}")
 
 
 class ProgramRegistry:

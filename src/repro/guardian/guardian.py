@@ -59,6 +59,12 @@ GUARDIAN_PORT = 3700
 class Guardian:
     """One guardian instance; run several (on different hosts) for redundancy."""
 
+    #: Test hook for the model checker (:mod:`repro.check`): when False,
+    #: recovery skips the ``fenced-below`` quorum writes entirely — the
+    #: deliberately seeded bug that the single-owner oracle must catch
+    #: (a respawned task's zombie original is never superseded).
+    fence_writes_enabled = True
+
     def __init__(
         self,
         host: "Host",
@@ -345,7 +351,10 @@ class Guardian:
             #    receivers will drop its stragglers once the successor
             #    (whose incarnation is necessarily >= the fence) speaks.
             fence = (old_inc or 0) + 1
-            yield self.rc.update(urn, {"fenced-below": fence}, consistency=QUORUM)
+            if self.fence_writes_enabled:
+                yield self.rc.update(urn, {"fenced-below": fence}, consistency=QUORUM)
+                if self.sim.probes is not None:
+                    self.sim.probes.emit("guardian.fence", urn=urn, fence=fence)
             # 2. Latest durable state.
             got = yield self.files.read(lifn)
             spec = spec_from_record(got["payload"], keep_urn=True)
@@ -365,8 +374,10 @@ class Guardian:
                     new_inc = inc
                     break
                 yield self.sim.timeout(0.1)
-            if new_inc is not None and new_inc > fence:
+            if new_inc is not None and new_inc > fence and self.fence_writes_enabled:
                 yield self.rc.update(urn, {"fenced-below": new_inc}, consistency=QUORUM)
+                if self.sim.probes is not None:
+                    self.sim.probes.emit("guardian.fence", urn=urn, fence=new_inc)
             recovered_at = self.sim.now
             self._m_recoveries.inc()
             self._m_recover.observe(recovered_at - detected_at)

@@ -128,7 +128,7 @@ class Playground:
     # -- spawn path (called by the daemon) -------------------------------------
     def spawn_mobile(self, spec: TaskSpec) -> TaskInfo:
         info = TaskInfo(
-            urn=new_task_urn(spec, self.host.name),
+            urn=new_task_urn(spec, self.host.name, sim=self.sim),
             spec=spec,
             host=self.host.name,
             started_at=self.sim.now,

@@ -59,6 +59,11 @@ class Record:
 class RCStore:
     """One replica's state: registers + per-origin logs + version vector."""
 
+    #: Model-checker test hook: set False to *disable* the last-writer-wins
+    #: comparison (every applied entry blindly overwrites), which breaks
+    #: replica convergence. Never touched in production paths.
+    lww_enabled = True
+
     def __init__(self, server_id: str) -> None:
         self.server_id = server_id
         self.data: Dict[str, Dict[str, Entry]] = {}
@@ -66,6 +71,11 @@ class RCStore:
         self.vector: Dict[str, int] = {}
         self.lamport = 0
         self.applied = 0
+        #: Optional observer called as ``on_apply(uri, key, entry)`` for
+        #: every record folded into this replica (local or remote). The
+        #: check subsystem's convergence oracle mirrors replica state
+        #: through this hook.
+        self.on_apply = None
 
     # -- local writes -------------------------------------------------------
     def local_update(self, uri: str, assertions: Dict[str, Any], wall: float) -> List[Record]:
@@ -124,9 +134,11 @@ class RCStore:
     def _apply_entry(self, uri: str, key: str, entry: Entry) -> None:
         bucket = self.data.setdefault(uri, {})
         current = bucket.get(key)
-        if current is None or entry.stamp() > current.stamp():
+        if current is None or not self.lww_enabled or entry.stamp() > current.stamp():
             bucket[key] = entry
             self.applied += 1
+        if self.on_apply is not None:
+            self.on_apply(uri, key, entry)
 
     # -- reads ------------------------------------------------------------
     def lookup(self, uri: str) -> Dict[str, Dict[str, Any]]:

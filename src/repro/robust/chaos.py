@@ -90,7 +90,18 @@ def build_chaos_env(
     return env, workers
 
 
-def _install_programs(env: SnipeEnvironment, acked: Dict[str, int], coll_state: Dict):
+def new_coll_state() -> Dict:
+    """Fresh collector-side bookkeeping for :func:`install_chaos_programs`."""
+    return {"done": {}, "dup_done": {}, "progress": {}, "incs": {}, "mismatch": []}
+
+
+def install_chaos_programs(env: SnipeEnvironment, acked: Dict[str, int], coll_state: Dict):
+    """Register the chaos-worker / chaos-collector programs on *env*.
+
+    Shared by the chaos harness and the model-checking scenarios in
+    :mod:`repro.check`, which run the same workload under explored
+    schedules.
+    """
     @env.program("chaos-worker")
     def chaos_worker(ctx, total, ckpt_every, collector_urn, step):
         i = ctx.checkpoint_state.get("i", 0)
@@ -218,8 +229,8 @@ def run_chaos(
     """One seeded chaos run; returns a report dict (``report["ok"]``)."""
     env, workers = build_chaos_env(seed, n_workers)
     acked: Dict[str, int] = {}
-    coll_state: Dict = {"done": {}, "dup_done": {}, "progress": {}, "incs": {}, "mismatch": []}
-    _install_programs(env, acked, coll_state)
+    coll_state = new_coll_state()
+    install_chaos_programs(env, acked, coll_state)
     env.settle(2.0)
 
     coll = env.spawn(TaskSpec(program="chaos-collector", name="chaos-coll"), on="c0")
@@ -358,6 +369,94 @@ def format_report(report: Dict) -> str:
 # Overload scenario (experiment E12)
 # ---------------------------------------------------------------------------
 
+def install_overload_worker(env: SnipeEnvironment, wstats: Dict):
+    """Register the overload-hardened worker program on *env*.
+
+    The chaos-worker, hardened for overload: progress reports and
+    checkpoints are best-effort, because bulk-plane failures are
+    *expected* under saturation and a program crash would read as a
+    (true) death, drowning the false-death signal the scenario measures.
+    """
+
+    @env.program("overload-worker")
+    def overload_worker(ctx, total, ckpt_every, collector_urn, step):
+        i = 0
+        while i < total:
+            yield ctx.compute(step)
+            i += 1
+            wstats["steps"] += 1
+            try:
+                yield ctx.send(collector_urn,
+                               {"urn": ctx.urn, "i": i, "inc": ctx.incarnation},
+                               tag="progress")
+            except Exception:
+                wstats["send_failures"] += 1
+            if i % ckpt_every == 0:
+                try:
+                    yield checkpoint_to_files(ctx)
+                except Exception:
+                    wstats["ckpt_failures"] += 1
+        return i
+
+
+def start_load_generators(
+    env: SnipeEnvironment,
+    workers: List[str],
+    offered_rate: float,
+    t_load0: float,
+    t_load1: float,
+    max_outstanding: int = 48,
+) -> Dict:
+    """Open-loop Poisson ``rc.lookup`` generators on the worker hosts.
+
+    Offers *offered_rate* lookups/s site-wide between ``t_load0`` and
+    ``t_load1`` (outstanding calls capped per host, so the sim stays
+    bounded). Returns the shared load-counters dict.
+    """
+    replicas = list(env.rc_replicas)
+    load = {"offered": 0, "issued": 0, "ok": 0, "failed": 0, "ok_in_window": 0}
+
+    def _load_gen(host_name: str):
+        client = RpcClient(env.topology.hosts[host_name])
+        rng = env.sim.rng.stream(f"overload.load.{host_name}")
+        state = {"outstanding": 0, "rr": 0}
+
+        def one_call(rhost: str, rport: int):
+            try:
+                yield client.call(rhost, rport, "rc.lookup",
+                                  timeout=TIMEOUTS["rc.call"],
+                                  uri=f"snipe://host/{rhost}")
+                load["ok"] += 1
+                if t_load0 <= env.sim.now <= t_load1:
+                    load["ok_in_window"] += 1
+            except RpcError:
+                load["failed"] += 1
+            finally:
+                state["outstanding"] -= 1
+
+        def gen():
+            yield env.sim.timeout(max(0.0, t_load0 - env.sim.now))
+            rate = offered_rate / len(workers)
+            while env.sim.now < t_load1:
+                yield env.sim.timeout(rng.expovariate(rate))
+                load["offered"] += 1
+                if state["outstanding"] >= max_outstanding:
+                    load["failed"] += 1  # client-side shed: site hopeless
+                    continue
+                state["outstanding"] += 1
+                load["issued"] += 1
+                rhost, rport = replicas[state["rr"] % len(replicas)]
+                state["rr"] += 1
+                env.sim.process(one_call(rhost, rport),
+                                name=f"ovl-call:{host_name}")
+
+        env.sim.process(gen(), name=f"ovl-load:{host_name}")
+
+    for w in workers:
+        _load_gen(w)
+    return load
+
+
 def run_overload(
     seed: int,
     saturation: float = 5.0,
@@ -404,33 +503,10 @@ def run_overload(
         seed, n_workers, rc_service_time=service_time, configure=configure
     )
     acked: Dict[str, int] = {}
-    coll_state: Dict = {"done": {}, "dup_done": {}, "progress": {}, "incs": {}, "mismatch": []}
-    _install_programs(env, acked, coll_state)
+    coll_state = new_coll_state()
+    install_chaos_programs(env, acked, coll_state)
     wstats = {"steps": 0, "send_failures": 0, "ckpt_failures": 0}
-
-    @env.program("overload-worker")
-    def overload_worker(ctx, total, ckpt_every, collector_urn, step):
-        # The chaos-worker, hardened for overload: progress reports and
-        # checkpoints are best-effort, because bulk-plane failures are
-        # *expected* here and a program crash would read as a (true)
-        # death, drowning the false-death signal this scenario measures.
-        i = 0
-        while i < total:
-            yield ctx.compute(step)
-            i += 1
-            wstats["steps"] += 1
-            try:
-                yield ctx.send(collector_urn,
-                               {"urn": ctx.urn, "i": i, "inc": ctx.incarnation},
-                               tag="progress")
-            except Exception:
-                wstats["send_failures"] += 1
-            if i % ckpt_every == 0:
-                try:
-                    yield checkpoint_to_files(ctx)
-                except Exception:
-                    wstats["ckpt_failures"] += 1
-        return i
+    install_overload_worker(env, wstats)
 
     env.settle(2.0)
 
@@ -448,51 +524,10 @@ def run_overload(
         env.spawn(spec, on=w)
 
     # -- bulk load: open-loop Poisson rc.lookup generators -------------------
-    replicas = list(env.rc_replicas)
-    capacity = len(replicas) / service_time
+    capacity = len(env.rc_replicas) / service_time
     offered_rate = saturation * capacity
     t_load0, t_load1 = 4.0, duration - 8.0
-    max_outstanding = 48  # per generator host; bounds sim event count
-    load = {"offered": 0, "issued": 0, "ok": 0, "failed": 0, "ok_in_window": 0}
-
-    def _load_gen(host_name: str):
-        client = RpcClient(env.topology.hosts[host_name])
-        rng = env.sim.rng.stream(f"overload.load.{host_name}")
-        state = {"outstanding": 0, "rr": 0}
-
-        def one_call(rhost: str, rport: int):
-            try:
-                yield client.call(rhost, rport, "rc.lookup",
-                                  timeout=TIMEOUTS["rc.call"],
-                                  uri=f"snipe://host/{rhost}")
-                load["ok"] += 1
-                if t_load0 <= env.sim.now <= t_load1:
-                    load["ok_in_window"] += 1
-            except RpcError:
-                load["failed"] += 1
-            finally:
-                state["outstanding"] -= 1
-
-        def gen():
-            yield env.sim.timeout(max(0.0, t_load0 - env.sim.now))
-            rate = offered_rate / len(workers)
-            while env.sim.now < t_load1:
-                yield env.sim.timeout(rng.expovariate(rate))
-                load["offered"] += 1
-                if state["outstanding"] >= max_outstanding:
-                    load["failed"] += 1  # client-side shed: site hopeless
-                    continue
-                state["outstanding"] += 1
-                load["issued"] += 1
-                rhost, rport = replicas[state["rr"] % len(replicas)]
-                state["rr"] += 1
-                env.sim.process(one_call(rhost, rport),
-                                name=f"ovl-call:{host_name}")
-
-        env.sim.process(gen(), name=f"ovl-load:{host_name}")
-
-    for w in workers:
-        _load_gen(w)
+    load = start_load_generators(env, workers, offered_rate, t_load0, t_load1)
 
     # -- degradation window inside the load window ---------------------------
     env.failures.congest_segment_at(8.0, "core-lan", congest_factor, duration=12.0)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -12,7 +12,9 @@ from repro.sim.rng import RngRegistry
 
 #: Queue priorities: urgent beats normal at equal timestamps. Used by the
 #: kernel internally (interrupts are urgent); ties otherwise break on
-#: insertion order, which keeps runs deterministic.
+#: insertion order, which keeps runs deterministic — unless a pluggable
+#: tie-breaking scheduler (see :meth:`Simulator.set_scheduler`) permutes
+#: them for systematic schedule exploration.
 URGENT = 0
 NORMAL = 1
 
@@ -40,6 +42,43 @@ class Simulator:
         self._crashed: List[Tuple[Process, BaseException]] = []
         self._obs = None
         self._overload = None
+        #: Pluggable same-timestamp tie-breaker (None = FIFO insertion
+        #: order). See :meth:`set_scheduler`.
+        self._scheduler = None
+        #: Optional probe bus (:class:`repro.check.ProbeBus`): when set,
+        #: instrumented components emit semantic events (context starts,
+        #: envelope sends/deliveries, fence writes, catalog applies) that
+        #: the model-checking oracles consume. None costs one attribute
+        #: read at each emit site.
+        self.probes = None
+        #: Per-simulation named sequence counters (see :meth:`sequence`).
+        self._seqs: Dict[str, int] = {}
+
+    def sequence(self, name: str) -> int:
+        """Next value (1, 2, ...) of the named per-simulation counter.
+
+        Identity counters (task URNs, context incarnations) must come
+        from the simulation, not from process-global state: a URN like
+        ``urn:snipe:proc:worker.7`` feeds the Guardians' consistent-hash
+        sharding, so globally-numbered identities would make the same
+        seed behave differently depending on how many simulations ran
+        earlier in the process — unacceptable for replayable runs.
+        """
+        n = self._seqs.get(name, 0) + 1
+        self._seqs[name] = n
+        return n
+
+    def set_scheduler(self, scheduler) -> None:
+        """Install a tie-breaking scheduler, or ``None`` for FIFO order.
+
+        The scheduler sees every point where more than one event is
+        runnable at the same (timestamp, priority) and picks which goes
+        first: ``scheduler.pick(now, n)`` must return an index in
+        ``[0, n)`` into the candidates listed in insertion order (so
+        ``pick == 0`` everywhere reproduces the default schedule).
+        Priorities are never reordered — urgent still beats normal.
+        """
+        self._scheduler = scheduler
 
     @property
     def obs(self):
@@ -102,13 +141,35 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on empty queue")
-        t, _prio, _eid, event = heapq.heappop(self._queue)
+        if self._scheduler is None:
+            t, _prio, _eid, event = heapq.heappop(self._queue)
+        else:
+            t, _prio, _eid, event = self._pop_scheduled()
         self.now = t
         event._process()
         if self._crashed and self.strict_process_errors:
             _proc, exc = self._crashed[0]
             self._crashed.clear()
             raise exc
+
+    def _pop_scheduled(self) -> Tuple[float, int, int, Event]:
+        """Pop the next event, letting the scheduler break timestamp ties.
+
+        All events sharing the head's (timestamp, priority) are candidates;
+        they are presented in insertion order, so index 0 is the FIFO
+        choice. Unchosen candidates go back on the heap — events scheduled
+        *while the chosen one runs* join the tie set at the next step.
+        """
+        head = heapq.heappop(self._queue)
+        if not self._queue or self._queue[0][0] != head[0] or self._queue[0][1] != head[1]:
+            return head
+        ties = [head]
+        while self._queue and self._queue[0][0] == head[0] and self._queue[0][1] == head[1]:
+            ties.append(heapq.heappop(self._queue))
+        chosen = ties.pop(self._scheduler.pick(head[0], len(ties)))
+        for item in ties:
+            heapq.heappush(self._queue, item)
+        return chosen
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.

@@ -12,7 +12,6 @@ communication performance" of §6.1 comes from.
 
 from __future__ import annotations
 
-import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -21,8 +20,6 @@ from repro.robust.overload import BULK, LaneStore, RttEstimator, lane_for_reques
 from repro.sim.errors import Interrupt
 from repro.sim.resources import Store
 from repro.transport.base import Message, SendError, TransportEndpoint
-
-_msg_ids = itertools.count(1)
 
 #: Request an ACK at least every this many data segments.
 ACK_EVERY = 16
@@ -89,6 +86,11 @@ class SrudpEndpoint(TransportEndpoint):
         # legacy endpoint-wide smoothed RTT (static baseline).
         self._rtt: Dict[str, RttEstimator] = {}
         self._srtt = 0.0
+        # Message ids are scoped per endpoint (receivers key reassembly on
+        # (src host, src port, msg id)), so a local counter suffices and —
+        # unlike a process-global one — keeps same-seed runs identical
+        # regardless of what else ran in this process.
+        self._next_msg_id = 0
 
     def _estimator(self, dst_host: str) -> RttEstimator:
         est = self._rtt.get(dst_host)
@@ -113,7 +115,8 @@ class SrudpEndpoint(TransportEndpoint):
 
     def _sender(self, dst_host: str, dst_port: int, payload: Any, size: int,
                 trace_id: int, parent: Optional[int] = None):
-        msg_id = next(_msg_ids)
+        self._next_msg_id += 1
+        msg_id = self._next_msg_id
         mss = self.max_payload(dst_host)
         nsegs = max(1, -(-size // mss))
         acks: Store = Store(self.sim)

@@ -1,0 +1,63 @@
+"""ddmin and trace-file units (no simulation involved)."""
+
+import pytest
+
+from repro.check.explore import FaultEvent
+from repro.check.shrink import TRACE_VERSION, ddmin, load_trace, write_trace
+
+
+def test_ddmin_finds_a_single_culprit():
+    calls = []
+
+    def failing(items):
+        calls.append(list(items))
+        return 7 in items
+
+    assert ddmin(list(range(10)), failing) == [7]
+
+
+def test_ddmin_keeps_a_required_pair():
+    def failing(items):
+        return 2 in items and 8 in items
+
+    assert ddmin(list(range(10)), failing) == [2, 8]
+
+
+def test_ddmin_reduces_to_empty_when_failure_is_unconditional():
+    assert ddmin([1, 2, 3], lambda items: True) == []
+
+
+def test_ddmin_keeps_everything_when_all_items_matter():
+    items = [1, 2, 3, 4]
+    assert ddmin(items, lambda c: c == items) == items
+
+
+def test_ddmin_preserves_order():
+    def failing(items):
+        return all(x in items for x in (9, 1, 5))
+
+    assert ddmin([9, 4, 1, 7, 5, 0], failing) == [9, 1, 5]
+
+
+def test_trace_roundtrip(tmp_path):
+    plan = [FaultEvent("partition", "s-w1", 4.5, 7.5)]
+    report = {
+        "scenario": "faults", "seed": 1, "bug": "no-fence-write",
+        "explore": True, "params": {"n_workers": 3},
+        "plan": [e.to_dict() for e in plan],
+        "violations": [{"oracle": "single-owner", "time": 7.0, "detail": "x"}],
+    }
+    path = tmp_path / "trace.json"
+    write_trace(str(path), report)
+    trace = load_trace(str(path))
+    assert trace["version"] == TRACE_VERSION
+    assert [FaultEvent.from_dict(d) for d in trace["plan"]] == plan
+    assert trace["bug"] == "no-fence-write"
+    assert trace["violations"][0]["oracle"] == "single-owner"
+
+
+def test_trace_version_mismatch_is_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99}')
+    with pytest.raises(ValueError, match="version"):
+        load_trace(str(path))

@@ -20,12 +20,16 @@ def test_chaos_is_seed_deterministic():
     a = run_chaos(2)
     b = run_chaos(2)
     # The fault schedule (and hence the injector's event log) is wholly
-    # seed-driven. Task URNs and incarnations come from process-global
-    # counters, so they are only comparable across fresh processes.
+    # seed-driven, and URN/incarnation counters are per-Simulator, so two
+    # same-seed runs agree on *everything*: fault timing, which tasks
+    # died, which incarnations replaced them, and when — even within one
+    # process.
     assert a["events"] == b["events"]
     assert [(t, k, w) for t, k, w in a["fault_log"]] == [
         (t, k, w) for t, k, w in b["fault_log"]
     ]
+    assert a["recoveries"] == b["recoveries"]
+    assert a["msgs_fenced"] == b["msgs_fenced"]
     assert a["ok"] and b["ok"]
     assert run_chaos(3)["events"] != a["events"]
 

@@ -1,0 +1,209 @@
+"""Property-based tests for the overload-control primitives.
+
+These state machines (RTT estimation, circuit breaking, lane queueing)
+guard the failure detectors; a single bad transition under an unusual
+op sequence is exactly the kind of bug example-based tests miss, so
+each primitive is driven with arbitrary operation sequences and checked
+against its invariants after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robust.overload import (
+    BULK,
+    CLOSED,
+    CONTROL,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    LaneStore,
+    RttEstimator,
+)
+from repro.sim import Simulator
+
+# -- RttEstimator -----------------------------------------------------------
+
+rtts = st.floats(min_value=1e-6, max_value=10.0,
+                 allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(st.one_of(rtts, st.just("backoff")), max_size=60))
+def test_rto_always_within_bounds(ops):
+    """Whatever mix of samples and timeouts, the RTO stays in
+    [min_rto, max_rto] — never below the floor, never above the cap."""
+    est = RttEstimator(initial_rto=0.05, min_rto=0.002, max_rto=2.0)
+    for op in ops:
+        if op == "backoff":
+            est.backoff()
+        else:
+            est.observe(op)
+        assert est.min_rto <= est.rto() <= est.max_rto
+
+
+@given(st.lists(rtts, max_size=20), st.integers(min_value=1, max_value=40))
+def test_rto_monotone_under_backoff(samples, n_backoffs):
+    """Consecutive timeouts never *shrink* the RTO (exponential backoff
+    is monotone non-decreasing up to the cap), and one fresh sample
+    resets the backoff completely."""
+    est = RttEstimator(initial_rto=0.05, min_rto=0.002, max_rto=2.0)
+    for rtt in samples:
+        est.observe(rtt)
+    base = est.rto()
+    prev = base
+    for _ in range(n_backoffs):
+        est.backoff()
+        cur = est.rto()
+        assert cur >= prev
+        prev = cur
+    assert prev >= base
+    est.observe(0.01)
+    assert est.rto() <= est.max_rto
+    assert est._shift == 0  # a sample resets the backoff exponent
+
+
+@given(rtts)
+def test_first_sample_initialises_rfc6298(rtt):
+    est = RttEstimator(min_rto=0.0, max_rto=100.0)
+    est.observe(rtt)
+    assert est.srtt == rtt
+    assert est.rttvar == rtt / 2
+    assert abs(est.rto() - (rtt + 4 * (rtt / 2))) < 1e-12
+
+
+# -- CircuitBreaker ---------------------------------------------------------
+
+breaker_ops = st.lists(
+    st.tuples(st.sampled_from(("allow", "ok", "fail")),
+              st.floats(min_value=0.0, max_value=5.0)),
+    max_size=80,
+)
+
+
+@given(breaker_ops)
+@settings(max_examples=200)
+def test_breaker_state_machine_valid_from_any_sequence(ops):
+    """Drive a breaker with an arbitrary op sequence and check, at every
+    step: the state is one of the three valid states, transitions follow
+    the CLOSED -> OPEN -> HALF_OPEN -> {CLOSED, OPEN} diagram, an OPEN
+    breaker never admits a call before its window elapses, and
+    ``open_for`` stays within [base, max_open]."""
+    transitions = []
+    br = CircuitBreaker(
+        window=8, min_samples=2, failure_threshold=0.5,
+        open_for=1.0, max_open=8.0,
+        on_transition=lambda old, new: transitions.append((old, new)),
+    )
+    now = 0.0
+    allowed = {CLOSED: {OPEN}, OPEN: {HALF_OPEN}, HALF_OPEN: {CLOSED, OPEN}}
+    for op, dt in ops:
+        now += dt
+        if op == "allow":
+            admitted = br.allow(now)
+            if not admitted:
+                # Refusal only ever happens in quarantine.
+                assert (br.state == OPEN and now - br.opened_at < br.open_for) \
+                    or (br.state == HALF_OPEN and br._probing)
+        else:
+            br.record(op == "ok", now)
+        assert br.state in (CLOSED, OPEN, HALF_OPEN)
+        assert br.base_open_for <= br.open_for <= br.max_open
+    for old, new in transitions:
+        assert new in allowed[old], f"illegal transition {old} -> {new}"
+
+
+@given(st.integers(min_value=1, max_value=6))
+def test_breaker_reopen_doubles_up_to_cap(n_probe_failures):
+    """Each failed half-open probe doubles the quarantine, capped."""
+    br = CircuitBreaker(window=4, min_samples=2, failure_threshold=0.5,
+                        open_for=1.0, max_open=4.0)
+    now = 0.0
+    br.record(False, now)
+    br.record(False, now)
+    assert br.state == OPEN
+    expected = 1.0
+    for _ in range(n_probe_failures):
+        now = br.opened_at + br.open_for  # quarantine elapsed: probe due
+        assert br.allow(now)  # the single half-open probe
+        br.record(False, now)
+        assert br.state == OPEN
+        expected = min(4.0, expected * 2)
+        assert br.open_for == expected
+    # A successful probe recloses and resets the quarantine duration.
+    now = br.opened_at + br.open_for
+    assert br.allow(now)
+    br.record(True, now)
+    assert br.state == CLOSED
+    assert br.open_for == br.base_open_for
+
+
+# -- LaneStore --------------------------------------------------------------
+
+lane_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from((CONTROL, BULK))),
+        st.tuples(st.just("get"), st.none()),
+    ),
+    max_size=60,
+)
+
+
+@given(lane_ops, st.integers(min_value=1, max_value=5), st.booleans())
+@settings(max_examples=200)
+def test_lanestore_capacity_and_priority(ops, cap, shed_oldest):
+    """For any put/get interleaving: the bulk lane never exceeds its
+    capacity, control items are never lost or shed, and a get never
+    returns a bulk item while control items are queued."""
+    sim = Simulator()
+    shed = []
+    store = LaneStore(sim, bulk_capacity=cap, shed_oldest=shed_oldest,
+                      on_shed=shed.append)
+    seq = 0
+    control_in, control_out = [], []
+    waiting = []
+    for op, lane in ops:
+        if op == "put":
+            seq += 1
+            item = (lane, seq)
+            admitted = store.try_put(item, lane=lane)
+            if lane == CONTROL:
+                assert admitted, "control admission is unconditional"
+                control_in.append(item)
+            elif not admitted:
+                assert not shed_oldest and not waiting
+        else:
+            waiting.append(store.get())
+        assert len(store.bulk) <= cap
+        assert all(it[0] == BULK for it in shed), "control must never be shed"
+        # Triggered getters consume in order; collect what they received.
+        for ev in waiting[:]:
+            if ev.triggered:
+                waiting.remove(ev)
+                if ev.value[0] == CONTROL:
+                    control_out.append(ev.value)
+    # Drain: everything control that went in comes out, before any
+    # queued bulk, and exactly once.
+    while len(store):
+        ev = store.get()
+        assert ev.triggered
+        if ev.value[0] == CONTROL:
+            assert not control_out or control_out[-1][1] < ev.value[1]
+            control_out.append(ev.value)
+        else:
+            assert not store.control, "bulk served while control queued"
+    assert control_out == control_in
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10))
+def test_lanestore_shed_oldest_keeps_newest(cap, extra):
+    """RPC mode sheds the *oldest* bulk item: after overflow, the queue
+    holds exactly the newest ``cap`` items, in order."""
+    sim = Simulator()
+    shed = []
+    store = LaneStore(sim, bulk_capacity=cap, shed_oldest=True,
+                      on_shed=shed.append)
+    n = cap + extra
+    for i in range(n):
+        assert store.try_put(i)
+    assert list(store.bulk) == list(range(n - cap, n))
+    assert shed == list(range(extra))

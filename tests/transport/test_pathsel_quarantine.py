@@ -1,0 +1,107 @@
+"""Quarantine-expiry edge cases for §5.3 path selection.
+
+The selector caches its choice per (destination, topology version), but
+a detour taken *because* an interface was quarantined must not outlive
+the quarantine: ``_compute`` clamps the cache expiry to the breaker's
+probe-due time. These tests pin the boundary semantics — the cache is
+valid strictly *before* the due instant and stale *at* it — and the
+re-quarantine path where a failed half-open probe doubles the window.
+"""
+
+from repro.net import ETHERNET_100, MYRINET, Topology
+from repro.sim import Simulator
+from repro.transport.pathsel import PathSelector
+
+
+def dual_homed():
+    """a and b share eth + myrinet (myrinet is the faster medium)."""
+    sim = Simulator()
+    topo = Topology(sim)
+    eth = topo.add_segment("eth", ETHERNET_100)
+    myr = topo.add_segment("myr", MYRINET)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    for seg in (eth, myr):
+        topo.connect(a, seg)
+        topo.connect(b, seg)
+    return sim, topo, a, b
+
+
+def quarantine_myrinet(sel):
+    """Fail enough bursts on the current (myrinet) path to trip its
+    breaker; returns the quarantined iface name."""
+    nic, _, _ = sel.select("b")
+    assert nic.segment.name == "myr"
+    sel.note_result("b", False)
+    sel.note_result("b", False)  # min_samples=2, threshold hit -> OPEN
+    assert sel.breakers.is_open(("b", nic.iface))
+    return nic.iface
+
+
+def test_cached_detour_expires_exactly_at_probe_due_time():
+    """The detour cache entry must die at the breaker's probe-due
+    instant, not one event later: at ``now == due`` the selector
+    recomputes and offers the quarantined medium as its own probe."""
+    sim, topo, a, b = dual_homed()
+    sel = PathSelector(a)
+    iface = quarantine_myrinet(sel)
+    # Quarantined: the selector demotes myrinet and detours over eth.
+    assert sel.select("b")[0].segment.name == "eth"
+    due = sel.breakers.due_at(("b", iface))
+    assert due is not None
+    # Strictly before the probe is due, the cached detour is still valid
+    # (same topology version, no recompute, still eth).
+    sim.run(until=due - 1e-9)
+    assert sel.select("b")[0].segment.name == "eth"
+    # At exactly the due instant the cache is stale (validity is
+    # ``now < expires``) and the due breaker no longer reads as open,
+    # so the recomputed choice is the fast medium again — the probe.
+    sim.run(until=due)
+    assert not sel.breakers.is_open(("b", iface))
+    assert sel.select("b")[0].segment.name == "myr"
+
+
+def test_requarantine_after_failed_probe_doubles_the_window():
+    """A failed half-open probe re-opens the breaker with a doubled
+    quarantine, and the new detour cache expires at the *new* due time."""
+    sim, topo, a, b = dual_homed()
+    sel = PathSelector(a)
+    iface = quarantine_myrinet(sel)
+    key = ("b", iface)
+    first_window = sel.breakers.breaker(key).open_for
+    due = sel.breakers.due_at(key)
+    sim.run(until=due)
+    # The probe burst goes out on myrinet... and fails.
+    assert sel.select("b")[0].segment.name == "myr"
+    sel.note_result("b", False)
+    br = sel.breakers.breaker(key)
+    assert sel.breakers.is_open(key)
+    assert br.open_for == 2 * first_window
+    # Back on the detour, cached until the doubled quarantine elapses.
+    assert sel.select("b")[0].segment.name == "eth"
+    new_due = sel.breakers.due_at(key)
+    assert new_due == sim.now + 2 * first_window
+    sim.run(until=new_due - 1e-9)
+    assert sel.select("b")[0].segment.name == "eth"
+    sim.run(until=new_due)
+    assert sel.select("b")[0].segment.name == "myr"
+    # This probe succeeds: the breaker recloses and the quarantine
+    # window resets, so the fast medium sticks.
+    sel.note_result("b", True)
+    assert not sel.breakers.is_open(key)
+    assert br.open_for == br.base_open_for
+    assert sel.select("b")[0].segment.name == "myr"
+
+
+def test_breaker_transition_invalidates_cache_without_topology_bump():
+    """Tripping a breaker must evict the cached choice even though the
+    topology version did not change (the cache key would still match)."""
+    sim, topo, a, b = dual_homed()
+    sel = PathSelector(a)
+    assert sel.select("b")[0].segment.name == "myr"
+    # Cached with an infinite expiry: without invalidation, the next
+    # select would return myrinet straight from the cache.
+    sel.note_result("b", False)
+    sel.note_result("b", False)
+    assert sel.select("b")[0].segment.name == "eth"
+    assert sel.switches == 1
