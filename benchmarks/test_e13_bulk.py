@@ -1,0 +1,29 @@
+"""E13 — relay-tree/multi-source bulk distribution vs naive unicast."""
+
+from repro.bench.e13_bulk import bulk_distribution
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+
+def test_e13_bulk_distribution(benchmark):
+    rows = run_once(benchmark, bulk_distribution)
+    print_table("E13: bulk distribution — unicast vs pipelined relay tree", rows)
+    by_key = {(r["hosts"], r["strategy"], r["crash"]): r for r in rows}
+    # Every configuration delivers everywhere with every digest verified.
+    for r in rows:
+        assert r["completed"] == r["hosts"]
+        assert r["all_verified"]
+    # The data-plane claim: at 16 hosts the relay tree achieves at least
+    # 3x the aggregate goodput of naive root-unicast.
+    assert by_key[(16, "tree", False)]["speedup_vs_unicast"] >= 3.0
+    # Scaling shape: the tree's advantage grows with fan-out, because
+    # unicast serializes every copy through the root's link.
+    assert (by_key[(32, "tree", False)]["speedup_vs_unicast"]
+            > by_key[(16, "tree", False)]["speedup_vs_unicast"])
+    # Mid-transfer relay crash: the distribution still completes with
+    # all digests verified, and the victim actually crashed mid-object.
+    for hosts in (8, 16, 32):
+        crash = by_key[(hosts, "tree", True)]
+        assert crash["crashes"] >= 1
+        assert crash["completed"] == hosts and crash["all_verified"]

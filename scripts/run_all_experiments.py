@@ -9,6 +9,7 @@ producing the full record, e.g.:
 
 from repro.bench.e10_media import media_selection
 from repro.bench.e12_overload import overload_goodput
+from repro.bench.e13_bulk import bulk_distribution
 from repro.bench.e2_mpiconnect import mpiconnect_vs_pvmpi, summarize_speedup
 from repro.bench.e3_availability import availability_vs_replicas
 from repro.bench.e4_rm import rm_scalability
@@ -75,6 +76,9 @@ def main() -> None:
 
     print_table("E12: overload goodput and control-plane latency",
                 overload_goodput())
+
+    print_table("E13: bulk distribution — unicast vs pipelined relay tree",
+                bulk_distribution())
 
 
 if __name__ == "__main__":

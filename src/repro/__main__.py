@@ -14,6 +14,9 @@ Commands:
 * ``check`` — model checking: explored schedules, reference-model
   oracles, failing-schedule shrinking: ``check run``, ``check sweep``,
   ``check replay TRACE`` (see :mod:`repro.check.cli`).
+* ``bulk`` — the bulk-data distribution plane: ``bulk bench`` (E13,
+  unicast vs relay tree) and ``bulk tree`` (show the relay tree, run
+  one fan-out) (see :mod:`repro.bulk.cli`).
 """
 
 from __future__ import annotations
@@ -72,7 +75,7 @@ def _cmd_info() -> int:
     print(__doc__)
     for pkg in ("sim", "net", "transport", "rcds", "security", "daemon",
                 "files", "rm", "playground", "core", "console", "pvm",
-                "mpi", "bench"):
+                "mpi", "bulk", "bench"):
         mod = __import__(f"repro.{pkg}", fromlist=["__doc__"])
         first = (mod.__doc__ or "").strip().splitlines()[0] if mod.__doc__ else ""
         print(f"  repro.{pkg:12s} {first}")
@@ -99,8 +102,13 @@ def main(argv=None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "bulk":
+        from repro.bulk.cli import main as bulk_main
+
+        return bulk_main(argv[1:])
     if not argv or argv[0] not in commands:
-        print("usage: python -m repro {examples|experiments|fig1|info|obs|chaos|check}")
+        print("usage: python -m repro "
+              "{examples|experiments|fig1|info|obs|chaos|check|bulk}")
         return 2
     return commands[argv[0]]()
 

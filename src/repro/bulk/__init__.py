@@ -1,0 +1,40 @@
+"""repro.bulk — the replica-aware, multi-source bulk data plane.
+
+SNIPE's file servers and RC metadata give this repo a control plane;
+``repro.bulk`` adds the data plane: chunked objects with signed chunk
+maps published under ``urn:snipe:bulk:<name>``, multi-source parallel
+fetching with mid-object failover (:mod:`repro.bulk.fetch`), per-host
+chunk stores that serve while still receiving (:mod:`repro.bulk.service`),
+and topology-aware pipelined relay-tree distribution with swarm-style
+source announcement (:mod:`repro.bulk.distribute`).
+"""
+
+from repro.bulk.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkMap,
+    build_chunk_map,
+    bulk_urn,
+    chunk_digests,
+    object_bytes,
+    split_chunks,
+)
+from repro.bulk.distribute import Distributor, build_relay_tree
+from repro.bulk.fetch import BulkError, BulkFetcher
+from repro.bulk.service import BULK_PORT, BulkService, ChunkStore
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkMap",
+    "build_chunk_map",
+    "bulk_urn",
+    "chunk_digests",
+    "object_bytes",
+    "split_chunks",
+    "Distributor",
+    "build_relay_tree",
+    "BulkError",
+    "BulkFetcher",
+    "BULK_PORT",
+    "BulkService",
+    "ChunkStore",
+]

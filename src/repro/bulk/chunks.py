@@ -1,0 +1,145 @@
+"""Chunking and chunk maps: the metadata half of the bulk data plane.
+
+A bulk object is an opaque byte string split into fixed-size chunks;
+each chunk has a SHA-256 digest and the object as a whole has one. The
+per-object :class:`ChunkMap` — name, size, chunk size, the digest list,
+the object hash, and an optional HMAC signature — is published as RC
+metadata under ``urn:snipe:bulk:<name>`` so any host can verify any
+chunk from any source: integrity is end-to-end (RCDS §2.1), so sources
+never have to be trusted, only the signed map.
+
+:data:`DEFAULT_CHUNK_SIZE` is *the* chunk-size constant for the whole
+system: the file servers' sources, the MPI broadcast pipeliner, and the
+bulk fetchers all read it here, so there is exactly one place to tune.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.security.hashes import content_hash, hmac_tag, verify_hmac
+
+#: The system-wide bulk chunk size (bytes). Shared by file-server
+#: sources, the bulk data plane, and the MPI broadcast pipeliner.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+def bulk_urn(name: str) -> str:
+    """RC metadata URN for a bulk object's chunk map."""
+    return f"urn:snipe:bulk:{name}"
+
+
+def object_bytes(payload: Any) -> bytes:
+    """The canonical wire bytes of a bulk payload.
+
+    Bytes pass through unchanged (their hash then matches the file
+    servers' ``content_hash``); any other object is pickled.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        return bytes(payload)
+    return pickle.dumps(payload, protocol=4)
+
+
+def split_chunks(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> List[bytes]:
+    """Slice *data* into chunks of *chunk_size* (last one may be short)."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if not data:
+        return [b""]
+    return [data[i:i + chunk_size] for i in range(0, len(data), chunk_size)]
+
+
+def chunk_digests(chunks) -> Tuple[str, ...]:
+    """Per-chunk SHA-256 digests (chunks may be bytes or any objects)."""
+    return tuple(content_hash(c) for c in chunks)
+
+
+@dataclass(frozen=True)
+class ChunkMap:
+    """The published description of one bulk object.
+
+    ``digests[i]`` authenticates chunk *i* on its own, so a fetcher can
+    verify chunks from untrusted sources as they arrive and commit them
+    incrementally — that is what makes transfers resumable and
+    multi-source safe. ``hash`` authenticates the reassembled whole.
+    """
+
+    name: str
+    size: int
+    chunk_size: int
+    digests: Tuple[str, ...]
+    hash: str
+
+    @property
+    def nchunks(self) -> int:
+        return len(self.digests)
+
+    def chunk_len(self, seq: int) -> int:
+        """Byte length of chunk *seq*."""
+        if seq < self.nchunks - 1:
+            return self.chunk_size
+        return self.size - self.chunk_size * (self.nchunks - 1)
+
+    def body(self) -> Dict[str, Any]:
+        """The signed fields, in canonical form."""
+        return {
+            "name": self.name,
+            "size": self.size,
+            "chunk_size": self.chunk_size,
+            "digests": list(self.digests),
+            "hash": self.hash,
+        }
+
+    def signature(self, secret: bytes) -> str:
+        return hmac_tag(secret, self.body())
+
+    def to_assertions(self, secret: Optional[bytes] = None) -> Dict[str, Any]:
+        """RC assertions for publication under :func:`bulk_urn`."""
+        assertions: Dict[str, Any] = {"map": self.body()}
+        if secret is not None:
+            assertions["sig"] = self.signature(secret)
+        return assertions
+
+    @classmethod
+    def from_assertions(
+        cls, assertions: Dict[str, Any], secret: Optional[bytes] = None
+    ) -> "ChunkMap":
+        """Rebuild (and, with *secret*, authenticate) a published map.
+
+        Raises ``KeyError`` when no map is published and ``ValueError``
+        when a required signature is missing or wrong.
+        """
+        info = assertions.get("map")
+        if not info or not info.get("value"):
+            raise KeyError("no chunk map published")
+        body = info["value"]
+        cmap = cls(
+            name=body["name"],
+            size=body["size"],
+            chunk_size=body["chunk_size"],
+            digests=tuple(body["digests"]),
+            hash=body["hash"],
+        )
+        if secret is not None:
+            sig = assertions.get("sig")
+            tag = sig["value"] if sig and sig.get("value") else None
+            if tag is None or not verify_hmac(secret, cmap.body(), tag):
+                raise ValueError(f"chunk map for {cmap.name!r}: bad signature")
+        return cmap
+
+
+def build_chunk_map(
+    name: str, data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Tuple[ChunkMap, List[bytes]]:
+    """Split *data* and describe it: returns ``(map, chunks)``."""
+    chunks = split_chunks(data, chunk_size)
+    cmap = ChunkMap(
+        name=name,
+        size=len(data),
+        chunk_size=chunk_size,
+        digests=chunk_digests(chunks),
+        hash=content_hash(data),
+    )
+    return cmap, chunks

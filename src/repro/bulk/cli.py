@@ -1,0 +1,115 @@
+"""``python -m repro bulk`` — drive the bulk-data distribution plane.
+
+Subcommands:
+
+* ``bench`` — experiment E13: one object to every member of a racked
+  site, naive root-unicast vs the pipelined relay tree (plus the
+  relay-crash case). Prints the table and writes
+  ``BENCH_bulk_distribution.json`` next to it (``--out DIR``).
+* ``tree`` — show the relay tree the distributor would build for a
+  site (who pulls from whom), then run one tree distribution and print
+  the per-destination outcome — a quick way to see the pipeline,
+  swarm announcements, and digest verification at work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from repro.bench.e13_bulk import CHUNK, LAYOUTS, bulk_distribution
+from repro.bench.table import print_table
+from repro.bulk.distribute import build_relay_tree
+from repro.bulk.testbed import build_bulk_site, make_payload
+
+
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.obs.report import write_bench_json
+
+    os.makedirs(args.out, exist_ok=True)
+    t0 = time.perf_counter()
+    rows = bulk_distribution(host_counts=tuple(args.hosts),
+                             object_kb=args.object_kb, seed=args.seed)
+    wall_s = time.perf_counter() - t0
+    print_table("E13: bulk distribution — unicast vs pipelined relay tree",
+                rows)
+    bad = [r for r in rows
+           if r["completed"] != r["hosts"] or not r["all_verified"]]
+    path = write_bench_json("bulk_distribution", rows, args.out, wall_s=wall_s)
+    print(f"\nwritten: {path}")
+    if bad:
+        print(f"FAILED: {len(bad)} configuration(s) incomplete or unverified")
+        return 1
+    return 0
+
+
+def _cmd_tree(args) -> int:
+    env, root, dests = build_bulk_site(seed=args.seed, racks=args.racks,
+                                       per_rack=args.per_rack)
+    parents = build_relay_tree(env.topology, root, dests, fanout=args.fanout)
+    children: dict = {}
+    for d, p in parents.items():
+        children.setdefault(p, []).append(d)
+
+    def show(node: str, indent: int) -> None:
+        mark = " (root)" if node == root else ""
+        print(f"  {'  ' * indent}{node}{mark}")
+        for c in sorted(children.get(node, [])):
+            show(c, indent + 1)
+
+    print(f"relay tree: {args.racks} racks x {args.per_rack} hosts, "
+          f"fanout {args.fanout}")
+    show(root, 0)
+
+    payload = make_payload(args.object_kb * 1024, CHUNK)
+    dist = env.bulk_distributor(root, fanout=args.fanout)
+    proc = dist.distribute("demo", payload, dests, chunk_size=CHUNK,
+                           strategy="tree", deadline=60.0)
+    report = env.run(until=proc)
+    print(f"\ndistributed {report['bytes'] / 1024:.0f} KiB "
+          f"({report['nchunks']} chunks) to "
+          f"{report['completed']}/{report['hosts']} hosts in "
+          f"{report['elapsed']:.2f}s "
+          f"({report['aggregate_goodput'] / 1e6:.2f} MB/s aggregate)")
+    for d in sorted(report["per_dest"]):
+        r = report["per_dest"][d]
+        srcs = ", ".join(
+            f"{h[0] if isinstance(h, tuple) else h}:{b / 1024:.0f}KiB"
+            for h, b in sorted(r.get("bytes_by_source", {}).items())
+        )
+        print(f"  {d:8s} ok={r.get('ok')} "
+              f"verified={r.get('hash_ok')} "
+              f"retries={r.get('chunk_retries', 0)} from [{srcs}]")
+    return 0 if report["completed"] == len(dests) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro bulk",
+                                     description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_bench = sub.add_parser("bench", help="E13 goodput benchmark")
+    p_bench.add_argument("--hosts", type=int, nargs="+",
+                         default=[8, 16, 32], choices=sorted(LAYOUTS),
+                         help="site sizes to run (default: 8 16 32)")
+    p_bench.add_argument("--object-kb", type=int, default=1024,
+                         help="object size in KiB (default 1024)")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--out", default=".",
+                         help="directory for BENCH_bulk_distribution.json")
+    p_tree = sub.add_parser("tree", help="show the relay tree, run one fan-out")
+    p_tree.add_argument("--racks", type=int, default=4)
+    p_tree.add_argument("--per-rack", type=int, default=4)
+    p_tree.add_argument("--fanout", type=int, default=2)
+    p_tree.add_argument("--object-kb", type=int, default=512)
+    p_tree.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.cmd == "bench":
+        return _cmd_bench(args)
+    return _cmd_tree(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,236 @@
+"""Fan-out distribution: one object to N hosts through a relay tree.
+
+The naive plan — every destination reads the whole object from the root
+— serializes N copies through the root's uplink. The
+:class:`Distributor` instead builds a topology-aware relay tree: hosts
+are clustered by their dominant network segment, one member per cluster
+pulls from the root across the backbone, and the rest pull from relays
+inside their own segment, so the object crosses each backbone link a
+constant number of times instead of N.
+
+The tree is *pipelined* for free: a relay's children simply fetch from
+the relay, and the relay's ``bulk.get_chunk`` handler answers each
+chunk as soon as it is committed locally (see
+:mod:`repro.bulk.service`) — so chunk *k* flows down the tree while
+chunk *k+1* is still arriving at the relay. Because every completed
+host announces itself as a source, the tree degrades gracefully into a
+swarm: when a relay dies mid-transfer its children strike it and fail
+over to the root or to any announced peer, and the relay itself — its
+chunk store being durable — resumes from its missing chunks on
+recovery rather than starting over.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.bulk.fetch import BulkError
+from repro.sim.errors import Interrupt
+from repro.sim.events import defuse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bulk.service import BulkService
+    from repro.net.topology import Topology
+
+#: Per-tree-level start stagger: a child begins fetching slightly after
+#: its parent so the parent has resolved the chunk map (and can hold
+#: ``get_chunk`` requests) by the time the first one arrives.
+LEVEL_STAGGER = 0.05
+
+#: Off-segment source weight relay children fetch with: low enough that
+#: the backbone mostly carries the per-rack head transfers, but nonzero
+#: so a child can still drain from the root when its rack goes dark.
+TREE_FAR_WEIGHT = 0.25
+
+
+def build_relay_tree(
+    topology: "Topology", root: str, dests: List[str], fanout: int = 2
+) -> Dict[str, str]:
+    """Parent assignment (dest -> parent host) clustered by segment.
+
+    Destinations are grouped by their dominant segment (the one most of
+    the destinations share); each cluster's head pulls from *root*, and
+    the rest of the cluster forms a ``fanout``-ary tree under the head,
+    so bulk bytes stay inside the segment.
+    """
+    seg_count: Dict[str, int] = {}
+    dest_segs: Dict[str, List[str]] = {}
+    for d in dests:
+        segs = sorted({nic.segment.name for nic in topology.hosts[d].nics.values()})
+        dest_segs[d] = segs
+        for s in segs:
+            seg_count[s] = seg_count.get(s, 0) + 1
+    clusters: Dict[str, List[str]] = {}
+    for d in sorted(dests):
+        primary = max(dest_segs[d], key=lambda s: (seg_count[s], s))
+        clusters.setdefault(primary, []).append(d)
+    parents: Dict[str, str] = {}
+    for _seg, members in sorted(clusters.items()):
+        for i, d in enumerate(members):
+            parents[d] = root if i == 0 else members[(i - 1) // fanout]
+    return parents
+
+
+def tree_depth(parents: Dict[str, str], dest: str, root: str) -> int:
+    """Levels between *dest* and *root* in the parent map."""
+    depth, node = 0, dest
+    while node != root and depth < len(parents) + 1:
+        node = parents[node]
+        depth += 1
+    return depth
+
+
+class Distributor:
+    """Drives one-object fan-out over a set of per-host bulk services."""
+
+    def __init__(
+        self,
+        topology: "Topology",
+        services: Dict[str, "BulkService"],
+        root: str,
+        fanout: int = 2,
+    ) -> None:
+        if root not in services:
+            raise ValueError(f"root {root!r} has no bulk service")
+        self.topology = topology
+        self.services = services
+        self.root = root
+        self.fanout = fanout
+        self.sim = services[root].sim
+
+    def distribute(
+        self,
+        name: str,
+        payload,
+        dests: List[str],
+        chunk_size: Optional[int] = None,
+        strategy: str = "tree",
+        deadline: float = 60.0,
+    ):
+        """Seed at the root and deliver to every *dest* (a process).
+
+        ``strategy="tree"`` is the pipelined relay tree with swarm
+        announcements; ``strategy="unicast"`` is the naive baseline
+        where every destination reads the whole object from the root.
+        Returns a summary report; per-destination failures are recorded
+        rather than raised, so a partial distribution still reports.
+        """
+        if strategy not in ("tree", "unicast"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return self.sim.process(
+            self._distribute(name, payload, list(dests), chunk_size,
+                             strategy, deadline),
+            name=f"bulk-dist:{name}",
+        )
+
+    def _distribute(self, name, payload, dests, chunk_size, strategy, deadline):
+        t0 = self.sim.now
+        span = self.sim.obs.span("bulk.distribute", obj=name,
+                                 strategy=strategy, hosts=len(dests))
+        root_svc = self.services[self.root]
+        cmap = yield root_svc.seed(name, payload, chunk_size)
+        if strategy == "tree":
+            parents = build_relay_tree(
+                self.topology, self.root, dests, self.fanout)
+        else:
+            parents = {d: self.root for d in dests}
+        t_end = t0 + deadline
+        workers = []
+        for d in dests:
+            stagger = (
+                LEVEL_STAGGER * (tree_depth(parents, d, self.root) - 1)
+                if strategy == "tree" else 0.0
+            )
+            workers.append(self.sim.process(
+                self._one_dest(name, d, parents[d], strategy, stagger, t_end),
+                name=f"bulk-dest:{name}@{d}",
+            ))
+        yield self.sim.all_of(workers)
+        results = {d: w.value for d, w in zip(dests, workers)}
+        span.finish()
+        completed = [d for d, r in results.items() if r.get("ok")]
+        finished = [r["finished_at"] for r in results.values() if r.get("ok")]
+        elapsed = (max(finished) - t0) if finished else (self.sim.now - t0)
+        return {
+            "name": name,
+            "strategy": strategy,
+            "hosts": len(dests),
+            "bytes": cmap.size,
+            "nchunks": cmap.nchunks,
+            "completed": len(completed),
+            "failed": sorted(set(dests) - set(completed)),
+            "elapsed": elapsed,
+            "aggregate_goodput": (len(completed) * cmap.size / elapsed)
+            if elapsed > 0 else 0.0,
+            "all_verified": bool(completed)
+            and all(results[d].get("hash_ok") for d in completed),
+            "chunk_retries": sum(r.get("chunk_retries", 0) for r in results.values()),
+            "per_dest": results,
+        }
+
+    def _one_dest(self, name, dest, parent, strategy, stagger, t_end):
+        """Deliver to one destination, surviving crashes of it and of
+        its sources; returns a per-destination report (never raises)."""
+        svc = self.services[dest]
+        host = svc.host
+        # Only the tree parent is a *hint* (heavily preferred); the root
+        # is still reachable through the RC source set, but at far-source
+        # weight, so child traffic stays off the backbone.
+        hints = [self.services[parent].address]
+        errors: List[str] = []
+        crashes = 0
+        if stagger > 0:
+            yield self.sim.timeout(stagger)
+        while self.sim.now < t_end:
+            if not host.up:
+                # Park until the host recovers (or the deadline hits) —
+                # the durable chunk store makes the retry a *resume*.
+                resumed = self.sim.event()
+
+                def on_up(_h, ev=resumed):
+                    if not ev.triggered:
+                        ev.succeed()
+
+                host.on_recover.append(on_up)
+                try:
+                    yield self.sim.any_of(
+                        [resumed, self.sim.timeout(max(0.0, t_end - self.sim.now))])
+                finally:
+                    if on_up in host.on_recover:
+                        host.on_recover.remove(on_up)
+                continue
+            fetch = svc.fetcher.fetch(
+                name, hints=hints, deadline=max(0.0, t_end - self.sim.now),
+                announce=(strategy == "tree"),
+                far_weight=TREE_FAR_WEIGHT if strategy == "tree" else 1.0,
+            )
+            defuse(fetch)
+
+            def on_down(_h, proc=fetch):
+                if proc.is_alive:
+                    proc.interrupt("host crashed")
+
+            host.on_crash.append(on_down)
+            try:
+                report = yield fetch
+                report["crashes"] = crashes
+                return report
+            except Interrupt:
+                crashes += 1
+                errors.append(f"crashed at {self.sim.now:.2f}")
+                continue
+            except BulkError as exc:
+                errors.append(str(exc))
+                yield self.sim.timeout(0.2)
+                continue
+            finally:
+                if on_down in host.on_crash:
+                    host.on_crash.remove(on_down)
+        return {
+            "ok": False,
+            "name": name,
+            "finished_at": None,
+            "crashes": crashes,
+            "chunk_retries": 0,
+            "errors": errors[-3:],
+        }

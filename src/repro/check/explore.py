@@ -17,7 +17,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.bulk.fetch import BulkFetcher
 from repro.check.oracles import (
+    ChunkOracle,
     ConvergenceOracle,
     DeliveryOracle,
     ProbeBus,
@@ -151,6 +153,14 @@ def sample_fault_plan(
                                    r2(rng.uniform(5.0, 9.0)),
                                    r2(rng.uniform(4.0, 8.0)),
                                    factor=round(rng.uniform(2.0, 5.0), 1)))
+    elif scenario == "bulk":
+        # Crash fetching hosts while the object is in flight (transfers
+        # are sub-second to a-few-seconds, so faults land early).
+        for _ in range(1 + rng.randrange(2)):
+            w = workers[rng.randrange(len(workers))]
+            plan.append(FaultEvent("crash", w,
+                                   r2(rng.uniform(0.1, min(3.0, horizon))),
+                                   r2(rng.uniform(0.5, 2.0))))
     else:
         raise ValueError(f"unknown scenario {scenario!r}")
     return sorted(plan, key=lambda e: (e.t, e.kind, e.target))
@@ -168,12 +178,16 @@ BUGS: Dict[str, str] = {
                      "(caught by the delivery oracle)",
     "no-lww": "catalog replicas apply entries without the last-writer-wins "
               "comparison (caught by the convergence oracle)",
+    "no-chunk-verify": "bulk fetchers commit chunks without checking their "
+                       "digest against the chunk map (caught by the "
+                       "chunk-integrity oracle; bulk scenario)",
 }
 
 _BUG_HOOKS = {
     "no-fence-write": (Guardian, "fence_writes_enabled"),
     "no-rx-fencing": (SnipeContext, "rx_fencing_enabled"),
     "no-lww": (RCStore, "lww_enabled"),
+    "no-chunk-verify": (BulkFetcher, "verify_enabled"),
 }
 
 
@@ -239,11 +253,14 @@ def run_check(
     process crash escaping the kernel (strict mode) is itself recorded
     as a ``process-crash`` violation.
     """
-    if scenario not in ("faults", "overload"):
+    if scenario not in ("faults", "overload", "bulk"):
         raise ValueError(f"unknown scenario {scenario!r}")
     with seeded_bug(bug):
-        report = _run(scenario, seed, plan, explore, n_workers, total, step,
-                      duration, saturation, service_time)
+        if scenario == "bulk":
+            report = _run_bulk(seed, plan, explore, duration)
+        else:
+            report = _run(scenario, seed, plan, explore, n_workers, total, step,
+                          duration, saturation, service_time)
     report["bug"] = bug
     report["params"] = {
         "n_workers": n_workers, "total": total, "step": step,
@@ -275,9 +292,11 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     convergence.attach(env)
     delivery = DeliveryOracle(sim)
     owner = SingleOwnerOracle(sim)
+    chunks = ChunkOracle(sim)  # inert unless something moves bulk data
     bus.subscribe(delivery.on_probe)
     bus.subscribe(owner.on_probe)
-    oracles = [convergence, delivery, owner]
+    bus.subscribe(chunks.on_probe)
+    oracles = [convergence, delivery, owner, chunks]
 
     scheduler = ExplorationScheduler(seed) if explore else None
     if scheduler is not None:
@@ -370,6 +389,125 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         "workers": len(urns),
         "recoveries": recoveries,
         "delivered": delivery.delivered,
+        "schedule_picks": scheduler.picks if scheduler else 0,
+        "schedule_reordered": scheduler.reordered if scheduler else 0,
+        "finished_at": sim.now,
+    }
+
+
+def _run_bulk(seed, plan, explore, duration):
+    """Model-check the bulk data plane: a relay-tree distribution under
+    crashing fetchers and one poisoned source, with the chunk-integrity
+    oracle watching every commit.
+
+    The poisoner corrupts one chunk in the first relay's store the
+    instant that relay commits it (synchronously, from the probe), so
+    every run exercises the per-chunk verification path: a correct
+    fetcher quarantines the poisoned source and re-pulls the chunk from
+    a clean one; under the seeded ``no-chunk-verify`` bug the corrupt
+    bytes are committed and the oracle flags the commit."""
+    from repro.bulk.testbed import build_bulk_site, make_payload
+
+    chunk_size = 16384
+    object_kb = 512
+    env, root, dests = build_bulk_site(seed=seed, racks=2, per_rack=3)
+    sim = env.sim
+
+    bus = ProbeBus()
+    sim.probes = bus
+    chunks = ChunkOracle(sim)
+    bus.subscribe(chunks.on_probe)
+
+    # Poison the first fetched commit, synchronously at commit time —
+    # before the committing host can have served that chunk onward.
+    poisoned = {}
+
+    def poisoner(kind, f):
+        if kind != "bulk.chunk" or poisoned:
+            return
+        svc = env.bulk_services.get(f["host"])
+        if svc is None:
+            return
+        data = svc.store.get(f["name"], f["seq"])
+        svc.store._chunks[f["name"]][f["seq"]] = b"\x00poison\x00" + data[8:]
+        poisoned[(f["host"], f["seq"])] = sim.now
+
+    bus.subscribe(poisoner)
+
+    scheduler = ExplorationScheduler(seed) if explore else None
+    if scheduler is not None:
+        sim.set_scheduler(scheduler)
+
+    if plan is None:
+        plan = sample_fault_plan("bulk", seed, dests, horizon=duration * 0.5)
+    apply_fault_plan(env, plan)
+
+    payload = make_payload(object_kb * 1024, chunk_size)
+    dist = env.bulk_distributor(root)
+    proc = dist.distribute("check-obj", payload, dests,
+                           chunk_size=chunk_size, strategy="tree",
+                           deadline=duration)
+
+    violations: List[Violation] = []
+    crashed = False
+    report = None
+    while sim.now < duration:
+        try:
+            env.run(until=min(sim.now + CHUNK, duration))
+        except Exception as exc:  # strict mode: a component process died
+            violations.append(Violation(
+                "process-crash", sim.now, f"{type(exc).__name__}: {exc}"
+            ))
+            crashed = True
+            break
+        violations.extend(chunks.violations)
+        chunks.violations = []
+        if violations:
+            break
+        if proc.triggered:
+            report = proc.value
+            break
+    if report is None and proc.triggered and proc.ok:
+        report = proc.value
+
+    completed = report["completed"] if report else 0
+    if not violations and not crashed:
+        if report is None:
+            violations.append(Violation(
+                "liveness", sim.now,
+                f"distribution did not finish within the "
+                f"{duration:.0f}s budget",
+            ))
+        elif report["completed"] != len(dests):
+            violations.append(Violation(
+                "liveness", sim.now,
+                f"only {report['completed']}/{len(dests)} hosts completed "
+                f"(failed: {report['failed']})",
+            ))
+        elif not report["all_verified"]:
+            violations.append(Violation(
+                "chunk-integrity", sim.now,
+                "a completed host's whole-object hash did not verify",
+            ))
+        violations.extend(chunks.violations)
+        chunks.violations = []
+
+    crashes = sum(
+        r.get("crashes", 0) for r in (report or {}).get("per_dest", {}).values()
+    )
+    return {
+        "scenario": "bulk",
+        "seed": seed,
+        "explore": explore,
+        "plan": [e.to_dict() for e in plan],
+        "violations": [v.to_dict() for v in violations],
+        "ok": not violations,
+        "completed": completed,
+        "workers": len(dests),
+        "recoveries": crashes,
+        "delivered": chunks.committed,
+        "poisoned": sorted(f"{h}#{s}" for h, s in poisoned),
+        "chunk_retries": report["chunk_retries"] if report else 0,
         "schedule_picks": scheduler.picks if scheduler else 0,
         "schedule_reordered": scheduler.reordered if scheduler else 0,
         "finished_at": sim.now,

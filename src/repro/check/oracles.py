@@ -18,6 +18,14 @@ Probe vocabulary (emitted only when ``sim.probes`` is set):
                           (``dst, dst_inc, src, src_inc, seq, tag``)
 ``guardian.fence``        a ``fenced-below`` quorum write succeeded
                           (``urn, fence``)
+``bulk.map``              a chunk map was sealed at the seeding host
+                          (``name, size, chunk_size, digests, hash``)
+``bulk.chunk``            a fetched chunk was committed to a chunk store
+                          (``host, name, seq, digest, source``)
+``bulk.evict``            a corrupt chunk was evicted for refetch
+                          (``host, name, seq``)
+``bulk.complete``         a host reassembled and verified a whole object
+                          (``host, name, hash``)
 ========================  ====================================================
 
 plus the per-replica :attr:`repro.rcds.records.RCStore.on_apply` hook,
@@ -326,3 +334,130 @@ class SingleOwnerOracle:
                 f"two live owners of one URN",
             ))
         self.instances.setdefault(urn, []).append((inc, info))
+
+# ---------------------------------------------------------------------------
+# Bulk chunk-integrity oracle
+# ---------------------------------------------------------------------------
+
+class ChunkOracle:
+    """Every committed chunk matches the signed chunk map, exactly once.
+
+    Folds the ``bulk.map`` / ``bulk.chunk`` / ``bulk.complete`` probes
+    from the bulk data plane into a reference model of what each host's
+    chunk store may legally contain:
+
+    * a chunk commit must reference a published map, an in-range
+      sequence number, and carry that sequence's digest from the map —
+      a disagreement means corrupt bytes were committed;
+    * ``(host, object, seq)`` commits at most once — the chunk store
+      deduplicates, so a second commit is a double-apply;
+    * a completion claim requires every chunk committed at that host
+      and a reassembled hash equal to the map's whole-object hash.
+
+    This is the oracle that catches the seeded ``no-chunk-verify``
+    bug: with per-chunk digest verification disabled, a poisoned
+    source's bytes are committed and the commit's digest disagrees
+    with the chunk map at the moment it happens.
+    """
+
+    name = "chunk-integrity"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        #: object name -> (digests tuple, whole-object hash).
+        self.maps: Dict[str, Tuple[tuple, str]] = {}
+        #: (host, object name) -> committed sequence numbers.
+        self.commits: Dict[Tuple[str, str], Set[int]] = {}
+        self.committed = 0
+        self.completions = 0
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind == "bulk.map":
+            self._on_map(f)
+        elif kind == "bulk.chunk":
+            self._on_chunk(f)
+        elif kind == "bulk.evict":
+            # Corruption recovery legitimately re-commits an evicted
+            # chunk; only a commit with no intervening evict is a dup.
+            self.commits.get((f["host"], f["name"]), set()).discard(f["seq"])
+        elif kind == "bulk.complete":
+            self._on_complete(f)
+
+    def _on_map(self, f: Dict[str, Any]) -> None:
+        name = f["name"]
+        entry = (tuple(f["digests"]), f["hash"])
+        if name in self.maps and self.maps[name] != entry:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"chunk map for {name!r} re-published with different "
+                f"content — immutable-map invariant broken",
+            ))
+            return
+        self.maps[name] = entry
+
+    def _on_chunk(self, f: Dict[str, Any]) -> None:
+        host, name, seq = f["host"], f["name"], f["seq"]
+        self.committed += 1
+        entry = self.maps.get(name)
+        if entry is None:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} committed chunk {seq} of {name!r} with no "
+                f"published chunk map",
+            ))
+            return
+        digests, _ = entry
+        if not 0 <= seq < len(digests):
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} committed out-of-range chunk {seq} of {name!r} "
+                f"(map has {len(digests)} chunks)",
+            ))
+            return
+        if f["digest"] != digests[seq]:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} committed chunk {seq} of {name!r} from "
+                f"{f['source']} whose digest disagrees with the chunk "
+                f"map — corrupt bytes committed",
+            ))
+            return
+        seen = self.commits.setdefault((host, name), set())
+        if seq in seen:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} committed chunk {seq} of {name!r} twice — "
+                f"exactly-once-per-chunk broken",
+            ))
+            return
+        seen.add(seq)
+
+    def _on_complete(self, f: Dict[str, Any]) -> None:
+        host, name = f["host"], f["name"]
+        self.completions += 1
+        entry = self.maps.get(name)
+        if entry is None:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} claims completion of {name!r} with no "
+                f"published chunk map",
+            ))
+            return
+        digests, whole = entry
+        got = self.commits.get((host, name), set())
+        missing = set(range(len(digests))) - got
+        if missing:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} claims completion of {name!r} with "
+                f"{len(missing)} chunk(s) never committed "
+                f"(e.g. seq {min(missing)})",
+            ))
+            return
+        if f["hash"] != whole:
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"{host} completed {name!r} but the reassembled hash "
+                f"disagrees with the chunk map's whole-object hash",
+            ))

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bulk.distribute import Distributor
+from repro.bulk.service import BulkService
 from repro.core.process import SnipeContext
 from repro.daemon.daemon import SnipeDaemon
 from repro.daemon.mcast import McastService
@@ -46,6 +48,7 @@ class SnipeEnvironment:
         self.daemons: Dict[str, SnipeDaemon] = {}
         self.file_servers: Dict[str, FileServer] = {}
         self.replication_daemons: Dict[str, ReplicationDaemon] = {}
+        self.bulk_services: Dict[str, BulkService] = {}
         self.rms: Dict[str, ResourceManager] = {}
         self.guardians: Dict[str, Guardian] = {}
         self._clients: Dict[str, RCClient] = {}
@@ -113,6 +116,22 @@ class SnipeEnvironment:
                 server, secret=self.secret, **repl_kw
             )
         return server
+
+    def add_bulk_service(self, host_name: str, **bulk_kw) -> BulkService:
+        """Put a bulk-plane endpoint on a host; if the host also runs a
+        file server, its stored payloads become chunk sources."""
+        service = BulkService(
+            self.topology.hosts[host_name], self.rc_client(host_name),
+            secret=self.secret, **bulk_kw,
+        )
+        if host_name in self.file_servers:
+            service.attach_file_server(self.file_servers[host_name])
+        self.bulk_services[host_name] = service
+        return service
+
+    def bulk_distributor(self, root: str, fanout: int = 2) -> Distributor:
+        """A distributor rooted at *root* over every bulk service."""
+        return Distributor(self.topology, self.bulk_services, root, fanout=fanout)
 
     def add_rm(self, host_name: str, port: int = 3600, **rm_kw) -> ResourceManager:
         rm = ResourceManager(

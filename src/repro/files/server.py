@@ -6,6 +6,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+from repro.bulk.chunks import DEFAULT_CHUNK_SIZE, chunk_digests
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import RCClient
 from repro.rcds.lifn import LifnRegistry
@@ -38,6 +39,9 @@ class VirtualFile:
     gets: int = 0
     #: Chunked payloads (from sinks) keep their message list.
     chunks: Optional[list] = None
+    #: Per-chunk digests for chunked payloads — what `file.stat` exposes
+    #: instead of the opaque chunk tuple, and what the bulk plane checks.
+    chunk_digests: Optional[tuple] = None
 
 
 class FileServer:
@@ -89,6 +93,7 @@ class FileServer:
             hash=content_hash(payload),
             created=self.sim.now,
             chunks=chunks,
+            chunk_digests=chunk_digests(chunks) if chunks is not None else None,
         )
         self.files[name] = vf
         return vf
@@ -134,9 +139,15 @@ class FileServer:
         finally:
             ep.close()
 
-    def spawn_source(self, name: str, dst_host: str, dst_port: int, chunk_size: int = 65536):
+    def spawn_source(
+        self, name: str, dst_host: str, dst_port: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
         """Spawn a file source streaming *name* to a SNIPE address.
 
+        ``chunk_size`` defaults to the system-wide bulk chunk size
+        (:data:`repro.bulk.chunks.DEFAULT_CHUNK_SIZE`) so sources, the
+        bulk plane, and the MPI pipeliner stream in the same units.
         Returns the source process; its value is the number of messages
         sent (excluding EOF).
         """
@@ -192,7 +203,13 @@ class FileServer:
         vf = self.files.get(args["name"])
         if vf is None:
             raise KeyError(f"no file {args['name']!r}")
-        return {"size": vf.size, "hash": vf.hash, "created": vf.created, "gets": vf.gets}
+        return {
+            "size": vf.size,
+            "hash": vf.hash,
+            "created": vf.created,
+            "gets": vf.gets,
+            "chunk_digests": vf.chunk_digests,
+        }
 
     def _h_delete(self, args: Dict):
         name = args["name"]

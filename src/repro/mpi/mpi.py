@@ -3,17 +3,21 @@
 One :class:`MpiJob` = one MPI_COMM_WORLD: N ranks, one per host of an
 MPP, communicating over the machine's internal fabric with SRUDP
 endpoints. Point-to-point is tagged and source-filtered; broadcast and
-reduce use binomial trees (log₂N rounds, as real implementations do);
-barrier is a reduce-then-broadcast of nothing.
+reduce use binomial trees (log₂N rounds, as real implementations do),
+with large broadcasts switching to a pipelined chunk chain (also as
+real implementations do); barrier is a reduce-then-broadcast of
+nothing.
 """
 
 from __future__ import annotations
 
 import itertools
+import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from repro.rpc import payload_size
+from repro.bulk.chunks import DEFAULT_CHUNK_SIZE, split_chunks
+from repro.rpc import ENVELOPE_BYTES, payload_size
 from repro.sim.events import Event, defuse
 from repro.transport.srudp import SrudpEndpoint
 
@@ -97,8 +101,29 @@ class MpiContext:
                 self._pending.append(msg)
 
     # -- collectives -------------------------------------------------------------
+
+    #: Payloads whose encoding exceeds this many bytes switch the
+    #: broadcast to a pipelined chunk chain; smaller values take the
+    #: classic binomial whole-message path unchanged. The value is the
+    #: system-wide bulk chunk size, so MPI, the file servers, and the
+    #: bulk data plane all stream in the same units.
+    pipeline_threshold = DEFAULT_CHUNK_SIZE
+
     def bcast(self, value: Any, root: int = 0):
-        """Binomial-tree broadcast; returns a process yielding the value."""
+        """Broadcast; returns a process yielding the value on every rank.
+
+        Like real MPI implementations, the algorithm switches on message
+        size. Small values use the binomial tree (latency-optimal:
+        log2 N rounds). Large values (encoding > than
+        :attr:`pipeline_threshold`) are split into bulk-sized chunks and
+        pipelined down a rank chain — each rank forwards chunk *k* to
+        its successor while chunk *k+1* is still in flight from its
+        predecessor — so every interface serialises the object exactly
+        once and the time scales like ``size/bandwidth + N*chunk_time``
+        instead of the binomial tree's ``log2(N) * size/bandwidth``.
+        Non-root ranks discover which algorithm the root chose from the
+        shape of the first message, so the caller API is unchanged.
+        """
         return self.sim.process(self._bcast(value, root), name=f"bcast:{self.rank}")
 
     def _bcast(self, value: Any, root: int):
@@ -108,19 +133,63 @@ class MpiContext:
         vrank = (self.rank - root) % size
         tag = ("__bcast__", next(self._coll_seq))
         mask = 1
+        first = None
         while mask < size:
             if vrank & mask:
-                msg = yield self.recv(tag=tag)
-                value = msg.payload
+                first = yield self.recv(tag=tag)
                 break
             mask <<= 1
         mask >>= 1
+        children = []
         while mask > 0:
             if vrank + mask < size:
-                real = (vrank + mask + root) % size
-                yield self.send(real, value, tag=tag)
+                children.append((vrank + mask + root) % size)
             mask >>= 1
-        return value
+        if first is None:  # root
+            if size == 1 or payload_size(value) - ENVELOPE_BYTES <= self.pipeline_threshold:
+                for real in children:
+                    yield self.send(real, value, tag=tag)
+                return value
+            # Large message: head of the pipelined chunk chain.
+            blob = pickle.dumps(value, protocol=4)
+            chunks = split_chunks(blob, self.pipeline_threshold)
+            nxt = (1 + root) % size
+            for seq, part in enumerate(chunks):
+                yield self.send(
+                    nxt, ("__mpi_chunk__", seq, len(chunks), part),
+                    tag=tag, size=len(part) + 32,
+                )
+            return value
+        payload = first.payload
+        if not self._is_chunk(payload):  # classic small-message path
+            for real in children:
+                yield self.send(real, payload, tag=tag)
+            return payload
+        # Chunk chain: forward each chunk to the successor the moment it
+        # arrives (the pipelining), reassemble once all are here.
+        nxt = ((vrank + 1) + root) % size if vrank + 1 < size else None
+        _, seq, nchunks, part = payload
+        parts = {seq: part}
+        while True:
+            if nxt is not None:
+                yield self.send(
+                    nxt, ("__mpi_chunk__", seq, nchunks, part),
+                    tag=tag, size=len(part) + 32,
+                )
+            if len(parts) == nchunks:
+                break
+            msg = yield self.recv(tag=tag)
+            _, seq, nchunks, part = msg.payload
+            parts[seq] = part
+        return pickle.loads(b"".join(parts[i] for i in range(nchunks)))
+
+    @staticmethod
+    def _is_chunk(payload: Any) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 4
+            and payload[0] == "__mpi_chunk__"
+        )
 
     def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
         """Binomial-tree reduction toward *root*; non-roots yield None."""

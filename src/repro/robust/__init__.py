@@ -35,6 +35,8 @@ TIMEOUTS = {
     "rm.request": 5.0,  # resource-manager allocation round
     "rm.migrate": 5.0,  # migration handoff
     "ctx.spawn": 2.0,  # SnipeContext spawn/migrate daemon calls
+    "bulk.chunk": 2.5,  # bulk chunk fetch (> server-side SERVE_WAIT hold)
+    "bulk.stat": 1.0,  # bulk peer chunk-inventory probe
 }
 
 __all__ = ["RetryError", "RetryPolicy", "TIMEOUTS"]

@@ -32,7 +32,10 @@ suite in ``tests/robust/test_chaos.py``; and :func:`run_overload`
 (``--scenario overload``), which saturates the same site with bulk
 traffic instead of killing hosts and checks that the control plane —
 lease heartbeats, Guardian probes — stays live and that no false
-death is declared (experiment E12).
+death is declared (experiment E12); and :func:`run_bulk_chaos`
+(``--scenario bulk``), which kills a relay head mid-distribution and
+checks the bulk plane completes everywhere, verified, exactly once
+per chunk (experiment E13's crash case).
 """
 
 from __future__ import annotations
@@ -590,6 +593,179 @@ def run_overload(
         "ok": all(ok for _, ok, _ in criteria),
         "finished_at": env.sim.now,
     }
+
+
+def run_bulk_chaos(
+    seed: int,
+    racks: int = 3,
+    per_rack: int = 3,
+    object_kb: int = 2048,
+    chunk_size: int = 32768,
+    duration: float = 60.0,
+) -> Dict:
+    """One seeded bulk-distribution chaos run; returns a report dict.
+
+    Builds the rack site, starts a relay-tree distribution of a
+    ``object_kb`` object to every member host, and kills one rack's
+    relay head (plus one leaf) while the object is in flight. The
+    durable chunk stores and swarm failover must absorb both:
+
+    * **all-hosts-complete** — every destination holds the full object
+      by the deadline, crashes notwithstanding;
+    * **digests-verified** — every completed host verified each chunk
+      digest and the whole-object hash against the signed chunk map;
+    * **exactly-once-per-chunk** — no host committed the same chunk
+      twice (modulo explicit corruption evictions, of which a clean run
+      has none);
+    * **failover-exercised** — the kills actually landed mid-transfer
+      (at least one destination's fetch was interrupted and resumed),
+      so the run proves recovery rather than a quiet fair-weather pass.
+    """
+    from repro.bulk.testbed import build_bulk_site, make_payload
+    from repro.check.oracles import ProbeBus
+
+    env, root, dests = build_bulk_site(seed=seed, racks=racks, per_rack=per_rack)
+    sim = env.sim
+    bus = ProbeBus()
+    sim.probes = bus
+    commits: Dict[Tuple[str, int], int] = {}
+    evicts: Dict[Tuple[str, int], int] = {}
+    commits_by_host: Dict[str, int] = {}
+
+    def counter(kind: str, fields: Dict) -> None:
+        if kind == "bulk.chunk":
+            key = (fields["host"], fields["seq"])
+            commits[key] = commits.get(key, 0) + 1
+            commits_by_host[fields["host"]] = (
+                commits_by_host.get(fields["host"], 0) + 1
+            )
+        elif kind == "bulk.evict":
+            key = (fields["host"], fields["seq"])
+            evicts[key] = evicts.get(key, 0) + 1
+
+    bus.subscribe(counter)
+
+    # Seeded kills, triggered by *progress* rather than wall time: a
+    # pipelined tree finishes everywhere almost simultaneously, so a
+    # timer race would often fire after the victim is already done. The
+    # assassin watches the commit stream and crashes each victim the
+    # moment it has committed its target fraction of the object —
+    # guaranteed mid-transfer, every seed.
+    rng = sim.rng.stream("bulk-chaos.schedule")
+    events: List[str] = []
+    heads = [f"m{r}-0" for r in range(racks)]
+    head = heads[rng.randrange(len(heads))]
+    leaves = [m for m in dests if m not in heads]
+    leaf = leaves[rng.randrange(len(leaves))]
+    nchunks = (object_kb * 1024 + chunk_size - 1) // chunk_size
+    outage = {
+        head: rng.uniform(0.5, 1.5),
+        leaf: rng.uniform(0.3, 1.0),
+    }
+    kill_at = {head: max(1, nchunks // 4), leaf: max(2, nchunks // 2)}
+    killed: Dict[str, float] = {}
+    events.append(f"kill relay head {head} at {kill_at[head]}/{nchunks} "
+                  f"chunks for {outage[head]:.1f}s")
+    events.append(f"kill leaf {leaf} at {kill_at[leaf]}/{nchunks} "
+                  f"chunks for {outage[leaf]:.1f}s")
+
+    def assassin(kind: str, fields: Dict) -> None:
+        if kind != "bulk.chunk":
+            return
+        h = fields["host"]
+        target = kill_at.get(h)
+        if target is None or h in killed:
+            return
+        if commits_by_host.get(h, 0) >= target:
+            killed[h] = sim.now
+            env.failures.host_down_at(sim.now, h, duration=outage[h])
+
+    bus.subscribe(assassin)
+
+    payload = make_payload(object_kb * 1024, chunk_size)
+    dist = env.bulk_distributor(root, fanout=2)
+    proc = dist.distribute("chaos-obj", payload, dests,
+                           chunk_size=chunk_size, strategy="tree",
+                           deadline=duration)
+    report = env.run(until=proc)
+    env.settle(1.0)
+
+    crashes = sum(r.get("crashes", 0) for r in report["per_dest"].values())
+    dups = sorted(
+        f"{host}#{seq}"
+        for (host, seq), n in commits.items()
+        if n > 1 + evicts.get((host, seq), 0)
+    )
+    invariants: List[Tuple[str, bool, str]] = [
+        ("all-hosts-complete",
+         report["completed"] == len(dests),
+         f"{report['completed']}/{len(dests)} hosts hold the object; "
+         f"failed: {report['failed'] or 'none'}"),
+        ("digests-verified",
+         report["all_verified"],
+         "every chunk digest and whole-object hash checked out"
+         if report["all_verified"] else "a completed host skipped verification"),
+        ("exactly-once-per-chunk",
+         not dups,
+         f"{sum(commits.values())} chunk commits across the site, no "
+         f"duplicates" if not dups else f"duplicate commits: {dups}"),
+        ("failover-exercised",
+         crashes >= 1 and len(killed) >= 2,
+         f"{len(killed)} hosts killed mid-object "
+         f"({', '.join(f'{h} at t={t:.2f}s' for h, t in sorted(killed.items()))}); "
+         f"{crashes} fetches interrupted and resumed"),
+    ]
+    return {
+        "seed": seed,
+        "racks": racks,
+        "per_rack": per_rack,
+        "bytes": report["bytes"],
+        "nchunks": report["nchunks"],
+        "events": events,
+        "killed": {h: round(t, 3) for h, t in killed.items()},
+        "fault_log": list(env.failures.log),
+        "completed": report["completed"],
+        "hosts": len(dests),
+        "elapsed": report["elapsed"],
+        "aggregate_goodput": report["aggregate_goodput"],
+        "chunk_commits": sum(commits.values()),
+        "chunk_retries": report["chunk_retries"],
+        "crashes": crashes,
+        "invariants": invariants,
+        "ok": all(ok for _, ok, _ in invariants),
+        "finished_at": sim.now,
+    }
+
+
+def format_bulk_report(report: Dict) -> str:
+    """Human-readable bulk-chaos report for the CLI."""
+    lines = [
+        f"bulk chaos run: seed={report['seed']} "
+        f"{report['racks']} racks x {report['per_rack']} hosts, "
+        f"{report['bytes'] / 1024:.0f} KiB in {report['nchunks']} chunks",
+        "",
+        "fault schedule:",
+    ]
+    lines += [f"  {e}" for e in report["events"]] or ["  (none)"]
+    lines.append("")
+    lines.append(
+        f"distribution : {report['completed']}/{report['hosts']} hosts in "
+        f"{report['elapsed']:.2f}s "
+        f"({report['aggregate_goodput'] / 1e6:.2f} MB/s aggregate)"
+    )
+    lines.append(
+        f"chunk traffic: {report['chunk_commits']} commits, "
+        f"{report['chunk_retries']} retries, "
+        f"{report['crashes']} fetches crashed mid-object"
+    )
+    lines.append("")
+    lines.append("invariants:")
+    for name, ok, detail in report["invariants"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    lines.append("")
+    lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "
+                 f"(simulated {report['finished_at']:.1f}s)")
+    return "\n".join(lines)
 
 
 def format_overload_report(report: Dict) -> str:

@@ -8,7 +8,10 @@ Subcommands:
   and invariant table. ``--scenario overload`` saturates the same site
   with bulk traffic instead (``--saturation N`` times capacity; pass
   ``--static`` to disable the adaptive overload controls and see the
-  baseline behaviour) and checks that the control plane survives. Exit
+  baseline behaviour) and checks that the control plane survives.
+  ``--scenario bulk`` distributes one object over the rack site's relay
+  tree while killing a relay head (and a leaf) mid-transfer, and checks
+  completion, digest verification, and exactly-once chunk commits. Exit
   status 0 iff every invariant/criterion holds. ``--seed N`` picks the
   schedule; same seed, same run.
 * ``sweep`` — run several seeds back to back (default: the CI seeds)
@@ -22,17 +25,21 @@ from typing import List, Optional
 
 from repro.robust.chaos import (
     DEFAULT_SEEDS,
+    format_bulk_report,
     format_overload_report,
     format_report,
+    run_bulk_chaos,
     run_chaos,
     run_overload,
 )
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--scenario", choices=("faults", "overload"), default="faults",
+    p.add_argument("--scenario", choices=("faults", "overload", "bulk"),
+                   default="faults",
                    help="faults: crash/partition chaos (default); "
-                        "overload: bulk saturation, no crashes")
+                        "overload: bulk saturation, no crashes; "
+                        "bulk: relay-tree distribution with mid-transfer kills")
     p.add_argument("--workers", type=int, default=4, help="worker hosts (default 4)")
     p.add_argument("--steps", type=int, default=60,
                    help="[faults] work units per task (default 60)")
@@ -52,6 +59,11 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
 
 
 def _run_one(seed: int, args) -> dict:
+    if args.scenario == "bulk":
+        return run_bulk_chaos(
+            seed,
+            duration=args.duration if args.duration is not None else 60.0,
+        )
     if args.scenario == "overload":
         return run_overload(
             seed,
@@ -84,7 +96,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.cmd == "run":
         report = _run_one(args.seed, args)
-        if args.scenario == "overload":
+        if args.scenario == "bulk":
+            print(format_bulk_report(report))
+        elif args.scenario == "overload":
             print(format_overload_report(report))
         else:
             print(format_report(report))
@@ -92,7 +106,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     for seed in args.seeds:
         report = _run_one(seed, args)
-        if args.scenario == "overload":
+        if args.scenario == "bulk":
+            bad = [name for name, ok, _ in report["invariants"] if not ok]
+            print(
+                f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+                f"completed={report['completed']}/{report['hosts']} "
+                f"crashes={report['crashes']} "
+                f"retries={report['chunk_retries']} "
+                f"goodput={report['aggregate_goodput'] / 1e6:.1f}MB/s "
+                + (f"failed: {bad}" if bad else "")
+            )
+        elif args.scenario == "overload":
             bad = [name for name, ok, _ in report["criteria"] if not ok]
             print(
                 f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "

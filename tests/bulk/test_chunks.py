@@ -1,0 +1,84 @@
+"""Unit tests for chunking and chunk maps."""
+
+import pytest
+
+from repro.bulk.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkMap,
+    build_chunk_map,
+    bulk_urn,
+    object_bytes,
+    split_chunks,
+)
+from repro.security.hashes import content_hash
+
+
+def test_split_roundtrip_and_sizes():
+    data = bytes(range(256)) * 1000  # 256 000 bytes
+    chunks = split_chunks(data, 100_000)
+    assert [len(c) for c in chunks] == [100_000, 100_000, 56_000]
+    assert b"".join(chunks) == data
+
+
+def test_split_empty_and_bad_chunk_size():
+    assert split_chunks(b"", 10) == [b""]
+    with pytest.raises(ValueError):
+        split_chunks(b"x", 0)
+
+
+def test_build_chunk_map_digests_and_lengths():
+    data = b"a" * 150 + b"b" * 150 + b"c" * 33
+    cmap, chunks = build_chunk_map("obj", data, 150)
+    assert cmap.nchunks == 3
+    assert cmap.size == len(data)
+    assert [cmap.chunk_len(i) for i in range(3)] == [150, 150, 33]
+    assert cmap.digests == tuple(content_hash(c) for c in chunks)
+    assert cmap.hash == content_hash(data)
+    assert bulk_urn("obj") == "urn:snipe:bulk:obj"
+
+
+def test_object_bytes_passthrough_and_pickle():
+    assert object_bytes(b"raw") == b"raw"
+    assert object_bytes(bytearray(b"raw")) == b"raw"
+    blob = object_bytes({"k": 1})
+    assert isinstance(blob, bytes) and blob != b""
+
+
+def _published(cmap, secret=None):
+    """Shape assertions the way an RC lookup returns them."""
+    return {
+        key: {"value": value, "wall": 0.0}
+        for key, value in cmap.to_assertions(secret).items()
+    }
+
+
+def test_assertions_roundtrip_unsigned():
+    cmap, _ = build_chunk_map("obj", b"x" * 1000, 300)
+    back = ChunkMap.from_assertions(_published(cmap))
+    assert back == cmap
+
+
+def test_assertions_roundtrip_signed_and_tamper():
+    secret = b"s3cret"
+    cmap, _ = build_chunk_map("obj", b"x" * 1000, 300)
+    assert ChunkMap.from_assertions(_published(cmap, secret), secret) == cmap
+    # Tampered digest list must fail signature verification.
+    forged = _published(cmap, secret)
+    forged["map"]["value"]["digests"][0] = content_hash(b"evil")
+    with pytest.raises(ValueError):
+        ChunkMap.from_assertions(forged, secret)
+    # Missing signature when one is required.
+    with pytest.raises(ValueError):
+        ChunkMap.from_assertions(_published(cmap), secret)
+
+
+def test_missing_map_raises_keyerror():
+    with pytest.raises(KeyError):
+        ChunkMap.from_assertions({})
+
+
+def test_default_chunk_size_is_shared_constant():
+    from repro.files import server as files_server
+
+    assert DEFAULT_CHUNK_SIZE == 65536
+    assert files_server.DEFAULT_CHUNK_SIZE is DEFAULT_CHUNK_SIZE

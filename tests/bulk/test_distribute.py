@@ -1,0 +1,117 @@
+"""Relay-tree construction and end-to-end fan-out distribution."""
+
+from repro.bulk.distribute import build_relay_tree, tree_depth
+from repro.bulk.testbed import build_bulk_site, make_payload
+
+CHUNK = 4096
+
+
+def run_gen(env, gen):
+    return env.sim.run(until=env.sim.process(gen))
+
+
+def test_relay_tree_clusters_by_segment():
+    env, root, dests = build_bulk_site(racks=2, per_rack=3, settle=0)
+    parents = build_relay_tree(env.topology, root, dests, fanout=2)
+    assert set(parents) == set(dests)
+    # Exactly one head per rack pulls from the root.
+    heads = [d for d, p in parents.items() if p == root]
+    assert len(heads) == 2
+    assert {h.split("-")[0] for h in heads} == {"m0", "m1"}
+    # Every non-head's parent lives in the same rack.
+    for d, p in parents.items():
+        if p != root:
+            assert d.split("-")[0] == p.split("-")[0]
+    # Depths are bounded by the fanout-2 tree over 3 members.
+    assert max(tree_depth(parents, d, root) for d in dests) <= 2
+
+
+def test_relay_tree_fanout_bound():
+    env, root, dests = build_bulk_site(racks=1, per_rack=7, settle=0)
+    parents = build_relay_tree(env.topology, root, dests, fanout=2)
+    for p in set(parents.values()):
+        assert list(parents.values()).count(p) <= 3  # head + fanout children
+
+
+def test_distribute_tree_delivers_everywhere():
+    env, root, dests = build_bulk_site(racks=2, per_rack=3)
+    payload = make_payload(30 * CHUNK, CHUNK)
+    dist = env.bulk_distributor(root)
+
+    def go(sim):
+        return (yield dist.distribute("weights", payload, dests,
+                                      chunk_size=CHUNK))
+
+    report = run_gen(env, go(env.sim))
+    assert report["completed"] == len(dests)
+    assert report["failed"] == []
+    assert report["all_verified"]
+    for d in dests:
+        assert env.bulk_services[d].store.payload("weights") == payload
+
+
+def test_distribute_unicast_baseline_delivers():
+    env, root, dests = build_bulk_site(racks=2, per_rack=2)
+    payload = make_payload(20 * CHUNK, CHUNK)
+    dist = env.bulk_distributor(root)
+
+    def go(sim):
+        return (yield dist.distribute("weights", payload, dests,
+                                      chunk_size=CHUNK, strategy="unicast"))
+
+    report = run_gen(env, go(env.sim))
+    assert report["completed"] == len(dests)
+    assert report["all_verified"]
+    # Naive mode: every byte came straight from the root.
+    for d in dests:
+        by = report["per_dest"][d]["bytes_by_source"]
+        assert set(by) == {(root, 2200)}
+
+
+def test_distribute_survives_relay_crash_and_recovery():
+    env, root, dests = build_bulk_site(racks=2, per_rack=4)
+    nchunks = 120
+    payload = make_payload(nchunks * CHUNK, CHUNK)
+    dist = env.bulk_distributor(root)
+    parents = build_relay_tree(env.topology, root, dests, fanout=2)
+    relay = [d for d, p in parents.items() if p == root][0]
+
+    def go(sim):
+        d = dist.distribute("weights", payload, dests, chunk_size=CHUNK,
+                            deadline=30.0)
+        # Kill the rack-0 cluster head once it is mid-transfer.
+        while env.bulk_services[relay].store.count("weights") == 0:
+            yield sim.timeout(0.002)
+        env.topology.hosts[relay].crash()
+        yield sim.timeout(1.0)
+        env.topology.hosts[relay].recover()
+        return (yield d)
+
+    report = run_gen(env, go(env.sim))
+    assert report["completed"] == len(dests)
+    assert report["all_verified"]
+    assert report["per_dest"][relay]["crashes"] >= 1
+    for d in dests:
+        assert env.bulk_services[d].store.payload("weights") == payload
+
+
+def test_distribute_tree_keeps_backbone_traffic_constant():
+    # In tree mode only cluster heads talk to the root: the root serves
+    # ~racks transfers' worth of bytes, not hosts' worth.
+    env, root, dests = build_bulk_site(racks=2, per_rack=4)
+    payload = make_payload(40 * CHUNK, CHUNK)
+    dist = env.bulk_distributor(root)
+
+    def go(sim):
+        return (yield dist.distribute("weights", payload, dests,
+                                      chunk_size=CHUNK))
+
+    report = run_gen(env, go(env.sim))
+    assert report["completed"] == len(dests)
+    root_bytes = sum(
+        by.get((root, 2200), 0)
+        for by in (r["bytes_by_source"] for r in report["per_dest"].values())
+    )
+    total_bytes = len(dests) * 40 * CHUNK
+    # The root served well under half of all delivered bytes.
+    assert root_bytes < total_bytes / 2

@@ -97,3 +97,28 @@ def test_minimize_rejects_a_passing_configuration():
         minimize("faults", 1, None,
                  [FaultEvent("partition", "s-w0", 5.0, 2.0)],
                  params=QUICK)
+
+
+def test_bulk_scenario_runs_clean_and_quarantines_the_poison():
+    report = run_check(scenario="bulk", seed=1, duration=30.0)
+    assert report["ok"], report["violations"]
+    assert report["completed"] == report["workers"] == 6
+    assert report["poisoned"], "the scenario must poison one source"
+    assert report["plan"], "seeded plan must crash at least one fetcher"
+
+
+def test_bulk_scenario_same_seed_same_run():
+    a = run_check(scenario="bulk", seed=3, duration=30.0)
+    b = run_check(scenario="bulk", seed=3, duration=30.0)
+    for key in ("plan", "violations", "completed", "delivered", "poisoned",
+                "chunk_retries", "schedule_picks", "schedule_reordered",
+                "finished_at"):
+        assert a[key] == b[key], key
+
+
+@pytest.mark.slow
+def test_seeded_chunk_verify_bug_is_caught():
+    report = run_check(scenario="bulk", seed=1, bug="no-chunk-verify",
+                       duration=30.0)
+    assert not report["ok"], "disabling chunk verification must be caught"
+    assert report["violations"][0]["oracle"] == "chunk-integrity"

@@ -214,3 +214,85 @@ def test_convergence_quiescence_requires_terminal_agreement():
     b.apply_remote(recs)
     oracle.check_quiescent(["urn:p:x"])  # agree, but not terminal
     assert any("not terminal" in v.detail for v in oracle.violations)
+
+
+# -- ChunkOracle ------------------------------------------------------------
+
+def _chunks():
+    from repro.check.oracles import ChunkOracle
+    sim = Simulator()
+    return sim, ChunkOracle(sim)
+
+
+def _publish(o, name="obj", digests=("d0", "d1", "d2"), whole="H"):
+    o.on_probe("bulk.map", {"name": name, "size": 3, "chunk_size": 1,
+                            "digests": digests, "hash": whole})
+
+
+def _commit(o, seq, digest, host="h", name="obj", source="src"):
+    o.on_probe("bulk.chunk", {"host": host, "name": name, "seq": seq,
+                              "digest": digest, "source": source})
+
+
+def test_chunk_oracle_clean_transfer_passes():
+    _, o = _chunks()
+    _publish(o)
+    for seq, d in enumerate(("d0", "d1", "d2")):
+        _commit(o, seq, d)
+    o.on_probe("bulk.complete", {"host": "h", "name": "obj", "hash": "H"})
+    assert o.violations == []
+    assert o.committed == 3 and o.completions == 1
+
+
+def test_chunk_oracle_flags_digest_mismatch():
+    _, o = _chunks()
+    _publish(o)
+    _commit(o, 1, "WRONG")
+    assert len(o.violations) == 1
+    assert "disagrees with the chunk map" in o.violations[0].detail
+
+
+def test_chunk_oracle_flags_mapless_and_out_of_range_commits():
+    _, o = _chunks()
+    _commit(o, 0, "d0")  # no map yet
+    _publish(o)
+    _commit(o, 7, "d0")  # out of range
+    details = [v.detail for v in o.violations]
+    assert len(details) == 2
+    assert "no published chunk map" in details[0]
+    assert "out-of-range" in details[1]
+
+
+def test_chunk_oracle_flags_double_commit_but_allows_evict_recommit():
+    _, o = _chunks()
+    _publish(o)
+    _commit(o, 0, "d0")
+    _commit(o, 0, "d0")  # blind duplicate
+    assert len(o.violations) == 1 and "twice" in o.violations[0].detail
+    o.violations.clear()
+    o.on_probe("bulk.evict", {"host": "h", "name": "obj", "seq": 0})
+    _commit(o, 0, "d0")  # legitimate repair after eviction
+    assert o.violations == []
+
+
+def test_chunk_oracle_flags_completion_with_gaps_or_bad_hash():
+    _, o = _chunks()
+    _publish(o)
+    _commit(o, 0, "d0")
+    o.on_probe("bulk.complete", {"host": "h", "name": "obj", "hash": "H"})
+    assert len(o.violations) == 1 and "never committed" in o.violations[0].detail
+    o.violations.clear()
+    _commit(o, 1, "d1")
+    _commit(o, 2, "d2")
+    o.on_probe("bulk.complete", {"host": "h", "name": "obj", "hash": "BAD"})
+    assert len(o.violations) == 1
+    assert "whole-object hash" in o.violations[0].detail
+
+
+def test_chunk_oracle_flags_map_republish_with_different_content():
+    _, o = _chunks()
+    _publish(o)
+    _publish(o)  # identical: fine
+    assert o.violations == []
+    _publish(o, digests=("x0", "x1", "x2"))
+    assert len(o.violations) == 1 and "re-published" in o.violations[0].detail

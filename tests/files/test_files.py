@@ -163,3 +163,38 @@ def test_replication_survives_server_failure():
         return got["payload"]
 
     assert run_gen(sim, go(sim)) == b"keep-me"
+
+
+def test_serving_replica_crash_mid_object_fails_over_verified():
+    """The serving replica dies *while serving*: the read must fail over
+    to the next-ranked replica and the content digest must still verify."""
+    sim, topo, hosts, servers, client = file_site(n_servers=2)
+    payload = bytes(i % 251 for i in range(3000))
+    crashed_at = []
+
+    # Arm h0 to crash at the exact moment it is asked for the object —
+    # the request is in, the response will never make it out.
+    orig_get = servers[0].rpc.handlers["file.get"]
+
+    def crash_while_serving(args):
+        result = orig_get(args)
+        crashed_at.append(sim.now)
+        hosts[0].crash()
+        return result
+
+    servers[0].rpc.handlers["file.get"] = crash_while_serving
+
+    def go(sim):
+        yield client.write("model.bin", payload, 3000, server=("h0", 2100))
+        yield client.write("model.bin", payload, 3000, server=("h1", 2100))
+        t0 = sim.now
+        got = yield client.read("model.bin")
+        return t0, got
+
+    t0, got = run_gen(sim, go(sim))
+    # h0 ranks first (sorted URL order at equal distance) and did crash
+    # mid-read; the object still arrived, from h1, digest verified.
+    assert crashed_at and t0 < crashed_at[0] < sim.now
+    assert got["location"] == "file://h1/model.bin"
+    assert got["payload"] == payload
+    assert client.integrity_failures == 0
