@@ -33,7 +33,8 @@ def run_once(benchmark, fn, **kwargs):
     wall_s = time.perf_counter() - t0
     name = fn.__name__
     try:
-        write_bench_json(name, rows, str(BENCH_DIR), wall_s=wall_s)
+        write_bench_json(name, rows, str(BENCH_DIR), wall_s=wall_s,
+                         seed=kwargs.get("seed"))
     except (TypeError, OSError):
         # Unserialisable rows or a read-only checkout must not fail the
         # benchmark itself; the printed table is still authoritative.

@@ -7,8 +7,12 @@ Commands:
   ``scripts/run_all_experiments.py``).
 * ``fig1`` — just the Fig. 1 reproduction, with an ASCII rendering.
 * ``info`` — package and inventory summary.
-* ``obs`` — observability reports: ``obs report [export.json]`` and
-  ``obs diff BASE NEW`` (see :mod:`repro.obs.cli`).
+* ``obs`` — observability: ``obs report [export.json]``, ``obs diff
+  BASE NEW`` (with ``--fail-over PCT`` as a CI regression gate),
+  ``obs profile`` (kernel profiler + flamegraph JSON), ``obs overhead``
+  (tracing cost: off/sampled/on), and ``obs slo`` (declarative SLO
+  gates over an overload run or a saved export)
+  (see :mod:`repro.obs.cli`).
 * ``chaos`` — seeded fault injection with invariant checking:
   ``chaos run --seed N`` and ``chaos sweep`` (see :mod:`repro.robust.cli`).
 * ``check`` — model checking: explored schedules, reference-model

@@ -38,7 +38,8 @@ def _cmd_bench(args) -> int:
                 rows)
     bad = [r for r in rows
            if r["completed"] != r["hosts"] or not r["all_verified"]]
-    path = write_bench_json("bulk_distribution", rows, args.out, wall_s=wall_s)
+    path = write_bench_json("bulk_distribution", rows, args.out, wall_s=wall_s,
+                            seed=args.seed, hosts=max(args.hosts))
     print(f"\nwritten: {path}")
     if bad:
         print(f"FAILED: {len(bad)} configuration(s) incomplete or unverified")

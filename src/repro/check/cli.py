@@ -46,6 +46,9 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", default=None,
                    help="where to write the minimized failing trace "
                         "(default: check-<scenario>-seed<N>.json)")
+    p.add_argument("--obs-sample", type=float, default=None, metavar="RATE",
+                   help="enable tracing at this sampling rate (1.0 = every "
+                        "record, 0.01 = 1-in-100; default: tracing off)")
 
 
 def _params(args) -> dict:
@@ -56,6 +59,7 @@ def _params(args) -> dict:
         "duration": args.duration,
         "saturation": DEFAULT_PARAMS["saturation"],
         "service_time": DEFAULT_PARAMS["service_time"],
+        "obs_sample": args.obs_sample,
     }
 
 
@@ -86,6 +90,15 @@ def _handle_failure(report: dict, args, params: dict) -> None:
     path = args.trace or f"check-{report['scenario']}-seed{report['seed']}.json"
     write_trace(path, final)
     print(f"  trace written: {path} (python -m repro check replay {path})")
+    flight = final.get("flight") or report.get("flight")
+    if flight:
+        from os.path import splitext
+
+        from repro.obs.flight import dump_flight_records
+
+        fpath = splitext(path)[0] + ".flight.jsonl"
+        n = dump_flight_records(fpath, flight)
+        print(f"  flight recorder: {n} records dumped to {fpath}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

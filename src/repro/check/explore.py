@@ -29,8 +29,10 @@ from repro.check.oracles import (
 from repro.core.process import SnipeContext
 from repro.daemon.tasks import TaskSpec
 from repro.guardian.guardian import Guardian
+from repro.obs.flight import FlightRecorder
 from repro.rcds.records import RCStore
 from repro.robust.chaos import (
+    _instrument_sim,
     build_chaos_env,
     install_chaos_programs,
     install_overload_worker,
@@ -215,6 +217,17 @@ def seeded_bug(name: Optional[str]):
 #: Virtual seconds between oracle sweeps of the run loop.
 CHUNK = 0.5
 
+
+def _flight_on_failure(flight: FlightRecorder,
+                       violations: List[Violation]) -> Optional[List[Dict]]:
+    """Stamp the violations onto the flight tape and snapshot it — but only
+    on failure; a clean run ships no tape."""
+    if not violations:
+        return None
+    for v in violations:
+        flight.note_violation(v.oracle, v.time, v.detail)
+    return flight.snapshot()
+
 DEFAULT_PARAMS = {
     "n_workers": 3,
     "total": 16,
@@ -237,6 +250,7 @@ def run_check(
     duration: float = 60.0,
     saturation: float = 3.0,
     service_time: float = 0.05,
+    obs_sample: Optional[float] = None,
 ) -> Dict:
     """One model-checking run; returns a report dict (``report["ok"]``).
 
@@ -257,21 +271,21 @@ def run_check(
         raise ValueError(f"unknown scenario {scenario!r}")
     with seeded_bug(bug):
         if scenario == "bulk":
-            report = _run_bulk(seed, plan, explore, duration)
+            report = _run_bulk(seed, plan, explore, duration, obs_sample)
         else:
             report = _run(scenario, seed, plan, explore, n_workers, total, step,
-                          duration, saturation, service_time)
+                          duration, saturation, service_time, obs_sample)
     report["bug"] = bug
     report["params"] = {
         "n_workers": n_workers, "total": total, "step": step,
         "duration": duration, "saturation": saturation,
-        "service_time": service_time,
+        "service_time": service_time, "obs_sample": obs_sample,
     }
     return report
 
 
 def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
-         saturation, service_time):
+         saturation, service_time, obs_sample=None):
     if scenario == "overload":
         def configure(sim):
             # Bounded server queues small enough that overload actually
@@ -285,9 +299,11 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     else:
         env, workers = build_chaos_env(seed, n_workers)
     sim = env.sim
+    _instrument_sim(sim, None, obs_sample)
 
     bus = ProbeBus()
     sim.probes = bus
+    flight = FlightRecorder(sim).attach(bus)
     convergence = ConvergenceOracle(sim)
     convergence.attach(env)
     delivery = DeliveryOracle(sim)
@@ -384,6 +400,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         "explore": explore,
         "plan": [e.to_dict() for e in plan],
         "violations": [v.to_dict() for v in violations],
+        "flight": _flight_on_failure(flight, violations),
         "ok": not violations,
         "completed": completed,
         "workers": len(urns),
@@ -395,7 +412,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     }
 
 
-def _run_bulk(seed, plan, explore, duration):
+def _run_bulk(seed, plan, explore, duration, obs_sample=None):
     """Model-check the bulk data plane: a relay-tree distribution under
     crashing fetchers and one poisoned source, with the chunk-integrity
     oracle watching every commit.
@@ -412,9 +429,11 @@ def _run_bulk(seed, plan, explore, duration):
     object_kb = 512
     env, root, dests = build_bulk_site(seed=seed, racks=2, per_rack=3)
     sim = env.sim
+    _instrument_sim(sim, None, obs_sample)
 
     bus = ProbeBus()
     sim.probes = bus
+    flight = FlightRecorder(sim).attach(bus)
     chunks = ChunkOracle(sim)
     bus.subscribe(chunks.on_probe)
 
@@ -501,6 +520,7 @@ def _run_bulk(seed, plan, explore, duration):
         "explore": explore,
         "plan": [e.to_dict() for e in plan],
         "violations": [v.to_dict() for v in violations],
+        "flight": _flight_on_failure(flight, violations),
         "ok": not violations,
         "completed": completed,
         "workers": len(dests),

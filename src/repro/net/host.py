@@ -147,6 +147,9 @@ class Host:
             nic.address.ip == frame.dst_ip for nic in self.nics.values()
         )
         if local:
+            flight = self.sim.flight
+            if flight is not None:
+                flight.note_frame(self.name, frame)
             binding = self._bindings.get((frame.proto, frame.dst_port))
             if binding is None:
                 self.unclaimed_frames += 1

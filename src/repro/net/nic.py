@@ -90,6 +90,10 @@ class NIC:
             yield self.sim.timeout(wire_time)
             self.tx_bytes += frame.size
             self.tx_frames += fragments
+            prof = self.sim._prof
+            if prof is not None:
+                prof.wire_bytes += frame.size
+                prof.wire_frames += fragments
             self.segment.propagate(self, frame, fragments=fragments)
 
     def receive(self, frame: Frame) -> None:

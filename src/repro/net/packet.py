@@ -12,11 +12,34 @@ media selection happen over addresses, naming over hosts.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-_frame_ids = itertools.count(1)
+
+class _FrameIdSource:
+    """Monotonic frame-id allocator whose position is readable.
+
+    The kernel profiler charges Frame constructions between two
+    snapshots of :func:`frames_constructed`; a bare ``itertools.count``
+    cannot be read without consuming it.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def __call__(self) -> int:
+        self.n += 1
+        return self.n
+
+
+_frame_ids = _FrameIdSource()
+
+
+def frames_constructed() -> int:
+    """Total Frames constructed in this process (monotonic)."""
+    return _frame_ids.n
 
 #: Destination IP meaning "every NIC on the segment except the sender".
 BROADCAST = "*"
@@ -53,7 +76,7 @@ class Frame:
     payload: Any
     size: int
     ttl: int = 16
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = field(default_factory=_frame_ids)
     #: L2 next hop on the current segment when forwarding through gateways;
     #: None means "dst_ip is on this segment".
     l2_dst: Optional[str] = None

@@ -11,29 +11,43 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Gauge, Histogram, MetricCounter, MetricsRegistry
+from repro.obs.prof import KernelProfiler, profile_scenario
 from repro.obs.report import (
+    BENCH_SCHEMA_VERSION,
     diff_exports,
+    gate_diff,
     load_export,
     render_diff,
     render_report,
     save_export,
     write_bench_json,
 )
+from repro.obs.slo import DEFAULT_SLOS, Slo, SloMonitor, evaluate_slos
 from repro.obs.tracing import DEFAULT_CAPACITY, Span, Tracer, load_jsonl
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "DEFAULT_CAPACITY",
+    "DEFAULT_SLOS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "MetricCounter",
     "MetricsRegistry",
     "Observability",
+    "Slo",
+    "SloMonitor",
     "Span",
     "Tracer",
     "diff_exports",
+    "evaluate_slos",
+    "gate_diff",
     "load_export",
     "load_jsonl",
+    "profile_scenario",
     "render_diff",
     "render_report",
     "save_export",
@@ -67,6 +81,7 @@ class Observability:
         out["trace"] = {
             "records": len(self.tracer),
             "dropped": self.tracer.dropped,
+            "sampled_out": self.tracer.sampled_out,
             "capacity": self.tracer.capacity,
         }
         return out

@@ -1,4 +1,4 @@
-"""``python -m repro obs`` — render and diff observability reports.
+"""``python -m repro obs`` — render, diff, profile, and gate observability.
 
 Subcommands:
 
@@ -10,15 +10,40 @@ Subcommands:
   ``--json PATH`` saves the export; ``--trace PATH`` enables tracing and
   dumps the JSON-lines trace log.
 * ``diff BASE NEW`` — align two saved exports by (metric, tags) and
-  print per-column deltas.
+  print per-column deltas. ``--fail-over PCT`` turns the diff into a CI
+  regression gate: exit nonzero when any matching metric moved more than
+  PCT percent (``--metrics GLOB`` filters, ``--direction up|down|any``
+  picks the gated direction).
+* ``profile`` — run a scenario (demo/chaos/overload/bulk) under the
+  deterministic kernel profiler; print the hot-subsystem table and write
+  ``BENCH_profile_<scenario>.json`` (with a d3-flamegraph-style nested
+  JSON under ``flame``; ``--flame PATH`` also writes it standalone).
+* ``overhead`` — measure the cost of the observability layer itself:
+  runs the E12 overload and E13 bulk workloads with tracing detached,
+  sampled (1-in-100), and always-on, and writes
+  ``BENCH_obs_overhead.json``.
+* ``slo`` — evaluate the declarative SLOs (control-RPC p99, heartbeat
+  loss, recovery MTTR, shed rate) continuously over an overload run —
+  or offline against a saved export (``--export FILE``) — and exit
+  nonzero on violation.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+import json
+from typing import Callable, List, Optional
 
-from repro.obs.report import load_export, render_diff, render_report, save_export
+from repro.obs.prof import PROFILE_SCENARIOS
+from repro.obs.report import (
+    diff_exports,
+    gate_diff,
+    load_export,
+    render_diff,
+    render_report,
+    save_export,
+    write_bench_json,
+)
 
 #: Demo scenario knobs.
 LOSS_RATE = 0.05
@@ -32,11 +57,14 @@ def demo_scenario(
     msg_bytes: int = MSG_BYTES,
     seed: int = 7,
     trace: bool = False,
+    instrument: Optional[Callable] = None,
 ):
     """Three hosts on a lossy LAN pushing srudp, tcp, and mcast traffic.
 
     Returns the finished :class:`~repro.sim.kernel.Simulator`; its
     ``sim.obs`` holds the metrics (and the trace, when enabled).
+    ``instrument(sim)`` runs before any process exists — the profiler
+    attaches through it.
     """
     from repro.net import ETHERNET_100, Medium, Topology
     from repro.sim import Simulator
@@ -53,6 +81,8 @@ def demo_scenario(
     sim = Simulator(seed=seed)
     if trace:
         sim.obs.tracer.enabled = True
+    if instrument is not None:
+        instrument(sim)
     topo = Topology(sim)
     seg = topo.add_segment("lan", medium)
     hosts = []
@@ -118,7 +148,99 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     base = load_export(args.base)
     new = load_export(args.new)
     print(render_diff(base, new, title=f"observability diff: {args.new} vs {args.base}"))
+    if args.fail_over is None:
+        return 0
+    rows = diff_exports(base, new)
+    tripped = gate_diff(rows, args.fail_over, metrics_glob=args.metrics,
+                        direction=args.direction)
+    print()
+    if not tripped:
+        print(f"GATE OK: no metric matching {args.metrics!r} moved "
+              f"{args.direction} by more than {args.fail_over:g}%")
+        return 0
+    print(f"GATE FAILED: {len(tripped)} metric change(s) beyond "
+          f"{args.fail_over:g}% ({args.direction}):")
+    for row in tripped:
+        tags = f"[{row['tags']}]" if row["tags"] else ""
+        print(f"  {row['metric']}{tags} {row['column']}: "
+              f"{row['base']} -> {row['new']} ({row['pct']:+.1f}%)")
+    return 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.prof import profile_scenario
+
+    result = profile_scenario(args.scenario, seed=args.seed)
+    prof = result["profiler"]
+    print(prof.format_report(args.scenario))
+    path = write_bench_json(
+        f"profile_{args.scenario}",
+        result["profile"]["by_subsystem"],
+        args.out,
+        wall_s=result["profile"]["wall_s"],
+        scenario=args.scenario,
+        seed=args.seed,
+        extra={"ok": result["ok"], "profile": result["profile"],
+               "flame": result["flame"]},
+    )
+    print(f"\nprofile written to {path}")
+    if args.flame is not None:
+        with open(args.flame, "w") as fh:
+            json.dump(result["flame"], fh, indent=2)
+            fh.write("\n")
+        print(f"flamegraph JSON written to {args.flame}")
     return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.bench.e14_obs import format_overhead, obs_overhead
+
+    rows = obs_overhead(seed=args.seed, repeats=args.repeats, quick=args.quick)
+    print(format_overhead(rows))
+    path = write_bench_json(
+        "obs_overhead", rows, args.out, seed=args.seed,
+        extra={"repeats": args.repeats, "quick": args.quick},
+    )
+    print(f"\nwritten to {path}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.slo import (
+        DEFAULT_SLOS,
+        SloMonitor,
+        evaluate_slos,
+        format_slo_results,
+        parse_slo,
+    )
+
+    slos = tuple(parse_slo(s) for s in args.slo) if args.slo else DEFAULT_SLOS
+    if args.export is not None:
+        results = evaluate_slos(load_export(args.export), slos)
+        title = f"SLO evaluation: {args.export}"
+    else:
+        from repro.robust.chaos import run_overload
+
+        holder = {}
+
+        def instrument(sim):
+            holder["monitor"] = SloMonitor(sim, slos,
+                                           interval=args.interval).attach()
+
+        run_overload(args.seed, saturation=args.saturation,
+                     adaptive=not args.static, duration=args.duration,
+                     instrument=instrument)
+        results = holder["monitor"].results()
+        mode = "static baseline" if args.static else "adaptive"
+        title = (f"SLO evaluation: overload seed={args.seed} "
+                 f"saturation={args.saturation:g}x ({mode})")
+    print(format_slo_results(results, title=title))
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {args.json}")
+    return 0 if all(r["ok"] for r in results) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,10 +261,67 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="enable tracing and dump the JSON-lines trace log")
     p_report.set_defaults(fn=_cmd_report)
 
-    p_diff = sub.add_parser("diff", help="diff two saved exports")
+    p_diff = sub.add_parser("diff", help="diff two saved exports "
+                                         "(optionally as a CI regression gate)")
     p_diff.add_argument("base")
     p_diff.add_argument("new")
+    p_diff.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                        help="exit nonzero if any gated metric changed by "
+                             "more than PCT percent")
+    p_diff.add_argument("--metrics", default="*", metavar="GLOB",
+                        help="glob of metric names the gate applies to "
+                             "(default: all)")
+    p_diff.add_argument("--direction", choices=("any", "up", "down"),
+                        default="any",
+                        help="gate increases, decreases, or both (default any)")
     p_diff.set_defaults(fn=_cmd_diff)
+
+    p_prof = sub.add_parser("profile",
+                            help="run a scenario under the kernel profiler")
+    p_prof.add_argument("--scenario", choices=PROFILE_SCENARIOS, default="demo")
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.add_argument("--out", default=".", metavar="DIR",
+                        help="directory for BENCH_profile_<scenario>.json "
+                             "(default: .)")
+    p_prof.add_argument("--flame", default=None, metavar="PATH",
+                        help="also write the d3-flamegraph JSON standalone")
+    p_prof.set_defaults(fn=_cmd_profile)
+
+    p_over = sub.add_parser("overhead",
+                            help="measure tracing overhead (off/sampled/on) "
+                                 "on the E12/E13 workloads")
+    p_over.add_argument("--seed", type=int, default=1)
+    p_over.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats per cell; min is reported "
+                             "(default 3)")
+    p_over.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    p_over.add_argument("--out", default=".", metavar="DIR",
+                        help="directory for BENCH_obs_overhead.json (default: .)")
+    p_over.set_defaults(fn=_cmd_overhead)
+
+    p_slo = sub.add_parser("slo", help="evaluate SLOs over an overload run "
+                                       "or a saved export")
+    p_slo.add_argument("--seed", type=int, default=1)
+    p_slo.add_argument("--saturation", type=float, default=5.0,
+                       help="offered load as a multiple of site capacity "
+                            "(default 5.0)")
+    p_slo.add_argument("--static", action="store_true",
+                       help="baseline: fixed timeouts, no breakers, no "
+                            "priority lanes (the natural SLO breach)")
+    p_slo.add_argument("--duration", type=float, default=32.0)
+    p_slo.add_argument("--interval", type=float, default=1.0,
+                       help="virtual seconds between in-run SLO samples "
+                            "(default 1.0)")
+    p_slo.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                       help="name:metric[:column]:op:threshold (repeatable; "
+                            "default: the built-in SLO set)")
+    p_slo.add_argument("--export", default=None, metavar="FILE",
+                       help="evaluate offline against a saved export instead "
+                            "of simulating")
+    p_slo.add_argument("--json", default=None, metavar="PATH",
+                       help="save the per-SLO verdicts as JSON")
+    p_slo.set_defaults(fn=_cmd_slo)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -196,24 +196,86 @@ def save_export(export: Dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+#: Version stamped into every BENCH_*.json envelope; bump when the
+#: payload shape changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
 def write_bench_json(
     name: str,
     rows: List[Dict[str, Any]],
     directory: str,
     wall_s: Optional[float] = None,
     metrics: Optional[Dict[str, Any]] = None,
+    scenario: Optional[str] = None,
+    seed: Optional[int] = None,
+    hosts: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Write ``BENCH_<name>.json`` — the machine-readable twin of a
-    benchmark's printed table — and return its path."""
+    benchmark's printed table — and return its path.
+
+    Every file carries a common envelope: ``schema`` (see
+    :data:`BENCH_SCHEMA_VERSION`), ``scenario`` (defaults to *name*),
+    and — when the caller knows them — ``seed``, ``hosts`` (site size),
+    and ``wall_s``. *extra* merges additional payload keys (e.g. a
+    profiler export) without touching the envelope.
+    """
     import os
 
-    payload: Dict[str, Any] = {"name": name, "rows": rows}
+    payload: Dict[str, Any] = {
+        "name": name,
+        "schema": BENCH_SCHEMA_VERSION,
+        "scenario": scenario if scenario is not None else name,
+        "rows": rows,
+    }
+    if seed is not None:
+        payload["seed"] = seed
+    if hosts is not None:
+        payload["hosts"] = hosts
     if wall_s is not None:
         payload["wall_s"] = wall_s
     if metrics is not None:
         payload["metrics"] = metrics
+    if extra:
+        payload.update(extra)
     path = os.path.join(directory, f"BENCH_{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
     return path
+
+
+def gate_diff(
+    rows: List[Dict[str, Any]],
+    fail_over: float,
+    metrics_glob: str = "*",
+    direction: str = "any",
+) -> List[Dict[str, Any]]:
+    """Diff rows (see :func:`diff_exports`) that trip a regression gate.
+
+    A row trips when its metric name matches *metrics_glob*, both sides
+    are present with a nonzero base (so ``pct`` is defined), and the
+    percent change exceeds *fail_over* in the gated *direction*: ``up``
+    flags increases, ``down`` decreases, ``any`` both. The CLI exits
+    nonzero when this returns a nonempty list — the CI regression gate.
+    """
+    from fnmatch import fnmatchcase
+
+    if direction not in ("any", "up", "down"):
+        raise ValueError(f"unknown direction {direction!r}")
+    tripped: List[Dict[str, Any]] = []
+    for row in rows:
+        if not fnmatchcase(row["metric"], metrics_glob):
+            continue
+        pct = row.get("pct")
+        if not isinstance(pct, (int, float)):
+            continue
+        if direction == "up" and pct <= fail_over:
+            continue
+        if direction == "down" and pct >= -fail_over:
+            continue
+        if direction == "any" and abs(pct) <= fail_over:
+            continue
+        tripped.append(row)
+    return tripped

@@ -17,6 +17,14 @@ Records are plain dicts in a bounded ring buffer (oldest evicted first,
 with a dropped counter) so week-long simulated runs cannot grow memory
 without limit. ``dump_jsonl`` / ``to_jsonl`` export them as JSON lines.
 
+Tracing is zero-cost when off: emit sites guard on ``tracer.enabled``
+before building any record, and frame stamping uses
+:meth:`Tracer.maybe_trace_id` so a disabled tracer never even allocates
+ids. When on, ``sample_rate`` keeps a deterministic 1-in-N subset of
+event/span records (counter-based, so the same run keeps the same
+records); metrics and span-duration histograms stay exact regardless —
+sampling thins the causal record stream, never the quantitative one.
+
 Caveat on nesting: the simulator interleaves many processes in one OS
 thread, so the "current span" stack is global, not per-process. Spans
 opened and closed without yielding to the kernel nest exactly; spans held
@@ -92,6 +100,9 @@ class Tracer:
         self.capacity = capacity
         self.metrics = metrics  # optional MetricsRegistry for span durations
         self.dropped = 0
+        self.sampled_out = 0
+        self._sample_every = 1
+        self._sample_tick = 0
         self._records: Deque[Dict[str, Any]] = deque()
         self._ids = itertools.count(1)
         self._span_ids = itertools.count(1)
@@ -100,6 +111,38 @@ class Tracer:
     # -- ids & ambient context ---------------------------------------------
     def new_trace_id(self) -> int:
         return next(self._ids)
+
+    def maybe_trace_id(self) -> Optional[int]:
+        """A fresh trace id when tracing is on, else None.
+
+        Frame-stamping sites use this so a detached tracer costs one
+        attribute test — no id allocation, and frames carry ``None``.
+        """
+        return next(self._ids) if self.enabled else None
+
+    # -- sampling -----------------------------------------------------------
+    @property
+    def sample_rate(self) -> float:
+        """Fraction of event/span records kept (1.0 = keep everything)."""
+        return 1.0 / self._sample_every
+
+    @sample_rate.setter
+    def sample_rate(self, rate: float) -> None:
+        if not rate > 0.0:
+            raise ValueError(f"sample rate must be positive, got {rate!r}")
+        self._sample_every = max(1, round(1.0 / min(rate, 1.0)))
+        self._sample_tick = 0
+
+    def _keep(self) -> bool:
+        """Deterministic counter-based keep/drop decision (1-in-N)."""
+        if self._sample_every == 1:
+            return True
+        self._sample_tick += 1
+        if self._sample_tick >= self._sample_every:
+            self._sample_tick = 0
+            return True
+        self.sampled_out += 1
+        return False
 
     @property
     def current_span(self) -> Optional[Span]:
@@ -119,7 +162,7 @@ class Tracer:
 
     def event(self, kind: str, trace_id: Optional[int] = None, **fields: Any) -> None:
         """Record one point event (no-op unless tracing is enabled)."""
-        if not self.enabled:
+        if not self.enabled or not self._keep():
             return
         record: Dict[str, Any] = {"t": self.clock(), "kind": kind}
         tid = trace_id if trace_id is not None else self.current_trace_id
@@ -139,7 +182,7 @@ class Tracer:
             pass  # finished without __enter__, or stack already unwound
         if self.metrics is not None:
             self.metrics.histogram(f"span.{span.name}").observe(span.end - span.start)
-        if not self.enabled:
+        if not self.enabled or not self._keep():
             return
         record: Dict[str, Any] = {
             "t": span.start,
@@ -178,6 +221,7 @@ class Tracer:
     def clear(self) -> None:
         self._records.clear()
         self.dropped = 0
+        self.sampled_out = 0
 
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(rec, default=str) for rec in self._records)

@@ -53,6 +53,29 @@ from repro.rpc import RpcClient, RpcError
 DEFAULT_SEEDS = (1, 2, 3, 4, 5)
 
 
+def _instrument_sim(sim, instrument: Optional[Callable],
+                    obs_sample: Optional[float]) -> None:
+    """Apply per-run observability knobs before any workload process runs.
+
+    ``obs_sample`` enables tracing at that sampling rate (None = tracer
+    stays detached, today's zero-cost default); ``instrument`` is an
+    arbitrary hook — the profiler and SLO-monitor CLIs attach through it.
+    """
+    if obs_sample is not None:
+        tracer = sim.obs.tracer
+        tracer.enabled = True
+        tracer.sample_rate = obs_sample
+    if instrument is not None:
+        instrument(sim)
+
+
+def _arm_flight(sim, bus) -> "object":
+    """Attach a flight recorder to *sim* (frames) and *bus* (probes)."""
+    from repro.obs.flight import FlightRecorder
+
+    return FlightRecorder(sim).attach(bus)
+
+
 def build_chaos_env(
     seed: int,
     n_workers: int = 4,
@@ -228,9 +251,18 @@ def run_chaos(
     churn: bool = True,
     partitions: bool = True,
     step: float = 0.3,
+    instrument: Optional[Callable] = None,
+    obs_sample: Optional[float] = None,
+    flight: bool = True,
 ) -> Dict:
     """One seeded chaos run; returns a report dict (``report["ok"]``)."""
+    from repro.check.oracles import ProbeBus
+
     env, workers = build_chaos_env(seed, n_workers)
+    _instrument_sim(env.sim, instrument, obs_sample)
+    bus = ProbeBus()
+    env.sim.probes = bus
+    recorder = _arm_flight(env.sim, bus) if flight else None
     acked: Dict[str, int] = {}
     coll_state = new_coll_state()
     install_chaos_programs(env, acked, coll_state)
@@ -315,17 +347,25 @@ def run_chaos(
     ))
 
     latencies = [r["recovered_at"] - r["detected_at"] for r in recoveries]
+    ok = all(ok for _, ok, _ in invariants)
+    flight_records = None
+    if recorder is not None and not ok:
+        for name, inv_ok, detail in invariants:
+            if not inv_ok:
+                recorder.note_violation(f"invariant:{name}", env.sim.now, detail)
+        flight_records = recorder.snapshot()
     return {
         "seed": seed,
         "workers": n_workers,
         "total": total,
+        "flight": flight_records,
         "events": events,
         "fault_log": list(env.failures.log),
         "recoveries": recoveries,
         "unrecoverable": unrecoverable,
         "msgs_fenced": coll_ctx.msgs_fenced,
         "invariants": invariants,
-        "ok": all(ok for _, ok, _ in invariants),
+        "ok": ok,
         "recovery_latency": {
             "count": len(latencies),
             "mean": sum(latencies) / len(latencies) if latencies else 0.0,
@@ -470,6 +510,9 @@ def run_overload(
     congest_factor: float = 3.0,
     slow_factor: float = 4.0,
     control_p99_bound: float = 0.5,
+    instrument: Optional[Callable] = None,
+    obs_sample: Optional[float] = None,
+    flight: bool = True,
 ) -> Dict:
     """One seeded overload run; returns a report dict (``report["ok"]``).
 
@@ -502,9 +545,15 @@ def run_overload(
         # queue behind that backlog or get shed with it.
         cfg.server_bulk_capacity = 128
 
+    from repro.check.oracles import ProbeBus
+
     env, workers = build_chaos_env(
         seed, n_workers, rc_service_time=service_time, configure=configure
     )
+    _instrument_sim(env.sim, instrument, obs_sample)
+    bus = ProbeBus()
+    env.sim.probes = bus
+    recorder = _arm_flight(env.sim, bus) if flight else None
     acked: Dict[str, int] = {}
     coll_state = new_coll_state()
     install_chaos_programs(env, acked, coll_state)
@@ -569,10 +618,18 @@ def run_overload(
          f"control-plane p99 {control_p99 * 1000:.1f}ms over {hist.n} calls "
          f"(bound {control_p99_bound * 1000:.0f}ms)"),
     ]
+    ok = all(c_ok for _, c_ok, _ in criteria)
+    flight_records = None
+    if recorder is not None and not ok:
+        for name, c_ok, detail in criteria:
+            if not c_ok:
+                recorder.note_violation(f"criterion:{name}", env.sim.now, detail)
+        flight_records = recorder.snapshot()
     return {
         "seed": seed,
         "saturation": saturation,
         "adaptive": adaptive,
+        "flight": flight_records,
         "workers": n_workers,
         "service_time": service_time,
         "capacity_ops_s": capacity,
@@ -590,7 +647,7 @@ def run_overload(
         "breaker_opens": breaker_opens,
         "worker_stats": dict(wstats),
         "criteria": criteria,
-        "ok": all(ok for _, ok, _ in criteria),
+        "ok": ok,
         "finished_at": env.sim.now,
     }
 
@@ -602,6 +659,9 @@ def run_bulk_chaos(
     object_kb: int = 2048,
     chunk_size: int = 32768,
     duration: float = 60.0,
+    instrument: Optional[Callable] = None,
+    obs_sample: Optional[float] = None,
+    flight: bool = True,
 ) -> Dict:
     """One seeded bulk-distribution chaos run; returns a report dict.
 
@@ -626,8 +686,10 @@ def run_bulk_chaos(
 
     env, root, dests = build_bulk_site(seed=seed, racks=racks, per_rack=per_rack)
     sim = env.sim
+    _instrument_sim(sim, instrument, obs_sample)
     bus = ProbeBus()
     sim.probes = bus
+    recorder = _arm_flight(sim, bus) if flight else None
     commits: Dict[Tuple[str, int], int] = {}
     evicts: Dict[Tuple[str, int], int] = {}
     commits_by_host: Dict[str, int] = {}
@@ -715,10 +777,18 @@ def run_bulk_chaos(
          f"({', '.join(f'{h} at t={t:.2f}s' for h, t in sorted(killed.items()))}); "
          f"{crashes} fetches interrupted and resumed"),
     ]
+    ok = all(inv_ok for _, inv_ok, _ in invariants)
+    flight_records = None
+    if recorder is not None and not ok:
+        for name, inv_ok, detail in invariants:
+            if not inv_ok:
+                recorder.note_violation(f"invariant:{name}", sim.now, detail)
+        flight_records = recorder.snapshot()
     return {
         "seed": seed,
         "racks": racks,
         "per_rack": per_rack,
+        "flight": flight_records,
         "bytes": report["bytes"],
         "nchunks": report["nchunks"],
         "events": events,
@@ -732,7 +802,7 @@ def run_bulk_chaos(
         "chunk_retries": report["chunk_retries"],
         "crashes": crashes,
         "invariants": invariants,
-        "ok": all(ok for _, ok, _ in invariants),
+        "ok": ok,
         "finished_at": sim.now,
     }
 

@@ -56,30 +56,44 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--static", action="store_true",
                    help="[overload] baseline: fixed timeouts, no breakers, "
                         "no priority lanes")
+    p.add_argument("--obs-sample", type=float, default=None, metavar="RATE",
+                   help="enable tracing at this sampling rate (1.0 = every "
+                        "record, 0.01 = 1-in-100; default: tracing off)")
 
 
 def _run_one(seed: int, args) -> dict:
     if args.scenario == "bulk":
-        return run_bulk_chaos(
+        report = run_bulk_chaos(
             seed,
             duration=args.duration if args.duration is not None else 60.0,
+            obs_sample=args.obs_sample,
         )
-    if args.scenario == "overload":
-        return run_overload(
+    elif args.scenario == "overload":
+        report = run_overload(
             seed,
             saturation=args.saturation,
             adaptive=not args.static,
             n_workers=args.workers,
             duration=args.duration if args.duration is not None else 32.0,
+            obs_sample=args.obs_sample,
         )
-    return run_chaos(
-        seed,
-        n_workers=args.workers,
-        total=args.steps,
-        duration=args.duration if args.duration is not None else 120.0,
-        churn=not args.no_churn,
-        partitions=not args.no_partitions,
-    )
+    else:
+        report = run_chaos(
+            seed,
+            n_workers=args.workers,
+            total=args.steps,
+            duration=args.duration if args.duration is not None else 120.0,
+            churn=not args.no_churn,
+            partitions=not args.no_partitions,
+            obs_sample=args.obs_sample,
+        )
+    if not report["ok"] and report.get("flight"):
+        from repro.obs.flight import dump_flight_records
+
+        path = f"flight-{args.scenario}-seed{seed}.jsonl"
+        n = dump_flight_records(path, report["flight"])
+        print(f"flight recorder: {n} records dumped to {path}")
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -51,6 +51,15 @@ class Simulator:
         #: the model-checking oracles consume. None costs one attribute
         #: read at each emit site.
         self.probes = None
+        #: Optional kernel profiler (:class:`repro.obs.prof.KernelProfiler`):
+        #: when attached, every heap push is noted and every popped event is
+        #: dispatched through the profiler so callback wall-clock can be
+        #: attributed. None costs one attribute test per schedule/step.
+        self._prof = None
+        #: Optional flight recorder (:class:`repro.obs.flight.FlightRecorder`):
+        #: when attached, hosts note delivered frames into its per-host
+        #: rings. None costs one attribute read per delivered frame.
+        self.flight = None
         #: Per-simulation named sequence counters (see :meth:`sequence`).
         self._seqs: Dict[str, int] = {}
 
@@ -127,6 +136,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._eid += 1
         heapq.heappush(self._queue, (self.now + delay, priority, self._eid, event))
+        if self._prof is not None:
+            self._prof.note_schedule(event, len(self._queue))
 
     # -- execution ---------------------------------------------------------
     @property
@@ -146,7 +157,10 @@ class Simulator:
         else:
             t, _prio, _eid, event = self._pop_scheduled()
         self.now = t
-        event._process()
+        if self._prof is None:
+            event._process()
+        else:
+            self._prof.run_event(event)
         if self._crashed and self.strict_process_errors:
             _proc, exc = self._crashed[0]
             self._crashed.clear()

@@ -143,7 +143,7 @@ class EthernetMulticast(TransportEndpoint):
         self._note_tx()
         t0 = self.sim.now
         tracer = self._tracer
-        trace_id = tracer.new_trace_id()
+        trace_id = tracer.maybe_trace_id()
         if tracer.enabled:
             tracer.event(
                 "mcast.send", trace_id=trace_id, msg=msg_id, src=self.host.name,

@@ -104,9 +104,10 @@ class SrudpEndpoint(TransportEndpoint):
     def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
         """Reliably send a message; the returned Process event succeeds on
         full acknowledgement and fails with :class:`SendError` otherwise."""
-        # One fresh trace id per message, allocated at call time so the
-        # caller's ambient span (if any) is recorded as the parent.
-        trace_id = self._tracer.new_trace_id()
+        # One fresh trace id per message (None when tracing is off),
+        # allocated at call time so the caller's ambient span (if any) is
+        # recorded as the parent.
+        trace_id = self._tracer.maybe_trace_id()
         parent = self._tracer.current_trace_id
         return self.sim.process(
             self._sender(dst_host, dst_port, payload, size, trace_id, parent),
@@ -114,7 +115,7 @@ class SrudpEndpoint(TransportEndpoint):
         )
 
     def _sender(self, dst_host: str, dst_port: int, payload: Any, size: int,
-                trace_id: int, parent: Optional[int] = None):
+                trace_id: Optional[int], parent: Optional[int] = None):
         self._next_msg_id += 1
         msg_id = self._next_msg_id
         mss = self.max_payload(dst_host)

@@ -282,7 +282,7 @@ class StreamEndpoint(TransportEndpoint):
         # Latency is charged from enqueue: connection queueing is part of
         # what the application experiences.
         conn.outbox.try_put(
-            (payload, size, mss, done, self.sim.now, self._tracer.new_trace_id())
+            (payload, size, mss, done, self.sim.now, self._tracer.maybe_trace_id())
         )
         return done
 

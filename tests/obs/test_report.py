@@ -2,8 +2,16 @@
 
 import json
 
+import pytest
+
 from repro.obs import MetricsRegistry, diff_exports, load_export, save_export
-from repro.obs.report import render_diff, render_report, write_bench_json
+from repro.obs.report import (
+    BENCH_SCHEMA_VERSION,
+    gate_diff,
+    render_diff,
+    render_report,
+    write_bench_json,
+)
 
 
 def sample_export():
@@ -95,6 +103,61 @@ def test_load_bench_without_metrics_synthesizes_gauges(tmp_path):
     drows = diff_exports(load_export(path), load_export(path2))
     mbps = [r for r in drows if r["metric"] == "bench.fig1.mbps"]
     assert all(r["delta"] == 1.0 for r in mbps) and len(mbps) == 2
+
+
+def test_bench_envelope_is_common_across_writers(tmp_path):
+    """Every BENCH file carries the same envelope: schema version,
+    scenario (defaulting to the bench name), and seed/hosts/extra when
+    the caller knows them."""
+    path = write_bench_json(
+        "e14", [{"x": 1}], str(tmp_path), wall_s=0.5, scenario="overload",
+        seed=7, hosts=12, extra={"repeats": 3},
+    )
+    data = json.loads(open(path).read())
+    assert data["schema"] == BENCH_SCHEMA_VERSION
+    assert data["scenario"] == "overload"
+    assert data["seed"] == 7 and data["hosts"] == 12
+    assert data["repeats"] == 3  # extra merged at the top level
+    # Scenario defaults to the bench name; optional keys stay absent.
+    bare = json.loads(open(write_bench_json("fig9", [], str(tmp_path))).read())
+    assert bare["scenario"] == "fig9"
+    assert "seed" not in bare and "hosts" not in bare and "wall_s" not in bare
+
+
+def gate_rows():
+    return [
+        {"metric": "bench.f.mbps", "tags": "", "column": "value",
+         "base": 10.0, "new": 8.0, "delta": -2.0, "pct": -20.0},
+        {"metric": "bench.f.wall_s", "tags": "", "column": "value",
+         "base": 1.0, "new": 1.05, "delta": 0.05, "pct": 5.0},
+        {"metric": "bench.f.retries", "tags": "", "column": "value",
+         "base": 0, "new": 3, "delta": 3, "pct": ""},  # zero base: no pct
+        {"metric": "bench.f.new_col", "tags": "", "column": "value",
+         "base": "", "new": 4.0},  # one-sided: no pct at all
+    ]
+
+
+def test_gate_diff_threshold_and_direction():
+    rows = gate_rows()
+    tripped = gate_diff(rows, fail_over=10.0)
+    assert [r["metric"] for r in tripped] == ["bench.f.mbps"]
+    # Tighter threshold also catches the 5% creep.
+    assert len(gate_diff(rows, fail_over=4.0)) == 2
+    # Direction filters: "down" only sees the drop, "up" only the creep.
+    assert [r["metric"] for r in gate_diff(rows, 4.0, direction="down")] == \
+        ["bench.f.mbps"]
+    assert [r["metric"] for r in gate_diff(rows, 4.0, direction="up")] == \
+        ["bench.f.wall_s"]
+    # At-threshold changes do not trip (strictly-over semantics).
+    assert gate_diff(rows, fail_over=20.0) == []
+
+
+def test_gate_diff_glob_and_bad_direction():
+    rows = gate_rows()
+    assert gate_diff(rows, 1.0, metrics_glob="*.wall_s") == [rows[1]]
+    assert gate_diff(rows, 1.0, metrics_glob="nomatch.*") == []
+    with pytest.raises(ValueError):
+        gate_diff(rows, 1.0, direction="sideways")
 
 
 def test_load_bench_dict_of_tables(tmp_path):

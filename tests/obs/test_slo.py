@@ -1,0 +1,140 @@
+"""Unit tests for declarative SLOs and the in-run monitor."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    Slo,
+    SloMonitor,
+    evaluate_slos,
+    format_slo_results,
+    parse_slo,
+)
+from repro.sim import Simulator
+
+
+def export_with(counters=(), histograms=()):
+    reg = MetricsRegistry()
+    for name, value, tags in counters:
+        reg.counter(name, **tags).inc(value)
+    for name, samples, tags in histograms:
+        h = reg.histogram(name, **tags)
+        for s in samples:
+            h.observe(s)
+    return reg.export()
+
+
+def test_counter_bound_pass_and_fail():
+    export = export_with(counters=[("daemon.heartbeats_failed", 3, {})])
+    (r,) = evaluate_slos(export, [Slo("hb", "daemon.heartbeats_failed", 0.0)])
+    assert not r["ok"] and r["value"] == 3.0
+    (r,) = evaluate_slos(export, [Slo("hb", "daemon.heartbeats_failed", 5.0)])
+    assert r["ok"]
+
+
+def test_missing_metric_reads_zero_vacuous_pass():
+    (r,) = evaluate_slos({"counters": [], "gauges": [], "histograms": []},
+                         [Slo("mttr", "guardian.recovery_latency", 10.0,
+                              column="p99")])
+    assert r["ok"] and r["value"] == 0.0
+
+
+def test_counters_sum_histograms_take_worst_instance():
+    export = export_with(
+        counters=[("rpc.requests_shed", 2, {"host": "a"}),
+                  ("rpc.requests_shed", 3, {"host": "b"})],
+        histograms=[("lat", [0.1] * 100, {"host": "a"}),
+                    ("lat", [0.9] * 100, {"host": "b"})],
+    )
+    (r,) = evaluate_slos(export, [Slo("shed", "rpc.requests_shed", 4.0)])
+    assert not r["ok"] and r["value"] == 5.0  # summed across tags
+    (r,) = evaluate_slos(export, [Slo("lat", "lat", 0.5, column="p99")])
+    assert not r["ok"]  # worst instance (0.9) judged, not the best
+
+
+def test_ratio_to_rate_bound():
+    export = export_with(counters=[("rpc.requests_shed", 30, {}),
+                                   ("rpc.requests_served", 70, {})])
+    (r,) = evaluate_slos(export, [Slo("shed-rate", "rpc.requests_shed", 0.5,
+                                      ratio_to="rpc.requests_served")])
+    assert r["ok"] and r["value"] == pytest.approx(0.3)
+    # 0/0 counts as 0, not a crash.
+    (r,) = evaluate_slos({"counters": [], "gauges": [], "histograms": []},
+                         [Slo("shed-rate", "rpc.requests_shed", 0.5,
+                              ratio_to="rpc.requests_served")])
+    assert r["ok"] and r["value"] == 0.0
+
+
+def test_min_count_gates_partial_but_not_final():
+    slo = Slo("p99", "lat", 0.5, column="p99", min_count=100)
+    export = export_with(histograms=[("lat", [0.9] * 10, {})])
+    (r,) = evaluate_slos(export, [slo], partial=True)
+    assert r["ok"]  # 10 samples: not yet evaluable mid-run
+    (r,) = evaluate_slos(export, [slo])
+    assert not r["ok"]  # the final verdict enforces the bound regardless
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        Slo("x", "m", 1.0, op="==")
+
+
+def test_parse_slo_specs():
+    s = parse_slo("hb:daemon.heartbeats_failed:le:0")
+    assert (s.metric, s.column, s.op, s.threshold) == (
+        "daemon.heartbeats_failed", "value", "<=", 0.0)
+    s = parse_slo("p99:overload.control_latency:p99:lt:0.5")
+    assert (s.column, s.op, s.threshold) == ("p99", "<", 0.5)
+    s = parse_slo("up:rpc.requests_served:>=:10")
+    assert s.op == ">="
+    with pytest.raises(ValueError):
+        parse_slo("too:few")
+
+
+def test_default_slos_cover_the_paper_objectives():
+    metrics = {s.metric for s in DEFAULT_SLOS}
+    assert metrics == {"overload.control_latency", "daemon.heartbeats_failed",
+                       "guardian.recovery_latency", "rpc.requests_shed"}
+
+
+def test_monitor_flags_transient_breach():
+    """A gauge breaches mid-run and recovers: the continuous bound still
+    fails, with the first-breach time recorded."""
+    sim = Simulator(seed=1)
+    gauge = sim.obs.metrics.gauge("x.load")
+
+    def wave():
+        yield sim.timeout(1.2)
+        gauge.set(9.0)  # breach
+        yield sim.timeout(1.0)
+        gauge.set(0.0)  # recover
+
+    sim.process(wave(), name="wave")
+    monitor = SloMonitor(sim, [Slo("load", "x.load", 5.0)], interval=0.5)
+    monitor.attach()
+    sim.run(until=4.0)
+    (r,) = monitor.results()
+    assert not r["ok"]
+    assert r["value"] == 0.0  # final value is back in bounds
+    assert r["first_breach_t"] == pytest.approx(1.5)
+    assert "transient breach" in r["detail"]
+    assert not monitor.ok
+    assert "FAIL" in format_slo_results([r])
+
+
+def test_monitor_clean_run_passes():
+    sim = Simulator(seed=1)
+    sim.obs.metrics.gauge("x.load").set(1.0)
+    monitor = SloMonitor(sim, [Slo("load", "x.load", 5.0)], interval=0.5)
+    monitor.attach()
+
+    def tick():
+        yield sim.timeout(3.0)
+
+    sim.process(tick(), name="tick")
+    sim.run(until=3.0)
+    assert monitor.ok and monitor.samples >= 5
+    (r,) = monitor.results()
+    assert r["first_breach_t"] is None
+    assert "RESULT: OK" in format_slo_results([r])

@@ -1,5 +1,7 @@
 """Unit tests for spans, trace events, and the bounded trace ring."""
 
+import pytest
+
 from repro.obs import MetricsRegistry, Observability, Tracer, load_jsonl
 
 
@@ -97,10 +99,66 @@ def test_jsonl_round_trip(tmp_path):
     assert load_jsonl(tracer.to_jsonl().splitlines()) == tracer.records()
 
 
+def test_sample_rate_keeps_deterministic_one_in_n():
+    tracer, _ = make_tracer()
+    tracer.sample_rate = 0.25
+    for i in range(12):
+        tracer.event("e", i=i)
+    # Counter-based: every 4th record survives, same ones every run.
+    assert [r["i"] for r in tracer.records()] == [3, 7, 11]
+    assert tracer.sampled_out == 9
+    assert tracer.dropped == 0  # thinned, not evicted
+
+
+def test_sample_rate_roundtrip_and_validation():
+    tracer, _ = make_tracer()
+    assert tracer.sample_rate == 1.0  # default keeps everything
+    tracer.sample_rate = 0.01
+    assert tracer.sample_rate == pytest.approx(0.01)
+    tracer.sample_rate = 2.0  # clamped to keep-everything
+    assert tracer.sample_rate == 1.0
+    for bad in (0.0, -0.5):
+        with pytest.raises(ValueError):
+            tracer.sample_rate = bad
+
+
+def test_sampling_applies_to_spans_too():
+    tracer, _ = make_tracer()
+    tracer.sample_rate = 0.5
+    for _ in range(4):
+        with tracer.span("op"):
+            pass
+    assert len(tracer) == 2
+    assert tracer.sampled_out == 2
+
+
+def test_sampling_thins_records_but_histograms_stay_exact():
+    metrics = MetricsRegistry()
+    t = [0.0]
+    tracer = Tracer(clock=lambda: t[0], enabled=True, metrics=metrics)
+    tracer.sample_rate = 0.1
+    for _ in range(20):
+        span = tracer.span("rcds.sync")
+        t[0] += 0.1
+        span.finish()
+    assert len(tracer) == 2  # 1-in-10 of 20 span records
+    assert metrics.histogram("span.rcds.sync").n == 20  # every duration counted
+
+
+def test_maybe_trace_id_allocates_only_when_enabled():
+    tracer = Tracer(enabled=False)
+    assert tracer.maybe_trace_id() is None
+    assert tracer.maybe_trace_id() is None
+    tracer.enabled = True
+    assert tracer.maybe_trace_id() == 1  # ids start fresh: none were burned
+    assert tracer.maybe_trace_id() == 2
+
+
 def test_observability_bundle_export():
     obs = Observability(clock=lambda: 1.0, trace=True, trace_capacity=10)
     obs.metrics.counter("x.ops").inc()
     obs.event("e")
     out = obs.export()
     assert out["counters"][0]["name"] == "x.ops"
-    assert out["trace"] == {"records": 1, "dropped": 0, "capacity": 10}
+    assert out["trace"] == {"records": 1, "dropped": 0, "sampled_out": 0,
+                            "capacity": 10}

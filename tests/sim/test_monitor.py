@@ -83,6 +83,39 @@ def test_trace_log_ring_buffer_eviction():
     assert mon.trace_dropped == 2
 
 
+def test_trace_log_burst_drop_counter_accuracy():
+    """A burst far past capacity: the drop counter equals the exact
+    overflow, and the survivors are exactly the newest records in order."""
+    mon = TraceMonitor(None, trace=True, trace_capacity=100)
+    for i in range(10_000):
+        mon.trace("burst", i)
+    assert len(mon.trace_log) == 100
+    assert mon.trace_dropped == 9_900
+    assert [d for _, _, d in mon.trace_log] == list(range(9_900, 10_000))
+
+
+def test_trace_log_eviction_is_oldest_first_across_bursts():
+    """Eviction order and the drop counter hold across interleaved
+    bursts — drops accumulate, never reset."""
+    mon = TraceMonitor(None, trace=True, trace_capacity=4)
+    for i in range(6):  # drops 0, 1
+        mon.trace("a", i)
+    assert mon.trace_dropped == 2
+    for i in range(3):  # drops a2, a3, a4
+        mon.trace("b", i)
+    assert mon.trace_dropped == 5
+    assert [(k, d) for _, k, d in mon.trace_log] == [
+        ("a", 5), ("b", 0), ("b", 1), ("b", 2)
+    ]
+
+
+def test_trace_log_nonpositive_capacity_is_unbounded():
+    mon = TraceMonitor(None, trace=True, trace_capacity=0)
+    for i in range(500):
+        mon.trace("e", i)
+    assert len(mon.trace_log) == 500 and mon.trace_dropped == 0
+
+
 def test_trace_monitor_span_and_histogram_delegate():
     sim = Simulator()
     mon = TraceMonitor(sim)
