@@ -1,0 +1,35 @@
+"""E15 — gray-failure detection: differential health vs heartbeat-only."""
+
+import pytest
+
+from repro.bench.e15_gray import gray_goodput, summarize
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+pytestmark = pytest.mark.slow
+
+
+def test_e15_gray_goodput(benchmark):
+    rows = run_once(benchmark, gray_goodput)
+    print_table("E15: gray-failure goodput and detection", rows)
+    s = summarize(rows)
+    diff = [r for r in rows if r["config"] == "differential"]
+    base = [r for r in rows if r["config"] == "heartbeat-only"]
+    for r in diff:
+        # The robustness claim: the zombie is quarantined within
+        # seconds by failed *work*, no live host is ever declared dead,
+        # and no bit-flipped payload reaches an application.
+        assert r["completed_ok"]
+        assert r["detection_s"] is not None and r["detection_s"] < 5.0
+        assert r["false_lease_deaths"] == 0
+        assert r["corrupt_delivered"] == 0
+    # The headline: ≥ 2x the heartbeat-only goodput through the zombie
+    # window. (Measured ~4x; the bar leaves room for seed noise.)
+    assert s["goodput_ratio"] >= 2.0
+    # The baseline must actually exhibit the failure modes being fixed,
+    # or the comparison is vacuous: it never detects the zombie and
+    # turns lapsed leases into false deaths of healthy hosts.
+    for r in base:
+        assert r["detection_s"] is None
+        assert r["false_lease_deaths"] > 0

@@ -14,7 +14,7 @@ Run:  python examples/migrating_service.py
 """
 
 from repro.core import SnipeEnvironment
-from repro.core.checkpoint import checkpoint_lifn, checkpoint_to_files, restart_from_files
+from repro.core.checkpoint import checkpoint_to_files, restart_from_files
 from repro.daemon import TaskSpec, TaskState
 
 TOTAL_REQUESTS = 30
@@ -78,11 +78,16 @@ def main() -> None:
     env.topology.hosts["h2"].crash()
     env.settle(1.0)
 
-    # Disaster recovery: restart from the checkpoint on h3.
+    # Disaster recovery: restart from the checkpoint on h3. Checkpoints
+    # are versioned, so the current LIFN comes from the task's catalog
+    # record, not from a guessed name.
+    def latest_ckpt(sim):
+        lifn = yield env.rc_client("h3").get(service.urn, "checkpoint-lifn")
+        return lifn
+
+    lifn = env.run(until=env.sim.process(latest_ckpt(env.sim)))
     urn = env.run(
-        until=restart_from_files(
-            env.topology.hosts["h3"], env.rc_client("h3"), checkpoint_lifn(service.urn)
-        )
+        until=restart_from_files(env.topology.hosts["h3"], env.rc_client("h3"), lifn)
     )
     print(f"[{env.sim.now:6.2f}s] restarted {urn} on h3 from checkpoint")
     env.run(until=60.0)

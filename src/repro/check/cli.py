@@ -22,12 +22,14 @@ from repro.check.shrink import load_trace, minimize, replay_trace, write_trace
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--scenario", choices=("faults", "overload", "bulk"),
+    p.add_argument("--scenario", choices=("faults", "overload", "bulk", "gray"),
                    default="faults",
                    help="faults: crash/partition chaos (default); "
                         "overload: saturation + degradation, no crashes; "
                         "bulk: relay-tree distribution with a poisoned "
-                        "source and crashing fetchers")
+                        "source and crashing fetchers; "
+                        "gray: asymmetric cuts, lossy/corrupting links, "
+                        "clock skew, zombie hosts — nothing fail-stop")
     p.add_argument("--workers", type=int, default=DEFAULT_PARAMS["n_workers"],
                    help=f"worker hosts (default {DEFAULT_PARAMS['n_workers']})")
     p.add_argument("--steps", type=int, default=DEFAULT_PARAMS["total"],

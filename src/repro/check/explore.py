@@ -21,7 +21,9 @@ from repro.bulk.fetch import BulkFetcher
 from repro.check.oracles import (
     ChunkOracle,
     ConvergenceOracle,
+    CorruptionOracle,
     DeliveryOracle,
+    FalseDeathOracle,
     ProbeBus,
     SingleOwnerOracle,
     Violation,
@@ -31,6 +33,8 @@ from repro.daemon.tasks import TaskSpec
 from repro.guardian.guardian import Guardian
 from repro.obs.flight import FlightRecorder
 from repro.rcds.records import RCStore
+from repro.robust.health import HealthBoard
+from repro.transport.srudp import SrudpEndpoint
 from repro.robust.chaos import (
     _instrument_sim,
     build_chaos_env,
@@ -77,8 +81,15 @@ class FaultEvent:
 
     ``kind`` is one of ``crash`` (host down), ``partition`` (segment
     down, host stays up — the zombie scenario), ``congest`` (segment
-    bandwidth/latency degraded by ``factor``) or ``slow`` (host CPU
-    divided by ``factor``); every window heals after ``duration``.
+    bandwidth/latency degraded by ``factor``), ``slow`` (host CPU
+    divided by ``factor``), or one of the gray kinds: ``oneway``
+    (target ``"a->b"``, frames a→b eaten while b→a flow), ``impair``
+    (probabilistic loss/dup/reorder/corrupt on a segment, rates in
+    ``extra``), ``skew`` (host wall clock offset/drift in ``extra``)
+    and ``ckptrot`` (checkpoints written by the host are corrupted).
+    Every window heals after ``duration``. ``extra`` is a sorted tuple
+    of ``(key, value)`` pairs — hashable, so the event stays frozen,
+    and round-trips through ``to_dict`` for shrinking.
     """
 
     kind: str
@@ -86,18 +97,25 @@ class FaultEvent:
     t: float
     duration: float
     factor: float = 1.0
+    extra: tuple = ()
 
     def to_dict(self) -> Dict:
-        return {"kind": self.kind, "target": self.target, "t": self.t,
-                "duration": self.duration, "factor": self.factor}
+        d = {"kind": self.kind, "target": self.target, "t": self.t,
+             "duration": self.duration, "factor": self.factor}
+        if self.extra:
+            d["extra"] = dict(self.extra)
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict) -> "FaultEvent":
         return cls(kind=d["kind"], target=d["target"], t=d["t"],
-                   duration=d["duration"], factor=d.get("factor", 1.0))
+                   duration=d["duration"], factor=d.get("factor", 1.0),
+                   extra=tuple(sorted(d.get("extra", {}).items())))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         extra = f" x{self.factor:g}" if self.kind in ("congest", "slow") else ""
+        if self.extra:
+            extra += " " + ",".join(f"{k}={v:g}" for k, v in self.extra)
         return f"t={self.t:5.1f}s {self.kind} {self.target} for {self.duration:.1f}s{extra}"
 
 
@@ -114,6 +132,20 @@ def apply_fault_plan(env, plan: List[FaultEvent]) -> None:
         elif ev.kind == "slow":
             env.failures.slow_host_at(ev.t, ev.target, ev.factor,
                                       duration=ev.duration)
+        elif ev.kind == "oneway":
+            a, b = ev.target.split("->", 1)
+            env.failures.partition_oneway_at(ev.t, [a], [b],
+                                             duration=ev.duration)
+        elif ev.kind == "impair":
+            env.failures.impair_link_at(ev.t, ev.target, symmetric=True,
+                                        duration=ev.duration,
+                                        **dict(ev.extra))
+        elif ev.kind == "skew":
+            env.failures.skew_clock_at(ev.t, ev.target, duration=ev.duration,
+                                       **dict(ev.extra))
+        elif ev.kind == "ckptrot":
+            env.failures.corrupt_checkpoints_at(ev.t, ev.target,
+                                                duration=ev.duration)
         else:
             raise ValueError(f"unknown fault kind {ev.kind!r}")
 
@@ -163,9 +195,75 @@ def sample_fault_plan(
             plan.append(FaultEvent("crash", w,
                                    r2(rng.uniform(0.1, min(3.0, horizon))),
                                    r2(rng.uniform(0.5, 2.0))))
+    elif scenario == "gray":
+        plan = _sample_gray_plan(rng, workers, horizon)
     else:
         raise ValueError(f"unknown scenario {scenario!r}")
     return sorted(plan, key=lambda e: (e.t, e.kind, e.target))
+
+
+def _sample_gray_plan(rng: random.Random, workers: List[str],
+                      horizon: float) -> List[FaultEvent]:
+    """Gray faults: nothing here bumps the topology version or fully cuts
+    a host off — every fault is the kind a lease-based detector misreads.
+
+    The roles are kept on *disjoint* workers deliberately: a clock-skewed
+    worker whose lease always looks lapsed must stay probe-reachable
+    (overlaying a lossy window on the same host would turn an honest
+    probe failure into an unavoidable "false" death and make clean seeds
+    flaky). One-way cuts run core→worker only: the worker's lease
+    renewals still arrive, so the Guardian never needs to probe through
+    the cut direction — its replies are simply eaten, which is exactly
+    the retransmission/dup stress srudp must absorb.
+    """
+    r2 = lambda x: round(x, 2)  # noqa: E731
+    ws = list(workers)
+    rng.shuffle(ws)
+    skew_w, oneway_w = ws[0], ws[1 % len(ws)]
+    rest = ws[2:] or ws[1:]
+    plan: List[FaultEvent] = []
+    # Lossy/duplicating/reordering windows on the remaining segments.
+    for w in rest:
+        plan.append(FaultEvent(
+            "impair", f"s-{w}",
+            r2(rng.uniform(3.0, horizon * 0.5)), r2(rng.uniform(4.0, 8.0)),
+            extra=(("dup", round(rng.uniform(0.05, 0.15), 2)),
+                   ("loss", round(rng.uniform(0.05, 0.2), 2)),
+                   ("reorder", round(rng.uniform(0.05, 0.2), 2))),
+        ))
+    # One bit-flip window: every gray run exercises digest verification.
+    cw = rest[rng.randrange(len(rest))]
+    plan.append(FaultEvent(
+        "impair", f"s-{cw}",
+        r2(rng.uniform(4.0, horizon * 0.5)), r2(rng.uniform(3.0, 6.0)),
+        extra=(("corrupt", round(rng.uniform(0.1, 0.25), 2)),),
+    ))
+    # Clock skew: the worker's lease stamps land far in the past, so its
+    # lease looks permanently lapsed — only a probe-before-death keeps
+    # the Guardian from killing a live host.
+    # Early and long: the window must overlap the running workload, or
+    # there is no RUNNING task whose death the naive detector could
+    # wrongly declare.
+    plan.append(FaultEvent(
+        "skew", skew_w,
+        r2(rng.uniform(2.5, 5.0)), r2(rng.uniform(15.0, 25.0)),
+        extra=(("offset", -round(rng.uniform(15.0, 40.0), 1)),),
+    ))
+    # Asymmetric cut, replies-only direction (leases keep flowing).
+    plan.append(FaultEvent(
+        "oneway", f"gw->{oneway_w}",
+        r2(rng.uniform(3.0, horizon * 0.5)), r2(rng.uniform(3.0, 6.0)),
+    ))
+    # Sometimes: a short checkpoint-bitrot window followed by a genuine
+    # crash of the same worker — recovery must reject the torn record
+    # and fall back to the previous good version.
+    if rng.random() < 0.6:
+        cv = rest[rng.randrange(len(rest))]
+        t0 = r2(rng.uniform(6.0, horizon * 0.6))
+        plan.append(FaultEvent("ckptrot", cv, t0, 0.4))
+        plan.append(FaultEvent("crash", cv, r2(t0 + 0.45),
+                               r2(rng.uniform(2.0, 5.0))))
+    return plan
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +281,13 @@ BUGS: Dict[str, str] = {
     "no-chunk-verify": "bulk fetchers commit chunks without checking their "
                        "digest against the chunk map (caught by the "
                        "chunk-integrity oracle; bulk scenario)",
+    "no-digest": "transports skip payload digest stamping, so bit-flipped "
+                 "fragments reassemble silently (caught by the "
+                 "no-corrupt-delivery oracle; gray scenario)",
+    "naive-health": "the Guardian trusts lapsed leases without the "
+                    "differential probe-before-death, so a clock-skewed "
+                    "live host is declared dead (caught by the "
+                    "no-false-death oracle; gray scenario)",
 }
 
 _BUG_HOOKS = {
@@ -190,6 +295,8 @@ _BUG_HOOKS = {
     "no-rx-fencing": (SnipeContext, "rx_fencing_enabled"),
     "no-lww": (RCStore, "lww_enabled"),
     "no-chunk-verify": (BulkFetcher, "verify_enabled"),
+    "no-digest": (SrudpEndpoint, "digest_enabled"),
+    "naive-health": (HealthBoard, "differential_enabled"),
 }
 
 
@@ -267,7 +374,7 @@ def run_check(
     process crash escaping the kernel (strict mode) is itself recorded
     as a ``process-crash`` violation.
     """
-    if scenario not in ("faults", "overload", "bulk"):
+    if scenario not in ("faults", "overload", "bulk", "gray"):
         raise ValueError(f"unknown scenario {scenario!r}")
     with seeded_bug(bug):
         if scenario == "bulk":
@@ -301,6 +408,9 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     sim = env.sim
     _instrument_sim(sim, None, obs_sample)
 
+    if plan is None:
+        plan = sample_fault_plan(scenario, seed, workers, horizon=duration * 0.5)
+
     bus = ProbeBus()
     sim.probes = bus
     flight = FlightRecorder(sim).attach(bus)
@@ -309,10 +419,24 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     delivery = DeliveryOracle(sim)
     owner = SingleOwnerOracle(sim)
     chunks = ChunkOracle(sim)  # inert unless something moves bulk data
+    corruption = CorruptionOracle(sim)
     bus.subscribe(delivery.on_probe)
     bus.subscribe(owner.on_probe)
     bus.subscribe(chunks.on_probe)
-    oracles = [convergence, delivery, owner, chunks]
+    bus.subscribe(corruption.on_probe)
+    oracles = [convergence, delivery, owner, chunks, corruption]
+    if scenario == "gray":
+        # Only gray plans promise every non-crashed host stays reachable
+        # over *some* path; a full partition (faults scenario) makes a
+        # lease-inferred death legitimate, so the oracle stays out there.
+        spans = [(e.target, e.t, e.t + e.duration + 20.0)
+                 for e in plan if e.kind == "crash"]
+        falsedeath = FalseDeathOracle(
+            sim, crashed=lambda h, t: any(
+                h == c and a <= t <= b for c, a, b in spans),
+        )
+        bus.subscribe(falsedeath.on_probe)
+        oracles.append(falsedeath)
 
     scheduler = ExplorationScheduler(seed) if explore else None
     if scheduler is not None:
@@ -342,8 +466,6 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         start_load_generators(env, workers, saturation * capacity,
                               4.0, duration - 6.0)
 
-    if plan is None:
-        plan = sample_fault_plan(scenario, seed, workers, horizon=duration * 0.5)
     apply_fault_plan(env, plan)
     fault_end = max((e.t + e.duration for e in plan), default=0.0)
 
@@ -367,7 +489,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         sweep()
         if violations:
             break
-        if (scenario == "faults"
+        if (scenario in ("faults", "gray")
                 and len(coll_state["done"]) == len(urns)
                 and sim.now > fault_end + 6.0):
             break
@@ -382,7 +504,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
             ))
         sweep()
         completed = sum(1 for u in urns if coll_state["done"].get(u) == total)
-        if not violations and scenario == "faults":
+        if not violations and scenario in ("faults", "gray"):
             if completed == len(urns):
                 convergence.check_quiescent(urns)
             else:

@@ -461,3 +461,84 @@ class ChunkOracle:
                 f"{host} completed {name!r} but the reassembled hash "
                 f"disagrees with the chunk map's whole-object hash",
             ))
+
+
+# ---------------------------------------------------------------------------
+# Gray-failure oracles
+# ---------------------------------------------------------------------------
+
+class CorruptionOracle:
+    """No corrupted payload is ever delivered to an application.
+
+    The injector flips bits on the wire (``Frame.corrupt``); a digest-
+    verifying receiver detects the mismatch, drops the fragment and lets
+    the sender retransmit. If a corrupted message nonetheless reassembles
+    and is handed up, the transport emits ``srudp.corrupt_deliver`` —
+    ground truth straight from the frame's taint bit, independent of any
+    digest check. Every such probe is a violation.
+
+    This is the oracle that catches the seeded ``no-digest`` bug: with
+    digest stamping disabled, corrupt fragments reassemble silently and
+    applications consume garbage.
+    """
+
+    name = "no-corrupt-delivery"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        self.delivered = 0
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind != "srudp.corrupt_deliver":
+            return
+        self.delivered += 1
+        self.violations.append(Violation(
+            self.name, self.sim.now,
+            f"corrupted message {f['msg']} from {f['src']} delivered "
+            f"to the application on {f['dst']} — payload integrity lost",
+        ))
+
+
+class FalseDeathOracle:
+    """No lease-inferred death of a host that never actually crashed.
+
+    ``guardian.death`` probes carry a *reason*. Reported deaths
+    (``task-failed``, ``host-crash-report``) come from a live daemon and
+    are trusted. ``host-lease`` deaths are the Guardian's own inference
+    from a lapsed lease — under gray faults (clock skew on the lease
+    writer, a one-way cut on the lease path) that inference can be wrong
+    about a perfectly live host, and acting on it respawns tasks out
+    from under their running originals. The fault plan tells the oracle
+    which hosts really crashed (and when); a host-lease death of any
+    other host is a violation.
+
+    This is the oracle that catches the seeded ``naive-health`` bug: with
+    differential confirmation disabled the Guardian declares a skewed but
+    live host dead without ever probing it over a second channel.
+    """
+
+    name = "no-false-death"
+
+    def __init__(self, sim, crashed: Optional[Callable[[str, float], bool]] = None) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        #: (host, sim-time) -> True if the host was genuinely down around
+        #: then. Defaults to "nothing ever crashed".
+        self.crashed = crashed or (lambda host, t: False)
+        self.false_deaths = 0
+        self.lease_deaths = 0
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind != "guardian.death" or f.get("reason") != "host-lease":
+            return
+        self.lease_deaths += 1
+        host = f.get("host") or ""
+        if host and not self.crashed(host, self.sim.now):
+            self.false_deaths += 1
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"guardian {f.get('guardian', '?')} declared live host "
+                f"{host} dead from a lapsed lease ({f['urn']}) — "
+                f"false death of a running host",
+            ))

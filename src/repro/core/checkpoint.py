@@ -6,6 +6,16 @@ A task's ``checkpoint_state`` (which, for playground tasks, includes the
 whole VM image) can be written to the replicated file service under a
 LIFN and later restarted on any suitable host — surviving even the
 death of the original host, which in-band migration cannot.
+
+Checkpoints are *digest-verified* and *versioned*: each record carries a
+content hash computed before it leaves the writer, and successive
+checkpoints go to fresh versioned LIFNs with the task's RC record
+rotating ``checkpoint-lifn`` / ``checkpoint-prev-lifn`` pointers. A
+gray storage fault that corrupts a checkpoint on its way to disk is
+therefore detected at restart time (the digest no longer matches) and
+recovery falls back to the previous good version instead of silently
+respawning from garbage — or, worse, crash-looping on an unreadable
+record while the one-before-last sits there intact.
 """
 
 from __future__ import annotations
@@ -15,7 +25,9 @@ from typing import TYPE_CHECKING, Optional
 from repro.daemon.daemon import DAEMON_PORT
 from repro.daemon.tasks import TaskSpec
 from repro.files.client import FileClient
+from repro.rcds.client import QUORUM
 from repro.rpc import RpcClient, payload_size
+from repro.security.hashes import content_hash
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.process import SnipeContext
@@ -23,9 +35,44 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.rcds.client import RCClient
 
 
-def checkpoint_lifn(urn: str) -> str:
-    """Canonical checkpoint file name for a process URN."""
-    return f"checkpoints/{urn.rsplit(':', 1)[-1]}.ckpt"
+class CheckpointCorrupt(Exception):
+    """A checkpoint record failed digest verification."""
+
+
+def checkpoint_lifn(urn: str, version: Optional[int] = None) -> str:
+    """Checkpoint file name for a process URN.
+
+    Without *version* this is the task's base name (useful for tests and
+    ad-hoc writes); :func:`checkpoint_to_files` writes versioned names so
+    a corrupt write never destroys the last good checkpoint.
+    """
+    name = urn.rsplit(":", 1)[-1]
+    if version is None:
+        return f"checkpoints/{name}.ckpt"
+    return f"checkpoints/{name}.v{version}.ckpt"
+
+
+def record_digest(record: dict) -> str:
+    """Content hash of a checkpoint record, excluding the digest itself."""
+    return content_hash({k: v for k, v in record.items() if k != "digest"})
+
+
+def verify_checkpoint_record(record: dict) -> bool:
+    """True iff the record's embedded digest matches its content.
+
+    Records without a digest (written by pre-digest code or hand-rolled
+    tests) are accepted: verification can only vouch for records whose
+    writer stamped one.
+    """
+    if not isinstance(record, dict):
+        return False
+    digest = record.get("digest")
+    if digest is None:
+        return True
+    try:
+        return record_digest(record) == digest
+    except Exception:
+        return False
 
 
 def spec_from_record(record: dict, keep_urn: bool = True) -> TaskSpec:
@@ -57,8 +104,18 @@ def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replica
     synchronously to up to *replicas* file servers — a checkpoint that
     only exists on the host about to die is no checkpoint at all.
     Returns the LIFN used.
+
+    Each call writes a *fresh versioned* LIFN and rotates the task's
+    ``checkpoint-lifn`` / ``checkpoint-prev-lifn`` catalog pointers, so
+    the previous good checkpoint survives a corrupting write. The record
+    embeds a content digest (stamped before the bytes leave this host);
+    if the host is under a ``corrupt_ckpt_writes`` gray fault the state
+    is scrambled *after* digesting, exactly as bit-rot between memory
+    and disk would leave it.
     """
-    lifn = lifn or checkpoint_lifn(ctx.urn)
+    if lifn is None:
+        version = ctx.sim.sequence(f"ckpt:{ctx.urn}")
+        lifn = checkpoint_lifn(ctx.urn, version=version)
     spec = ctx.info.spec
     record = {
         "urn": ctx.urn,
@@ -74,6 +131,15 @@ def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replica
         "state": dict(ctx.checkpoint_state),
         "taken_at": ctx.sim.now,
     }
+    record["digest"] = record_digest(record)
+    if getattr(ctx.host, "corrupt_ckpt_writes", False):
+        # Gray storage fault: the in-memory record was fine (hence the
+        # valid-looking digest), the bytes that land are not.
+        record["state"] = {"__bitrot__": ctx.sim.now}
+        ctx.sim.obs.metrics.counter("ckpt.corrupt_writes").inc()
+        tracer = ctx.sim.obs.tracer
+        if tracer.enabled:
+            tracer.event("ckpt.corrupt_write", urn=ctx.urn, lifn=lifn)
 
     def go():
         fc = FileClient(ctx.host, ctx.rc)
@@ -94,7 +160,22 @@ def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replica
             raise RuntimeError(f"checkpoint {lifn!r}: no file server reachable")
         # Register the checkpoint in the process's own metadata so a
         # resource manager or Guardian can find it after the host dies.
-        yield ctx.rc.update(ctx.urn, {"checkpoint-lifn": lifn, "checkpoint-at": ctx.sim.now})
+        # The outgoing current pointer becomes the previous-good pointer:
+        # a Guardian that rejects the new record on digest grounds falls
+        # back to it.
+        assertions = {"checkpoint-lifn": lifn, "checkpoint-at": ctx.sim.now}
+        prev = getattr(ctx, "_ckpt_lifn", None)
+        if prev is not None and prev != lifn:
+            assertions["checkpoint-prev-lifn"] = prev
+        # Quorum write: a versioned pointer registered only on the local
+        # replica dies with the host — the one failure checkpoints exist
+        # to survive. Fall back to ONE if no quorum is reachable (a
+        # slightly stale pointer beats no checkpoint at all).
+        try:
+            yield ctx.rc.update(ctx.urn, assertions, consistency=QUORUM)
+        except Exception:
+            yield ctx.rc.update(ctx.urn, assertions)
+        ctx._ckpt_lifn = lifn
         # A checkpointed task is recoverable — from now on a Guardian may
         # respawn it, so watch for the fence that would make us a zombie.
         if hasattr(ctx, "enable_supervision"):
@@ -114,7 +195,11 @@ def restart_from_files(host: "Host", rc: "RCClient", lifn: str, keep_urn: bool =
     def go():
         fc = FileClient(host, rc)
         got = yield fc.read(lifn)
-        spec = spec_from_record(got["payload"], keep_urn=keep_urn)
+        record = got["payload"]
+        if not verify_checkpoint_record(record):
+            host.sim.obs.metrics.counter("ckpt.verify_failures").inc()
+            raise CheckpointCorrupt(f"checkpoint {lifn!r} failed digest verification")
+        spec = spec_from_record(record, keep_urn=keep_urn)
         client = RpcClient(host)
         try:
             result = yield client.call(

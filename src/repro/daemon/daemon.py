@@ -110,6 +110,7 @@ class SnipeDaemon:
         self.rpc.register("daemon.suspend", self._h_suspend)
         self.rpc.register("daemon.resume", self._h_resume)
         self.rpc.register("daemon.status", self._h_status)
+        self.rpc.register("daemon.ping", self._h_ping)
         self.rpc.register("daemon.list", self._h_list)
         self.rpc.register("daemon.load", self._h_load)
         self.rpc.register("daemon.lookup", self._h_lookup)
@@ -150,7 +151,10 @@ class SnipeDaemon:
             "data-formats": ["xdr"],
             "protocols": ["srudp", "tcp", "udp"],
             "interfaces": interfaces,
-            "lease-expires": self.sim.now + self.lease_ttl,
+            # Lease expiry is computed on the daemon's *wall clock*: a
+            # host with injected clock skew publishes skewed leases, the
+            # gray failure the Guardian's probe-before-death absorbs.
+            "lease-expires": self.host.clock() + self.lease_ttl,
         }
 
     def _register_host(self):
@@ -177,7 +181,7 @@ class SnipeDaemon:
                     {
                         "load": self.load(),
                         "tasks": len(self.running_tasks()),
-                        "lease-expires": self.sim.now + self.lease_ttl,
+                        "lease-expires": self.host.clock() + self.lease_ttl,
                     },
                     lane=CONTROL,
                 )
@@ -515,6 +519,16 @@ class SnipeDaemon:
 
     def _h_resume(self, args: Dict) -> bool:
         return self.resume(args["urn"])
+
+    def _h_ping(self, args: Dict) -> Dict:
+        """Liveness probe (Guardian second-path check before declaring a
+        death): proves the daemon answers RPCs, and reports its wall
+        clock so a probe can distinguish "dead" from "skewed"."""
+        return {
+            "host": self.host.name,
+            "clock": self.host.clock(),
+            "tasks": len(self.running_tasks()),
+        }
 
     def _h_status(self, args: Dict) -> Dict:
         info = self.tasks.get(args["urn"])

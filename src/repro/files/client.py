@@ -107,10 +107,13 @@ class FileClient:
 
             def rank(url: str) -> tuple:
                 h = uri_mod.host_of(url)
-                # A replica behind an open circuit breaker sorts after
-                # every healthy one at any distance: quarantine first,
-                # topology second.
-                sick = self._rpc.breaker_open(h, FILE_PORT) if h else False
+                # A replica behind an open circuit breaker or a health
+                # quarantine sorts after every healthy one at any
+                # distance: quarantine first, topology second.
+                sick = bool(h) and (
+                    self._rpc.breaker_open(h, FILE_PORT)
+                    or self.host.health.is_quarantined(h)
+                )
                 if h == self.host.name:
                     return (sick, 0)
                 if h in topo.hosts and topo.shared_segments(self.host.name, h):

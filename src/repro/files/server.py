@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.bulk.chunks import DEFAULT_CHUNK_SIZE, chunk_digests
 from repro.rcds import uri as uri_mod
-from repro.rcds.client import RCClient
+from repro.rcds.client import ONE, RCClient
 from repro.rcds.lifn import LifnRegistry
 from repro.rpc import RpcServer, Sized, payload_size
 from repro.security.hashes import content_hash
@@ -102,9 +102,24 @@ class FileServer:
         return uri_mod.file_url(self.host.name, name)
 
     def bind_lifn(self, name: str):
-        """Advertise our replica of *name* in the LIFN registry (a process)."""
+        """Advertise our replica of *name* in the LIFN registry (a process).
+
+        Registration prefers a quorum write (bind-then-resolve reads its
+        own writes), but degrades to ONE when no quorum answers — a gray
+        peer or a one-way link must not turn a durable local write into a
+        hard failure. The locally-registered location spreads by
+        anti-entropy; a briefly-stale LIFN beats a failed checkpoint.
+        """
         vf = self.files[name]
-        return self.lifns.bind(name, self.location_url(name), content_hash=vf.hash)
+        url = self.location_url(name)
+        return self.sim.process(self._bind_lifn(name, url, vf.hash),
+                                name=f"fs-bind:{name}")
+
+    def _bind_lifn(self, name: str, url: str, vhash):
+        try:
+            yield self.lifns.bind(name, url, content_hash=vhash)
+        except Exception:
+            yield self.lifns.bind(name, url, content_hash=vhash, consistency=ONE)
 
     # -- sinks and sources (§5.9) ------------------------------------------------
     def spawn_sink(self, name: str):

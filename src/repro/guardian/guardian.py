@@ -36,15 +36,17 @@ from __future__ import annotations
 import zlib
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.core.checkpoint import spec_from_record
+from repro.core.checkpoint import spec_from_record, verify_checkpoint_record
+from repro.daemon.daemon import DAEMON_PORT
 from repro.daemon.tasks import TaskState
 from repro.files.client import FileClient
 from repro.rcds import uri as uri_mod
 from repro.rcds.client import QUORUM, RCClient
 from repro.rm.client import RmClient
+from repro.robust.health import HealthBoard
 from repro.robust.overload import CONTROL
 from repro.robust.retry import RetryPolicy
-from repro.rpc import RpcServer
+from repro.rpc import RpcClient, RpcError, RpcServer
 from repro.sim.events import defuse
 from repro.sim.resources import Store
 
@@ -87,6 +89,26 @@ class Guardian:
         retry = retry or RetryPolicy(attempts=3, base_delay=0.2, max_delay=2.0)
         self.files = FileClient(host, rc, secret=secret, retry=retry)
         self.rm = RmClient(host, rc, secret=secret, retry=retry)
+        #: Direct line to suspect daemons: before declaring a host dead
+        #: on lease evidence alone, ping it. A one-way partition or a
+        #: skewed clock makes a live host *look* lease-lapsed; killing it
+        #: (fence + respawn) on that evidence is a false death. Disabled
+        #: with the heartbeat-only detector (``--bug naive-health``).
+        self._probe = RpcClient(host, secret=secret)
+        self.probe_timeout = 0.5
+        # Enough attempts that the probes *alone* can cross the health
+        # board's min_samples and steer themselves onto a backup path:
+        # on a one-way cut of the primary segment, failed pings 1..4 feed
+        # the (host, iface) cell, the 4th quarantines it, and the 5th
+        # re-shops to the alternate segment and comes back alive. Fewer
+        # attempts make declaring death a race against path steering.
+        self.probe_attempts = 5
+        #: Hosts recently confirmed alive by a probe and until when the
+        #: confirmation holds — bounds probe traffic to one RPC per
+        #: suspect per scan even though several code paths re-check.
+        self._alive_until: Dict[str, float] = {}
+        self.false_deaths_averted = 0
+        self.ckpt_rejected = 0
         #: The guardian's own pseudo-process URN: being in the local
         #: daemon's context table under this URN is what lets the
         #: ordinary ``daemon.notify`` path deliver task-death events here.
@@ -112,6 +134,8 @@ class Guardian:
         self._m_detect = metrics.histogram("guardian.detect_latency")
         self._m_recover = metrics.histogram("guardian.recovery_latency")
         self._m_deaths = metrics.counter("guardian.deaths_declared")
+        self._m_probe_saved = metrics.counter("guardian.probe_saved")
+        self._m_ckpt_rejected = metrics.counter("guardian.ckpt_rejected")
         #: Count of first-time death declarations (E12's false-death
         #: metric: under pure overload this must stay at zero).
         self.deaths_declared = 0
@@ -162,9 +186,18 @@ class Guardian:
                 continue  # catalog flaky this tick; next scan retries
 
     def _dead_hosts(self):
-        """Hosts whose lease has lapsed, as ``{host: lease-expiry}``."""
+        """Hosts whose lease has lapsed *and* failed a liveness probe,
+        as ``{host: lease-expiry}``.
+
+        Lease comparison uses this guardian's own (possibly skewed) wall
+        clock — exactly the evidence a real detector would have. The
+        probe is what keeps that honest: a lapsed lease only says the
+        daemon's heartbeat didn't reach the catalog, which a one-way
+        partition or clock skew produces without anybody dying.
+        """
         urls = yield self.rc.query("snipe://", lane=CONTROL)
         dead = {}
+        now = self.host.clock()
         for url in urls:
             host_name = uri_mod.host_of(url)
             if host_name is None or not url.endswith("/"):
@@ -173,9 +206,43 @@ class Guardian:
                 lease = yield self.rc.get(url, "lease-expires", lane=CONTROL)
             except Exception:
                 continue
-            if lease is not None and lease + self.grace < self.sim.now:
-                dead[host_name] = lease
+            if lease is not None and lease + self.grace < now:
+                if (yield from self._confirm_dead(host_name)):
+                    dead[host_name] = lease
         return dead
+
+    def _confirm_dead(self, host_name: str):
+        """Second opinion on a lease-lapsed host: ping its daemon.
+
+        Returns True only if every probe attempt fails. Each failed
+        attempt feeds the path selector and health board, so a retry
+        naturally prefers an alternate path on multi-homed topologies —
+        no false death on a one-way partition that only cuts the first
+        route. Gated on the differential detector: the ``naive-health``
+        baseline trusts leases alone, which is the bug E15 demonstrates.
+        """
+        if not HealthBoard.differential_enabled:
+            return True
+        until = self._alive_until.get(host_name)
+        if until is not None and self.sim.now < until:
+            return False
+        for _ in range(self.probe_attempts):
+            try:
+                yield self._probe.call(
+                    host_name, DAEMON_PORT, "daemon.ping",
+                    timeout=self.probe_timeout, lane=CONTROL,
+                )
+            except RpcError:
+                continue
+            self.false_deaths_averted += 1
+            self._m_probe_saved.inc()
+            self._alive_until[host_name] = self.sim.now + self.scan_interval
+            tracer = self.sim.obs.tracer
+            if tracer.enabled:
+                tracer.event("guardian.probe_alive", guardian=self.host.name,
+                             host=host_name)
+            return False
+        return True
 
     def _live_guardians(self, dead):
         """Guardian hosts registered in the catalog, minus dead ones."""
@@ -213,6 +280,20 @@ class Guardian:
             return error == "host-crash"
         return state == TaskState.FAILED
 
+    @staticmethod
+    def _death_reason(state) -> str:
+        """Why the Guardian is declaring this death (for probes/oracles).
+
+        ``host-lease`` deaths are the only inferred kind — the host never
+        reported anything, the Guardian concluded death from a lapsed
+        lease — so they are the only kind a false-death oracle audits.
+        """
+        if state == TaskState.RUNNING:
+            return "host-lease"
+        if state == TaskState.KILLED:
+            return "host-crash-report"
+        return "task-failed"
+
     def _scan(self):
         dead = yield from self._dead_hosts()
         live_guardians = yield from self._live_guardians(dead)
@@ -249,6 +330,11 @@ class Guardian:
                 self._detected[urn] = self.sim.now
                 self.deaths_declared += 1
                 self._m_deaths.inc()
+                if self.sim.probes is not None:
+                    self.sim.probes.emit("guardian.death", urn=urn,
+                                         host=task_host or "",
+                                         guardian=self.host.name,
+                                         reason=self._death_reason(state))
                 if state == TaskState.RUNNING and task_host in dead:
                     # Detect latency relative to the lease lapsing — the
                     # bound the harness checks is lease_ttl + scan + grace.
@@ -306,6 +392,11 @@ class Guardian:
             self._detected[urn] = self.sim.now
             self.deaths_declared += 1
             self._m_deaths.inc()
+            if self.sim.probes is not None:
+                self.sim.probes.emit("guardian.death", urn=urn,
+                                     host=val("host") or "",
+                                     guardian=self.host.name,
+                                     reason=self._death_reason(val("state")))
         self._start_recovery(urn, lifn, val("host"), val("incarnation"))
 
     # -- recovery --------------------------------------------------------------
@@ -320,6 +411,7 @@ class Guardian:
 
     def _recover(self, urn: str, lifn: str, from_host: str, old_inc: Optional[int]):
         detected_at = self._detected.get(urn, self.sim.now)
+        prev_lifn: Optional[str] = None
         try:
             # 0. Confirm against a quorum read: the scan may have seen a
             #    stale replica (e.g. a record predating a recovery we just
@@ -346,6 +438,7 @@ class Guardian:
                     old_inc = inc
                 from_host = val("host") or from_host
                 lifn = val("checkpoint-lifn") or lifn
+                prev_lifn = val("checkpoint-prev-lifn")
             # 1. Fence the corpse *before* the successor exists: from this
             #    point a zombie below the fence will terminate itself, and
             #    receivers will drop its stragglers once the successor
@@ -355,9 +448,36 @@ class Guardian:
                 yield self.rc.update(urn, {"fenced-below": fence}, consistency=QUORUM)
                 if self.sim.probes is not None:
                     self.sim.probes.emit("guardian.fence", urn=urn, fence=fence)
-            # 2. Latest durable state.
+            # 2. Latest durable state — digest-verified. A checkpoint
+            #    corrupted on its way to disk is rejected here, and the
+            #    previous good version (kept by the writer's LIFN
+            #    rotation) is respawned instead: stale state beats
+            #    garbage state.
             got = yield self.files.read(lifn)
-            spec = spec_from_record(got["payload"], keep_urn=True)
+            record = got["payload"]
+            if not verify_checkpoint_record(record):
+                self.ckpt_rejected += 1
+                self._m_ckpt_rejected.inc()
+                if self.sim.probes is not None:
+                    self.sim.probes.emit("guardian.ckpt_rejected", urn=urn, lifn=lifn)
+                if prev_lifn is None:
+                    try:
+                        prev_lifn = yield self.rc.get(urn, "checkpoint-prev-lifn")
+                    except Exception:
+                        prev_lifn = None
+                if prev_lifn is None:
+                    raise RuntimeError(
+                        f"checkpoint {lifn!r} corrupt, no previous good version"
+                    )
+                got = yield self.files.read(prev_lifn)
+                record = got["payload"]
+                if not verify_checkpoint_record(record):
+                    self.ckpt_rejected += 1
+                    self._m_ckpt_rejected.inc()
+                    raise RuntimeError(
+                        f"checkpoints {lifn!r} and {prev_lifn!r} both corrupt"
+                    )
+            spec = spec_from_record(record, keep_urn=True)
             # 3. Respawn through an RM; lease-aware placement steers the
             #    task away from dead (and merely-partitioned) hosts.
             result = yield self.rm.request(spec, owner="guardian")

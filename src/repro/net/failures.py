@@ -16,6 +16,19 @@ Every injected event is also emitted into the observability layer
 (counters ``failures.host_down|host_up|segment_down|segment_up`` and
 trace events), so ``obs report`` shows the fault timeline alongside the
 latency tables it produced.
+
+Gray faults (none of which bump the topology version — gray failures are
+*invisible* to the control plane by design):
+
+* :meth:`partition_oneway_at` — cut A→B while B→A still flows; the
+  symmetric :meth:`partition_at` is implemented on the same per-direction
+  hold records, so both land identically in the log/FlightRecorder.
+* :meth:`impair_link_at` — probabilistic loss/duplication/reorder/
+  bit-flip corruption on one segment direction.
+* :meth:`skew_clock_at` — offset/drift a host's wall clock, which skews
+  its lease and LWW assertion stamps.
+* :meth:`corrupt_checkpoints_at` — checkpoint writes from a host are
+  silently corrupted after digesting (torn writes / bit rot).
 """
 
 from __future__ import annotations
@@ -49,6 +62,13 @@ class FailureInjector:
         self._m_decongested = metrics.counter("failures.segment_decongested")
         self._m_slowed = metrics.counter("failures.host_slowed")
         self._m_unslowed = metrics.counter("failures.host_unslowed")
+        self._m_link_down = metrics.counter("failures.link_down")
+        self._m_link_up = metrics.counter("failures.link_up")
+        self._m_impaired = metrics.counter("failures.link_impaired")
+        self._m_unimpaired = metrics.counter("failures.link_unimpaired")
+        self._m_skewed = metrics.counter("failures.clock_skewed")
+        self._m_unskewed = metrics.counter("failures.clock_unskewed")
+        self._m_ckpt_corrupt = metrics.counter("failures.ckpt_corruptor")
 
     # -- scheduled one-shots -----------------------------------------------
     def host_down_at(self, t: float, host: str, duration: Optional[float] = None) -> None:
@@ -79,7 +99,32 @@ class FailureInjector:
         self, t: float, side_a: Iterable[str], side_b: Iterable[str],
         duration: Optional[float] = None,
     ) -> None:
-        """Partition: cut every segment with NICs from both host sets."""
+        """Partition: cut cross-side traffic on every spanning segment.
+
+        Implemented as per-direction hold records (A→B *and* B→A), the
+        same primitive :meth:`partition_oneway_at` uses — so symmetric
+        and asymmetric partitions share one code path and log shape.
+        Same-side traffic on a spanning segment keeps flowing, which is
+        what a real partition does (the old implementation took the
+        whole segment down).
+        """
+        self._partition_script(t, side_a, side_b, duration, both=True)
+
+    def partition_oneway_at(
+        self, t: float, side_a: Iterable[str], side_b: Iterable[str],
+        duration: Optional[float] = None,
+    ) -> None:
+        """Asymmetric partition: frames A→B are eaten, B→A still flow.
+
+        This is the classic gray failure: B's replies/heartbeats arrive
+        nowhere, while everything B sends looks healthy.
+        """
+        self._partition_script(t, side_a, side_b, duration, both=False)
+
+    def _partition_script(
+        self, t: float, side_a: Iterable[str], side_b: Iterable[str],
+        duration: Optional[float], both: bool,
+    ) -> None:
         side_a, side_b = set(side_a), set(side_b)
 
         def script():
@@ -87,15 +132,112 @@ class FailureInjector:
             cut = []
             for seg in self.topology.segments.values():
                 owners = {nic.host.name for nic in seg.nics.values()}
-                if owners & side_a and owners & side_b:
-                    self._segment_down(seg.name)
-                    cut.append(seg.name)
+                on_a, on_b = owners & side_a, owners & side_b
+                if not on_a or not on_b:
+                    continue
+                for a in sorted(on_a):
+                    for b in sorted(on_b):
+                        self._link_down(seg.name, a, b)
+                        cut.append((seg.name, a, b))
+                        if both:
+                            self._link_down(seg.name, b, a)
+                            cut.append((seg.name, b, a))
             if duration is not None:
                 yield self.sim.timeout(duration)
-                for name in cut:
-                    self._segment_up(name)
+                for seg_name, src, dst in cut:
+                    self._link_up(seg_name, src, dst)
 
-        self.sim.process(script(), name="fail:partition")
+        name = "fail:partition" if both else "fail:partition-oneway"
+        self.sim.process(script(), name=name)
+
+    # -- gray link/host faults ---------------------------------------------
+    def impair_link_at(
+        self, t: float, segment: str, src: str = "*", dst: str = "*",
+        loss: float = 0.0, dup: float = 0.0, reorder: float = 0.0,
+        corrupt: float = 0.0, jitter: float = 0.05,
+        duration: Optional[float] = None, symmetric: bool = False,
+    ) -> None:
+        """Impair the *src*→*dst* direction of *segment* at time *t*.
+
+        Installs a probabilistic :class:`~repro.net.segment.LinkFault`
+        (loss / duplication / reordering / bit-flip corruption) and
+        removes it after *duration*. ``"*"`` wildcards either endpoint;
+        ``symmetric=True`` impairs both directions.
+        """
+        from repro.net.segment import LinkFault
+
+        fault = LinkFault(loss=loss, dup=dup, reorder=reorder,
+                          corrupt=corrupt, jitter=jitter)
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            seg = self.topology.segments[segment]
+            dirs = [(src, dst)]
+            if symmetric and (src, dst) != (dst, src):
+                dirs.append((dst, src))
+            for s, d in dirs:
+                seg.add_fault(s, d, fault)
+                self.log.append((self.sim.now, "link_impaired",
+                                 f"{segment}:{s}->{d}"))
+                self._m_impaired.inc()
+                self._trace("link_impaired", f"{segment}:{s}->{d}")
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                for s, d in dirs:
+                    seg.remove_fault(s, d, fault)
+                    self.log.append((self.sim.now, "link_unimpaired",
+                                     f"{segment}:{s}->{d}"))
+                    self._m_unimpaired.inc()
+                    self._trace("link_unimpaired", f"{segment}:{s}->{d}")
+
+        self.sim.process(script(), name=f"fail:impair:{segment}")
+
+    def skew_clock_at(
+        self, t: float, host: str, offset: float = 0.0, drift: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Skew *host*'s wall clock at time *t*; restore after *duration*.
+
+        Everything the host stamps with wall time — daemon lease expiry,
+        LWW assertion stamps — is skewed by ``offset + drift * elapsed``.
+        """
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            h = self.topology.hosts[host]
+            h.set_clock_skew(offset=offset, drift=drift)
+            self.log.append((self.sim.now, "clock_skewed", host))
+            self._m_skewed.inc()
+            self._trace("clock_skewed", host)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                h.set_clock_skew()
+                self.log.append((self.sim.now, "clock_unskewed", host))
+                self._m_unskewed.inc()
+                self._trace("clock_unskewed", host)
+
+        self.sim.process(script(), name=f"fail:skew:{host}")
+
+    def corrupt_checkpoints_at(
+        self, t: float, host: str, duration: Optional[float] = None,
+    ) -> None:
+        """From time *t*, checkpoint records written by processes on
+        *host* are silently corrupted after digesting (torn writes)."""
+
+        def script():
+            yield self.sim.timeout(max(0.0, t - self.sim.now))
+            h = self.topology.hosts[host]
+            h.corrupt_ckpt_writes = True
+            self.log.append((self.sim.now, "ckpt_corruptor_on", host))
+            self._m_ckpt_corrupt.inc()
+            self._trace("ckpt_corruptor_on", host)
+            if duration is not None:
+                yield self.sim.timeout(duration)
+                h.corrupt_ckpt_writes = False
+                self.log.append((self.sim.now, "ckpt_corruptor_off", host))
+                self._trace("ckpt_corruptor_off", host)
+
+        self.sim.process(script(), name=f"fail:ckpt:{host}")
 
     # -- degradation (overload scenarios) -----------------------------------
     def congest_segment_at(
@@ -220,6 +362,26 @@ class FailureInjector:
         self.log.append((self.sim.now, "host_up", name))
         self._m_host_up.inc()
         self._trace("host_up", name)
+
+    def _link_down(self, segment: str, src: str, dst: str) -> None:
+        """Hold the *src*→*dst* direction of *segment* down (refcounted).
+
+        Per-direction hold records are the shared primitive beneath both
+        symmetric and one-way partitions; the segment's own refcount
+        makes overlapping scripts safe (each release undoes one hold).
+        Deliberately does *not* bump the topology version: a gray cut is
+        invisible to routing and path caches.
+        """
+        self.topology.segments[segment].block_link(src, dst)
+        self.log.append((self.sim.now, "link_down", f"{segment}:{src}->{dst}"))
+        self._m_link_down.inc()
+        self._trace("link_down", f"{segment}:{src}->{dst}")
+
+    def _link_up(self, segment: str, src: str, dst: str) -> None:
+        self.topology.segments[segment].unblock_link(src, dst)
+        self.log.append((self.sim.now, "link_up", f"{segment}:{src}->{dst}"))
+        self._m_link_up.inc()
+        self._trace("link_up", f"{segment}:{src}->{dst}")
 
     def _segment_down(self, name: str) -> None:
         holds = self._segment_holds.get(name, 0)

@@ -78,6 +78,20 @@ class Host:
         self.memory = memory
         self.forwarding = forwarding
         self.up = True
+        #: Wall-clock skew injected by the failure injector: this host's
+        #: notion of "now" is ``sim.now + clock_offset + clock_drift *
+        #: (sim.now - _clock_anchor)``. Processes that stamp wall times
+        #: into shared state (daemon leases, LWW assertion stamps) must
+        #: read :meth:`clock`, never ``sim.now``, so skew propagates the
+        #: way it would on real hardware.
+        self.clock_offset = 0.0
+        self.clock_drift = 0.0
+        self._clock_anchor = 0.0
+        #: Gray storage fault: when True, checkpoint records written by
+        #: processes on this host are silently corrupted after their
+        #: digest is computed (a torn/bit-rotten write).
+        self.corrupt_ckpt_writes = False
+        self._health = None
         self.nics: Dict[str, "NIC"] = {}  # iface name -> NIC
         self._bindings: Dict[Tuple[str, int], PortBinding] = {}
         self._next_ephemeral = EPHEMERAL_BASE
@@ -87,6 +101,39 @@ class Host:
         #: kill their tasks; this is how "node failure" propagates upward.
         self.on_crash: List[Callable[["Host"], None]] = []
         self.on_recover: List[Callable[["Host"], None]] = []
+
+    # -- differential health -----------------------------------------------
+    @property
+    def health(self):
+        """This host's view of its peers' differential health
+        (:class:`repro.robust.health.HealthBoard`), created on first
+        touch. Deliberately *per host*: each node scores peers from its
+        own observed outcomes — a real distributed system has no shared
+        scoreboard, and one partitioned host's bad experience must not
+        quarantine a peer for everyone else."""
+        if self._health is None:
+            from repro.robust.health import HealthBoard
+
+            self._health = HealthBoard(self.sim, owner=self.name)
+        return self._health
+
+    # -- wall clock --------------------------------------------------------
+    def clock(self) -> float:
+        """This host's (possibly skewed) wall clock.
+
+        Identical to ``sim.now`` until the failure injector installs an
+        offset and/or drift via :meth:`set_clock_skew`.
+        """
+        if self.clock_offset == 0.0 and self.clock_drift == 0.0:
+            return self.sim.now
+        now = self.sim.now
+        return now + self.clock_offset + self.clock_drift * (now - self._clock_anchor)
+
+    def set_clock_skew(self, offset: float = 0.0, drift: float = 0.0) -> None:
+        """Install (or clear, with zeros) clock skew, anchored at now."""
+        self._clock_anchor = self.sim.now
+        self.clock_offset = offset
+        self.clock_drift = drift
 
     # -- interfaces -------------------------------------------------------
     def add_nic(self, iface: str, ip: str, segment: "Segment") -> "NIC":

@@ -87,6 +87,18 @@ class Frame:
     #: reroutes, gateway forwards) carries the same id, so one send can be
     #: reconstructed end-to-end from the trace stream.
     trace_id: Optional[int] = None
+    #: End-to-end payload digest stamped by verifying transports (SHA-256
+    #: of the message payload, computed once per message — see
+    #: :func:`repro.security.hashes.content_hash`). None = the sending
+    #: transport does not verify.
+    digest: Optional[str] = None
+    #: Set by the failure injector when the wire flipped bits in this
+    #: frame's payload. Receivers never read this flag directly — they
+    #: detect corruption by recomputing the payload digest; the flag is
+    #: what makes that recomputation come out wrong (and what the
+    #: corruption oracle uses as ground truth when verification is
+    #: deliberately disabled).
+    corrupt: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -78,15 +78,26 @@ class RCClient:
 
     def _candidate_order(self) -> List[Tuple[str, int]]:
         """Local replica first (closest-resource heuristic), then random —
-        but replicas under an open circuit breaker sink to the back so a
-        quarantined server is only tried once every healthy one failed."""
+        but replicas under an open circuit breaker or a health-board
+        quarantine sink to the back, so a sick or zombie server is only
+        tried once every healthy one failed. The health board catches
+        what the breaker can't: a replica that answers *some* traffic
+        (heartbeats, the occasional call) while failing most work."""
         local = [r for r in self.replicas if r[0] == self.host.name]
         rest = [r for r in self.replicas if r[0] != self.host.name]
         self._rng.shuffle(rest)
         order = local + rest
-        healthy = [r for r in order if not self._rpc.breaker_open(*r)]
-        sick = [r for r in order if self._rpc.breaker_open(*r)]
-        return healthy + sick
+        health = self.host.health
+
+        def sick(r: Tuple[str, int]) -> bool:
+            return self._rpc.breaker_open(*r) or health.is_quarantined(r[0])
+
+        # Deliberately no sort-by-score among the healthy: ordering by a
+        # continuously-updated score makes every client herd onto the
+        # momentarily-best replica, which is worse under plain overload.
+        # Quarantine is a binary demotion; the shuffle keeps the load
+        # spread across everything above the bar.
+        return [r for r in order if not sick(r)] + [r for r in order if sick(r)]
 
     def _fanout(self, method: str, need: int, targets: List[Tuple[str, int]],
                 lane: str = BULK, **args):

@@ -33,12 +33,15 @@ class LifnRegistry:
         # even before anti-entropy has run.
         self.consistency = consistency
 
-    def bind(self, lifn: str, location_url: str, content_hash: Optional[str] = None):
+    def bind(self, lifn: str, location_url: str, content_hash: Optional[str] = None,
+             consistency: Optional[str] = None):
         """Register a replica location (process; yield it)."""
         assertions = {_LOC_PREFIX + location_url: True}
         if content_hash is not None:
             assertions["content-hash"] = content_hash
-        return self.rc.update(uri_mod.lifn_name(lifn), assertions, self.consistency)
+        return self.rc.update(
+            uri_mod.lifn_name(lifn), assertions, consistency or self.consistency
+        )
 
     def unbind(self, lifn: str, location_url: str):
         return self.rc.delete(

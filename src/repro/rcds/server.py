@@ -73,11 +73,16 @@ class RCServer:
 
     def _h_update(self, args: Dict) -> Dict:
         self._m_updates.inc()
-        records = self.store.local_update(args["uri"], args["assertions"], self.sim.now)
-        return {"stamped": self.sim.now, "count": len(records)}
+        # LWW stamps come from the accepting server's *wall clock*, which
+        # the failure injector may skew — the whole point of the LWW-skew
+        # property tests and the gray scenario. Never self.sim.now here.
+        stamp = self.host.clock()
+        records = self.store.local_update(args["uri"], args["assertions"], stamp)
+        return {"stamped": stamp, "count": len(records)}
 
     def _h_delete(self, args: Dict) -> Dict:
-        records = self.store.local_delete(args["uri"], args.get("keys"), self.sim.now)
+        records = self.store.local_delete(args["uri"], args.get("keys"),
+                                          self.host.clock())
         return {"count": len(records)}
 
     def _h_query(self, args: Dict) -> List[str]:

@@ -122,7 +122,8 @@ class ResourceManager:
 
     def _select(self, spec: TaskSpec):
         metadata = yield from self._collect_host_metadata()
-        return rank_hosts(spec, metadata, rng=self._rng, now=self.sim.now)
+        return rank_hosts(spec, metadata, rng=self._rng, now=self.sim.now,
+                          health=self.host.health)
 
     # -- RPC handlers -----------------------------------------------------------
     def _h_request(self, args: Dict):

@@ -45,6 +45,7 @@ def rank_hosts(
     host_metadata: Dict[str, Dict[str, Dict[str, Any]]],
     rng: Optional[random.Random] = None,
     now: Optional[float] = None,
+    health=None,
 ) -> List[str]:
     """Candidate hosts for *spec*, least loaded first (ties shuffled).
 
@@ -52,6 +53,12 @@ def rank_hosts(
     (``lease-expires`` < now) are excluded — the catalog may still carry
     their metadata, but a host that stopped refreshing its lease is
     presumed dead and must not receive placements.
+
+    When *health* (a :class:`repro.robust.health.HealthBoard`) is given,
+    quarantined hosts — zombies whose lease is perfectly fresh but whose
+    differential score collapsed — sort after every non-quarantined
+    candidate regardless of their advertised load, so new placements
+    avoid them while they still exist as a last resort.
     """
     candidates = []
     for host, assertions in host_metadata.items():
@@ -63,7 +70,8 @@ def rank_hosts(
                 continue
         load_info = assertions.get("load")
         load = load_info["value"] if load_info else 0.0
-        candidates.append((load, host))
+        quarantined = bool(health is not None and health.is_quarantined(host))
+        candidates.append(((quarantined, load), host))
     if rng is not None:
         rng.shuffle(candidates)
     candidates.sort(key=lambda c: c[0])

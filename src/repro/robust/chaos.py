@@ -81,6 +81,7 @@ def build_chaos_env(
     n_workers: int = 4,
     rc_service_time: Optional[float] = None,
     configure: Optional[Callable] = None,
+    backup_core: bool = False,
 ) -> Tuple[SnipeEnvironment, List[str]]:
     """The chaos site: stable core (RC x3, RM, files, guardians) behind a
     gateway, each worker alone on its own segment so it can be isolated.
@@ -89,15 +90,22 @@ def build_chaos_env(
     servers (the overload scenario saturates them); ``configure(sim)``
     runs before any endpoint exists, so it can set
     :class:`repro.robust.overload.OverloadConfig` fields that are read at
-    queue-construction time.
+    queue-construction time. ``backup_core`` adds a second core segment
+    (every core host dual-homed), so a one-way fault on one core link has
+    a healthy alternate path — the gray scenario's per-interface health
+    scoring steers around the sick link instead of timing out forever.
     """
     env = SnipeEnvironment(seed=seed)
     if configure is not None:
         configure(env.sim)
     env.add_segment("core-lan")
+    core_segments = ["core-lan"]
+    if backup_core:
+        env.add_segment("core-lan2")
+        core_segments.append("core-lan2")
     for name in ("c0", "c1", "c2"):
-        env.add_host(name, segments=["core-lan"])
-    gw = env.add_host("gw", segments=["core-lan"], forwarding=True)
+        env.add_host(name, segments=core_segments)
+    gw = env.add_host("gw", segments=core_segments, forwarding=True)
     workers = []
     for i in range(n_workers):
         seg = env.add_segment(f"s-w{i}")
@@ -130,10 +138,25 @@ def install_chaos_programs(env: SnipeEnvironment, acked: Dict[str, int], coll_st
     """
     @env.program("chaos-worker")
     def chaos_worker(ctx, total, ckpt_every, collector_urn, step):
+        def take_checkpoint():
+            # Checkpointing is durability, not progress: when every file
+            # server is briefly unreachable (gray quorum loss, one-way
+            # cuts) the task keeps computing and retries at the next
+            # boundary — dying here would turn a storage degradation
+            # into the very failure checkpoints exist to survive. The
+            # cost is bounded: recovery resumes from the last checkpoint
+            # that *did* land, and the output-commit discipline below
+            # makes the redone steps duplicates the collector dedups.
+            try:
+                yield checkpoint_to_files(ctx)
+            except Exception:
+                coll_state["ckpt_skipped"] = coll_state.get("ckpt_skipped", 0) + 1
+                ctx.sim.obs.metrics.counter("ckpt.skipped").inc()
+
         i = ctx.checkpoint_state.get("i", 0)
         # Checkpoint immediately: from the first instant there is a
         # durable state for the Guardian to restart from.
-        yield checkpoint_to_files(ctx)
+        yield from take_checkpoint()
         while i < total:
             yield ctx.compute(step)
             i += 1
@@ -147,7 +170,7 @@ def install_chaos_programs(env: SnipeEnvironment, acked: Dict[str, int], coll_st
             # of unacknowledged output would let a crash lose the report
             # for work the successor (resuming past it) never redoes.
             if i % ckpt_every == 0:
-                yield checkpoint_to_files(ctx)
+                yield from take_checkpoint()
         # App-level fence check before claiming completion: a superseded
         # incarnation leaves the completion report to its successor.
         try:
@@ -864,6 +887,283 @@ def format_overload_report(report: Dict) -> str:
         f"{report['worker_stats']['send_failures']} report failures, "
         f"{report['worker_stats']['ckpt_failures']} checkpoint failures "
         f"(best-effort bulk)",
+        "",
+        "criteria:",
+    ]
+    for name, ok, detail in report["criteria"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    lines.append("")
+    lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "
+                 f"(simulated {report['finished_at']:.1f}s)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Gray-failure scenario (experiment E15)
+# ---------------------------------------------------------------------------
+
+def start_gray_sessions(
+    env: SnipeEnvironment,
+    workers: List[str],
+    t0: float,
+    t1: float,
+    ops_per_session: int = 8,
+    think: float = 0.05,
+) -> Dict:
+    """Closed-loop, short-lived catalog sessions on the worker hosts.
+
+    Each session is a *fresh* :class:`RCClient` (fresh circuit breakers,
+    fresh RTT estimates — the state a short-lived task starts with) doing
+    ``ops_per_session`` sequential lookups, then closing. Closed-loop on
+    purpose: a zombie replica's timeouts stall the session, so goodput
+    reflects detection quality instead of hiding it the way open-loop
+    fire-and-forget would. What persists across sessions is only the
+    *host's* health board — exactly the differential-detector state the
+    gray scenario measures.
+    """
+    from repro.rcds.client import RCClient
+
+    stats = {"sessions": 0, "ops_ok": 0, "ops_failed": 0,
+             "window": (t0, t1), "in_window": {}}
+
+    def _driver(host_name: str):
+        host = env.topology.hosts[host_name]
+        rng = env.sim.rng.stream(f"gray.load.{host_name}")
+
+        def session():
+            client = RCClient(host, list(env.rc_replicas), secret=env.secret)
+            try:
+                for _ in range(ops_per_session):
+                    target = env.rc_replicas[rng.randrange(len(env.rc_replicas))][0]
+                    t_op = env.sim.now
+                    try:
+                        yield client.lookup(f"snipe://host/{target}")
+                        stats["ops_ok"] += 1
+                        key = int(env.sim.now)
+                        stats["in_window"][key] = stats["in_window"].get(key, 0) + 1
+                    except Exception:
+                        stats["ops_failed"] += 1
+                    del t_op
+                    yield env.sim.timeout(think)
+            finally:
+                client.close()
+
+        def gen():
+            yield env.sim.timeout(max(0.0, t0 - env.sim.now))
+            while env.sim.now < t1:
+                stats["sessions"] += 1
+                yield env.sim.process(session(), name=f"gray-sess:{host_name}")
+                yield env.sim.timeout(think)
+
+        env.sim.process(gen(), name=f"gray-load:{host_name}")
+
+    for w in workers:
+        _driver(w)
+    return stats
+
+
+def run_gray(
+    seed: int,
+    n_workers: int = 4,
+    total: int = 60,
+    step: float = 0.2,
+    duration: float = 40.0,
+    zombie: str = "c2",
+    zombie_at: float = 8.0,
+    zombie_for: float = 22.0,
+    zombie_factor: float = 100.0,
+    rc_service_time: float = 0.02,
+    differential: bool = True,
+    instrument: Optional[Callable] = None,
+    obs_sample: Optional[float] = None,
+    flight: bool = True,
+) -> Dict:
+    """One seeded gray-failure run; returns a report dict (``report["ok"]``).
+
+    The chaos site gets a second core segment (dual-homed core) and four
+    gray faults, none of which crashes a host or bumps the topology
+    version — every one is invisible to fail-stop detection:
+
+    * a **zombie RC replica**: *zombie*'s CPU is divided by
+      ``zombie_factor``, so its single-threaded RC server (service time
+      ``rc_service_time``) slows past every caller's timeout while its
+      daemon (a threaded server) keeps heartbeating — alive to the lease
+      detector, dead to actual work;
+    * **clock skew** on the last worker: its lease stamps land ~30s in
+      the past, permanently "lapsed" — only the differential
+      probe-before-death keeps the Guardian from a false kill;
+    * a **bit-flip window** on the first worker's segment — digests must
+      drop the corruption and srudp must retransmit around it;
+    * a **one-way core link failure** (frames c1→c0 on the primary core
+      segment eaten) — per-interface health steers c1's traffic onto the
+      backup segment.
+
+    Meanwhile checkpointing chaos-workers run to completion and
+    closed-loop catalog sessions (:func:`start_gray_sessions`) measure
+    goodput. ``differential=False`` is the heartbeat-only baseline of
+    experiment E15: health boards inert, Guardian trusts lapsed leases.
+    """
+    from repro.check.oracles import ProbeBus
+    from repro.robust.health import HealthBoard
+
+    saved = HealthBoard.differential_enabled
+    HealthBoard.differential_enabled = differential
+    try:
+        return _run_gray(
+            seed, n_workers, total, step, duration, zombie, zombie_at,
+            zombie_for, zombie_factor, rc_service_time, differential,
+            instrument, obs_sample, flight, ProbeBus,
+        )
+    finally:
+        HealthBoard.differential_enabled = saved
+
+
+def _run_gray(seed, n_workers, total, step, duration, zombie, zombie_at,
+              zombie_for, zombie_factor, rc_service_time, differential,
+              instrument, obs_sample, flight, ProbeBus):
+    env, workers = build_chaos_env(
+        seed, n_workers, rc_service_time=rc_service_time, backup_core=True
+    )
+    _instrument_sim(env.sim, instrument, obs_sample)
+    bus = ProbeBus()
+    env.sim.probes = bus
+    recorder = _arm_flight(env.sim, bus) if flight else None
+
+    gray_probes = {"corrupt_deliver": 0, "deaths": [], "probe_saved": 0}
+
+    def watch(kind, f):
+        if kind == "srudp.corrupt_deliver":
+            gray_probes["corrupt_deliver"] += 1
+        elif kind == "guardian.death":
+            gray_probes["deaths"].append(
+                (round(env.sim.now, 2), f.get("host"), f.get("reason")))
+
+    bus.subscribe(watch)
+
+    acked: Dict[str, int] = {}
+    coll_state = new_coll_state()
+    install_chaos_programs(env, acked, coll_state)
+    env.settle(2.0)
+
+    coll = env.spawn(TaskSpec(program="chaos-collector", name="gray-coll"), on="c0")
+    urns = []
+    for i, w in enumerate(workers):
+        spec = TaskSpec(
+            program="chaos-worker", arch="worker", name=f"gray-w{i}",
+            params={"total": total, "ckpt_every": 4,
+                    "collector_urn": coll.urn, "step": step},
+        )
+        urns.append(env.spawn(spec, on=w).urn)
+
+    load = start_gray_sessions(env, workers, 4.0, duration - 2.0)
+
+    # -- the gray fault schedule --------------------------------------------
+    env.failures.slow_host_at(zombie_at, zombie, zombie_factor,
+                              duration=zombie_for)
+    skewed = workers[-1]
+    env.failures.skew_clock_at(6.0, skewed, offset=-30.0, duration=duration - 10.0)
+    env.failures.impair_link_at(10.0, f"s-{workers[0]}", corrupt=0.15,
+                                symmetric=True, duration=8.0)
+    env.failures.impair_link_at(12.0, "core-lan", src="c1", dst="c0",
+                                loss=1.0, duration=6.0)
+
+    env.run(until=duration)
+    env.settle(4.0)
+
+    # -- measurements --------------------------------------------------------
+    z_end = zombie_at + zombie_for
+    in_zombie = sum(n for t, n in load["in_window"].items()
+                    if zombie_at <= t < z_end)
+    goodput = in_zombie / zombie_for
+    detections = [
+        h.health.first_quarantine_of(zombie)
+        for h in env.topology.hosts.values()
+        if h.health.first_quarantine_of(zombie) is not None
+    ]
+    detection_s = (min(detections) - zombie_at) if detections else None
+    deaths = sum(g.deaths_declared for g in env.guardians.values())
+    probe_saved = sum(g.false_deaths_averted for g in env.guardians.values())
+    ckpt_rejected = sum(g.ckpt_rejected for g in env.guardians.values())
+    false_deaths = [d for d in gray_probes["deaths"] if d[2] == "host-lease"]
+    metrics = env.sim.obs.metrics
+    snap = metrics.snapshot()
+    rx_corrupt = int(sum(v for k, v in snap.items()
+                         if k.startswith("transport.rx_corrupt")))
+    completed = [u for u in urns if coll_state["done"].get(u) == total]
+
+    criteria: List[Tuple[str, bool, str]] = [
+        ("zombie-quarantined",
+         (detection_s is not None) if differential else True,
+         (f"{zombie} quarantined {detection_s:.2f}s after slowdown "
+          f"by {len(detections)} host(s)") if detection_s is not None
+         else f"{zombie} never quarantined"
+              + ("" if differential else " (baseline: detector off)")),
+        ("no-false-deaths",
+         deaths == 0,
+         f"{deaths} deaths declared ({len(false_deaths)} from leases), "
+         f"{probe_saved} averted by probe-before-death "
+         f"(no host ever crashed: any death is false)"),
+        ("no-corrupt-delivery",
+         gray_probes["corrupt_deliver"] == 0,
+         f"{gray_probes['corrupt_deliver']} corrupted deliveries; "
+         f"{rx_corrupt} corrupt frames detected and dropped at receivers"),
+        ("completed-exactly-once",
+         len(completed) == len(urns) and not coll_state["mismatch"],
+         f"{len(completed)}/{len(urns)} workers completed once; "
+         f"{len(coll_state['mismatch'])} result mismatches"),
+    ]
+    ok = all(c_ok for _, c_ok, _ in criteria)
+    flight_records = None
+    if recorder is not None and not ok:
+        for name, c_ok, detail in criteria:
+            if not c_ok:
+                recorder.note_violation(f"criterion:{name}", env.sim.now, detail)
+        flight_records = recorder.snapshot()
+    return {
+        "seed": seed,
+        "differential": differential,
+        "workers": n_workers,
+        "zombie": zombie,
+        "zombie_window": (zombie_at, z_end),
+        "flight": flight_records,
+        "goodput_ops_s": goodput,
+        "ops_ok": load["ops_ok"],
+        "ops_failed": load["ops_failed"],
+        "sessions": load["sessions"],
+        "detection_s": detection_s,
+        "deaths_declared": deaths,
+        "false_lease_deaths": len(false_deaths),
+        "death_log": gray_probes["deaths"],
+        "probe_saved": probe_saved,
+        "ckpt_rejected": ckpt_rejected,
+        "rx_corrupt_dropped": rx_corrupt,
+        "corrupt_delivered": gray_probes["corrupt_deliver"],
+        "criteria": criteria,
+        "ok": ok,
+        "finished_at": env.sim.now,
+    }
+
+
+def format_gray_report(report: Dict) -> str:
+    """Human-readable gray-failure report for the CLI."""
+    det = report["detection_s"]
+    lines = [
+        f"gray run: seed={report['seed']} workers={report['workers']} "
+        f"differential={'on' if report['differential'] else 'off (baseline)'}",
+        "",
+        f"zombie {report['zombie']} (heartbeat-alive, work-dead) "
+        f"t={report['zombie_window'][0]:.0f}..{report['zombie_window'][1]:.0f}s:",
+        f"  detection latency: "
+        + (f"{det:.2f}s" if det is not None else "never detected"),
+        f"  goodput in zombie window: {report['goodput_ops_s']:.1f} ops/s "
+        f"({report['ops_ok']} ok / {report['ops_failed']} failed over "
+        f"{report['sessions']} sessions)",
+        "",
+        f"false deaths: {report['false_lease_deaths']} declared, "
+        f"{report['probe_saved']} averted by probe-before-death",
+        f"corruption: {report['corrupt_delivered']} delivered, "
+        f"{report['rx_corrupt_dropped']} dropped at receivers",
+        f"checkpoints rejected on digest: {report['ckpt_rejected']}",
         "",
         "criteria:",
     ]

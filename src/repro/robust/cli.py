@@ -16,6 +16,9 @@ Subcommands:
   schedule; same seed, same run.
 * ``sweep`` — run several seeds back to back (default: the CI seeds)
   and print one summary line each; exit non-zero if any seed fails.
+* ``bench`` — the E15 benchmark: the gray scenario with the
+  differential detector vs the heartbeat-only baseline across seeds;
+  prints the comparison table and writes ``BENCH_gray_goodput.json``.
 """
 
 from __future__ import annotations
@@ -26,20 +29,24 @@ from typing import List, Optional
 from repro.robust.chaos import (
     DEFAULT_SEEDS,
     format_bulk_report,
+    format_gray_report,
     format_overload_report,
     format_report,
     run_bulk_chaos,
     run_chaos,
+    run_gray,
     run_overload,
 )
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--scenario", choices=("faults", "overload", "bulk"),
+    p.add_argument("--scenario", choices=("faults", "overload", "bulk", "gray"),
                    default="faults",
                    help="faults: crash/partition chaos (default); "
                         "overload: bulk saturation, no crashes; "
-                        "bulk: relay-tree distribution with mid-transfer kills")
+                        "bulk: relay-tree distribution with mid-transfer kills; "
+                        "gray: zombie replica, clock skew, corruption, "
+                        "one-way links — nothing fail-stop")
     p.add_argument("--workers", type=int, default=4, help="worker hosts (default 4)")
     p.add_argument("--steps", type=int, default=60,
                    help="[faults] work units per task (default 60)")
@@ -56,16 +63,28 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--static", action="store_true",
                    help="[overload] baseline: fixed timeouts, no breakers, "
                         "no priority lanes")
+    p.add_argument("--heartbeat-only", action="store_true",
+                   help="[gray] baseline: health boards inert, Guardian "
+                        "trusts lapsed leases without probing")
     p.add_argument("--obs-sample", type=float, default=None, metavar="RATE",
                    help="enable tracing at this sampling rate (1.0 = every "
                         "record, 0.01 = 1-in-100; default: tracing off)")
+    p.add_argument("--export", default=None, metavar="PATH",
+                   help="save the run's observability metrics export as "
+                        "JSON (diffable with `python -m repro obs diff`)")
 
 
 def _run_one(seed: int, args) -> dict:
+    holder = {}
+    instrument = (
+        (lambda sim: holder.setdefault("sim", sim))
+        if getattr(args, "export", None) else None
+    )
     if args.scenario == "bulk":
         report = run_bulk_chaos(
             seed,
             duration=args.duration if args.duration is not None else 60.0,
+            instrument=instrument,
             obs_sample=args.obs_sample,
         )
     elif args.scenario == "overload":
@@ -73,8 +92,19 @@ def _run_one(seed: int, args) -> dict:
             seed,
             saturation=args.saturation,
             adaptive=not args.static,
+            instrument=instrument,
             n_workers=args.workers,
             duration=args.duration if args.duration is not None else 32.0,
+            obs_sample=args.obs_sample,
+        )
+    elif args.scenario == "gray":
+        report = run_gray(
+            seed,
+            n_workers=args.workers,
+            total=args.steps,
+            duration=args.duration if args.duration is not None else 40.0,
+            differential=not args.heartbeat_only,
+            instrument=instrument,
             obs_sample=args.obs_sample,
         )
     else:
@@ -85,8 +115,14 @@ def _run_one(seed: int, args) -> dict:
             duration=args.duration if args.duration is not None else 120.0,
             churn=not args.no_churn,
             partitions=not args.no_partitions,
+            instrument=instrument,
             obs_sample=args.obs_sample,
         )
+    if getattr(args, "export", None) and holder.get("sim") is not None:
+        from repro.obs.report import save_export
+
+        save_export(holder["sim"].obs.export(), args.export)
+        print(f"metrics export written to {args.export}")
     if not report["ok"] and report.get("flight"):
         from repro.obs.flight import dump_flight_records
 
@@ -106,7 +142,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep = sub.add_parser("sweep", help="run a set of seeds")
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS))
     _add_run_args(p_sweep)
+    p_bench = sub.add_parser(
+        "bench", help="E15: gray goodput, differential vs heartbeat-only")
+    p_bench.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    p_bench.add_argument("--duration", type=float, default=40.0,
+                         help="simulated-seconds budget per run (default 40)")
+    p_bench.add_argument("--json-dir", default=".",
+                         help="directory for BENCH_gray_goodput.json "
+                              "(default: current directory)")
     args = parser.parse_args(argv)
+
+    if args.cmd == "bench":
+        import time as _time
+
+        from repro.bench.e15_gray import format_gray_bench, gray_goodput, summarize
+        from repro.obs.report import write_bench_json
+
+        t0 = _time.monotonic()
+        rows = gray_goodput(seeds=args.seeds, duration=args.duration)
+        print(format_gray_bench(rows))
+        path = write_bench_json(
+            "gray_goodput", rows, args.json_dir,
+            wall_s=round(_time.monotonic() - t0, 2), scenario="gray",
+            extra={"summary": summarize(rows), "seeds": list(args.seeds)},
+        )
+        print(f"\nbench json written: {path}")
+        s = summarize(rows)
+        ok = (s["goodput_ratio"] is not None and s["goodput_ratio"] >= 2.0
+              and s["false_deaths_differential"] == 0)
+        return 0 if ok else 1
 
     if args.cmd == "run":
         report = _run_one(args.seed, args)
@@ -114,6 +178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_bulk_report(report))
         elif args.scenario == "overload":
             print(format_overload_report(report))
+        elif args.scenario == "gray":
+            print(format_gray_report(report))
         else:
             print(format_report(report))
         return 0 if report["ok"] else 1
@@ -138,6 +204,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"control_p99={report['control_p99_s'] * 1000:.0f}ms "
                 f"deaths={report['deaths_declared']} "
                 f"hb_failed={report['heartbeats_failed']} "
+                + (f"failed: {bad}" if bad else "")
+            )
+        elif args.scenario == "gray":
+            bad = [name for name, ok, _ in report["criteria"] if not ok]
+            det = report["detection_s"]
+            print(
+                f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+                f"goodput={report['goodput_ops_s']:.1f}/s "
+                f"detect={'%.2fs' % det if det is not None else 'never'} "
+                f"false_deaths={report['false_lease_deaths']} "
+                f"saved={report['probe_saved']} "
                 + (f"failed: {bad}" if bad else "")
             )
         else:

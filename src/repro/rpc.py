@@ -155,7 +155,11 @@ class RpcServer:
                     self._reply(msg, Response(req.req_id, False, error=f"no method {req.method!r}"))
                     continue
                 if self.service_time > 0:
-                    yield self.sim.timeout(self.service_time)
+                    # A single-threaded server's per-request cost is CPU:
+                    # it stretches when the host is slowed (gray zombie —
+                    # its NIC and heartbeats stay healthy, its work crawls).
+                    speed = max(getattr(self.host, "cpu_speed", 1.0), 1e-9)
+                    yield self.sim.timeout(self.service_time / speed)
                     yield from self._handle(msg, req, handler)
                 else:
                     defuse(
@@ -315,6 +319,16 @@ class RpcClient:
             if not reply_ev.triggered:
                 self._metrics.counter("rpc.errors", method=method).inc()
                 self._timeouts.note_timeout(dst_host, dst_port, method, timeout)
+                self.host.health.note_outcome(dst_host, False, kind="rpc")
+                if not send_ev.triggered:
+                    # The request itself never finished arriving (no
+                    # transport ack before the deadline). That is evidence
+                    # against the chosen *path*, not just the peer — and
+                    # the srudp sender may keep retrying past our deadline
+                    # and never report the failure itself (a one-way link
+                    # cut shorter than its retry budget heals before
+                    # exhaustion), so feed per-iface steering here.
+                    self.endpoint.paths.note_result(dst_host, False)
                 if config.breakers:
                     self._breakers.record(bkey, False)
                 # Reap a send failure for a clearer error, if there is one.
@@ -330,8 +344,14 @@ class RpcClient:
             rtt = self.sim.now - t0
             # Any response — even an application error — proves the
             # destination alive: the breaker quarantines sick *hosts*,
-            # not failing requests.
+            # not failing requests. The health board is stricter: it
+            # scores against the *static* SLO anchor, not the adaptive
+            # deadline. A gray zombie answers every request eventually,
+            # and the adaptive timeout legitimately stretches to keep
+            # calls completing — if health graded against the stretched
+            # deadline it would adapt right into the failure.
             self._timeouts.observe(dst_host, dst_port, method, timeout, rtt)
+            self.host.health.note_outcome(dst_host, rtt <= timeout, kind="rpc")
             if config.breakers:
                 self._breakers.record(bkey, True)
             if not resp.ok:

@@ -66,6 +66,7 @@ class TransportEndpoint:
         self.tx_messages = 0
         self.rx_messages = 0
         self.rx_drops = 0
+        self.rx_corrupt = 0
         # Observability: per-protocol metrics are interned by the registry,
         # so every endpoint of one protocol feeds the same histogram.
         obs = self.sim.obs
@@ -84,6 +85,9 @@ class TransportEndpoint:
         )
         self._m_rx_drops = obs.metrics.counter(
             "transport.rx_drops", proto=self.proto
+        )
+        self._m_rx_corrupt = obs.metrics.counter(
+            "transport.rx_corrupt", proto=self.proto
         )
         self._rx_proc = self.sim.process(
             self._rx_loop(), name=f"{self.proto}:{host.name}:{port}"
@@ -126,6 +130,15 @@ class TransportEndpoint:
         self.rx_drops += 1
         self._m_rx_drops.inc()
 
+    def _note_rx_corrupt(self, src_host: str) -> None:
+        """Count one frame dropped on digest-verification failure, and
+        feed the differential health board (bit-flipping paths get
+        quarantined). For reliable transports the drop is retried: no
+        ACK covers the segment, so the sender retransmits it."""
+        self.rx_corrupt += 1
+        self._m_rx_corrupt.inc()
+        self.host.health.note_outcome(src_host, False, kind="digest")
+
     # -- frame helpers --------------------------------------------------------
     def max_payload(self, dst_host: str) -> int:
         """Usable bytes per frame toward *dst_host* after headers."""
@@ -142,13 +155,15 @@ class TransportEndpoint:
         payload: Any,
         body_bytes: int,
         trace_id: Optional[int] = None,
+        digest: Optional[str] = None,
     ) -> bool:
         """Push one protocol frame toward *dst_host*. False if unroutable.
 
         *trace_id* stamps the frame for causal tracing; a ``frame.tx``
         record naming the chosen interface/network is emitted per frame
         when tracing is on, which is what makes mid-message reroutes
-        visible in a trace.
+        visible in a trace. *digest* is the end-to-end payload digest for
+        verifying transports.
         """
         if dst_host == self.host.name:
             self._send_local(dst_port, payload, body_bytes, trace_id=trace_id)
@@ -167,6 +182,7 @@ class TransportEndpoint:
             size=body_bytes + self.header_bytes,
             l2_dst=l2,
             trace_id=trace_id,
+            digest=digest,
         )
         if self._tracer.enabled:
             self._tracer.event(

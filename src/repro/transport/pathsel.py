@@ -71,10 +71,15 @@ class PathSelector:
     def note_result(self, dst_host: str, ok: bool) -> None:
         """Transport feedback: the last chosen path to *dst_host* carried a
         message successfully (or exhausted its retries). Feeds the path
-        breaker so a sick interface is demoted at the next selection."""
+        breaker so a sick interface is demoted at the next selection, and
+        the differential health board so gray peers lose their place in
+        every candidate ordering, not just this selector's."""
+        last = self._last_choice.get(dst_host)
+        self.host.health.note_outcome(
+            dst_host, ok, kind="srudp", iface=last[0] if last else "*"
+        )
         if not self.host.sim.overload.breakers:
             return
-        last = self._last_choice.get(dst_host)
         if last is None:
             return
         self.breakers.record((dst_host, last[0]), ok)
@@ -92,7 +97,16 @@ class PathSelector:
         key = (dst_host, self.topology._version, self.policy)
         cached = self._cache.get(key)
         if cached is not None and self.host.sim.now < cached[1]:
-            return cached[0]
+            if cached[0] is None or not self.host.health.iface_quarantined(
+                dst_host, cached[0][0].iface
+            ):
+                return cached[0]
+            # A health quarantine landed on the cached interface *after*
+            # it was cached. The board can't invalidate every endpoint's
+            # selector (it doesn't know them), and gray link faults never
+            # bump the topology version — so without this check a choice
+            # cached before the fault would ride the sick path forever.
+            del self._cache[key]
         choice, expires = self._compute(dst_host)
         self._cache[key] = (choice, expires)
         prev = self._last_choice.get(dst_host)
@@ -137,6 +151,7 @@ class PathSelector:
                 quarantine = (
                     self._breakers if self.host.sim.overload.breakers else None
                 )
+                health = self.host.health
                 for seg in shared:
                     nic = self.host.nic_on_segment(seg.name)
                     dst_ip = target.ip_on_segment(seg.name)
@@ -150,6 +165,13 @@ class PathSelector:
                         due = quarantine.due_at((dst_host, nic.iface))
                         if due is not None:
                             expires = min(expires, due)
+                        continue
+                    # The health board quarantines per (peer, iface) too:
+                    # a path failing *application* outcomes (digest drops,
+                    # delivery failures) is demoted even while its breaker
+                    # still thinks it's fine. Probation bounds the detour.
+                    if health.iface_quarantined(dst_host, nic.iface):
+                        expires = min(expires, self.host.sim.now + health.probation)
                         continue
                     return (nic, dst_ip, None), expires
                 if fallback is not None:

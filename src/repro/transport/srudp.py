@@ -8,6 +8,16 @@ segments are retransmitted. Compared with TCP this saves the connection
 handshake, 8 header bytes per frame, and — under loss — the go-back-N
 resend storm; that is where the "slightly higher point-to-point
 communication performance" of §6.1 comes from.
+
+End-to-end integrity: the sender stamps every data frame with a SHA-256
+digest of the message payload (computed once per message via
+:func:`repro.security.hashes.content_hash`); the receiver re-verifies on
+arrival and a frame whose bytes no longer match — bit flips injected by
+a gray link — is counted (``transport.rx_corrupt``), dropped, and left
+out of the selective ACK, so the sender simply retransmits it. Corrupt
+data is never delivered upward. ``SrudpEndpoint.digest_enabled = False``
+(the ``no-digest`` seeded bug) turns verification off; the corruption
+oracle then catches the corrupt delivery.
 """
 
 from __future__ import annotations
@@ -54,6 +64,9 @@ class SrudpEndpoint(TransportEndpoint):
 
     proto = "srudp"
     header_bytes = 32  # IP 20 + SNIPE reliable-datagram header 12
+    #: End-to-end payload digesting (class-level so the ``no-digest``
+    #: seeded bug can switch every endpoint off at once).
+    digest_enabled = True
 
     def __init__(
         self,
@@ -120,6 +133,7 @@ class SrudpEndpoint(TransportEndpoint):
         msg_id = self._next_msg_id
         mss = self.max_payload(dst_host)
         nsegs = max(1, -(-size // mss))
+        digest = self._message_digest(payload) if self.digest_enabled else None
         acks: Store = Store(self.sim)
         self._ack_routes[msg_id] = acks
         self._note_tx()
@@ -156,7 +170,8 @@ class SrudpEndpoint(TransportEndpoint):
                         "srudp.retransmit", trace_id=trace_id, msg=msg_id, seq=seq
                     )
                 return self._send_frame(
-                    dst_host, dst_port, data, seg_bytes(seq), trace_id=trace_id
+                    dst_host, dst_port, data, seg_bytes(seq), trace_id=trace_id,
+                    digest=digest,
                 )
 
             while unacked:
@@ -246,6 +261,15 @@ class SrudpEndpoint(TransportEndpoint):
             self._ack_routes.pop(msg_id, None)
 
     # -- receiving ------------------------------------------------------------
+    @staticmethod
+    def _message_digest(payload) -> Optional[str]:
+        from repro.security.hashes import content_hash
+
+        try:
+            return content_hash(payload)
+        except Exception:
+            return None  # unhashable payload object: send unverified
+
     def recv(self):
         """Event yielding the next complete :class:`Message`."""
         return self._rx_queue.get()
@@ -256,6 +280,11 @@ class SrudpEndpoint(TransportEndpoint):
                 frame = yield self.binding.get()
                 item = frame.payload
                 if isinstance(item, _Ack):
+                    if frame.corrupt and self.digest_enabled:
+                        # Header checksum failed: treat the ACK as lost;
+                        # the sender's timeout path recovers.
+                        self._note_rx_corrupt(frame.src.host)
+                        continue
                     inbox = self._ack_routes.get(item.msg_id)
                     if inbox is not None:
                         inbox.try_put(item)
@@ -265,6 +294,13 @@ class SrudpEndpoint(TransportEndpoint):
             return
 
     def _on_data(self, frame, data: _Data) -> None:
+        if frame.corrupt and self.digest_enabled and frame.digest is not None:
+            # Recomputing the digest over the received bytes does not
+            # match the sender-stamped header digest: count the corrupt
+            # receive, drop the segment, and leave it un-ACKed so the
+            # sender retransmits. Corrupt bytes never go upward.
+            self._note_rx_corrupt(frame.src.host)
+            return
         # Keyed by host identity, not IP: a path failover changes the
         # source address mid-message and must not split the reassembly.
         key = (frame.src.host, frame.src_port, data.msg_id)
@@ -275,6 +311,11 @@ class SrudpEndpoint(TransportEndpoint):
         state = self._rx_state.get(key)
         if state is None:
             state = self._rx_state[key] = _RxState(data.nsegs)
+        if frame.corrupt:
+            # Verification is off (no-digest bug) or the payload was
+            # unhashable: the flipped bits go undetected and poison the
+            # whole reassembly. The corruption oracle's ground truth.
+            state.corrupt = True
         state.add(data.seq)
         if state.complete:
             admitted = self._rx_queue.try_put(
@@ -302,6 +343,13 @@ class SrudpEndpoint(TransportEndpoint):
             while len(self._done) > 4096:
                 self._done.popitem(last=False)
             self._note_rx(sent_at=data.t0)
+            if state.corrupt:
+                probes = self.sim.probes
+                if probes is not None:
+                    probes.emit(
+                        "srudp.corrupt_deliver", src=frame.src.host,
+                        dst=self.host.name, msg=data.msg_id,
+                    )
             if self._tracer.enabled:
                 self._tracer.event(
                     "srudp.deliver", trace_id=frame.trace_id, msg=data.msg_id,
@@ -325,12 +373,14 @@ class SrudpEndpoint(TransportEndpoint):
 class _RxState:
     """Receiver-side reassembly: which segments of a message have arrived."""
 
-    __slots__ = ("nsegs", "received", "max_seen")
+    __slots__ = ("nsegs", "received", "max_seen", "corrupt")
 
     def __init__(self, nsegs: int) -> None:
         self.nsegs = nsegs
         self.received: Set[int] = set()
         self.max_seen = -1
+        #: True when an undetected-corrupt segment entered the reassembly.
+        self.corrupt = False
 
     def add(self, seq: int) -> None:
         self.received.add(seq)

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core import SnipeEnvironment
-from repro.core.checkpoint import checkpoint_lifn, checkpoint_to_files, restart_from_files
+from repro.core.checkpoint import (
+    CheckpointCorrupt,
+    checkpoint_lifn,
+    checkpoint_to_files,
+    restart_from_files,
+    verify_checkpoint_record,
+)
 from repro.daemon import TaskSpec, TaskState
 
 
@@ -33,17 +39,21 @@ def test_checkpoint_written_and_registered():
                               params={"total": 10, "ckpt_every": 5}), on="h1")
     env.run(until=60.0)
     assert info.state == TaskState.EXITED
-    lifn = checkpoint_lifn(info.urn)
 
     def check(sim):
-        got = yield env.file_client("h3").read(lifn)
         meta = yield env.rc_client("h3").lookup(info.urn)
-        return got["payload"], meta.get("checkpoint-lifn")
+        cur = meta["checkpoint-lifn"]["value"]
+        prev = (meta.get("checkpoint-prev-lifn") or {}).get("value")
+        got = yield env.file_client("h3").read(cur)
+        return got["payload"], cur, prev
 
-    record, reg = env.run(until=env.sim.process(check(env.sim)))
+    record, cur, prev = env.run(until=env.sim.process(check(env.sim)))
     assert record["state"]["i"] == 10
     assert record["program"] == "accumulator"
-    assert reg["value"] == lifn
+    assert verify_checkpoint_record(record)
+    # Two checkpoints (at 5 and 10) rotated the versioned pointers.
+    assert cur == checkpoint_lifn(info.urn, version=2)
+    assert prev == checkpoint_lifn(info.urn, version=1)
 
 
 def test_restart_after_host_death_resumes_from_checkpoint():
@@ -56,10 +66,13 @@ def test_restart_after_host_death_resumes_from_checkpoint():
     env.settle(1.0)
     assert env.daemons["h1"].tasks[info.urn].state == TaskState.KILLED
 
+    def latest(sim):
+        lifn = yield env.rc_client("h2").get(info.urn, "checkpoint-lifn")
+        return lifn
+
+    lifn = env.run(until=env.sim.process(latest(env.sim)))
     urn = env.run(
-        until=restart_from_files(
-            env.topology.hosts["h2"], env.rc_client("h2"), checkpoint_lifn(info.urn)
-        )
+        until=restart_from_files(env.topology.hosts["h2"], env.rc_client("h2"), lifn)
     )
     assert urn == info.urn  # identity survives the restart
     env.run(until=120.0)
@@ -70,6 +83,27 @@ def test_restart_after_host_death_resumes_from_checkpoint():
     h2_steps = [i for host, i in progress if host == "h2"]
     assert min(h2_steps) == 21
     assert max(h2_steps) == 40
+
+
+def test_corrupt_checkpoint_write_rejected_at_restart():
+    """A gray storage fault scrambles the record after digesting; the
+    restart path must refuse it rather than respawn from garbage."""
+    env, progress = ckpt_env()
+    env.topology.hosts["h1"].corrupt_ckpt_writes = True
+    info = env.spawn(TaskSpec(program="accumulator",
+                              params={"total": 10, "ckpt_every": 5}), on="h1")
+    env.run(until=60.0)
+
+    def latest(sim):
+        lifn = yield env.rc_client("h2").get(info.urn, "checkpoint-lifn")
+        return lifn
+
+    lifn = env.run(until=env.sim.process(latest(env.sim)))
+    with pytest.raises(CheckpointCorrupt):
+        env.run(
+            until=restart_from_files(env.topology.hosts["h2"], env.rc_client("h2"), lifn)
+        )
+    assert env.sim.obs.metrics.counter("ckpt.verify_failures").value >= 1
 
 
 def test_restart_missing_checkpoint_fails():

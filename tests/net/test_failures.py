@@ -36,7 +36,7 @@ def test_scheduled_segment_down_permanent():
     assert not topo.segments["lan"].up
 
 
-def test_partition_cuts_spanning_segments_only():
+def _partition_topo():
     sim = Simulator()
     topo = Topology(sim)
     seg_a = topo.add_segment("side-a", LAN)
@@ -50,14 +50,44 @@ def test_partition_cuts_spanning_segments_only():
     topo.connect(a1, seg_x)
     topo.connect(b1, seg_x)
     topo.connect(b1, seg_b)
+    return sim, topo
+
+
+def test_partition_cuts_spanning_segments_only():
+    sim, topo = _partition_topo()
     inj = FailureInjector(sim, topo)
     inj.partition_at(1.0, ["a1", "a2"], ["b1"], duration=5.0)
     sim.run(until=2.0)
-    assert topo.segments["side-a"].up
-    assert topo.segments["side-b"].up
-    assert not topo.segments["cross"].up
+    cross = topo.segments["cross"]
+    # Only the directed cross-side pairs on the spanning segment are cut;
+    # the segment itself stays administratively up, and non-spanning
+    # segments are untouched.
+    assert topo.segments["side-a"].up and not topo.segments["side-a"]._gray
+    assert topo.segments["side-b"].up and not topo.segments["side-b"]._gray
+    assert cross.up
+    assert cross.link_blocked("a1", "b1") and cross.link_blocked("b1", "a1")
+    # Per-direction hold records land in the log (symmetric = both ways).
+    kinds = [(k, w) for _, k, w in inj.log]
+    assert ("link_down", "cross:a1->b1") in kinds
+    assert ("link_down", "cross:b1->a1") in kinds
     sim.run(until=7.0)
-    assert topo.segments["cross"].up
+    assert not cross.link_blocked("a1", "b1")
+    assert not cross.link_blocked("b1", "a1")
+    kinds = [(k, w) for _, k, w in inj.log]
+    assert ("link_up", "cross:a1->b1") in kinds and ("link_up", "cross:b1->a1") in kinds
+
+
+def test_oneway_partition_cuts_single_direction():
+    sim, topo = _partition_topo()
+    inj = FailureInjector(sim, topo)
+    inj.partition_oneway_at(1.0, ["a1"], ["b1"], duration=5.0)
+    sim.run(until=2.0)
+    cross = topo.segments["cross"]
+    assert cross.up
+    assert cross.link_blocked("a1", "b1")
+    assert not cross.link_blocked("b1", "a1")  # the gray part: replies flow
+    sim.run(until=7.0)
+    assert not cross.link_blocked("a1", "b1")
 
 
 def test_churn_produces_alternating_up_down():
