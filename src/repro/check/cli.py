@@ -22,14 +22,17 @@ from repro.check.shrink import load_trace, minimize, replay_trace, write_trace
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--scenario", choices=("faults", "overload", "bulk", "gray"),
+    p.add_argument("--scenario",
+                   choices=("faults", "overload", "bulk", "gray", "heal"),
                    default="faults",
                    help="faults: crash/partition chaos (default); "
                         "overload: saturation + degradation, no crashes; "
                         "bulk: relay-tree distribution with a poisoned "
                         "source and crashing fetchers; "
                         "gray: asymmetric cuts, lossy/corrupting links, "
-                        "clock skew, zombie hosts — nothing fail-stop")
+                        "clock skew, zombie hosts — nothing fail-stop; "
+                        "heal: a replica partitioned past the compaction "
+                        "horizon under write/delete load, then healed")
     p.add_argument("--workers", type=int, default=DEFAULT_PARAMS["n_workers"],
                    help=f"worker hosts (default {DEFAULT_PARAMS['n_workers']})")
     p.add_argument("--steps", type=int, default=DEFAULT_PARAMS["total"],

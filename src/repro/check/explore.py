@@ -20,11 +20,13 @@ from typing import Dict, List, Optional
 from repro.bulk.fetch import BulkFetcher
 from repro.check.oracles import (
     ChunkOracle,
+    CompactionOracle,
     ConvergenceOracle,
     CorruptionOracle,
     DeliveryOracle,
     FalseDeathOracle,
     ProbeBus,
+    ResurrectionOracle,
     SingleOwnerOracle,
     Violation,
 )
@@ -41,6 +43,7 @@ from repro.robust.chaos import (
     install_chaos_programs,
     install_overload_worker,
     new_coll_state,
+    start_heal_sessions,
     start_load_generators,
 )
 
@@ -80,9 +83,12 @@ class FaultEvent:
     """One scheduled fault, explicit and serializable (so shrinkable).
 
     ``kind`` is one of ``crash`` (host down), ``partition`` (segment
-    down, host stays up — the zombie scenario), ``congest`` (segment
-    bandwidth/latency degraded by ``factor``), ``slow`` (host CPU
-    divided by ``factor``), or one of the gray kinds: ``oneway``
+    down, host stays up — the zombie scenario), ``split`` (target
+    ``"a,b|c,d"``: a full two-sided cut between the host groups on a
+    shared segment — the heal scenario's replica-group partition),
+    ``congest`` (segment bandwidth/latency degraded by ``factor``),
+    ``slow`` (host CPU divided by ``factor``), or one of the gray
+    kinds: ``oneway``
     (target ``"a->b"``, frames a→b eaten while b→a flow), ``impair``
     (probabilistic loss/dup/reorder/corrupt on a segment, rates in
     ``extra``), ``skew`` (host wall clock offset/drift in ``extra``)
@@ -126,6 +132,10 @@ def apply_fault_plan(env, plan: List[FaultEvent]) -> None:
             env.failures.host_down_at(ev.t, ev.target, duration=ev.duration)
         elif ev.kind == "partition":
             env.failures.segment_down_at(ev.t, ev.target, duration=ev.duration)
+        elif ev.kind == "split":
+            a, b = ev.target.split("|", 1)
+            env.failures.partition_at(ev.t, a.split(","), b.split(","),
+                                      duration=ev.duration)
         elif ev.kind == "congest":
             env.failures.congest_segment_at(ev.t, ev.target, ev.factor,
                                             duration=ev.duration)
@@ -166,10 +176,16 @@ def sample_fault_plan(
     r2 = lambda x: round(x, 2)  # noqa: E731
     plan: List[FaultEvent] = []
     if scenario == "faults":
+        # The mandatory partition must outlast the Guardian's detection
+        # horizon (lease lapse + grace + probe-confirmed death), or no
+        # recovery ever starts while the victim is still alive and the
+        # zombie/fencing chain goes untested. Probe confirmation added
+        # several seconds to that horizon; durations shorter than ~12s
+        # heal before a death is ever declared.
         w = workers[rng.randrange(len(workers))]
         plan.append(FaultEvent("partition", f"s-{w}",
                                r2(rng.uniform(3.0, horizon * 0.4)),
-                               r2(rng.uniform(6.0, 10.0))))
+                               r2(rng.uniform(14.0, 20.0))))
         for _ in range(rng.randrange(1, 4)):
             w = workers[rng.randrange(len(workers))]
             kind = rng.choice(("crash", "partition"))
@@ -197,6 +213,17 @@ def sample_fault_plan(
                                    r2(rng.uniform(0.5, 2.0))))
     elif scenario == "gray":
         plan = _sample_gray_plan(rng, workers, horizon)
+    elif scenario == "heal":
+        # One catalog replica isolated from the other two for longer than
+        # the stability window (peer_stale_after + compact_interval), so
+        # log compaction provably runs *while the cut is up* and the heal
+        # has to cross the compaction horizon — gapped batches, snapshot
+        # catch-up, and tombstone GC discipline are all on the path.
+        iso = ("c0", "c1", "c2")[rng.randrange(3)]
+        rest = ",".join(r for r in ("c0", "c1", "c2") if r != iso)
+        plan.append(FaultEvent("split", f"{iso}|{rest}",
+                               r2(rng.uniform(4.0, 10.0)),
+                               r2(rng.uniform(12.0, 18.0))))
     else:
         raise ValueError(f"unknown scenario {scenario!r}")
     return sorted(plan, key=lambda e: (e.t, e.kind, e.target))
@@ -288,6 +315,14 @@ BUGS: Dict[str, str] = {
                     "differential probe-before-death, so a clock-skewed "
                     "live host is declared dead (caught by the "
                     "no-false-death oracle; gray scenario)",
+    "early-gc": "replicas collect tombstones before every peer has acked "
+                "past them, so a partitioned peer's stale pre-delete "
+                "write resurrects the key on heal (caught by the "
+                "no-resurrection oracle; heal scenario)",
+    "vector-gap": "a gapped anti-entropy batch bumps the version vector "
+                  "past records that were never applied, so the skipped "
+                  "records are never requested again (caught by the "
+                  "compaction-convergence oracle; heal scenario)",
 }
 
 _BUG_HOOKS = {
@@ -297,6 +332,8 @@ _BUG_HOOKS = {
     "no-chunk-verify": (BulkFetcher, "verify_enabled"),
     "no-digest": (SrudpEndpoint, "digest_enabled"),
     "naive-health": (HealthBoard, "differential_enabled"),
+    "early-gc": (RCStore, "safe_gc_enabled"),
+    "vector-gap": (RCStore, "contiguous_vector_enabled"),
 }
 
 
@@ -374,7 +411,7 @@ def run_check(
     process crash escaping the kernel (strict mode) is itself recorded
     as a ``process-crash`` violation.
     """
-    if scenario not in ("faults", "overload", "bulk", "gray"):
+    if scenario not in ("faults", "overload", "bulk", "gray", "heal"):
         raise ValueError(f"unknown scenario {scenario!r}")
     with seeded_bug(bug):
         if scenario == "bulk":
@@ -403,6 +440,14 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         env, workers = build_chaos_env(
             seed, n_workers, rc_service_time=service_time, configure=configure
         )
+    elif scenario == "heal":
+        # Aggressive compaction, so the horizon provably moves while one
+        # replica is cut off and anti-entropy must heal across it (via
+        # gap-refusing batches and snapshot catch-up) rather than replay
+        # a complete log.
+        env, workers = build_chaos_env(seed, n_workers, rc_server_kw=dict(
+            compact_interval=1.0, peer_stale_after=6.0, max_sync_records=32,
+            snapshot_every=64, log_keep_tail=8))
     else:
         env, workers = build_chaos_env(seed, n_workers)
     sim = env.sim
@@ -425,6 +470,15 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     bus.subscribe(chunks.on_probe)
     bus.subscribe(corruption.on_probe)
     oracles = [convergence, delivery, owner, chunks, corruption]
+    resurrection = compaction = None
+    if scenario == "heal":
+        # Attach order matters: ConvergenceOracle.attach *sets* the
+        # stores' on_apply slot; these two chain onto it.
+        resurrection = ResurrectionOracle(sim)
+        resurrection.attach(env)
+        compaction = CompactionOracle(sim)
+        compaction.attach(env)
+        oracles += [resurrection, compaction]
     if scenario == "gray":
         # Only gray plans promise every non-crashed host stays reachable
         # over *some* path; a full partition (faults scenario) makes a
@@ -466,6 +520,24 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         start_load_generators(env, workers, saturation * capacity,
                               4.0, duration - 6.0)
 
+    heal_tracked = None
+    heal_end = 0.0
+    if scenario == "heal":
+        # Per-key write/delete load pinned to fixed replicas, with the
+        # retirements (write-here/delete-there pairs) seeded *inside*
+        # the split window so the tombstone and the stale live write
+        # land on opposite sides of the cut.
+        splits = [e for e in plan if e.kind == "split"]
+        if splits:
+            retire_window = (splits[0].t + 0.35 * splits[0].duration,
+                             splits[0].t + 0.65 * splits[0].duration)
+        else:  # a shrunk plan may have dropped the split entirely
+            retire_window = (duration * 0.2, duration * 0.3)
+        heal_end = duration * 0.55
+        heal_tracked = start_heal_sessions(
+            env, workers, 3.0, heal_end, n_keys=18, interval=0.35,
+            value_pad=256, retire_frac=0.3, retire_window=retire_window)
+
     apply_fault_plan(env, plan)
     fault_end = max((e.t + e.duration for e in plan), default=0.0)
 
@@ -489,9 +561,10 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         sweep()
         if violations:
             break
-        if (scenario in ("faults", "gray")
+        if (scenario in ("faults", "gray", "heal")
                 and len(coll_state["done"]) == len(urns)
-                and sim.now > fault_end + 6.0):
+                and sim.now > fault_end + 6.0
+                and sim.now > heal_end + 6.0):
             break
 
     completed = sum(1 for u in urns if coll_state["done"].get(u) == total)
@@ -504,7 +577,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
             ))
         sweep()
         completed = sum(1 for u in urns if coll_state["done"].get(u) == total)
-        if not violations and scenario in ("faults", "gray"):
+        if not violations and scenario in ("faults", "gray", "heal"):
             if completed == len(urns):
                 convergence.check_quiescent(urns)
             else:
@@ -514,8 +587,37 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
                     f"the {duration:.0f}s budget",
                 ))
             sweep()
+        if not violations and scenario == "heal":
+            resurrection.check_quiescent()
+            compaction.check_quiescent(prefix="snipe://heal/")
+            for uri in sorted(heal_tracked["retired"]):
+                holders = sorted(r for r, srv in env.rc_servers.items()
+                                 if srv.store.lookup(uri))
+                if holders:
+                    violations.append(Violation(
+                        "no-resurrection", sim.now,
+                        f"retired key {uri} still visible on "
+                        f"{', '.join(holders)} after its delete was "
+                        f"acknowledged",
+                    ))
+            sweep()
 
     recoveries = sum(len(g.recoveries) for g in env.guardians.values())
+    heal = None
+    if heal_tracked is not None:
+        heal = {
+            "writes_ok": heal_tracked["writes_ok"],
+            "writes_failed": heal_tracked["writes_failed"],
+            "deletes_ok": heal_tracked["deletes_ok"],
+            "deletes_failed": heal_tracked["deletes_failed"],
+            "retired": len(heal_tracked["retired"]),
+            "compactions": sum(
+                s.store.compactions for s in env.rc_servers.values()),
+            "tombstones_collected": sum(
+                s.store.tombstones_collected for s in env.rc_servers.values()),
+            "snapshot_catchups": sum(
+                s.snapshot_catchups for s in env.rc_servers.values()),
+        }
     return {
         "scenario": scenario,
         "seed": seed,
@@ -528,6 +630,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         "workers": len(urns),
         "recoveries": recoveries,
         "delivered": delivery.delivered,
+        "heal": heal,
         "schedule_picks": scheduler.picks if scheduler else 0,
         "schedule_reordered": scheduler.reordered if scheduler else 0,
         "finished_at": sim.now,

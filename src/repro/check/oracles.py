@@ -192,6 +192,196 @@ class ConvergenceOracle:
 
 
 # ---------------------------------------------------------------------------
+# Replication-state oracles (tombstone GC / log compaction)
+# ---------------------------------------------------------------------------
+
+def chain_on_apply(store, fn: Callable[[str, str, Any], None]) -> None:
+    """Add *fn* to a store's ``on_apply`` without displacing an oracle
+    already hooked there (the hook is a single slot, not a list)."""
+    prev = store.on_apply
+    if prev is None:
+        store.on_apply = fn
+    else:
+        def chained(uri: str, key: str, entry) -> None:
+            prev(uri, key, entry)
+            fn(uri, key, entry)
+
+        store.on_apply = chained
+
+
+def chain_on_record(store, fn: Callable[[Any], None]) -> None:
+    """Same as :func:`chain_on_apply` for the ``on_record`` log hook."""
+    prev = store.on_record
+    if prev is None:
+        store.on_record = fn
+    else:
+        def chained(record) -> None:
+            prev(record)
+            fn(record)
+
+        store.on_record = chained
+
+
+class ResurrectionOracle:
+    """A deleted key must never come back older than its tombstone.
+
+    Per replica, the oracle remembers the newest tombstone stamp it has
+    seen applied for each (uri, key). From then on, that replica's
+    visible register for the key may only be a *live* entry if its stamp
+    beats the tombstone — an older live entry winning means the
+    tombstone was garbage-collected before every peer acked past it
+    (the seeded ``early-gc`` bug), letting a partitioned peer's stale
+    pre-delete write resurrect the key on heal.
+    """
+
+    name = "no-resurrection"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        self._stores: Dict[str, Any] = {}
+        #: (replica, uri, key) -> newest applied tombstone stamp.
+        self._tombs: Dict[Tuple[str, str, str], Tuple] = {}
+
+    def attach(self, env) -> None:
+        for host_name, server in env.rc_servers.items():
+            self._stores[host_name] = server.store
+            chain_on_apply(server.store, self._hook(host_name, server.store))
+
+    def _hook(self, replica: str, store):
+        def on_apply(uri: str, key: str, entry) -> None:
+            slot = (replica, uri, key)
+            if entry.deleted:
+                tomb = self._tombs.get(slot)
+                if tomb is None or entry.stamp() > tomb:
+                    self._tombs[slot] = entry.stamp()
+                return
+            tomb = self._tombs.get(slot)
+            if tomb is None:
+                return
+            current = store.data.get(uri, {}).get(key)
+            if (current is not None and not current.deleted
+                    and current.stamp() < tomb):
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"replica {replica} resurrected ({uri!r}, {key!r}): "
+                    f"live entry stamp {current.stamp()} predates its "
+                    f"applied tombstone {tomb} — the tombstone was "
+                    f"collected before every peer acked past it",
+                ))
+
+        return on_apply
+
+    def check_quiescent(self) -> None:
+        """Re-verify every remembered tombstone against the final state."""
+        for (replica, uri, key), tomb in self._tombs.items():
+            store = self._stores.get(replica)
+            if store is None:
+                continue
+            current = store.data.get(uri, {}).get(key)
+            if (current is not None and not current.deleted
+                    and current.stamp() < tomb):
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"at quiescence replica {replica} shows ({uri!r}, "
+                    f"{key!r}) live at stamp {current.stamp()}, older than "
+                    f"its tombstone {tomb}",
+                ))
+
+
+class CompactionOracle:
+    """The version vector must never outrun contiguous knowledge.
+
+    ``vector[origin] == n`` is a promise that records ``1..n`` from that
+    origin were all applied here (directly, or summarized by a snapshot
+    whose compaction horizon covers them). The oracle replays that
+    definition: it tracks every record entering each replica's log via
+    ``on_record``, maintains the contiguous watermark over
+    ``max(compacted horizon, seen seqs)``, and flags the first apply
+    that leaves the vector past the watermark — the seeded
+    ``vector-gap`` bug, where a gapped anti-entropy batch silently
+    advances the vector so the skipped records are never requested.
+
+    :meth:`check_quiescent` adds the cross-replica half: once the run
+    settles, every replica must hold the identical visible state for the
+    checked prefix — compaction and snapshot catch-up must be invisible
+    to convergence.
+    """
+
+    name = "compaction-convergence"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        self._stores: Dict[str, Any] = {}
+        self._pending: Dict[Tuple[str, str], Set[int]] = {}
+        self._water: Dict[Tuple[str, str], int] = {}
+
+    def attach(self, env) -> None:
+        for host_name, server in env.rc_servers.items():
+            self._stores[host_name] = server.store
+            chain_on_record(server.store, self._on_record(host_name))
+            chain_on_apply(server.store, self._on_apply(host_name, server.store))
+
+    def _on_record(self, replica: str):
+        def on_record(record) -> None:
+            self._pending.setdefault((replica, record.origin), set()).add(record.seq)
+
+        return on_record
+
+    def _advance(self, slot: Tuple[str, str], base: int) -> int:
+        water = max(self._water.get(slot, 0), base)
+        pending = self._pending.get(slot, ())
+        while water + 1 in pending:
+            water += 1
+        self._water[slot] = water
+        return water
+
+    def _on_apply(self, replica: str, store):
+        def on_apply(uri: str, key: str, entry) -> None:
+            origin = entry.origin
+            slot = (replica, origin)
+            water = self._advance(slot, store.compacted.get(origin, 0))
+            vec = store.vector.get(origin, 0)
+            if vec > water:
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"replica {replica} advanced vector[{origin!r}] to "
+                    f"{vec} but its contiguous knowledge ends at {water} "
+                    f"— a gapped batch bumped the vector past records it "
+                    f"never applied",
+                ))
+
+        return on_apply
+
+    def check_quiescent(self, prefix: str = "") -> None:
+        """After settle: identical visible registers on every replica."""
+        snaps = {}
+        for replica, store in self._stores.items():
+            snaps[replica] = {
+                (uri, key): entry.stamp()
+                for uri, bucket in store.data.items() if uri.startswith(prefix)
+                for key, entry in bucket.items() if not entry.deleted
+            }
+        if len(set(map(frozenset, (s.items() for s in snaps.values())))) > 1:
+            keys = set()
+            for s in snaps.values():
+                keys |= set(s)
+            diffs = [
+                f"{k}: " + ", ".join(
+                    f"{r}={s.get(k)}" for r, s in sorted(snaps.items()))
+                for k in sorted(keys)
+                if len({s.get(k) for s in snaps.values()}) > 1
+            ]
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                "replicas diverge at quiescence despite compaction-safe "
+                f"anti-entropy: {'; '.join(diffs[:5])}"
+                + (f" (+{len(diffs) - 5} more)" if len(diffs) > 5 else ""),
+            ))
+
+
+# ---------------------------------------------------------------------------
 # Message-delivery oracle
 # ---------------------------------------------------------------------------
 

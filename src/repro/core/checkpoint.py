@@ -57,6 +57,23 @@ def record_digest(record: dict) -> str:
     return content_hash({k: v for k, v in record.items() if k != "digest"})
 
 
+def seal_record(record: dict, host=None, scramble_key: str = "state") -> dict:
+    """Stamp a content digest on *record* (in place) and model the
+    ``corrupt_ckpt_writes`` gray fault: when *host* is under it, the
+    *scramble_key* field is scrambled **after** digesting — the
+    in-memory record was fine, the bytes that landed are not — so the
+    reader's digest check is what catches the rot.
+
+    Shared by the file-service checkpoint writer and the RC catalog's
+    durable snapshot/journal, so both storage paths fail the same way.
+    """
+    record["digest"] = record_digest(record)
+    if host is not None and getattr(host, "corrupt_ckpt_writes", False):
+        record[scramble_key] = {"__bitrot__": host.sim.now}
+        host.sim.obs.metrics.counter("ckpt.corrupt_writes").inc()
+    return record
+
+
 def verify_checkpoint_record(record: dict) -> bool:
     """True iff the record's embedded digest matches its content.
 
@@ -131,12 +148,8 @@ def checkpoint_to_files(ctx: "SnipeContext", lifn: Optional[str] = None, replica
         "state": dict(ctx.checkpoint_state),
         "taken_at": ctx.sim.now,
     }
-    record["digest"] = record_digest(record)
+    seal_record(record, ctx.host, scramble_key="state")
     if getattr(ctx.host, "corrupt_ckpt_writes", False):
-        # Gray storage fault: the in-memory record was fine (hence the
-        # valid-looking digest), the bytes that land are not.
-        record["state"] = {"__bitrot__": ctx.sim.now}
-        ctx.sim.obs.metrics.counter("ckpt.corrupt_writes").inc()
         tracer = ctx.sim.obs.tracer
         if tracer.enabled:
             tracer.event("ckpt.corrupt_write", urn=ctx.urn, lifn=lifn)

@@ -120,8 +120,11 @@ class SnipeDaemon:
         self._client = RpcClient(host, secret=secret)
 
         #: Deaths we could not publish because the host itself was down;
-        #: reconciled (carefully — a successor may exist) on recovery.
+        #: reconciled (carefully — a successor may exist) on recovery,
+        #: retried until the catalog is reachable again.
         self._unpublished: set = set()
+        self.reconcile_retry = 2.0
+        self._reconciling = False
         host.on_crash.append(self._on_host_crash)
         host.on_recover.append(self._on_host_recover)
         if rc is not None:
@@ -429,9 +432,27 @@ class SnipeDaemon:
         # reconciles these deaths against the catalog.
 
     def _on_host_recover(self, host) -> None:
-        if self.rc is None or not self._unpublished:
+        if self.rc is None or not self._unpublished or self._reconciling:
             return
-        defuse(self.sim.process(self._reconcile(), name=f"daemon-reconcile:{self.host.name}"))
+        self._reconciling = True
+        defuse(self.sim.process(self._reconcile_loop(),
+                                name=f"daemon-reconcile:{self.host.name}"))
+
+    def _reconcile_loop(self):
+        """Keep reconciling until every locally-known death is either
+        published or disowned. A recovery that lands while the catalog is
+        unreachable (the host came back inside a partition) must not
+        leave ghost RUNNING records: nobody else knows the task died, the
+        host's lease looks healthy again, and a Guardian confirming
+        against a quorum would conclude the task is fine forever.
+        """
+        try:
+            while self._unpublished and self.host.up:
+                yield from self._reconcile()
+                if self._unpublished:
+                    yield self.sim.timeout(self.reconcile_retry)
+        finally:
+            self._reconciling = False
 
     def _reconcile(self):
         """After a crash+recovery, report locally-known deaths — but only
@@ -448,7 +469,7 @@ class SnipeDaemon:
             try:
                 meta = yield self.rc.lookup(urn, consistency="quorum")
             except Exception:
-                self._unpublished.add(urn)  # catalog unreachable; retry next recovery
+                self._unpublished.add(urn)  # catalog unreachable; retried by the loop
                 continue
 
             def val(key):
@@ -486,7 +507,35 @@ class SnipeDaemon:
             # refer the request to a broker." Referred requests come back
             # with direct=True set by the broker.
             return self._refer_to_broker(args)
-        info = self.spawn(args["spec"])
+        spec = args["spec"]
+        if spec.fence_predecessors and spec.urn_override is not None and self.rc is not None:
+            return self._spawn_fenced(spec)
+        info = self.spawn(spec)
+        return {"urn": info.urn, "state": info.state}
+
+    def _spawn_fenced(self, spec: TaskSpec):
+        """Guardian respawn: prove the fence *before* the successor exists.
+
+        Spawn requests are retried across RM replicas and across candidate
+        hosts when a reply is lost, so a single recovery can start two
+        successors — and the Guardian's own fence, written once before the
+        first attempt, covers neither against the other. Each start
+        therefore draws a fresh value from the incarnation sequence and
+        quorum-writes it as ``fenced-below`` before launching anything:
+        the value postdates every incarnation already in existence (the
+        corpse and any sibling successor a retried request started), so
+        whichever successor launches last has provably fenced all the
+        others, and the fence watch converges the siblings to one owner.
+        A daemon that cannot complete the quorum write refuses to spawn:
+        an unprovably-fenced duplicate inside a partition is a future
+        zombie, and the requester's retry will land somewhere that can.
+        """
+        urn = spec.urn_override
+        fence = self.sim.sequence("incarnation")
+        yield self.rc.update(urn, {"fenced-below": fence}, consistency="quorum")
+        if self.sim.probes is not None:
+            self.sim.probes.emit("guardian.fence", urn=urn, fence=fence)
+        info = self.spawn(spec)
         return {"urn": info.urn, "state": info.state}
 
     def _refer_to_broker(self, args: Dict):

@@ -66,6 +66,17 @@ class TaskSpec:
     #: Keep this URN across a migration instead of minting a new one —
     #: the paper's processes keep their distinguished URN when they move.
     urn_override: Optional[str] = None
+    #: Guardian respawn: before starting the task, the daemon draws a
+    #: fresh incarnation-sequence value and quorum-writes it as the
+    #: URN's ``fenced-below``. Spawn requests are retried by RMs and
+    #: clients whose reply was lost, so two successors can be started
+    #: under one recovery; with this set, whichever starts later has
+    #: provably fenced every predecessor first (the fence value postdates
+    #: their incarnations), and a daemon that cannot prove the fence
+    #: (no quorum) refuses to start what would be a future zombie.
+    #: Never set for migration — the moved task keeps its incarnation,
+    #: which predates any fence drawn at spawn time.
+    fence_predecessors: bool = False
 
 
 @dataclass

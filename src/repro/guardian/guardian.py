@@ -247,7 +247,7 @@ class Guardian:
     def _live_guardians(self, dead):
         """Guardian hosts registered in the catalog, minus dead ones."""
         try:
-            assertions = yield self.rc.lookup(uri_mod.service_urn("guardian"))
+            assertions = yield self.rc.lookup(uri_mod.service_urn("guardian"), lane=CONTROL)
         except Exception:
             return [self.host.name]
         out = []
@@ -297,12 +297,12 @@ class Guardian:
     def _scan(self):
         dead = yield from self._dead_hosts()
         live_guardians = yield from self._live_guardians(dead)
-        urns = yield self.rc.query("urn:snipe:proc:")
+        urns = yield self.rc.query("urn:snipe:proc:", lane=CONTROL)
         for urn in urns:
             if urn in self._recovering:
                 continue
             try:
-                meta = yield self.rc.lookup(urn)
+                meta = yield self.rc.lookup(urn, lane=CONTROL)
             except Exception:
                 continue
 
@@ -369,7 +369,7 @@ class Guardian:
         if urn in self._recovering:
             return
         try:
-            meta = yield self.rc.lookup(urn)
+            meta = yield self.rc.lookup(urn, lane=CONTROL)
         except Exception:
             return
 
@@ -420,7 +420,7 @@ class Guardian:
             #    is unreachable, proceed on the scan's evidence: fencing
             #    makes a redundant recovery safe, just wasteful.
             try:
-                meta = yield self.rc.lookup(urn, consistency=QUORUM)
+                meta = yield self.rc.lookup(urn, consistency=QUORUM, lane=CONTROL)
             except Exception:
                 meta = None
             if meta is not None:
@@ -443,7 +443,14 @@ class Guardian:
             #    point a zombie below the fence will terminate itself, and
             #    receivers will drop its stragglers once the successor
             #    (whose incarnation is necessarily >= the fence) speaks.
-            fence = (old_inc or 0) + 1
+            #    The fence is drawn from the global incarnation sequence,
+            #    not computed as old_inc + 1: the record we read may be
+            #    stale (a partitioned quorum can lag behind a successor
+            #    another recovery already started), and a fence below that
+            #    live successor would leave it running next to ours. A
+            #    fresh sequence value is greater than every incarnation in
+            #    existence, known to us or not.
+            fence = self.sim.sequence("incarnation")
             if self.fence_writes_enabled:
                 yield self.rc.update(urn, {"fenced-below": fence}, consistency=QUORUM)
                 if self.sim.probes is not None:
@@ -478,6 +485,13 @@ class Guardian:
                         f"checkpoints {lifn!r} and {prev_lifn!r} both corrupt"
                     )
             spec = spec_from_record(record, keep_urn=True)
+            # The spawning daemon re-fences under a fresh sequence value
+            # immediately before launch (see Daemon._spawn_fenced): RM
+            # retries after a lost reply can start two successors from
+            # this one request, and only a fence drawn at launch time
+            # postdates the sibling. Carries the same kill-switch as our
+            # own fence writes so the seeded bug disables both layers.
+            spec.fence_predecessors = self.fence_writes_enabled
             # 3. Respawn through an RM; lease-aware placement steers the
             #    task away from dead (and merely-partitioned) hosts.
             result = yield self.rm.request(spec, owner="guardian")

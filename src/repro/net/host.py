@@ -8,7 +8,7 @@ all processes that bind ports on a host.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import BROADCAST, Frame
 from repro.sim.resources import Store
@@ -91,6 +91,12 @@ class Host:
         #: processes on this host are silently corrupted after their
         #: digest is computed (a torn/bit-rotten write).
         self.corrupt_ckpt_writes = False
+        #: Durable local storage, keyed by component (e.g. ``rcds:385``).
+        #: Survives :meth:`crash`/:meth:`recover` — it models the disk,
+        #: not memory — so services that journal here can rebuild state
+        #: after the host comes back. Only :meth:`Host.__init__` makes a
+        #: fresh one: re-provisioning a host is a new machine, losing it.
+        self.disk: Dict[str, Any] = {}
         self._health = None
         self.nics: Dict[str, "NIC"] = {}  # iface name -> NIC
         self._bindings: Dict[Tuple[str, int], PortBinding] = {}

@@ -80,6 +80,9 @@ DEFAULT_SLOS: Tuple[Slo, ...] = (
     Slo("shed-rate", "rpc.requests_shed", 0.9,
         ratio_to="rpc.requests_served",
         description="under 90% of RPC arrivals shed (some service survives)"),
+    Slo("sync-payload-max", "rcds.sync_batch_records", 64.0, column="max",
+        description="no anti-entropy payload ever exceeds the configured "
+                    "per-RPC record bound (heal-storm control)"),
 )
 
 

@@ -198,6 +198,24 @@ class RCClient:
         )
         return results[0][1]
 
+    def stats(self, lane: str = BULK):
+        """Replication-state stats from every reachable replica, as
+        ``{server_id: stats_dict}`` — the ops view of log sizes,
+        tombstone backlog, compaction horizons, and sync health."""
+        return self.sim.process(self._stats(lane), name="rc.stats")
+
+    def _stats(self, lane: str = BULK):
+        out: Dict[str, Dict[str, Any]] = {}
+        for rhost, rport in self._candidate_order():
+            try:
+                stats = yield self._rpc.call(
+                    rhost, rport, "rc.stats", timeout=self.rpc_timeout, lane=lane
+                )
+                out[stats["server_id"]] = stats
+            except RpcError:
+                continue
+        return out
+
     # -- convenience -----------------------------------------------------------
     def get(self, uri: str, key: str, consistency: str = ONE, lane: str = BULK):
         """One assertion's value (or None)."""

@@ -14,12 +14,24 @@ Deletions are tombstones; "automatic time stamping of metadata by the RC
 servers" (§3.1) is the ``wall`` field, stamped with the accepting
 server's simulation time and returned to clients so "temporally dis-joint
 tasks" can judge the age of what they read.
+
+Replication state is bounded. The version vector is a *contiguous*
+knowledge summary: ``vector[origin] == n`` promises every record
+``1..n`` from that origin has been applied here, so out-of-order
+records buffer in the log without advancing the vector until the gap
+fills. That contract is what makes the rest safe: per-origin logs
+compact below a gossiped stability watermark (``compact``), tombstones
+are garbage-collected only once every configured peer has acked past
+them (``gc_tombstones``), and a peer whose vector predates the
+compaction horizon catches up from a register snapshot
+(``snapshot_needed_for`` / ``install_entries`` / ``adopt_vector``)
+instead of a record replay that no longer exists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -31,6 +43,10 @@ class Entry:
     origin: str
     wall: float
     deleted: bool = False
+    #: Per-origin sequence number of the record that produced this entry.
+    #: Tombstone GC compares it against the group's stability watermark:
+    #: a tombstone may only be dropped once every peer's vector covers it.
+    seq: int = 0
 
     def stamp(self) -> Tuple[float, int, str]:
         """LWW ordering key: accept timestamp first, then Lamport clock,
@@ -44,6 +60,17 @@ class Entry:
         """
         return (self.wall, self.lamport, self.origin)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "lamport": self.lamport,
+                "origin": self.origin, "wall": self.wall,
+                "deleted": self.deleted, "seq": self.seq}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Entry":
+        return cls(value=d["value"], lamport=d["lamport"], origin=d["origin"],
+                   wall=d["wall"], deleted=d.get("deleted", False),
+                   seq=d.get("seq", 0))
+
 
 @dataclass(frozen=True)
 class Record:
@@ -55,6 +82,15 @@ class Record:
     key: str
     entry: Entry
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"origin": self.origin, "seq": self.seq, "uri": self.uri,
+                "key": self.key, "entry": self.entry.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Record":
+        return cls(origin=d["origin"], seq=d["seq"], uri=d["uri"],
+                   key=d["key"], entry=Entry.from_dict(d["entry"]))
+
 
 class RCStore:
     """One replica's state: registers + per-origin logs + version vector."""
@@ -64,18 +100,45 @@ class RCStore:
     #: replica convergence. Never touched in production paths.
     lww_enabled = True
 
+    #: Model-checker bug switch (``--bug vector-gap``): set False to
+    #: restore the legacy ``apply_remote`` that bumps the version vector
+    #: to any record's seq even when earlier seqs from that origin are
+    #: missing — after which ``missing_for`` never requests the skipped
+    #: records and replicas silently diverge.
+    contiguous_vector_enabled = True
+
+    #: Model-checker bug switch (``--bug early-gc``): set False to let
+    #: ``gc_tombstones`` drop tombstones without waiting for every peer
+    #: to ack past them — a peer that still holds the pre-delete write
+    #: then resurrects the deleted key on the next sync.
+    safe_gc_enabled = True
+
     def __init__(self, server_id: str) -> None:
         self.server_id = server_id
         self.data: Dict[str, Dict[str, Entry]] = {}
         self.logs: Dict[str, Dict[int, Record]] = {}  # origin -> seq -> record
         self.vector: Dict[str, int] = {}
+        #: Compaction horizon per origin: every record with
+        #: ``seq <= compacted[origin]`` has been dropped from the log
+        #: (its effect lives on in ``data``). A peer whose vector is
+        #: below this horizon cannot be served records and must take a
+        #: snapshot instead.
+        self.compacted: Dict[str, int] = {}
         self.lamport = 0
         self.applied = 0
+        self.compactions = 0
+        self.records_compacted = 0
+        self.tombstones_collected = 0
         #: Optional observer called as ``on_apply(uri, key, entry)`` for
         #: every record folded into this replica (local or remote). The
         #: check subsystem's convergence oracle mirrors replica state
         #: through this hook.
-        self.on_apply = None
+        self.on_apply: Optional[Callable[[str, str, Entry], None]] = None
+        #: Optional observer called as ``on_record(record)`` whenever a
+        #: record enters this replica's log (local accept or remote
+        #: merge). The server's durability journal and the check
+        #: subsystem's compaction oracle both hang off this hook.
+        self.on_record: Optional[Callable[[Record], None]] = None
 
     # -- local writes -------------------------------------------------------
     def local_update(self, uri: str, assertions: Dict[str, Any], wall: float) -> List[Record]:
@@ -96,17 +159,30 @@ class RCStore:
         seq = self.vector.get(self.server_id, 0) + 1
         self.vector[self.server_id] = seq
         entry = Entry(value=value, lamport=self.lamport, origin=self.server_id,
-                      wall=wall, deleted=deleted)
+                      wall=wall, deleted=deleted, seq=seq)
         record = Record(self.server_id, seq, uri, key, entry)
         self.logs.setdefault(self.server_id, {})[seq] = record
+        if self.on_record is not None:
+            self.on_record(record)
         self._apply_entry(uri, key, entry)
         return record
 
     # -- replication --------------------------------------------------------
     def missing_for(self, remote_vector: Dict[str, int]) -> List[Record]:
-        """Records this replica has that a peer with *remote_vector* lacks."""
+        """Records this replica has that a peer with *remote_vector* lacks.
+
+        Iterates the version vector (not the logs: a fully-compacted
+        origin has an empty log but non-zero knowledge). Sequence
+        numbers that fell below the compaction horizon are skipped —
+        the batch may therefore carry gaps, which is fine: the
+        receiver's contiguous watermark refuses to advance past them
+        and its next ``sync_begin`` reports ``snapshot_needed`` so the
+        missing prefix arrives as a register snapshot instead.
+        """
         out: List[Record] = []
-        for origin, log in self.logs.items():
+        origins = set(self.logs) | set(self.vector)
+        for origin in sorted(origins):
+            log = self.logs.get(origin, {})
             have = remote_vector.get(origin, 0)
             mine = self.vector.get(origin, 0)
             for seq in range(have + 1, mine + 1):
@@ -115,21 +191,162 @@ class RCStore:
                     out.append(rec)
         return out
 
+    def snapshot_needed_for(self, remote_vector: Dict[str, int]) -> bool:
+        """True if a peer at *remote_vector* needs more than records:
+        some origin's compaction horizon is past what the peer has seen,
+        so the records it lacks no longer exist."""
+        return any(remote_vector.get(origin, 0) < horizon
+                   for origin, horizon in self.compacted.items())
+
     def apply_remote(self, records: Iterable[Record]) -> int:
-        """Merge records from a peer; returns how many were new."""
+        """Merge records from a peer; returns how many were new.
+
+        The version vector only advances over *contiguous* sequence
+        runs: a record with ``seq > seen + 1`` buffers in the log (and
+        folds into the registers — LWW makes that safe in any order)
+        but leaves the vector at the last gap-free point, so
+        ``missing_for`` keeps requesting the skipped records. The
+        ``contiguous_vector_enabled = False`` branch preserves the
+        historical bug for the model checker.
+        """
         new = 0
         for rec in records:
             seen = self.vector.get(rec.origin, 0)
-            if rec.seq <= seen and rec.seq in self.logs.get(rec.origin, {}):
-                continue  # already have it
-            self.logs.setdefault(rec.origin, {})[rec.seq] = rec
-            if rec.seq > seen:
-                self.vector[rec.origin] = rec.seq
+            if not self.contiguous_vector_enabled:
+                # Legacy behaviour (the vector-gap bug): skip only exact
+                # duplicates, and bump the vector to any higher seq.
+                if rec.seq <= seen and rec.seq in self.logs.get(rec.origin, {}):
+                    continue
+                self.logs.setdefault(rec.origin, {})[rec.seq] = rec
+                if rec.seq > seen:
+                    self.vector[rec.origin] = rec.seq
+            else:
+                if rec.seq <= seen or rec.seq in self.logs.get(rec.origin, {}):
+                    continue  # already covered by the vector or buffered
+                self.logs.setdefault(rec.origin, {})[rec.seq] = rec
+                self._advance_vector(rec.origin)
+            if self.on_record is not None:
+                self.on_record(rec)
             if rec.entry.lamport > self.lamport:
                 self.lamport = rec.entry.lamport
             self._apply_entry(rec.uri, rec.key, rec.entry)
             new += 1
         return new
+
+    def _advance_vector(self, origin: str) -> None:
+        """Slide ``vector[origin]`` forward over the contiguous run of
+        buffered records, starting from the later of the current vector
+        and the compaction horizon (compacted seqs are known-applied)."""
+        log = self.logs.get(origin, {})
+        floor = max(self.vector.get(origin, 0), self.compacted.get(origin, 0))
+        while floor + 1 in log:
+            floor += 1
+        if floor > self.vector.get(origin, 0):
+            self.vector[origin] = floor
+
+    # -- snapshot catch-up --------------------------------------------------
+    def state_entries(self) -> List[Tuple[str, str, Entry]]:
+        """Every register — tombstones included — in deterministic order.
+        This is the unit of snapshot catch-up: a peer too far behind the
+        compaction horizon installs these instead of replaying records."""
+        out: List[Tuple[str, str, Entry]] = []
+        for uri in sorted(self.data):
+            bucket = self.data[uri]
+            for key in sorted(bucket):
+                out.append((uri, key, bucket[key]))
+        return out
+
+    def install_entries(self, entries: Iterable[Tuple[str, str, Entry]]) -> int:
+        """LWW-fold snapshot registers into this replica. Order-independent
+        and idempotent, so paged snapshot transfer needs no coordination."""
+        n = 0
+        for uri, key, entry in entries:
+            if entry.lamport > self.lamport:
+                self.lamport = entry.lamport
+            self._apply_entry(uri, key, entry)
+            n += 1
+        return n
+
+    def adopt_vector(self, snap_vector: Dict[str, int]) -> None:
+        """After installing a full snapshot taken at *snap_vector*: raise
+        our vector and compaction horizon to cover everything the
+        snapshot already folded in, then re-run the contiguity scan over
+        any records buffered past the adopted point."""
+        for origin, seq in snap_vector.items():
+            if seq > self.compacted.get(origin, 0):
+                self.compacted[origin] = seq
+            if seq > self.vector.get(origin, 0):
+                self.vector[origin] = seq
+            self._advance_vector(origin)
+
+    # -- compaction / tombstone GC -----------------------------------------
+    def compact(self, stable: Dict[str, int]) -> int:
+        """Drop log records at or below the *stable* watermark (per
+        origin: the min of the replica group's version vectors, as
+        gossiped by anti-entropy). Returns how many records were
+        dropped. Registers are untouched — compaction only forgets the
+        *history*, never the state."""
+        dropped = 0
+        for origin, log in self.logs.items():
+            horizon = min(stable.get(origin, 0), self.vector.get(origin, 0))
+            if horizon <= self.compacted.get(origin, 0):
+                continue
+            stale = [seq for seq in log if seq <= horizon]
+            for seq in stale:
+                del log[seq]
+            if horizon > self.compacted.get(origin, 0):
+                self.compacted[origin] = horizon
+            dropped += len(stale)
+        if dropped:
+            self.compactions += 1
+            self.records_compacted += dropped
+        return dropped
+
+    def gc_tombstones(self, stable: Dict[str, int]) -> int:
+        """Remove tombstones every configured peer has acked past.
+
+        *stable* must be the min over **all** configured peers' vectors
+        (unknown peer => 0), not just recently-heard ones: collecting a
+        tombstone a partitioned peer never saw lets that peer's stale
+        pre-delete write win the next merge — resurrection. The
+        ``safe_gc_enabled = False`` branch drops that guard for the
+        model checker's ``--bug early-gc``.
+        """
+        removed = 0
+        for uri in list(self.data):
+            bucket = self.data[uri]
+            for key in list(bucket):
+                entry = bucket[key]
+                if not entry.deleted:
+                    continue
+                if (self.safe_gc_enabled
+                        and stable.get(entry.origin, 0) < entry.seq):
+                    continue  # some peer hasn't acked past the delete yet
+                del bucket[key]
+                removed += 1
+            if not bucket:
+                del self.data[uri]
+        self.tombstones_collected += removed
+        return removed
+
+    # -- durability support -------------------------------------------------
+    def clear(self) -> None:
+        """Wipe replica state in place (a crash losing memory), keeping
+        the observer hooks attached so oracles and journals survive."""
+        self.data.clear()
+        self.logs.clear()
+        self.vector.clear()
+        self.compacted.clear()
+        self.lamport = 0
+
+    def record_count(self) -> int:
+        """Records currently held across all per-origin logs."""
+        return sum(len(log) for log in self.logs.values())
+
+    def tombstone_count(self) -> int:
+        """Deleted registers awaiting tombstone GC."""
+        return sum(1 for bucket in self.data.values()
+                   for e in bucket.values() if e.deleted)
 
     def _apply_entry(self, uri: str, key: str, entry: Entry) -> None:
         bucket = self.data.setdefault(uri, {})

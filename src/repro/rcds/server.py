@@ -2,20 +2,37 @@
 
 Serves authenticated lookup/update/delete/query RPCs against its
 :class:`~repro.rcds.records.RCStore` and runs push-pull anti-entropy with
-its peer replicas: each round it sends a peer its version vector plus the
-records the peer was missing last time it heard from it; the peer merges,
-and replies with what *this* server lacks. Any replica accepts writes —
-the "true master–master update data model" the paper contrasts with
-LDAP-based directories (§7).
+its peer replicas. Any replica accepts writes — the "true master–master
+update data model" the paper contrasts with LDAP-based directories (§7).
+
+Anti-entropy is heal-storm controlled. Each round opens with a
+``rc.sync_begin`` vector exchange on the CONTROL lane — a few dozen
+bytes that must never queue behind a healing backlog — and then moves
+records in bounded, spaced batches (``max_sync_records`` per RPC) over
+the BULK lane. A peer whose vector predates the compaction horizon is
+told ``snapshot_needed`` and pages the full register state across
+instead of replaying records that no longer exist. Setting
+``max_sync_records=None`` restores the legacy protocol — one unbounded
+record blob per sync on the CONTROL lane, no compaction — which is the
+E16 baseline.
+
+Each replica is durable by default: every record entering the log is
+journaled to the host's :attr:`~repro.net.host.Host.disk` with a
+content digest, and the journal folds into a digest-verified snapshot
+every ``snapshot_every`` records (two snapshot generations are kept, so
+a corrupting write costs one journal replay, not the catalog). A host
+crash wipes the in-memory store; recovery — or a cold restart after
+*all* replicas crash — rebuilds the full visible state locally instead
+of replaying peers' history.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.rcds.records import RCStore
+from repro.rcds.records import Entry, RCStore, Record
 from repro.robust import TIMEOUTS
-from repro.robust.overload import CONTROL
+from repro.robust.overload import BULK, CONTROL
 from repro.rpc import RpcClient, RpcError, RpcServer
 from repro.sim.errors import Interrupt
 
@@ -24,6 +41,30 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Well-known RC server port.
 RC_PORT = 385
+
+#: Hard cap on snapshot catch-up pages per sync round; a guard against a
+#: cursor loop, not a tuning knob (the page size bounds each RPC).
+_MAX_SNAPSHOT_PAGES = 512
+
+
+def _ckpt():
+    """The checkpoint digest machinery, imported lazily: ``repro.core``
+    imports this module at package init, so a top-level import back into
+    it would be circular. Durability paths only run post-init."""
+    from repro.core.checkpoint import seal_record, verify_checkpoint_record
+    return seal_record, verify_checkpoint_record
+
+
+def _failure_cause(exc: RpcError) -> str:
+    """Classify a sync failure so health evidence and the E16 report can
+    tell congestion from death: breaker-open (we didn't even try),
+    timeout (sent, no answer in time), transport (path/peer refused)."""
+    msg = str(exc)
+    if "circuit open" in msg:
+        return "breaker-open"
+    if "timed out" in msg:
+        return "timeout"
+    return "transport"
 
 
 class RCServer:
@@ -37,6 +78,15 @@ class RCServer:
         secret: Optional[bytes] = None,
         sync_interval: float = 0.5,
         service_time: float = 0.0002,
+        apply_cost: float = 0.0002,
+        max_sync_records: Optional[int] = 64,
+        sync_rounds: int = 8,
+        sync_spacing: float = 0.02,
+        compact_interval: float = 2.0,
+        peer_stale_after: float = 10.0,
+        log_keep_tail: int = 32,
+        durable: bool = True,
+        snapshot_every: int = 256,
     ) -> None:
         self.sim = host.sim
         self.host = host
@@ -44,15 +94,53 @@ class RCServer:
         self.store = RCStore(server_id=f"{host.name}:{port}")
         self.peers = list(peers or [])
         self.sync_interval = sync_interval
+        #: CPU cost per record assembled or applied in a sync payload.
+        #: On a single-threaded replica (``service_time > 0``) this is
+        #: what makes an unbounded blob a head-of-line block: the serve
+        #: loop is occupied for the whole apply, and every queued request
+        #: behind it waits.
+        self.apply_cost = apply_cost
+        #: Records per sync RPC on the BULK lane; ``None`` = legacy
+        #: unbounded single-blob protocol with no compaction (baseline).
+        self.max_sync_records = max_sync_records
+        #: Max pull/push batches per anti-entropy round — the rest of a
+        #: large backlog waits for the next round (rate limiting).
+        self.sync_rounds = sync_rounds
+        #: Pause between consecutive batches of one round.
+        self.sync_spacing = sync_spacing
+        self.compact_interval = compact_interval
+        #: A peer not heard from for this long stops holding the *log*
+        #: compaction watermark back (it will catch up from a snapshot);
+        #: tombstone GC still waits for every configured peer.
+        self.peer_stale_after = peer_stale_after
+        #: Recent records kept in the log past the stability watermark,
+        #: so a briefly-lagging peer syncs records instead of snapshots.
+        self.log_keep_tail = log_keep_tail
+        self.durable = durable
+        self.snapshot_every = snapshot_every
+        #: Last version vector heard from each peer: server_id ->
+        #: (vector, sim-time heard). Gossip for the stability watermarks.
+        self.peer_vectors: Dict[str, Tuple[Dict[str, int], float]] = {}
+        self._snap_sessions: Dict[str, Tuple[list, Dict[str, int]]] = {}
         self.rpc = RpcServer(host, port, secret=secret, service_time=service_time)
         self.rpc.register("rc.lookup", self._h_lookup)
         self.rpc.register("rc.update", self._h_update)
         self.rpc.register("rc.delete", self._h_delete)
         self.rpc.register("rc.query", self._h_query)
         self.rpc.register("rc.sync", self._h_sync)
+        self.rpc.register("rc.sync_begin", self._h_sync_begin)
+        self.rpc.register("rc.sync_pull", self._h_sync_pull)
+        self.rpc.register("rc.sync_push", self._h_sync_push)
+        self.rpc.register("rc.snapshot", self._h_snapshot)
+        self.rpc.register("rc.stats", self._h_stats)
         self._client = RpcClient(host, secret=secret)
         self.syncs_ok = 0
         self.syncs_failed = 0
+        self.snapshot_catchups = 0
+        self.snapshots_written = 0
+        self.snapshots_rejected = 0
+        self.journal_skipped = 0
+        self.restores = 0
         obs = self.sim.obs
         self._m_syncs_ok = obs.metrics.counter("rcds.syncs_ok")
         self._m_syncs_failed = obs.metrics.counter("rcds.syncs_failed")
@@ -61,10 +149,39 @@ class RCServer:
         #: How stale a record was when anti-entropy delivered it here:
         #: virtual now minus the record's origin stamp, per applied record.
         self._m_lag = obs.metrics.histogram("rcds.propagation_lag")
+        #: Records per sync payload, observed wherever a batch is
+        #: assembled (pull replies, push batches, snapshot pages, legacy
+        #: blobs). Its max is the heal-storm SLO.
+        self._m_batch = obs.metrics.histogram("rcds.sync_batch_records")
+        self._m_compactions = obs.metrics.counter("rcds.compactions")
+        self._m_tombstones_gc = obs.metrics.counter("rcds.tombstones_gc")
+        self._m_catchups = obs.metrics.counter("rcds.snapshot_catchups")
+        self._g_records = obs.metrics.gauge(
+            "rcds.store_records", replica=self.store.server_id)
+        self._g_tombstones = obs.metrics.gauge(
+            "rcds.tombstones", replica=self.store.server_id)
         self._obs = obs
+        if durable:
+            self._disk = host.disk.setdefault(f"rcds:{port}", {
+                "snapshot": None, "snapshot_prev": None,
+                "journal": [], "journal_prev": [],
+            })
+            self._restoring = False
+            self.store.on_record = self._journal_record
+            host.on_crash.append(self._on_host_crash)
+            host.on_recover.append(self._on_host_recover)
+            if (self._disk["snapshot"] is not None or self._disk["journal"]
+                    or self._disk["journal_prev"]):
+                # Cold restart on a machine whose disk has catalog state.
+                self._restore_from_disk()
         self._sync_proc = self.sim.process(
             self._anti_entropy(), name=f"rc-sync:{host.name}"
         )
+        self._compact_proc = None
+        if compact_interval is not None and max_sync_records is not None:
+            self._compact_proc = self.sim.process(
+                self._maintenance(), name=f"rc-compact:{host.name}"
+            )
 
     # -- RPC handlers -------------------------------------------------------
     def _h_lookup(self, args: Dict) -> Dict:
@@ -88,13 +205,107 @@ class RCServer:
     def _h_query(self, args: Dict) -> List[str]:
         return self.store.query(args.get("prefix", ""))
 
-    def _h_sync(self, args: Dict) -> Dict:
-        """Push-pull merge: apply the caller's records, return what it lacks."""
+    def _apply_delay(self, n: int):
+        """CPU time to assemble/apply *n* sync records, stretched when the
+        host is slowed. On a single-threaded replica the serve loop holds
+        this long — the mechanism that turns an unbounded anti-entropy
+        blob into a head-of-line block for every queued request."""
+        if self.apply_cost > 0 and n > 0:
+            speed = max(getattr(self.host, "cpu_speed", 1.0), 1e-9)
+            yield self.sim.timeout(self.apply_cost * n / speed)
+
+    def _h_sync(self, args: Dict):
+        """Legacy push-pull merge: apply the caller's records, return
+        everything it lacks in one blob. Kept for the unbounded baseline
+        and for mixed-version peers."""
         their_vector = args["vector"]
         want = self.store.missing_for(their_vector)
-        self._observe_lag(args.get("records", []))
-        self.store.apply_remote(args.get("records", []))
+        self._m_batch.observe(len(want))
+        records = args.get("records", [])
+        yield from self._apply_delay(len(want) + len(records))
+        self._observe_lag(records)
+        self.store.apply_remote(records)
         return {"vector": self.store.digest(), "records": want}
+
+    def _h_sync_begin(self, args: Dict) -> Dict:
+        """CONTROL-lane vector exchange opening a bounded sync round."""
+        who, their = args.get("who"), args["vector"]
+        if who:
+            self.peer_vectors[who] = (dict(their), self.sim.now)
+        return {
+            "who": self.store.server_id,
+            "vector": self.store.digest(),
+            "snapshot_needed": self.store.snapshot_needed_for(their),
+        }
+
+    def _h_sync_pull(self, args: Dict):
+        """One bounded batch of records the caller lacks (BULK lane)."""
+        who, their = args.get("who"), args["vector"]
+        if who:
+            self.peer_vectors[who] = (dict(their), self.sim.now)
+        want = self.store.missing_for(their)
+        more = False
+        if self.max_sync_records is not None and len(want) > self.max_sync_records:
+            want, more = want[: self.max_sync_records], True
+        self._m_batch.observe(len(want))
+        yield from self._apply_delay(len(want))
+        return {"who": self.store.server_id, "vector": self.store.digest(),
+                "records": want, "more": more}
+
+    def _h_sync_push(self, args: Dict):
+        """Apply one bounded batch pushed by a peer (BULK lane)."""
+        who = args.get("who")
+        if who and args.get("vector") is not None:
+            self.peer_vectors[who] = (dict(args["vector"]), self.sim.now)
+        records = args.get("records", [])
+        yield from self._apply_delay(len(records))
+        self._observe_lag(records)
+        self.store.apply_remote(records)
+        return {"who": self.store.server_id, "vector": self.store.digest()}
+
+    def _h_snapshot(self, args: Dict):
+        """Serve one page of a frozen register snapshot (BULK lane).
+
+        The first page (cursor 0) freezes ``(state_entries, vector)`` in
+        one sim event, so the pages a peer installs are mutually
+        consistent with the vector it adopts at the end — entries
+        written *during* the transfer arrive by normal record sync.
+        """
+        who = args.get("who", "?")
+        cursor = int(args.get("cursor", 0))
+        if cursor == 0 or who not in self._snap_sessions:
+            self._snap_sessions[who] = (self.store.state_entries(),
+                                        self.store.digest())
+        entries, vector = self._snap_sessions[who]
+        page = self.max_sync_records or max(len(entries), 1)
+        chunk = entries[cursor:cursor + page]
+        more = cursor + page < len(entries)
+        self._m_batch.observe(len(chunk))
+        yield from self._apply_delay(len(chunk))
+        out: Dict = {"entries": chunk, "cursor": cursor + page, "more": more}
+        if not more:
+            out["vector"] = vector
+            self._snap_sessions.pop(who, None)
+        return out
+
+    def _h_stats(self, args: Dict) -> Dict:
+        """Replication-state introspection for ops tooling and reports."""
+        return {
+            "server_id": self.store.server_id,
+            "records": self.store.record_count(),
+            "tombstones": self.store.tombstone_count(),
+            "vector": self.store.digest(),
+            "compacted": dict(self.store.compacted),
+            "compactions": self.store.compactions,
+            "records_compacted": self.store.records_compacted,
+            "tombstones_collected": self.store.tombstones_collected,
+            "snapshots_written": self.snapshots_written,
+            "snapshots_rejected": self.snapshots_rejected,
+            "restores": self.restores,
+            "snapshot_catchups": self.snapshot_catchups,
+            "syncs_ok": self.syncs_ok,
+            "syncs_failed": self.syncs_failed,
+        }
 
     def _observe_lag(self, records) -> None:
         """Catalog update propagation lag: age of each record arriving via
@@ -119,45 +330,287 @@ class RCServer:
             return
 
     def _sync_with(self, peer_host: str, peer_port: int):
-        """One push-pull round with a specific peer (also callable directly)."""
+        """One sync round with a specific peer (also callable directly)."""
         # Manual finish() rather than a with-block: the span stays open
         # across the RPC yields, and generator code cannot rely on the
         # ambient span stack surviving a context switch.
         span = self._obs.span("rcds.sync", peer=f"{peer_host}:{peer_port}")
         try:
-            reply = yield self._client.call(
+            if self.max_sync_records is None:
+                yield from self._sync_unbounded(peer_host, peer_port)
+            else:
+                yield from self._sync_bounded(peer_host, peer_port)
+            self.syncs_ok += 1
+            self._m_syncs_ok.inc()
+            span.finish("ok")
+        except RpcError as exc:
+            cause = _failure_cause(exc)
+            self.syncs_failed += 1
+            self._m_syncs_failed.inc()
+            self._obs.metrics.counter("rcds.sync_failures", cause=cause).inc()
+            span.finish(f"error:{cause}")
+
+    def _sync_unbounded(self, peer_host: str, peer_port: int):
+        """Legacy round: pull-first full exchange, one blob per RPC."""
+        reply = yield self._client.call(
+            peer_host,
+            peer_port,
+            "rc.sync",
+            timeout=TIMEOUTS["rc.sync"],
+            lane=CONTROL,
+            vector=self.store.digest(),
+            records=[],  # pull-first: learn their vector, then push
+        )
+        self._observe_lag(reply["records"])
+        self.store.apply_remote(reply["records"])
+        # Push what the peer lacks according to its reported vector.
+        missing = self.store.missing_for(reply["vector"])
+        if missing:
+            self._m_batch.observe(len(missing))
+            yield self._client.call(
                 peer_host,
                 peer_port,
                 "rc.sync",
                 timeout=TIMEOUTS["rc.sync"],
                 lane=CONTROL,
                 vector=self.store.digest(),
-                records=[],  # pull-first: learn their vector, then push
+                records=missing,
             )
-            self._observe_lag(reply["records"])
-            self.store.apply_remote(reply["records"])
-            # Push what the peer lacks according to its reported vector.
-            missing = self.store.missing_for(reply["vector"])
-            if missing:
-                yield self._client.call(
-                    peer_host,
-                    peer_port,
-                    "rc.sync",
-                    timeout=TIMEOUTS["rc.sync"],
-                    lane=CONTROL,
-                    vector=self.store.digest(),
-                    records=missing,
-                )
-            self.syncs_ok += 1
-            self._m_syncs_ok.inc()
-            span.finish("ok")
-        except RpcError:
-            self.syncs_failed += 1
-            self._m_syncs_failed.inc()
-            span.finish("error:RpcError")
+
+    def _sync_bounded(self, peer_host: str, peer_port: int):
+        """Vector exchange on CONTROL, then bounded spaced batches on BULK."""
+        begin = yield self._client.call(
+            peer_host, peer_port, "rc.sync_begin",
+            timeout=TIMEOUTS["rc.sync"], lane=CONTROL,
+            who=self.store.server_id, vector=self.store.digest(),
+        )
+        peer_id = begin.get("who", f"{peer_host}:{peer_port}")
+        peer_vec = begin["vector"]
+        self.peer_vectors[peer_id] = (dict(peer_vec), self.sim.now)
+        if begin.get("snapshot_needed"):
+            yield from self._snapshot_catchup(peer_host, peer_port)
+        # Pull: bounded batches of what the peer has beyond our vector.
+        for _ in range(self.sync_rounds):
+            if not self._behind(peer_vec):
+                break
+            page = yield self._client.call(
+                peer_host, peer_port, "rc.sync_pull",
+                timeout=TIMEOUTS["rc.sync"], lane=BULK,
+                who=self.store.server_id, vector=self.store.digest(),
+            )
+            self._observe_lag(page["records"])
+            self.store.apply_remote(page["records"])
+            peer_vec = page["vector"]
+            self.peer_vectors[peer_id] = (dict(peer_vec), self.sim.now)
+            if not page.get("more"):
+                break
+            yield self.sim.timeout(self.sync_spacing)
+        # Push: bounded batches of what we have beyond the peer's vector.
+        for _ in range(self.sync_rounds):
+            missing = self.store.missing_for(peer_vec)
+            if not missing:
+                break
+            batch = missing[: self.max_sync_records]
+            self._m_batch.observe(len(batch))
+            reply = yield self._client.call(
+                peer_host, peer_port, "rc.sync_push",
+                timeout=TIMEOUTS["rc.sync"], lane=BULK,
+                who=self.store.server_id,
+                vector=self.store.digest(), records=batch,
+            )
+            peer_vec = reply["vector"]
+            self.peer_vectors[peer_id] = (dict(peer_vec), self.sim.now)
+            if len(missing) <= self.max_sync_records:
+                break
+            yield self.sim.timeout(self.sync_spacing)
+
+    def _behind(self, peer_vec: Dict[str, int]) -> bool:
+        return any(seq > self.store.vector.get(origin, 0)
+                   for origin, seq in peer_vec.items())
+
+    def _snapshot_catchup(self, peer_host: str, peer_port: int):
+        """Page the peer's full register state across and adopt its
+        vector — the catch-up path for a replica whose vector predates
+        the peer's compaction horizon."""
+        cursor = 0
+        for _ in range(_MAX_SNAPSHOT_PAGES):
+            page = yield self._client.call(
+                peer_host, peer_port, "rc.snapshot",
+                timeout=TIMEOUTS["rc.sync"], lane=BULK,
+                who=self.store.server_id, cursor=cursor,
+            )
+            self.store.install_entries(page["entries"])
+            cursor = page["cursor"]
+            if not page.get("more"):
+                self.store.adopt_vector(page.get("vector", {}))
+                self.snapshot_catchups += 1
+                self._m_catchups.inc()
+                if self.durable:
+                    # Registers adopted from a snapshot never pass through
+                    # the journal; persist them before the next crash.
+                    self._write_snapshot()
+                return
+            yield self.sim.timeout(self.sync_spacing)
+
+    # -- compaction / tombstone GC ------------------------------------------
+    def _maintenance(self):
+        rng = self.sim.rng.stream(f"rc.compact.{self.store.server_id}")
+        try:
+            while True:
+                yield self.sim.timeout(
+                    self.compact_interval * (0.75 + 0.5 * rng.random()))
+                if not self.host.up:
+                    continue
+                stable = self._stability(include_stale=False)
+                horizon = {
+                    origin: min(seq, self.store.vector.get(origin, 0)
+                                - self.log_keep_tail)
+                    for origin, seq in stable.items()
+                }
+                dropped = self.store.compact(
+                    {o: s for o, s in horizon.items() if s > 0})
+                if dropped:
+                    self._m_compactions.inc()
+                removed = self.store.gc_tombstones(
+                    self._stability(include_stale=True))
+                if removed:
+                    self._m_tombstones_gc.inc()
+                self._g_records.set(self.store.record_count())
+                self._g_tombstones.set(self.store.tombstone_count())
+        except Interrupt:
+            return
+
+    def _stability(self, include_stale: bool) -> Dict[str, int]:
+        """Per-origin min across the replica group's version vectors.
+
+        ``include_stale=False`` (log compaction): peers not heard from
+        within ``peer_stale_after`` stop holding the watermark back —
+        their logs would otherwise grow without bound through a long
+        partition — and will catch up from a snapshot instead.
+
+        ``include_stale=True`` (tombstone GC): every configured peer
+        counts, and a peer never heard from pins the watermark at zero.
+        Collecting a tombstone an unreached peer still predates is how
+        deleted keys come back from the dead.
+        """
+        now = self.sim.now
+        vecs = [self.store.vector]
+        for peer_host, peer_port in self.peers:
+            pid = f"{peer_host}:{peer_port}"
+            if pid == self.store.server_id:
+                continue
+            known = self.peer_vectors.get(pid)
+            if known is None:
+                if include_stale:
+                    return {}
+                continue
+            vec, heard = known
+            if not include_stale and now - heard > self.peer_stale_after:
+                continue
+            vecs.append(vec)
+        return {origin: min(v.get(origin, 0) for v in vecs)
+                for origin in self.store.vector}
+
+    # -- durability ----------------------------------------------------------
+    def _journal_record(self, record: Record) -> None:
+        """Synchronously journal every record entering the log, digest
+        stamped (and scrambled after digesting under a gray storage
+        fault, so the restore path has to *catch* the rot)."""
+        if self._restoring:
+            return
+        seal_record, _ = _ckpt()
+        rec = record.to_dict()
+        seal_record(rec, self.host, scramble_key="entry")
+        self._disk["journal"].append(rec)
+        if len(self._disk["journal"]) >= self.snapshot_every:
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        """Fold the journal into a fresh digest-verified snapshot,
+        keeping the previous generation (and its journal) so one
+        corrupting write never costs the catalog."""
+        snap = {
+            "kind": "rcds-snapshot",
+            "server_id": self.store.server_id,
+            "vector": dict(self.store.vector),
+            "compacted": dict(self.store.compacted),
+            "lamport": self.store.lamport,
+            "entries": [(uri, key, entry.to_dict())
+                        for uri, key, entry in self.store.state_entries()],
+        }
+        seal_record, _ = _ckpt()
+        seal_record(snap, self.host, scramble_key="entries")
+        d = self._disk
+        d["snapshot_prev"], d["journal_prev"] = d["snapshot"], d["journal"]
+        d["snapshot"], d["journal"] = snap, []
+        self.snapshots_written += 1
+
+    def _restore_from_disk(self) -> int:
+        """Rebuild the store from the durable snapshot + journal.
+
+        Falls back to the previous snapshot generation (replaying both
+        journals) when the current one fails digest verification;
+        journal records that fail verification are skipped — the
+        resulting vector gap stalls at the contiguous watermark and
+        anti-entropy refills it from peers.
+        """
+        _, verify_checkpoint_record = _ckpt()
+        d = self._disk
+        self._restoring = True
+        restored = 0
+        try:
+            self.store.clear()
+            snap = d.get("snapshot")
+            if snap is not None and verify_checkpoint_record(snap):
+                restored += self._install_snapshot(snap)
+                journals = [d.get("journal", [])]
+            else:
+                if snap is not None:
+                    self.snapshots_rejected += 1
+                prev = d.get("snapshot_prev")
+                if prev is not None and verify_checkpoint_record(prev):
+                    restored += self._install_snapshot(prev)
+                journals = [d.get("journal_prev", []), d.get("journal", [])]
+            for journal in journals:
+                for rec in journal:
+                    if not verify_checkpoint_record(rec):
+                        self.journal_skipped += 1
+                        continue
+                    restored += self.store.apply_remote([Record.from_dict(rec)])
+        finally:
+            self._restoring = False
+        return restored
+
+    def _install_snapshot(self, snap: Dict) -> int:
+        entries = [(uri, key, Entry.from_dict(ed))
+                   for uri, key, ed in snap["entries"]]
+        n = self.store.install_entries(entries)
+        self.store.adopt_vector(snap["vector"])
+        for origin, horizon in snap.get("compacted", {}).items():
+            if horizon > self.store.compacted.get(origin, 0):
+                self.store.compacted[origin] = horizon
+        if snap.get("lamport", 0) > self.store.lamport:
+            self.store.lamport = snap["lamport"]
+        return n
+
+    def _on_host_crash(self, host) -> None:
+        # Memory is gone; the disk dict survives. Hooks stay attached so
+        # oracles and the journal keep observing the rebuilt store.
+        self.store.clear()
+
+    def _on_host_recover(self, host) -> None:
+        self.restores += 1
+        self._restore_from_disk()
 
     def close(self) -> None:
         self.rpc.close()
         self._client.close()
         if self._sync_proc.is_alive:
             self._sync_proc.interrupt("closed")
+        if self._compact_proc is not None and self._compact_proc.is_alive:
+            self._compact_proc.interrupt("closed")
+        if self.durable:
+            if self._on_host_crash in self.host.on_crash:
+                self.host.on_crash.remove(self._on_host_crash)
+            if self._on_host_recover in self.host.on_recover:
+                self.host.on_recover.remove(self._on_host_recover)

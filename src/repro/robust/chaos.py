@@ -45,8 +45,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.checkpoint import checkpoint_to_files
 from repro.core.environment import SnipeEnvironment
 from repro.daemon.tasks import TaskSpec, TaskState
+from repro.rcds import uri as uri_mod
 from repro.rcds.server import RC_PORT
 from repro.robust import TIMEOUTS
+from repro.robust.overload import CONTROL
 from repro.rpc import RpcClient, RpcError
 
 #: Seeds the CI smoke and the pytest suite pin.
@@ -82,6 +84,7 @@ def build_chaos_env(
     rc_service_time: Optional[float] = None,
     configure: Optional[Callable] = None,
     backup_core: bool = False,
+    rc_server_kw: Optional[Dict] = None,
 ) -> Tuple[SnipeEnvironment, List[str]]:
     """The chaos site: stable core (RC x3, RM, files, guardians) behind a
     gateway, each worker alone on its own segment so it can be isolated.
@@ -112,7 +115,9 @@ def build_chaos_env(
         env.topology.connect(gw, seg)
         env.add_host(f"w{i}", segments=[f"s-w{i}"], arch="worker")
         workers.append(f"w{i}")
-    server_kw = {} if rc_service_time is None else {"service_time": rc_service_time}
+    server_kw = dict(rc_server_kw or {})
+    if rc_service_time is not None:
+        server_kw["service_time"] = rc_service_time
     env.add_rc_servers(["c0", "c1", "c2"], **server_kw)
     for name in ("c0", "c1", "c2", "gw", *workers):
         env.boot_daemon(name)
@@ -1164,6 +1169,416 @@ def format_gray_report(report: Dict) -> str:
         f"corruption: {report['corrupt_delivered']} delivered, "
         f"{report['rx_corrupt_dropped']} dropped at receivers",
         f"checkpoints rejected on digest: {report['ckpt_rejected']}",
+        "",
+        "criteria:",
+    ]
+    for name, ok, detail in report["criteria"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    lines.append("")
+    lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "
+                 f"(simulated {report['finished_at']:.1f}s)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Partition-heal scenario (experiment E16)
+# ---------------------------------------------------------------------------
+
+def start_heal_sessions(
+    env: SnipeEnvironment,
+    workers: List[str],
+    t0: float,
+    t1: float,
+    n_keys: int = 24,
+    interval: float = 0.4,
+    value_pad: int = 1024,
+    retire_frac: float = 0.25,
+    retire_window: Tuple[float, float] = (0.0, 0.0),
+) -> Dict:
+    """Sustained per-key write/delete load against *pinned* replicas.
+
+    Each key is written by one worker to one fixed replica (a direct
+    :class:`RpcClient`, deliberately *without* failover) so that during
+    a partition both sides keep accepting divergent writes — the worst
+    case anti-entropy has to heal. The first ``retire_frac`` of the keys
+    stop being written at a seeded time inside *retire_window* and are
+    then deleted through the *next* replica in the ring, which during
+    the partition usually sits on the other side of the cut: exactly the
+    write-here/delete-there pair that tombstone resurrection bugs need.
+
+    Values carry ``value_pad`` bytes of padding and a monotonic sequence
+    prefix (``"<n>:xxx..."``), so the report can check that what the
+    replicas converge on is at least as new as the last acknowledged
+    write per key.
+    """
+    replicas = list(env.rc_replicas)
+    rng = env.sim.rng.stream("heal.load")
+    n_retire = int(n_keys * retire_frac)
+    tracked: Dict = {
+        "writes_ok": 0, "writes_failed": 0,
+        "deletes_ok": 0, "deletes_failed": 0,
+        "acked": {}, "retired": {}, "keys": {},
+    }
+    clients: Dict[str, RpcClient] = {}
+
+    for i in range(n_keys):
+        uri = f"snipe://heal/k{i}"
+        pin = replicas[i % len(replicas)]
+        retire_t = (rng.uniform(*retire_window) if i < n_retire else None)
+        tracked["keys"][uri] = {"pin": pin[0], "retire_t": retire_t}
+
+    def _driver(i: int) -> None:
+        uri = f"snipe://heal/k{i}"
+        pin = replicas[i % len(replicas)]
+        wname = workers[i % len(workers)]
+        host = env.topology.hosts[wname]
+        rpc = clients.setdefault(wname, RpcClient(host, secret=env.secret))
+        jitter = env.sim.rng.stream(f"heal.load.k{i}")
+        retire_t = tracked["keys"][uri]["retire_t"]
+
+        def writer():
+            yield env.sim.timeout(max(0.0, t0 - env.sim.now))
+            n = 0
+            stop = retire_t if retire_t is not None else t1
+            while env.sim.now < stop:
+                n += 1
+                value = f"{n}:" + "x" * value_pad
+                try:
+                    yield rpc.call(pin[0], pin[1], "rc.update",
+                                   timeout=TIMEOUTS["rc.call"],
+                                   uri=uri, assertions={"v": value})
+                    tracked["writes_ok"] += 1
+                    tracked["acked"][uri] = n
+                except RpcError:
+                    tracked["writes_failed"] += 1
+                yield env.sim.timeout(interval * (0.75 + 0.5 * jitter.random()))
+            if retire_t is None:
+                return
+            # Retire: delete through the next replica in the ring (during
+            # a partition: usually the other side of the cut).
+            deleter = replicas[(i + 1) % len(replicas)]
+            yield env.sim.timeout(0.5)
+            for _ in range(5):
+                try:
+                    yield rpc.call(deleter[0], deleter[1], "rc.delete",
+                                   timeout=TIMEOUTS["rc.call"],
+                                   uri=uri, keys=None)
+                    tracked["deletes_ok"] += 1
+                    tracked["retired"][uri] = env.sim.now
+                    tracked["acked"].pop(uri, None)
+                    return
+                except RpcError:
+                    yield env.sim.timeout(0.5)
+            tracked["deletes_failed"] += 1
+
+        env.sim.process(writer(), name=f"heal-load:k{i}")
+
+    for i in range(n_keys):
+        _driver(i)
+    return tracked
+
+
+def _visible_state(store, uri: str) -> Dict[str, Tuple]:
+    """One replica's visible (non-deleted) assertions for *uri*, keyed by
+    assertion name, as comparable ``(stamp, value)`` tuples."""
+    out: Dict[str, Tuple] = {}
+    for key, entry in store.data.get(uri, {}).items():
+        if not entry.deleted:
+            out[key] = (entry.wall, entry.lamport, entry.origin, entry.value)
+    return out
+
+
+def run_partition_heal(
+    seed: int,
+    n_workers: int = 4,
+    duration: Optional[float] = None,
+    part_at: float = 8.0,
+    part_for: float = 60.0,
+    n_keys: int = 24,
+    interval: float = 0.4,
+    value_pad: int = 1024,
+    bounded: bool = True,
+    max_sync_records: int = 64,
+    blackout: bool = False,
+    blackout_at: float = 10.0,
+    blackout_for: float = 6.0,
+    instrument: Optional[Callable] = None,
+    obs_sample: Optional[float] = None,
+    flight: bool = True,
+) -> Dict:
+    """One seeded partition-heal run; returns a report dict (``report["ok"]``).
+
+    Two fault shapes against the replicated catalog under the sustained
+    write/delete load of :func:`start_heal_sessions`:
+
+    * **partition** (default): the core LAN is split ``{c2} | {c0, c1}``
+      for *part_for* seconds — long past the replicas' peer-staleness
+      horizon, so the majority side compacts its logs while the minority
+      diverges — then healed. The run measures how long the three
+      replicas take to reconverge on every tracked key, the largest
+      anti-entropy payload used to get there, control-plane p99 during
+      the storm, and whether any lease heartbeat was lost to sync
+      traffic.
+    * **blackout** (``blackout=True``): every replica crashes at once
+      (memory gone, per-host disk dicts survive) and recovers
+      *blackout_for* seconds later. With no surviving replica to copy
+      from, the catalog — including tombstones for keys deleted before
+      the crash — must come back from the durable snapshot + journal.
+
+    ``bounded=False`` is the experiment-E16 baseline: compaction off and
+    the legacy single-blob ``rc.sync`` exchange, whose payload grows
+    with the whole divergence and ships on the control lane.
+    """
+    from repro.check.oracles import ProbeBus
+    from repro.obs.slo import _metric_value
+
+    if duration is None:
+        duration = 40.0 if blackout else 100.0
+    if bounded:
+        rc_server_kw = dict(
+            max_sync_records=max_sync_records, compact_interval=1.0,
+            peer_stale_after=8.0, log_keep_tail=16, snapshot_every=128,
+        )
+    else:
+        rc_server_kw = dict(max_sync_records=None)
+
+    env, workers = build_chaos_env(seed, n_workers, rc_server_kw=rc_server_kw)
+    _instrument_sim(env.sim, instrument, obs_sample)
+    bus = ProbeBus()
+    env.sim.probes = bus
+    recorder = _arm_flight(env.sim, bus) if flight else None
+    env.settle(2.0)
+
+    heal_t = (blackout_at + blackout_for) if blackout else (part_at + part_for)
+    # After a blackout the writers keep going for a while: the post-crash
+    # writes prove the restored store still accepts and replicates work.
+    monitor_from = heal_t + (6.0 if blackout else 0.0)
+    if blackout:
+        retire_window = (max(4.0, blackout_at - 6.0), blackout_at - 2.0)
+    else:
+        retire_window = (part_at + 0.3 * part_for, part_at + 0.6 * part_for)
+
+    load = start_heal_sessions(
+        env, workers, 3.0, monitor_from, n_keys=n_keys, interval=interval,
+        value_pad=value_pad, retire_window=retire_window,
+    )
+    sessions = start_gray_sessions(env, workers, 4.0, duration - 2.0)
+
+    if blackout:
+        for h in ("c0", "c1", "c2"):
+            env.failures.host_down_at(blackout_at, h, duration=blackout_for)
+    else:
+        env.failures.partition_at(part_at, ["c2"], ["c0", "c1"],
+                                  duration=part_for)
+
+    stores = {name: srv.store for name, srv in env.rc_servers.items()}
+    measures: Dict = {"reconverged_at": None, "diverged_at_heal": None}
+
+    # Control-plane experience *during the heal window*, measured
+    # directly: small CONTROL-lane lookups against every replica while
+    # anti-entropy drains the partition backlog. This is the traffic an
+    # unbounded sync blob head-of-line blocks on a single-threaded
+    # replica — the cumulative histograms can't isolate the window.
+    probe: Dict = {"lat": [], "failed": 0}
+
+    def _probe_control():
+        gw_host = env.topology.hosts["gw"]
+        rpc = RpcClient(gw_host, secret=env.secret)
+        yield env.sim.timeout(max(0.0, heal_t - env.sim.now))
+        while env.sim.now < min(heal_t + 15.0, duration):
+            for rhost, rport in env.rc_replicas:
+                t_op = env.sim.now
+                try:
+                    yield rpc.call(rhost, rport, "rc.lookup",
+                                   timeout=TIMEOUTS["rc.sync"], lane=CONTROL,
+                                   uri=uri_mod.host_url(rhost))
+                    probe["lat"].append(env.sim.now - t_op)
+                except RpcError:
+                    probe["failed"] += 1
+            yield env.sim.timeout(0.2)
+
+    env.sim.process(_probe_control(), name="heal-control-probe")
+
+    def _agreement() -> int:
+        """Number of tracked keys the three replicas disagree on."""
+        bad = 0
+        for uri in load["keys"]:
+            views = [_visible_state(s, uri) for s in stores.values()]
+            want_empty = uri in load["retired"]
+            if want_empty:
+                if any(views):
+                    bad += 1
+            elif any(v != views[0] for v in views[1:]):
+                bad += 1
+        return bad
+
+    def monitor():
+        yield env.sim.timeout(max(0.0, monitor_from - env.sim.now))
+        measures["diverged_at_heal"] = _agreement()
+        while True:
+            if _agreement() == 0:
+                measures["reconverged_at"] = env.sim.now
+                return
+            yield env.sim.timeout(0.25)
+
+    env.sim.process(monitor(), name="heal-monitor")
+    env.run(until=duration)
+    env.settle(4.0)
+
+    # -- measurements --------------------------------------------------------
+    export = env.sim.obs.metrics.export()
+    snap = env.sim.obs.metrics.snapshot()
+    max_batch = _metric_value(export, "rcds.sync_batch_records", "max")
+    lat = sorted(probe["lat"])
+    control_p99 = lat[int(0.99 * (len(lat) - 1))] if lat else None
+    control_max = lat[-1] if lat else None
+    hb_failed = int(sum(d.heartbeats_failed for d in env.daemons.values()))
+    hb_failovers = int(sum(d.rc.failovers for d in env.daemons.values()))
+    sync_failures = {k: int(v) for k, v in snap.items()
+                     if k.startswith("rcds.sync_failures")}
+    replica_stats = {name: srv._h_stats({}) for name, srv in env.rc_servers.items()}
+    reconverge_s = (measures["reconverged_at"] - monitor_from
+                    if measures["reconverged_at"] is not None else None)
+
+    resurrected = []
+    for uri in load["retired"]:
+        for name, store in stores.items():
+            if _visible_state(store, uri):
+                resurrected.append((uri, name))
+    stale = []
+    for uri, n_acked in load["acked"].items():
+        for name, store in stores.items():
+            view = _visible_state(store, uri)
+            got = view.get("v")
+            n_got = int(got[3].split(":")[0]) if got else None
+            if n_got is None or n_got < n_acked:
+                stale.append((uri, name, n_got, n_acked))
+
+    criteria: List[Tuple[str, bool, str]] = [
+        ("replicas-reconverged",
+         reconverge_s is not None,
+         (f"all {len(load['keys'])} tracked keys agree on every replica "
+          f"{reconverge_s:.2f}s after heal "
+          f"({measures['diverged_at_heal']} keys diverged at heal)")
+         if reconverge_s is not None
+         else f"still diverged at t={env.sim.now:.0f}s "
+              f"({_agreement()} keys disagree)"),
+        ("no-resurrection",
+         not resurrected,
+         f"{len(load['retired'])} keys deleted"
+         + (f"; resurrected: {sorted(set(resurrected))[:4]}" if resurrected
+            else ", none came back")),
+        ("writes-survive",
+         not stale,
+         f"{len(load['acked'])} live keys at or past their last acked write"
+         + (f"; stale/missing: {stale[:4]}" if stale else "")),
+    ]
+    if bounded:
+        criteria.append((
+            "payload-bounded",
+            max_batch <= max_sync_records,
+            f"largest sync payload {max_batch:.0f} records "
+            f"(bound {max_sync_records})",
+        ))
+        criteria.append((
+            "control-responsive-during-heal",
+            control_p99 is not None and control_p99 <= 0.5
+            and probe["failed"] == 0,
+            f"heal-window control p99 "
+            + (f"{control_p99 * 1000:.0f}ms" if control_p99 is not None
+               else "n/a")
+            + f", {probe['failed']} probe failures",
+        ))
+        if not blackout:
+            criteria.append((
+                "zero-lost-heartbeats",
+                hb_failed == 0 and hb_failovers == 0,
+                f"{hb_failed} lease heartbeats failed, "
+                f"{hb_failovers} had to fail over",
+            ))
+    if blackout:
+        restores = {name: srv.restores for name, srv in env.rc_servers.items()}
+        criteria.append((
+            "durable-restore",
+            all(r >= 1 for r in restores.values())
+            and all(s.record_count() > 0 for s in stores.values()),
+            f"restores per replica {restores}, "
+            f"records {[s.record_count() for s in stores.values()]}",
+        ))
+    ok = all(c_ok for _, c_ok, _ in criteria)
+
+    flight_records = None
+    if recorder is not None and not ok:
+        for name, c_ok, detail in criteria:
+            if not c_ok:
+                recorder.note_violation(f"criterion:{name}", env.sim.now, detail)
+        flight_records = recorder.snapshot()
+
+    return {
+        "seed": seed,
+        "mode": "blackout" if blackout else "partition",
+        "bounded": bounded,
+        "bound": max_sync_records if bounded else None,
+        "workers": n_workers,
+        "n_keys": n_keys,
+        "value_pad": value_pad,
+        "fault_window": ((blackout_at, heal_t) if blackout
+                         else (part_at, heal_t)),
+        "heal_t": heal_t,
+        "reconverge_s": reconverge_s,
+        "diverged_at_heal": measures["diverged_at_heal"],
+        "max_sync_batch": max_batch,
+        "control_p99": control_p99,
+        "control_max": control_max,
+        "control_probe_failed": probe["failed"],
+        "heartbeats_failed": hb_failed,
+        "heartbeat_failovers": hb_failovers,
+        "writes_ok": load["writes_ok"],
+        "writes_failed": load["writes_failed"],
+        "deletes_ok": load["deletes_ok"],
+        "deletes_failed": load["deletes_failed"],
+        "retired": len(load["retired"]),
+        "resurrected": sorted(set(resurrected)),
+        "stale_keys": stale,
+        "sync_failures": sync_failures,
+        "snapshot_catchups": sum(s["snapshot_catchups"]
+                                 for s in replica_stats.values()),
+        "replica_stats": replica_stats,
+        "lookup_ops_ok": sessions["ops_ok"],
+        "lookup_ops_failed": sessions["ops_failed"],
+        "flight": flight_records,
+        "criteria": criteria,
+        "ok": ok,
+        "finished_at": env.sim.now,
+    }
+
+
+def format_heal_report(report: Dict) -> str:
+    """Human-readable partition-heal report for the CLI."""
+    rc = report["reconverge_s"]
+    lines = [
+        f"heal run: seed={report['seed']} mode={report['mode']} "
+        f"sync={'bounded<=' + str(report['bound']) if report['bounded'] else 'unbounded (baseline)'}",
+        "",
+        f"fault window t={report['fault_window'][0]:.0f}.."
+        f"{report['fault_window'][1]:.0f}s, {report['n_keys']} keys, "
+        f"{report['writes_ok']} writes ok / {report['writes_failed']} failed, "
+        f"{report['deletes_ok']} deletes ({report['retired']} keys retired)",
+        f"  reconvergence: "
+        + (f"{rc:.2f}s after heal ({report['diverged_at_heal']} keys diverged)"
+           if rc is not None else "NEVER"),
+        f"  largest sync payload: {report['max_sync_batch']:.0f} records"
+        + (f" (bound {report['bound']})" if report["bounded"] else ""),
+        f"  heal-window control p99 "
+        + (f"{report['control_p99'] * 1000:.0f}ms" if report["control_p99"]
+           is not None else "n/a")
+        + (f" (max {report['control_max'] * 1000:.0f}ms, "
+           f"{report['control_probe_failed']} probe failures)"
+           if report["control_max"] is not None else "")
+        + f", heartbeats lost {report['heartbeats_failed']} "
+        f"(failovers {report['heartbeat_failovers']}), "
+        f"snapshot catch-ups {report['snapshot_catchups']}",
+        f"  sync failures by cause: {report['sync_failures'] or '{}'}",
         "",
         "criteria:",
     ]

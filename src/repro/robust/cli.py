@@ -11,14 +11,22 @@ Subcommands:
   baseline behaviour) and checks that the control plane survives.
   ``--scenario bulk`` distributes one object over the rack site's relay
   tree while killing a relay head (and a leaf) mid-transfer, and checks
-  completion, digest verification, and exactly-once chunk commits. Exit
-  status 0 iff every invariant/criterion holds. ``--seed N`` picks the
-  schedule; same seed, same run.
+  completion, digest verification, and exactly-once chunk commits.
+  ``--scenario heal`` partitions one catalog replica from the other two
+  for a minute of write/delete load — long enough that log compaction
+  runs behind the cut — then heals it and checks reconvergence, payload
+  bounds, and control-plane health (``--unbounded`` for the legacy
+  single-blob baseline, ``--blackout`` to crash all three replicas and
+  restore from durable snapshots instead). Exit status 0 iff every
+  invariant/criterion holds. ``--seed N`` picks the schedule; same
+  seed, same run.
 * ``sweep`` — run several seeds back to back (default: the CI seeds)
   and print one summary line each; exit non-zero if any seed fails.
-* ``bench`` — the E15 benchmark: the gray scenario with the
-  differential detector vs the heartbeat-only baseline across seeds;
-  prints the comparison table and writes ``BENCH_gray_goodput.json``.
+* ``bench`` — the robustness benchmarks: ``--experiment gray`` (E15,
+  differential detector vs heartbeat-only; writes
+  ``BENCH_gray_goodput.json``) or ``--experiment heal`` (E16, bounded
+  anti-entropy vs the unbounded blob plus blackout restore; writes
+  ``BENCH_heal_reconvergence.json``).
 """
 
 from __future__ import annotations
@@ -30,23 +38,28 @@ from repro.robust.chaos import (
     DEFAULT_SEEDS,
     format_bulk_report,
     format_gray_report,
+    format_heal_report,
     format_overload_report,
     format_report,
     run_bulk_chaos,
     run_chaos,
     run_gray,
     run_overload,
+    run_partition_heal,
 )
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--scenario", choices=("faults", "overload", "bulk", "gray"),
+    p.add_argument("--scenario",
+                   choices=("faults", "overload", "bulk", "gray", "heal"),
                    default="faults",
                    help="faults: crash/partition chaos (default); "
                         "overload: bulk saturation, no crashes; "
                         "bulk: relay-tree distribution with mid-transfer kills; "
                         "gray: zombie replica, clock skew, corruption, "
-                        "one-way links — nothing fail-stop")
+                        "one-way links — nothing fail-stop; "
+                        "heal: replica partitioned past the compaction "
+                        "horizon under write/delete load, then healed")
     p.add_argument("--workers", type=int, default=4, help="worker hosts (default 4)")
     p.add_argument("--steps", type=int, default=60,
                    help="[faults] work units per task (default 60)")
@@ -66,6 +79,13 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--heartbeat-only", action="store_true",
                    help="[gray] baseline: health boards inert, Guardian "
                         "trusts lapsed leases without probing")
+    p.add_argument("--unbounded", action="store_true",
+                   help="[heal] baseline: legacy single-blob rc.sync on the "
+                        "control lane, no compaction, no payload bound")
+    p.add_argument("--blackout", action="store_true",
+                   help="[heal] crash all three replicas at once instead of "
+                        "partitioning; the catalog must come back from the "
+                        "durable snapshots + journals")
     p.add_argument("--obs-sample", type=float, default=None, metavar="RATE",
                    help="enable tracing at this sampling rate (1.0 = every "
                         "record, 0.01 = 1-in-100; default: tracing off)")
@@ -107,6 +127,16 @@ def _run_one(seed: int, args) -> dict:
             instrument=instrument,
             obs_sample=args.obs_sample,
         )
+    elif args.scenario == "heal":
+        report = run_partition_heal(
+            seed,
+            n_workers=args.workers,
+            duration=args.duration,
+            bounded=not args.unbounded,
+            blackout=args.blackout,
+            instrument=instrument,
+            obs_sample=args.obs_sample,
+        )
     else:
         report = run_chaos(
             seed,
@@ -143,23 +173,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS))
     _add_run_args(p_sweep)
     p_bench = sub.add_parser(
-        "bench", help="E15: gray goodput, differential vs heartbeat-only")
+        "bench", help="robustness benchmarks: E15 gray goodput or E16 heal "
+                      "reconvergence")
+    p_bench.add_argument("--experiment", choices=("gray", "heal"),
+                         default="gray",
+                         help="gray: E15, differential detector vs "
+                              "heartbeat-only; heal: E16, bounded "
+                              "anti-entropy vs the unbounded blob, plus "
+                              "blackout restore (default: gray)")
     p_bench.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
-    p_bench.add_argument("--duration", type=float, default=40.0,
-                         help="simulated-seconds budget per run (default 40)")
+    p_bench.add_argument("--duration", type=float, default=None,
+                         help="simulated-seconds budget per run "
+                              "(default: 40 for gray, 100 for heal)")
     p_bench.add_argument("--json-dir", default=".",
-                         help="directory for BENCH_gray_goodput.json "
+                         help="directory for the BENCH json "
                               "(default: current directory)")
     args = parser.parse_args(argv)
 
     if args.cmd == "bench":
         import time as _time
 
-        from repro.bench.e15_gray import format_gray_bench, gray_goodput, summarize
         from repro.obs.report import write_bench_json
 
+        if args.experiment == "heal":
+            from repro.bench.e16_heal import (
+                format_heal_bench,
+                heal_reconvergence,
+                summarize,
+            )
+
+            t0 = _time.monotonic()
+            rows = heal_reconvergence(
+                seeds=args.seeds,
+                duration=args.duration if args.duration is not None else 100.0,
+            )
+            print(format_heal_bench(rows))
+            path = write_bench_json(
+                "heal_reconvergence", rows, args.json_dir,
+                wall_s=round(_time.monotonic() - t0, 2), scenario="heal",
+                extra={"summary": summarize(rows), "seeds": list(args.seeds)},
+            )
+            print(f"\nbench json written: {path}")
+            s = summarize(rows)
+            ok = (s["bounded_all_ok"] and s["blackout_all_ok"]
+                  and s["baseline_breaches_bound"]
+                  and s["blackout_resurrected"] == 0)
+            return 0 if ok else 1
+
+        from repro.bench.e15_gray import format_gray_bench, gray_goodput, summarize
+
         t0 = _time.monotonic()
-        rows = gray_goodput(seeds=args.seeds, duration=args.duration)
+        rows = gray_goodput(
+            seeds=args.seeds,
+            duration=args.duration if args.duration is not None else 40.0,
+        )
         print(format_gray_bench(rows))
         path = write_bench_json(
             "gray_goodput", rows, args.json_dir,
@@ -180,6 +247,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_overload_report(report))
         elif args.scenario == "gray":
             print(format_gray_report(report))
+        elif args.scenario == "heal":
+            print(format_heal_report(report))
         else:
             print(format_report(report))
         return 0 if report["ok"] else 1
@@ -204,6 +273,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"control_p99={report['control_p99_s'] * 1000:.0f}ms "
                 f"deaths={report['deaths_declared']} "
                 f"hb_failed={report['heartbeats_failed']} "
+                + (f"failed: {bad}" if bad else "")
+            )
+        elif args.scenario == "heal":
+            bad = [name for name, ok, _ in report["criteria"] if not ok]
+            rc = report["reconverge_s"]
+            p99 = report["control_p99"]
+            print(
+                f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+                f"reconverge={'%.2fs' % rc if rc is not None else 'never'} "
+                f"max_batch={report['max_sync_batch']:.0f} "
+                f"ctl_p99={'%.0fms' % (p99 * 1000) if p99 is not None else 'n/a'} "
+                f"hb_fo={report['heartbeat_failovers']} "
+                f"resurrected={len(report['resurrected'])} "
                 + (f"failed: {bad}" if bad else "")
             )
         elif args.scenario == "gray":

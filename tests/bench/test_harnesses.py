@@ -82,6 +82,35 @@ def test_e10_small():
     assert by_policy == {"snipe": "myr", "default-ip": "eth"}
 
 
+def test_e16_summary_and_formatting():
+    from repro.bench.e16_heal import format_heal_bench, summarize
+
+    def row(config, mode="partition", **kw):
+        base = dict(config=config, seed=1, mode=mode, reconverge_s=2.5,
+                    diverged_at_heal=40, max_sync_batch=64, bound=64,
+                    control_p99_ms=0.4, control_max_ms=1.2, probe_failed=0,
+                    hb_failed=0, hb_failovers=0, snapshot_catchups=6,
+                    writes_ok=500, retired=7, resurrected=0, restores=0,
+                    ok=True)
+        base.update(kw)
+        return base
+
+    rows = [
+        row("bounded"),
+        row("unbounded", bound=None, max_sync_batch=7500,
+            control_p99_ms=48.0, probe_failed=3, hb_failovers=17,
+            snapshot_catchups=0, ok=False),
+        row("blackout", mode="blackout", restores=3),
+    ]
+    s = summarize(rows)
+    assert s["bounded_all_ok"] and s["blackout_all_ok"]
+    assert s["baseline_breaches_bound"]
+    assert s["payload_ratio"] > 100
+    assert s["blackout_restores"] == 3 and s["blackout_resurrected"] == 0
+    text = format_heal_bench(rows)
+    assert "E16" in text and "7500" in text and "durable restores" in text
+
+
 def test_format_table_alignment():
     rows = [{"a": 1, "bb": 2.34567}, {"a": 100, "bb": 0.5}]
     text = format_table(rows)

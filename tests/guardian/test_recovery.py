@@ -166,6 +166,112 @@ def test_zombie_incarnation_is_fenced_after_partition():
     assert state == TaskState.EXITED
 
 
+def test_duplicate_fenced_respawns_converge_to_one_owner():
+    """A spawn whose reply is lost gets retried by the RM layers on another
+    host, so one recovery can start two successors. Fenced respawns
+    quorum-write a fresh fence *before* launching, so whichever successor
+    starts last supersedes every earlier incarnation — the original and
+    the sibling duplicate — and exactly one owner finishes."""
+    env, received = healing_env(seed=7)
+    coll = env.spawn(TaskSpec(program="collector"), on="h0")
+    work = env.spawn(
+        TaskSpec(program="worker",
+                 params={"total": 40, "ckpt_every": 5, "collector_urn": coll.urn}),
+        on="h3",
+    )
+    env.run(until=env.sim.now + 1.5)  # original makes progress, stays alive
+
+    def respawn(program="worker"):
+        return TaskSpec(program=program,
+                        params={"total": 40, "ckpt_every": 5,
+                                "collector_urn": coll.urn},
+                        urn_override=work.urn, fence_predecessors=True)
+
+    def duplicate_spawns(sim):
+        # What the retry race produces: the same recovery's spec landing
+        # on two daemons, back to back.
+        yield sim.process(env.daemons["h4"]._spawn_fenced(respawn()))
+        yield sim.process(env.daemons["h2"]._spawn_fenced(respawn()))
+
+    env.run(until=env.sim.process(duplicate_spawns(env.sim)))
+    inc_first = env.daemons["h4"].contexts[work.urn].incarnation
+    inc_last = env.daemons["h2"].contexts[work.urn].incarnation
+    assert inc_last > inc_first
+    env.run(until=60.0)
+
+    # The last starter owns the URN; everyone earlier was fenced, quietly.
+    assert env.daemons["h2"].tasks[work.urn].state == TaskState.EXITED
+    for loser in ("h3", "h4"):
+        info = env.daemons[loser].tasks[work.urn]
+        assert info.fenced and info.state == TaskState.KILLED
+    dones = [inc for tag, _, inc in received if tag == "done"]
+    assert dones == [inc_last]
+
+
+def test_crash_recovery_inside_partition_eventually_publishes_deaths():
+    """A host that crashes and reboots *inside* a partition cannot reach
+    the catalog to report its dead tasks. The daemon must keep retrying
+    after the partition heals — otherwise the ghost RUNNING record plus
+    the rebooted host's healthy lease convince every Guardian the task is
+    fine, forever."""
+    env = SnipeEnvironment(seed=13)
+    env.add_segment("core")
+    env.add_segment("edge")
+    for name in ("h0", "h1", "h2"):
+        env.add_host(name, segments=["core"])
+    env.add_host("gw", segments=["core", "edge"], forwarding=True)
+    env.add_host("w", segments=["edge"])
+    env.add_rc_servers(["h0", "h1", "h2"])
+    for name in ("h0", "h1", "h2", "gw", "w"):
+        env.boot_daemon(name)
+    env.add_rm("h0")
+    env.add_file_server("h0")
+    env.add_file_server("h1")
+    env.add_guardian("h1")
+    env.add_guardian("h2")
+    received = []
+
+    @env.program("collector")
+    def collector(ctx):
+        while True:
+            msg = yield ctx.recv()
+            received.append((msg.tag, msg.payload, msg.src_inc))
+
+    @env.program("worker")
+    def worker(ctx, total, ckpt_every, collector_urn):
+        i = ctx.checkpoint_state.get("i", 0)
+        while i < total:
+            yield ctx.compute(0.2)
+            i += 1
+            ctx.checkpoint_state["i"] = i
+            yield ctx.send(collector_urn, {"i": i, "inc": ctx.incarnation}, tag="progress")
+            if i % ckpt_every == 0:
+                yield checkpoint_to_files(ctx)
+        yield ctx.send(collector_urn, {"inc": ctx.incarnation}, tag="done")
+        return i
+
+    env.settle(2.0)
+    coll = env.spawn(TaskSpec(program="collector"), on="h0")
+    work = env.spawn(
+        TaskSpec(program="worker",
+                 params={"total": 30, "ckpt_every": 5, "collector_urn": coll.urn}),
+        on="w",
+    )
+    t0 = env.sim.now
+    # Cut w off, then crash-and-reboot it while the cut is still up: the
+    # reboot lands with a dead task to report and no catalog in sight.
+    env.failures.partition_at(t0 + 1.6, ["w"], ["h0", "h1", "h2", "gw"],
+                              duration=12.0)
+    env.failures.host_down_at(t0 + 2.0, "w", duration=2.0)
+    env.run(until=90.0)
+
+    assert env.daemons["w"]._unpublished == set()
+    recs = all_recoveries(env)
+    assert len(recs) == 1 and recs[0]["from"] == "w"
+    dones = [inc for tag, _, inc in received if tag == "done"]
+    assert dones == [recs[0]["new_inc"]]
+
+
 def test_dead_task_without_checkpoint_is_recorded_unrecoverable():
     env, _ = healing_env(seed=5)
 

@@ -1,0 +1,164 @@
+"""Unit tests: log compaction, tombstone GC, and the contiguous vector.
+
+These pin the store-level invariants the partition-heal machinery rests
+on: compaction forgets history but never state, a gapped batch cannot
+advance the version vector past records that were skipped (the
+``vector-gap`` regression), snapshot catch-up is equivalent to replaying
+the compacted prefix, and tombstones are only collected once every
+configured peer has acked past them (the ``early-gc`` regression).
+"""
+
+import pytest
+
+from repro.rcds.records import RCStore
+
+
+def filled(origin="rc-a", n=10, uri="u", key="k"):
+    store = RCStore(origin)
+    for i in range(1, n + 1):
+        store.local_update(uri, {key: i}, wall=float(i))
+    return store
+
+
+@pytest.fixture
+def bug(request):
+    """Flip one RCStore class switch off for the duration of a test."""
+
+    def _set(attr):
+        saved = getattr(RCStore, attr)
+        setattr(RCStore, attr, False)
+        request.addfinalizer(lambda: setattr(RCStore, attr, saved))
+
+    return _set
+
+
+def test_compact_drops_history_keeps_registers():
+    store = filled(n=10)
+    dropped = store.compact({"rc-a": 6})
+    assert dropped == 6
+    assert sorted(store.logs["rc-a"]) == [7, 8, 9, 10]
+    assert store.compacted["rc-a"] == 6
+    assert store.get("u", "k") == 10          # state untouched
+    assert store.vector["rc-a"] == 10
+    assert store.compactions == 1 and store.records_compacted == 6
+    # Idempotent at the same watermark; clipped at our own knowledge.
+    assert store.compact({"rc-a": 6}) == 0
+    assert store.compact({"rc-a": 99}) == 4
+    assert store.compacted["rc-a"] == 10
+
+
+def test_missing_for_carries_gap_receiver_refuses_to_jump_it():
+    src = filled(n=10)
+    src.compact({"rc-a": 6})
+    # A peer that has nothing gets a batch starting past the horizon:
+    batch = src.missing_for({"rc-a": 0})
+    assert [r.seq for r in batch] == [7, 8, 9, 10]
+    fresh = RCStore("rc-c")
+    fresh.apply_remote(batch)
+    # The contiguous watermark refuses to advance over the 1..6 gap, so
+    # the next vector exchange still reports zero knowledge and the
+    # compaction-horizon check routes this peer to snapshot catch-up.
+    assert fresh.vector.get("rc-a", 0) == 0
+    assert src.snapshot_needed_for(fresh.digest())
+    assert not src.snapshot_needed_for({"rc-a": 6})
+
+
+def test_vector_gap_regression(bug):
+    """The seeded ``vector-gap`` bug: a gapped batch must not bump the
+    vector past skipped records — in bug mode it does, and the skipped
+    records are never requested again."""
+    src = filled(n=10)
+    src.compact({"rc-a": 6})
+    batch = src.missing_for({"rc-a": 0})
+
+    bug("contiguous_vector_enabled")
+    broken = RCStore("rc-b")
+    broken.apply_remote(batch)
+    assert broken.vector["rc-a"] == 10        # jumped the 1..6 gap
+    assert src.missing_for(broken.digest()) == []  # ...so never healed
+
+
+def test_snapshot_catchup_equivalent_to_replaying_the_prefix():
+    src = RCStore("rc-a")
+    src.local_update("u1", {"k": "old"}, wall=1.0)
+    src.local_update("u2", {"k": "keep"}, wall=2.0)
+    src.local_delete("u1", None, wall=3.0)
+    src.compact({"rc-a": 3})
+    src.local_update("u2", {"k": "new"}, wall=4.0)
+
+    dst = RCStore("rc-b")
+    assert src.snapshot_needed_for(dst.digest())
+    dst.install_entries(src.state_entries())   # tombstones included
+    dst.adopt_vector(src.digest())
+    assert src.missing_for(dst.digest()) == []
+    assert dst.snapshot() == src.snapshot()
+    assert dst.get("u1", "k") is None          # delete survived the snapshot
+    # Contiguity resumes cleanly past the adopted point.
+    more = src.local_update("u2", {"k": "newer"}, wall=5.0)
+    dst.apply_remote(more)
+    assert dst.vector["rc-a"] == src.vector["rc-a"]
+    assert dst.get("u2", "k") == "newer"
+
+
+def test_safe_gc_waits_for_every_peer_ack():
+    store = RCStore("rc-a")
+    store.local_update("u", {"k": 1}, wall=1.0)
+    store.local_delete("u", None, wall=2.0)    # tombstone at seq 2
+    assert store.tombstone_count() == 1
+    # A peer that never acked (or acked only seq 1) pins the tombstone.
+    assert store.gc_tombstones({}) == 0
+    assert store.gc_tombstones({"rc-a": 1}) == 0
+    assert store.tombstone_count() == 1
+    # Once every peer acked past the delete, it can go.
+    assert store.gc_tombstones({"rc-a": 2}) == 1
+    assert store.tombstone_count() == 0
+    assert store.tombstones_collected == 1
+    assert "u" not in store.data               # empty bucket pruned
+
+
+def test_early_gc_lets_a_stale_snapshot_resurrect(bug):
+    """The seeded ``early-gc`` bug end to end: collect a tombstone no
+    peer acked, then take a snapshot from a peer that still holds the
+    pre-delete write — the key comes back from the dead. With the guard
+    on, the tombstone wins the same merge."""
+    stale_peer = RCStore("rc-b")
+    stale_peer.apply_remote(filled(origin="rc-a", n=1).missing_for({}))
+    assert stale_peer.get("u", "k") == 1
+
+    def deleting_store():
+        s = RCStore("rc-a")
+        s.local_update("u", {"k": 1}, wall=1.0)
+        s.local_delete("u", None, wall=2.0)
+        return s
+
+    safe = deleting_store()
+    safe.gc_tombstones({})                     # no peer acked: kept
+    safe.install_entries(stale_peer.state_entries())
+    assert safe.get("u", "k") is None          # tombstone wins the merge
+
+    bug("safe_gc_enabled")
+    broken = deleting_store()
+    broken.gc_tombstones({})                   # collected anyway
+    broken.install_entries(stale_peer.state_entries())
+    assert broken.get("u", "k") == 1           # resurrected
+
+
+def test_clear_preserves_observer_hooks():
+    store = filled(n=3)
+    applied, recorded = [], []
+    store.on_apply = lambda uri, key, entry: applied.append((uri, key))
+    store.on_record = lambda rec: recorded.append(rec.seq)
+    store.clear()
+    assert store.data == {} and store.vector == {} and store.compacted == {}
+    store.local_update("u", {"k": 1}, wall=1.0)
+    assert applied == [("u", "k")] and recorded == [1]
+
+
+def test_record_and_tombstone_counts():
+    store = filled(n=4)
+    store.local_delete("u", None, wall=9.0)
+    assert store.record_count() == 5
+    assert store.tombstone_count() == 1
+    store.compact({"rc-a": 5})
+    assert store.record_count() == 0
+    assert store.tombstone_count() == 1        # GC is separate from compaction

@@ -1,0 +1,158 @@
+"""Property tests: compaction and tombstone GC are invisible to sync.
+
+Two laws the partition-heal machinery must obey for any workload:
+
+* syncing from a replica that compacted its logs (forcing the receiver
+  through snapshot catch-up and gap-carrying batches) yields exactly
+  the same visible snapshot as syncing from one that kept everything;
+* tombstone GC at a watermark every peer has acked past can never make
+  a deleted key visible again, no matter what a peer merges in later.
+
+The sync model below is the wire protocol minus the RPCs: vector
+exchange, snapshot catch-up when the peer predates the compaction
+horizon, then record batches — i.e. what ``RCServer._sync_bounded``
+drives over the network.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rcds.records import RCStore
+
+ORIGINS = ("rc-a", "rc-b", "rc-c")
+
+walls = st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+
+#: (origin, uri, key, value, wall, delete?) — deletes tombstone the key.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(ORIGINS),
+        st.sampled_from(("uri:x", "uri:y")),
+        st.sampled_from(("state", "host")),
+        st.integers(min_value=0, max_value=99),
+        walls,
+        st.booleans(),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+def accept_all(os):
+    """Run each op at its origin replica; return (origins, records)."""
+    origins = {o: RCStore(o) for o in ORIGINS}
+    records = []
+    for origin, uri, key, value, wall, delete in os:
+        if delete:
+            records.extend(origins[origin].local_delete(uri, [key], wall))
+        else:
+            records.extend(origins[origin].local_update(uri, {key: value}, wall))
+    return origins, records
+
+
+def sync_from(dst: RCStore, src: RCStore, rounds: int = 8) -> None:
+    """One-way sync, modelled exactly like the bounded protocol: snapshot
+    catch-up if *dst* predates *src*'s compaction horizon, then record
+    batches until *src* has nothing more for *dst*."""
+    if src.snapshot_needed_for(dst.digest()):
+        dst.install_entries(src.state_entries())
+        dst.adopt_vector(src.digest())
+    for _ in range(rounds):
+        batch = src.missing_for(dst.digest())
+        if not batch:
+            return
+        dst.apply_remote(batch)
+
+
+def visible(store: RCStore):
+    return {
+        (uri, key): entry.value
+        for uri, bucket in store.data.items()
+        for key, entry in bucket.items() if not entry.deleted
+    }
+
+
+@given(ops, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=120, deadline=None)
+def test_compacted_sync_equals_uncompacted_sync(os, cut_seed):
+    """A receiver that syncs from a compacted replica (snapshot catch-up
+    + gapped batches) ends with the same visible snapshot as one that
+    syncs from an identical replica which kept its entire log."""
+    _, records = accept_all(os)
+    rng = random.Random(cut_seed)
+
+    keeper, compactor = RCStore("rc-k"), RCStore("rc-m")
+    keeper.apply_remote(records)
+    compactor.apply_remote(records)
+    # Compact at an arbitrary per-origin watermark <= the vector (every
+    # watermark is legal: stability only ever *under*-approximates).
+    stable = {o: rng.randint(0, v) for o, v in compactor.vector.items()}
+    compactor.compact(stable)
+
+    via_keeper, via_compactor = RCStore("rc-p"), RCStore("rc-q")
+    sync_from(via_keeper, keeper)
+    sync_from(via_compactor, compactor)
+    assert visible(via_compactor) == visible(via_keeper)
+    assert via_compactor.digest() == via_keeper.digest()
+
+
+@given(ops, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=120, deadline=None)
+def test_fully_compacted_replica_serves_snapshot_catchup(os, _seed):
+    """The extreme: a replica that compacted *everything* (empty logs)
+    can still bring a blank peer fully up to date — via the snapshot."""
+    _, records = accept_all(os)
+    src = RCStore("rc-s")
+    src.apply_remote(records)
+    src.compact(dict(src.vector))
+    assert src.record_count() == 0
+
+    dst = RCStore("rc-d")
+    sync_from(dst, src)
+    assert visible(dst) == visible(src)
+    assert dst.digest() == src.digest()
+
+
+@given(ops)
+@settings(max_examples=120, deadline=None)
+def test_safe_gc_never_resurrects(os):
+    """After GC at a watermark covered by every peer, merging any peer's
+    full state back in leaves every deleted key deleted."""
+    origins, records = accept_all(os)
+    stores = {name: RCStore(name) for name in ("rc-x", "rc-y")}
+    for s in stores.values():
+        s.apply_remote(records)
+
+    x, y = stores["rc-x"], stores["rc-y"]
+    deleted = {
+        (uri, key)
+        for uri, bucket in x.data.items()
+        for key, entry in bucket.items() if entry.deleted
+    }
+    # Everyone holds everything, so the full vector is a legal GC
+    # watermark — the strongest (most collectable) safe stability.
+    x.gc_tombstones(dict(x.vector))
+    # A peer that never GC'd pushes its complete state (the snapshot
+    # path — record batches are deduped by the vector anyway).
+    x.install_entries(y.state_entries())
+    x.apply_remote(records)
+    for uri, key in deleted:
+        entry = x.data.get(uri, {}).get(key)
+        assert entry is None or entry.deleted, (uri, key)
+
+
+@given(ops)
+@settings(max_examples=120, deadline=None)
+def test_gc_then_sync_keeps_replicas_convergent(os):
+    """GC on one replica but not the other must not break convergence of
+    the *visible* state in either sync direction."""
+    _, records = accept_all(os)
+    a, b = RCStore("rc-1"), RCStore("rc-2")
+    a.apply_remote(records)
+    b.apply_remote(records)
+    a.gc_tombstones(dict(a.vector))
+    sync_from(a, b)
+    sync_from(b, a)
+    assert visible(a) == visible(b)
