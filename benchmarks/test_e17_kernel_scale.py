@@ -1,0 +1,26 @@
+"""E17 — kernel scalability: hundreds of hosts on the optimised core."""
+
+import pytest
+
+from repro.bench.e17_kernel_scale import kernel_scale
+from repro.bench.table import print_table
+
+from .conftest import run_once
+
+pytestmark = pytest.mark.slow
+
+
+def test_e17_kernel_scale(benchmark):
+    rows = run_once(benchmark, kernel_scale, scales=(256, 512, 1024))
+    print_table("E17: kernel scalability (wan_site RPC echo)", rows)
+    for r in rows:
+        # Feasibility: every call completes at every scale — the kernel,
+        # not the workload, is what this experiment stresses.
+        assert r["calls_ok"] == r["calls"]
+        assert r["calls_failed"] == 0
+    by_hosts = {r["hosts"]: r for r in rows}
+    # The headline: a 256-host site is interactive-speed to simulate.
+    assert by_hosts[256]["wall_s"] < 30.0
+    # Event volume scales linearly with hosts (same per-host workload),
+    # so sub-linear event counts would mean the scenario silently shrank.
+    assert by_hosts[1024]["events"] > 3 * by_hosts[256]["events"]

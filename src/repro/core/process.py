@@ -165,8 +165,9 @@ class SnipeContext(TaskContext):
 
     def _fence_watch(self):
         try:
+            owner = f"fence-watch:{self.urn}"
             while self.info.state not in TaskState.TERMINAL:
-                yield self.sim.timeout(self.fence_watch_interval)
+                yield self.sim.timer_event(self.fence_watch_interval, owner=owner)
                 if self.info.state in TaskState.TERMINAL:
                     return
                 try:

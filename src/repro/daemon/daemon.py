@@ -170,8 +170,12 @@ class SnipeDaemon:
             pass  # RC unreachable at boot; load loop keeps retrying
 
     def _load_loop(self):
+        owner = f"daemon:{self.host.name}"
         while True:
-            yield self.sim.timeout(self.load_interval)
+            # Wheel timer, not a Timeout: with hundreds of hosts these
+            # periodic heartbeat sleeps would otherwise dominate the
+            # event heap.
+            yield self.sim.timer_event(self.load_interval, owner=owner)
             if not self.host.up:
                 continue
             self._m_load.set(self.load())

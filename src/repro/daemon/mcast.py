@@ -23,7 +23,6 @@ single-router baseline.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple
 
 from repro.rcds import uri as uri_mod
@@ -33,8 +32,6 @@ from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.daemon.daemon import SnipeDaemon
-
-_mcast_msg_ids = itertools.count(1)
 
 #: Registration/send disciplines.
 MAJORITY = "majority"
@@ -162,7 +159,10 @@ class McastService:
         routers = yield from self._routers_of(group)
         if not routers:
             return 0
-        msg_id = next(_mcast_msg_ids)
+        # Member-side dedup keys on msg_id alone, so ids must be unique
+        # across all senders in one simulation: draw from the sim-scoped
+        # sequence, never a process-global counter.
+        msg_id = self.sim.sequence("daemon.mcast")
         targets = _majority_subset(routers) if mode == MAJORITY else routers[:1]
         accepted = 0
         for r in targets:

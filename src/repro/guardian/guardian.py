@@ -170,8 +170,11 @@ class Guardian:
     # -- failure detection -----------------------------------------------------
     def _scan_loop(self):
         registered = False
+        owner = f"guardian:{self.host.name}"
         while True:
-            yield self.sim.timeout(self.scan_interval)
+            # Lease scans are long periodic sleeps: park them in the
+            # timer wheel instead of the event heap.
+            yield self.sim.timer_event(self.scan_interval, owner=owner)
             if not self.host.up:
                 registered = False
                 continue

@@ -24,13 +24,22 @@ EPHEMERAL_BASE = 49152
 
 
 class PortBinding:
-    """A bound (proto, port): an inbox of frames plus counters."""
+    """A bound (proto, port): an inbox of frames plus counters.
+
+    A binding normally queues frames in ``inbox`` for a consumer process;
+    a protocol that dispatches per frame without blocking can instead set
+    ``handler`` and receive each frame synchronously inside the arrival
+    event — no Store round-trip, no receive-loop process. The transports
+    all use the handler form; the inbox remains for bindings that want a
+    blocking ``get()``.
+    """
 
     def __init__(self, sim: "Simulator", host: "Host", proto: str, port: int) -> None:
         self.host = host
         self.proto = proto
         self.port = port
         self.inbox: Store = Store(sim)
+        self.handler: Optional[Callable[[Frame], None]] = None
         self.rx_frames = 0
 
     def get(self):
@@ -99,6 +108,9 @@ class Host:
         self.disk: Dict[str, Any] = {}
         self._health = None
         self.nics: Dict[str, "NIC"] = {}  # iface name -> NIC
+        #: Every local IP, for the per-frame "is this frame for us?" test
+        #: (kept in step with ``nics``; hosts never lose interfaces).
+        self._local_ips: set = set()
         self._bindings: Dict[Tuple[str, int], PortBinding] = {}
         self._next_ephemeral = EPHEMERAL_BASE
         self.unclaimed_frames = 0
@@ -149,6 +161,7 @@ class Host:
             raise ValueError(f"duplicate iface {iface!r} on host {self.name}")
         nic = NIC(self.sim, self, iface, ip, segment)
         self.nics[iface] = nic
+        self._local_ips.add(ip)
         return nic
 
     @property
@@ -196,10 +209,7 @@ class Host:
     # -- datapath -----------------------------------------------------------
     def deliver(self, frame: Frame, via_nic: "NIC") -> None:
         """Frame arrived on one of our NICs: consume or forward."""
-        local = frame.dst_ip == BROADCAST or any(
-            nic.address.ip == frame.dst_ip for nic in self.nics.values()
-        )
-        if local:
+        if frame.dst_ip in self._local_ips or frame.dst_ip == BROADCAST:
             flight = self.sim.flight
             if flight is not None:
                 flight.note_frame(self.name, frame)
@@ -208,7 +218,10 @@ class Host:
                 self.unclaimed_frames += 1
                 return
             binding.rx_frames += 1
-            binding.inbox.try_put(frame)
+            if binding.handler is not None:
+                binding.handler(frame)
+            else:
+                binding.inbox.try_put(frame)
             return
         if self.forwarding and frame.ttl > 0:
             frame.ttl -= 1

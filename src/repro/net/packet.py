@@ -12,34 +12,8 @@ media selection happen over addresses, naming over hosts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
-
-
-class _FrameIdSource:
-    """Monotonic frame-id allocator whose position is readable.
-
-    The kernel profiler charges Frame constructions between two
-    snapshots of :func:`frames_constructed`; a bare ``itertools.count``
-    cannot be read without consuming it.
-    """
-
-    __slots__ = ("n",)
-
-    def __init__(self) -> None:
-        self.n = 0
-
-    def __call__(self) -> int:
-        self.n += 1
-        return self.n
-
-
-_frame_ids = _FrameIdSource()
-
-
-def frames_constructed() -> int:
-    """Total Frames constructed in this process (monotonic)."""
-    return _frame_ids.n
 
 #: Destination IP meaning "every NIC on the segment except the sender".
 BROADCAST = "*"
@@ -58,7 +32,6 @@ class Address:
         return f"{self.ip}({self.host}.{self.iface})"
 
 
-@dataclass
 class Frame:
     """A link-layer frame in flight.
 
@@ -66,39 +39,90 @@ class Frame:
     its own framing overhead when computing wire time. ``proto`` and the
     port pair demultiplex to a transport endpoint on the destination host.
     ``ttl`` guards against forwarding loops.
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: frames are
+    the hottest allocation on the wire path (one per fragment per hop),
+    and dataclass ``__init__``/``__eq__`` machinery plus a ``__dict__``
+    per instance showed up in the kernel profile. Frame ids come from
+    the owning simulation (:meth:`repro.sim.Simulator.next_frame_id`),
+    never from process-global state, so back-to-back simulations in one
+    test process see identical id streams.
     """
 
-    src: Address
-    dst_ip: str
-    proto: str
-    src_port: int
-    dst_port: int
-    payload: Any
-    size: int
-    ttl: int = 16
-    frame_id: int = field(default_factory=_frame_ids)
-    #: L2 next hop on the current segment when forwarding through gateways;
-    #: None means "dst_ip is on this segment".
-    l2_dst: Optional[str] = None
-    #: Filled in by the delivering segment so receivers know the medium.
-    via_segment: Optional[str] = None
-    #: Causal trace id stamped by the sending transport: every frame a
-    #: logical message send produces (first transmissions, retransmits,
-    #: reroutes, gateway forwards) carries the same id, so one send can be
-    #: reconstructed end-to-end from the trace stream.
-    trace_id: Optional[int] = None
-    #: End-to-end payload digest stamped by verifying transports (SHA-256
-    #: of the message payload, computed once per message — see
-    #: :func:`repro.security.hashes.content_hash`). None = the sending
-    #: transport does not verify.
-    digest: Optional[str] = None
-    #: Set by the failure injector when the wire flipped bits in this
-    #: frame's payload. Receivers never read this flag directly — they
-    #: detect corruption by recomputing the payload digest; the flag is
-    #: what makes that recomputation come out wrong (and what the
-    #: corruption oracle uses as ground truth when verification is
-    #: deliberately disabled).
-    corrupt: bool = False
+    __slots__ = (
+        "src",
+        "dst_ip",
+        "proto",
+        "src_port",
+        "dst_port",
+        "payload",
+        "size",
+        "ttl",
+        "frame_id",
+        "l2_dst",
+        "via_segment",
+        "trace_id",
+        "digest",
+        "corrupt",
+    )
+
+    def __init__(
+        self,
+        src: Address,
+        dst_ip: str,
+        proto: str,
+        src_port: int,
+        dst_port: int,
+        payload: Any,
+        size: int,
+        ttl: int = 16,
+        frame_id: int = 0,
+        l2_dst: Optional[str] = None,
+        via_segment: Optional[str] = None,
+        trace_id: Optional[int] = None,
+        digest: Optional[str] = None,
+        corrupt: bool = False,
+    ) -> None:
+        self.src = src
+        self.dst_ip = dst_ip
+        self.proto = proto
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+        self.size = size
+        #: Guards against forwarding loops.
+        self.ttl = ttl
+        #: Per-simulation id, stamped by the sending transport from
+        #: ``sim.next_frame_id()`` (0 = unstamped, only in unit tests).
+        self.frame_id = frame_id
+        #: L2 next hop on the current segment when forwarding through
+        #: gateways; None means "dst_ip is on this segment".
+        self.l2_dst = l2_dst
+        #: Filled in by the delivering segment so receivers know the medium.
+        self.via_segment = via_segment
+        #: Causal trace id stamped by the sending transport: every frame a
+        #: logical message send produces (first transmissions, retransmits,
+        #: reroutes, gateway forwards) carries the same id, so one send can
+        #: be reconstructed end-to-end from the trace stream.
+        self.trace_id = trace_id
+        #: End-to-end payload digest stamped by verifying transports
+        #: (SHA-256 of the message payload, computed once per message — see
+        #: :func:`repro.security.hashes.content_hash`). None = the sending
+        #: transport does not verify.
+        self.digest = digest
+        #: Set by the failure injector when the wire flipped bits in this
+        #: frame's payload. Receivers never read this flag directly — they
+        #: detect corruption by recomputing the payload digest; the flag is
+        #: what makes that recomputation come out wrong (and what the
+        #: corruption oracle uses as ground truth when verification is
+        #: deliberately disabled).
+        self.corrupt = corrupt
+
+    def __copy__(self) -> "Frame":
+        dup = Frame.__new__(Frame)
+        for name in Frame.__slots__:
+            setattr(dup, name, getattr(self, name))
+        return dup
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -12,9 +12,10 @@ that defined them.
 
 Alongside wall-clock, the profiler counts the kernel-level work the
 ROADMAP's 10x item targets: event-heap pushes/pops and high-water queue
-length, :class:`~repro.sim.events.Timeout` churn, Frame constructions
-(via the readable frame-id source in :mod:`repro.net.packet`), and bytes
-serialized onto wires (charged by the NIC tx loops).
+length, timer churn (``Timeout`` events plus wheel timers noted through
+:meth:`KernelProfiler.note_timer`), Frame constructions (the simulator's
+per-sim frame-id counter), and bytes serialized onto wires (charged by
+the NIC tx paths).
 
 Everything is gated on ``sim._prof``: a detached simulator pays one
 ``is not None`` test per schedule and per step, nothing else. Counts and
@@ -31,8 +32,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.net.packet import frames_constructed
 from repro.sim.events import Event, Timeout
+from repro.sim.kernel import TimerHandle
 
 #: Scenarios ``profile_scenario`` knows how to run.
 PROFILE_SCENARIOS = ("demo", "chaos", "overload", "bulk")
@@ -89,20 +90,26 @@ class KernelProfiler:
         self.cells: Dict[Tuple[str, Optional[str], str], List[float]] = {}
         self._frames0 = 0
         self._frames1 = 0
+        self._sim = None
         self._attached_at: Optional[float] = None
         self.wall_s: float = 0.0
+        #: Memoized owner-name -> (subsystem, host) attribution; parsing
+        #: a process name is pure, so splitting each distinct name once
+        #: is enough.
+        self._owner_cache: Dict[str, Tuple[str, Optional[str]]] = {}
 
     # -- kernel hooks -------------------------------------------------------
     def attach(self, sim) -> "KernelProfiler":
         sim._prof = self
-        self._frames0 = frames_constructed()
+        self._sim = sim
+        self._frames0 = sim.frames_constructed
         self._attached_at = self.clock()
         return self
 
     def detach(self, sim) -> "KernelProfiler":
         if sim._prof is self:
             sim._prof = None
-        self._frames1 = frames_constructed()
+        self._frames1 = sim.frames_constructed
         if self._attached_at is not None:
             self.wall_s = self.clock() - self._attached_at
             self._attached_at = None
@@ -116,6 +123,10 @@ class KernelProfiler:
         if isinstance(event, Timeout):
             self.timers_scheduled += 1
 
+    def note_timer(self, handle: TimerHandle) -> None:
+        """Called by ``Simulator.schedule_timer`` for every wheel timer."""
+        self.timers_scheduled += 1
+
     def run_event(self, event: Event) -> None:
         """Process one popped event, timing each callback individually.
 
@@ -126,11 +137,24 @@ class KernelProfiler:
         """
         self.heap_pops += 1
         self.events += 1
-        tname = type(event).__name__
-        if type(event)._process is not Event._process:
+        cls = type(event)
+        tname = cls.__name__
+        if cls is TimerHandle:
             t0 = self.clock()
             event._process()
-            self._charge("kernel", None, tname, self.clock() - t0)
+            if event.fired:
+                self.callbacks += 1
+                sub, host = _split_name(event.owner) if event.owner else ("timer", None)
+                self._charge(sub, host, "Timer", self.clock() - t0)
+            return
+        if cls._process is not Event._process:
+            t0 = self.clock()
+            event._process()
+            owner = getattr(event, "prof_owner", None)
+            if owner is None:
+                self._charge("kernel", None, tname, self.clock() - t0)
+            else:
+                self._charge(owner[0], owner[1], tname, self.clock() - t0)
             return
         if event._processed:
             return
@@ -154,7 +178,10 @@ class KernelProfiler:
         if obj is not None:
             name = getattr(obj, "name", None)
             if isinstance(name, str) and name:
-                return _split_name(name)
+                cached = self._owner_cache.get(name)
+                if cached is None:
+                    cached = self._owner_cache[name] = _split_name(name)
+                return cached
             return _module_subsystem(type(obj).__module__), None
         return _module_subsystem(getattr(fn, "__module__", None)), None
 
@@ -169,7 +196,10 @@ class KernelProfiler:
     # -- reporting ----------------------------------------------------------
     @property
     def frames_constructed(self) -> int:
-        end = self._frames1 if self._attached_at is None else frames_constructed()
+        if self._attached_at is None or self._sim is None:
+            end = self._frames1
+        else:
+            end = self._sim.frames_constructed
         return end - self._frames0
 
     def _aggregate(self, index: int) -> List[Dict[str, Any]]:

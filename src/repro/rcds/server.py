@@ -317,9 +317,12 @@ class RCServer:
     # -- anti-entropy ---------------------------------------------------------
     def _anti_entropy(self):
         rng = self.sim.rng.stream(f"rc.anti-entropy.{self.store.server_id}")
+        owner = f"rc:{self.host.name}"
         try:
             while True:
-                yield self.sim.timeout(self.sync_interval * (0.5 + rng.random()))
+                yield self.sim.timer_event(
+                    self.sync_interval * (0.5 + rng.random()), owner=owner
+                )
                 if not self.peers or not self.host.up:
                     continue
                 peer_host, peer_port = self.peers[rng.randrange(len(self.peers))]

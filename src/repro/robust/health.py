@@ -175,7 +175,7 @@ class HealthBoard:
         flag clears even though the score is still low, so traffic
         re-probes it and either recovers it or re-quarantines it fast.
         """
-        if not self._active():
+        if not self._quarantined or not self._active():
             return False
         keys = [(peer, "*")] if iface is None else [(peer, iface), (peer, "*")]
         now = self.sim.now if self.sim is not None else 0.0
@@ -195,7 +195,7 @@ class HealthBoard:
         once — that would erase exactly the differential the selector
         steers by.
         """
-        if not self._active():
+        if not self._quarantined or not self._active():
             return False
         now = self.sim.now if self.sim is not None else 0.0
         t0 = self._quarantined.get((peer, iface))

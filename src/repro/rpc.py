@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any, Callable, Dict, Optional
 
 from repro.robust import TIMEOUTS
 from repro.robust.overload import BULK, CONTROL, AdaptiveTimeouts, BreakerBoard
 from repro.security.hashes import canonical_bytes, hmac_tag, verify_hmac
 from repro.sim.errors import Interrupt
-from repro.sim.events import defuse
+from repro.sim.events import defuse, waker
 from repro.transport.base import SendError
 from repro.transport.srudp import SrudpEndpoint
 
@@ -172,11 +173,9 @@ class RpcServer:
             return
 
     def _handle(self, msg, req: Request, handler: Callable):
-        import inspect
-
         try:
             result = handler(req.args)
-            if inspect.isgenerator(result):
+            if type(result) is GeneratorType:
                 result = yield from result
             self.requests_served += 1
             self._m_served.inc()
@@ -210,7 +209,28 @@ class RpcClient:
         self._timeouts = AdaptiveTimeouts(self.sim.overload)
         self._breakers = BreakerBoard(self.sim, scope="rpc")
         self._m_control_latency = self._metrics.histogram("overload.control_latency")
+        # Per-method metric handles, memoized: the registry interns on a
+        # sorted-tag key, which is too much string work for the per-call
+        # hot path.
+        self._m_errors: Dict[str, Any] = {}
+        self._m_latency: Dict[str, Any] = {}
         self._dispatcher = self.sim.process(self._dispatch(), name=f"rpc-client:{host.name}")
+
+    def _error_counter(self, method: str):
+        m = self._m_errors.get(method)
+        if m is None:
+            m = self._m_errors[method] = self._metrics.counter(
+                "rpc.errors", method=method
+            )
+        return m
+
+    def _latency_histogram(self, method: str):
+        m = self._m_latency.get(method)
+        if m is None:
+            m = self._m_latency[method] = self._metrics.histogram(
+                "rpc.call_latency", method=method
+            )
+        return m
 
     def _dispatch(self):
         try:
@@ -301,10 +321,11 @@ class RpcClient:
         if config.breakers and not self._breakers.allow(bkey):
             # Quarantined destination: fail fast so the caller's failover
             # moves on instead of burning its deadline on a sick replica.
-            self._metrics.counter("rpc.errors", method=method).inc()
+            self._error_counter(method).inc()
             raise RpcError(f"{method}@{dst_host}:{dst_port}: circuit open")
         effective = self._timeouts.timeout_for(dst_host, dst_port, method, timeout)
-        req = Request(method=method, args=args, reply_port=self.endpoint.port, lane=lane)
+        req = Request(method=method, args=args, reply_port=self.endpoint.port,
+                      req_id=self.sim.sequence("rpc.req"), lane=lane)
         if self.secret is not None:
             req.auth = hmac_tag(self.secret, {"method": method, "req_id": req.req_id})
         reply_ev = self.sim.event()
@@ -314,10 +335,19 @@ class RpcClient:
             wire = payload_size(args) if _size is None else ENVELOPE_BYTES + _size
             send_ev = self.endpoint.send(dst_host, dst_port, req, wire)
             defuse(send_ev)  # reaped below; must not count as uncaught
-            # The send itself may fail (peer unreachable): watch both.
-            yield self.sim.any_of([reply_ev, self.sim.timeout(effective)])
+            # The send itself may fail (peer unreachable): watch both. The
+            # deadline is a cancellable wheel timer so a timely reply (the
+            # common case) costs no heap traffic for the loser.
+            wake = self.sim.event()
+            fire = waker(wake)
+            reply_ev.add_callback(fire)
+            deadline = self.sim.schedule_timer(
+                effective, fire, owner=f"call:{method}@{dst_host}"
+            )
+            yield wake
+            deadline.cancel()
             if not reply_ev.triggered:
-                self._metrics.counter("rpc.errors", method=method).inc()
+                self._error_counter(method).inc()
                 self._timeouts.note_timeout(dst_host, dst_port, method, timeout)
                 self.host.health.note_outcome(dst_host, False, kind="rpc")
                 if not send_ev.triggered:
@@ -355,9 +385,9 @@ class RpcClient:
             if config.breakers:
                 self._breakers.record(bkey, True)
             if not resp.ok:
-                self._metrics.counter("rpc.errors", method=method).inc()
+                self._error_counter(method).inc()
                 raise RpcError(f"{method}@{dst_host}: {resp.error}")
-            self._metrics.histogram("rpc.call_latency", method=method).observe(rtt)
+            self._latency_histogram(method).observe(rtt)
             if requested_lane == CONTROL:
                 self._m_control_latency.observe(rtt)
             return resp.result

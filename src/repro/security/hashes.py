@@ -15,23 +15,42 @@ import pickle
 from typing import Any
 
 
+#: Scalar types ``normalise`` passes through untouched. Checked first:
+#: the bulk of real payloads is strings and numbers, and this one lookup
+#: replaces three isinstance chains per leaf on the digest hot path.
+_ATOMS = (str, int, float, bool, bytes, type(None))
+
+
+def _normalise(o: Any) -> Any:
+    # Each container branch normalises child values inline when they are
+    # atoms (the overwhelmingly common case for metadata dicts), so the
+    # recursion only pays a call per *nested container*, not per leaf.
+    if isinstance(o, _ATOMS):
+        return o
+    if isinstance(o, dict):
+        out = sorted(o.items())
+        for i, kv in enumerate(out):
+            if not isinstance(kv[1], _ATOMS):
+                out[i] = (kv[0], _normalise(kv[1]))
+        return tuple(out)
+    if isinstance(o, (list, tuple)):
+        return tuple(
+            v if isinstance(v, _ATOMS) else _normalise(v) for v in o
+        )
+    if isinstance(o, set):
+        return tuple(
+            sorted(v if isinstance(v, _ATOMS) else _normalise(v) for v in o)
+        )
+    return o
+
+
 def canonical_bytes(obj: Any) -> bytes:
     """Stable byte encoding of a Python object for hashing/signing.
 
     Dicts are serialised with sorted keys (recursively) so logically equal
     metadata always hashes identically.
     """
-
-    def normalise(o: Any) -> Any:
-        if isinstance(o, dict):
-            return tuple(sorted((k, normalise(v)) for k, v in o.items()))
-        if isinstance(o, (list, tuple)):
-            return tuple(normalise(v) for v in o)
-        if isinstance(o, set):
-            return tuple(sorted(normalise(v) for v in o))
-        return o
-
-    return pickle.dumps(normalise(obj), protocol=4)
+    return pickle.dumps(_normalise(obj), protocol=4)
 
 
 def content_hash(data: Any) -> str:

@@ -24,8 +24,8 @@ Example
 """
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout, defuse
-from repro.sim.kernel import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, defuse, waker
+from repro.sim.kernel import Simulator, TimerHandle
 from repro.sim.process import Process
 from repro.sim.resources import Gate, PriorityStore, Resource, Store
 from repro.sim.rng import RngRegistry
@@ -48,6 +48,8 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "TimerHandle",
     "TraceMonitor",
     "defuse",
+    "waker",
 ]

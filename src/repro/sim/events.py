@@ -118,6 +118,25 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+def waker(event: Event) -> Callable[..., None]:
+    """A fire-once closure that succeeds *event* (if still pending).
+
+    Registerable both as an event callback and as a kernel timer
+    callback, which is what the transports' wait sites need: the first
+    of "reply arrived" / "timer expired" wakes the waiting process, the
+    second finds the event already triggered and does nothing. This
+    replaces the per-wait ``any_of([reply, timeout(rto)])`` pattern —
+    no Condition allocation, and the loser timer is *cancelled* instead
+    of left to fire through the heap.
+    """
+
+    def _fire(*_args) -> None:
+        if event._value is _PENDING and event._exc is None:
+            event.succeed()
+
+    return _fire
+
+
 def defuse(event: Event) -> Event:
     """Mark a failure-capable event as observed.
 

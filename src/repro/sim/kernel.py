@@ -1,9 +1,33 @@
-"""The simulation kernel: virtual clock plus a priority event queue."""
+"""The simulation kernel: virtual clock plus a priority event queue.
+
+Two scheduling stores back the queue:
+
+* a binary heap of ``(time, priority, eid, event)`` entries — the
+  classic discrete-event core; and
+* a hierarchical timer wheel for *cancellable* timers created through
+  :meth:`Simulator.schedule_timer` (retransmission timers, RPC
+  deadlines, heartbeat sleeps). Wheel entries carry a heap-compatible
+  key assigned at schedule time but stay in coarse calendar buckets
+  until the clock approaches; a timer cancelled before its bucket is
+  flushed never touches the heap at all. Under a retransmit-heavy
+  workload almost every timer is cancelled (the ACK beats the RTO), so
+  the wheel turns the dominant heap traffic into list appends.
+
+Determinism: entry keys are assigned when the timer is *scheduled*, and
+buckets are flushed into the heap strictly before any entry with an
+equal-or-later key can be popped, so the pop order — including
+same-timestamp tie sets seen by an exploration scheduler — is
+bit-identical to pushing every timer straight onto the heap. Setting
+``SNIPE_LEGACY_KERNEL=1`` (or ``Simulator(legacy_timers=True)``) does
+exactly that, which is what the kernel-equivalence suite compares
+against.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, Generator, List, Optional, Tuple
+import os
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -18,6 +42,48 @@ from repro.sim.rng import RngRegistry
 URGENT = 0
 NORMAL = 1
 
+#: Finest wheel slot width in virtual seconds. Timers due sooner than one
+#: slot go straight onto the heap (bucketing them buys nothing).
+WHEEL_GRANULARITY = 0.002
+#: Slot-width ratio between adjacent wheel levels.
+WHEEL_FANOUT = 32
+#: Number of wheel levels. Level ``l`` slots span ``GRANULARITY *
+#: FANOUT**l`` seconds; with 4 levels the coarsest slot is ~65 s, wide
+#: enough for any lease/retry horizon in the tree.
+WHEEL_LEVELS = 4
+
+
+class TimerHandle:
+    """A cancellable one-shot kernel timer (see ``schedule_timer``).
+
+    Not an :class:`~repro.sim.events.Event`: it cannot be yielded on or
+    given callbacks — it just runs ``fn()`` at its deadline unless
+    cancelled first. ``cancel()`` after firing (or a second time) is a
+    no-op, so the fired-vs-cancelled race needs no guard at call sites.
+    """
+
+    __slots__ = ("deadline", "owner", "cancelled", "fired", "_fn")
+
+    def __init__(self, fn: Callable[[], None], deadline: float, owner: str) -> None:
+        self._fn = fn
+        self.deadline = deadline
+        self.owner = owner
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        if not self.fired:
+            self.cancelled = True
+
+    def _process(self) -> None:
+        if not self.cancelled:
+            self.fired = True
+            self._fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "fired" if self.fired else "armed"
+        return f"<TimerHandle {state} t={self.deadline} owner={self.owner!r}>"
+
 
 class Simulator:
     """Owns virtual time, the event queue, and the random-stream registry.
@@ -30,13 +96,23 @@ class Simulator:
         When True (default), an uncaught exception in any process aborts
         ``run()`` with that exception; this turns silent background crashes
         into loud test failures.
+    legacy_timers:
+        When True, ``schedule_timer`` bypasses the timer wheel and pushes
+        every timer straight onto the heap (the pre-wheel scheduling
+        path, kept for one PR as the equivalence baseline). ``None``
+        reads the ``SNIPE_LEGACY_KERNEL`` environment variable.
     """
 
-    def __init__(self, seed: int = 0, strict_process_errors: bool = True) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        strict_process_errors: bool = True,
+        legacy_timers: Optional[bool] = None,
+    ) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self.strict_process_errors = strict_process_errors
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, int, Any]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._crashed: List[Tuple[Process, BaseException]] = []
@@ -62,19 +138,45 @@ class Simulator:
         self.flight = None
         #: Per-simulation named sequence counters (see :meth:`sequence`).
         self._seqs: Dict[str, int] = {}
+        #: Frames constructed in this simulation (fed by the transports
+        #: via :meth:`next_frame_id`; read by the kernel profiler). Like
+        #: :meth:`sequence`, frame identity is per-sim state so replays
+        #: cannot be perturbed by earlier simulations in the process.
+        self.frames_constructed = 0
+        if legacy_timers is None:
+            legacy_timers = bool(os.environ.get("SNIPE_LEGACY_KERNEL"))
+        self._legacy_timers = legacy_timers
+        # Timer wheel: per-level sparse calendar buckets (slot -> entry
+        # list) plus a heap of (slot_start, level, slot) flush deadlines.
+        self._wheel: List[Dict[int, List[Tuple[float, int, int, TimerHandle]]]] = [
+            {} for _ in range(WHEEL_LEVELS)
+        ]
+        self._wheel_due: List[Tuple[float, int, int]] = []
+        self._wheel_spans = [
+            WHEEL_GRANULARITY * WHEEL_FANOUT**level for level in range(WHEEL_LEVELS)
+        ]
 
     def sequence(self, name: str) -> int:
         """Next value (1, 2, ...) of the named per-simulation counter.
 
-        Identity counters (task URNs, context incarnations) must come
-        from the simulation, not from process-global state: a URN like
-        ``urn:snipe:proc:worker.7`` feeds the Guardians' consistent-hash
-        sharding, so globally-numbered identities would make the same
-        seed behave differently depending on how many simulations ran
-        earlier in the process — unacceptable for replayable runs.
+        Identity counters (task URNs, context incarnations, transport
+        message ids) must come from the simulation, not from
+        process-global state: a URN like ``urn:snipe:proc:worker.7``
+        feeds the Guardians' consistent-hash sharding, so
+        globally-numbered identities would make the same seed behave
+        differently depending on how many simulations ran earlier in the
+        process — unacceptable for replayable runs.
         """
         n = self._seqs.get(name, 0) + 1
         self._seqs[name] = n
+        return n
+
+    def next_frame_id(self) -> int:
+        """Next per-simulation frame id (1, 2, ...), counted for the
+        profiler. A dedicated counter rather than :meth:`sequence`
+        because frames are the hottest allocation on the wire path."""
+        n = self.frames_constructed + 1
+        self.frames_constructed = n
         return n
 
     def set_scheduler(self, scheduler) -> None:
@@ -139,17 +241,130 @@ class Simulator:
         if self._prof is not None:
             self._prof.note_schedule(event, len(self._queue))
 
+    def schedule_timer(
+        self, delay: float, fn: Callable[[], None], owner: str = ""
+    ) -> TimerHandle:
+        """Run ``fn()`` *delay* from now unless the handle is cancelled.
+
+        The cheap path for the retransmit/deadline pattern: unlike a
+        :class:`Timeout`, a cancelled timer is skipped without running
+        callbacks, without advancing the clock, and without appearing in
+        an exploration scheduler's tie sets — and when cancelled before
+        its wheel bucket flushes (the common case: the ACK beats the
+        RTO) it never reaches the event heap at all. *owner* is a
+        process-style name (``srudp-send:h3``) the profiler uses to
+        attribute the firing.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        deadline = self.now + delay
+        handle = TimerHandle(fn, deadline, owner)
+        self._eid += 1
+        entry = (deadline, NORMAL, self._eid, handle)
+        prof = self._prof
+        if self._legacy_timers or delay < WHEEL_GRANULARITY:
+            heapq.heappush(self._queue, entry)
+            if prof is not None:
+                prof.note_schedule(handle, len(self._queue))
+        else:
+            level = 0
+            spans = self._wheel_spans
+            for i in range(WHEEL_LEVELS - 1, 0, -1):
+                if delay >= spans[i]:
+                    level = i
+                    break
+            span = spans[level]
+            slot = int(deadline / span)
+            buckets = self._wheel[level]
+            bucket = buckets.get(slot)
+            if bucket is None:
+                buckets[slot] = [entry]
+                heapq.heappush(self._wheel_due, (slot * span, level, slot))
+            else:
+                bucket.append(entry)
+        if prof is not None:
+            prof.note_timer(handle)
+        return handle
+
+    def timer_event(self, delay: float, value: Any = None, owner: str = "") -> Event:
+        """An event fired *delay* from now via the timer wheel.
+
+        The drop-in for periodic sleeps (heartbeats, lease refresh,
+        compaction ticks): behaves like :meth:`timeout` to the yielding
+        process but keeps long-horizon sleeps out of the event heap
+        until they are nearly due.
+        """
+        ev = Event(self)
+
+        def _fire(ev=ev, value=value):
+            ev.succeed(value)
+
+        self.schedule_timer(delay, _fire, owner)
+        return ev
+
+    def _settle(self) -> None:
+        """Make the heap head authoritative: drop cancelled timer heads
+        and flush every wheel bucket whose slot could still precede it.
+
+        The flush invariant that keeps wheel scheduling bit-identical to
+        direct heap pushes: a bucket's entries all have ``deadline >=
+        slot_start``, so as long as every bucket with ``slot_start <=
+        head time`` is flushed before the head is popped, every entry
+        reaches the heap before any entry with a later key can run.
+        Coarse-level buckets cascade into level-0 slots rather than the
+        heap so a 60-second lease sleep occupies one coarse slot, not a
+        heap entry, for most of its life.
+        """
+        q = self._queue
+        due = self._wheel_due
+        prof = self._prof
+        while True:
+            while q:
+                head = q[0][3]
+                if head.__class__ is TimerHandle and head.cancelled:
+                    heapq.heappop(q)
+                else:
+                    break
+            if not due or (q and q[0][0] < due[0][0]):
+                return
+            _start, level, slot = heapq.heappop(due)
+            bucket = self._wheel[level].pop(slot, None)
+            if not bucket:
+                continue
+            if level == 0:
+                for entry in bucket:
+                    if not entry[3].cancelled:
+                        heapq.heappush(q, entry)
+                        if prof is not None:
+                            prof.heap_pushes += 1
+            else:
+                fine = self._wheel[0]
+                g0 = WHEEL_GRANULARITY
+                for entry in bucket:
+                    if entry[3].cancelled:
+                        continue
+                    fslot = int(entry[0] / g0)
+                    fine_bucket = fine.get(fslot)
+                    if fine_bucket is None:
+                        fine[fslot] = [entry]
+                        heapq.heappush(due, (fslot * g0, 0, fslot))
+                    else:
+                        fine_bucket.append(entry)
+
     # -- execution ---------------------------------------------------------
     @property
     def queue_empty(self) -> bool:
+        self._settle()
         return not self._queue
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._settle()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
+        self._settle()
         if not self._queue:
             raise SimulationError("step() on empty queue")
         if self._scheduler is None:
@@ -166,23 +381,43 @@ class Simulator:
             self._crashed.clear()
             raise exc
 
-    def _pop_scheduled(self) -> Tuple[float, int, int, Event]:
+    def _pop_scheduled(self) -> Tuple[float, int, int, Any]:
         """Pop the next event, letting the scheduler break timestamp ties.
 
-        All events sharing the head's (timestamp, priority) are candidates;
-        they are presented in insertion order, so index 0 is the FIFO
-        choice. Unchosen candidates go back on the heap — events scheduled
-        *while the chosen one runs* join the tie set at the next step.
+        All live events sharing the head's (timestamp, priority) are
+        candidates; they are presented in insertion order, so index 0 is
+        the FIFO choice. Cancelled timers are discarded while collecting
+        — a dead retransmit timer must not widen the tie set the
+        exploration scheduler permutes. Unchosen candidates go back on
+        the heap — events scheduled *while the chosen one runs* join the
+        tie set at the next step.
         """
-        head = heapq.heappop(self._queue)
-        if not self._queue or self._queue[0][0] != head[0] or self._queue[0][1] != head[1]:
+        q = self._queue
+        head = heapq.heappop(q)
+        # A cancelled timer at the head must not seed the tie set: it
+        # would widen the permutation set and burn a scheduler pick on an
+        # event the run loop discards — and since legacy mode keeps every
+        # cancelled timer on the heap while wheel mode drops most in
+        # their buckets, that pick-count skew would make the two kernels
+        # consume the exploration RNG differently. Hand it straight back
+        # (the run loop discards it without advancing the clock); popping
+        # onward here would skip past the caller's stop_at check.
+        if head[3].__class__ is TimerHandle and head[3].cancelled:
+            return head
+        if not q or q[0][0] != head[0] or q[0][1] != head[1]:
             return head
         ties = [head]
-        while self._queue and self._queue[0][0] == head[0] and self._queue[0][1] == head[1]:
-            ties.append(heapq.heappop(self._queue))
+        while q and q[0][0] == head[0] and q[0][1] == head[1]:
+            item = heapq.heappop(q)
+            ev = item[3]
+            if ev.__class__ is TimerHandle and ev.cancelled:
+                continue
+            ties.append(item)
+        if len(ties) == 1:
+            return head
         chosen = ties.pop(self._scheduler.pick(head[0], len(ties)))
         for item in ties:
-            heapq.heappush(self._queue, item)
+            heapq.heappush(q, item)
         return chosen
 
     def run(self, until: Any = None) -> Any:
@@ -210,12 +445,45 @@ class Simulator:
         else:
             raise SimulationError(f"invalid until argument {until!r}")
 
+        # The hot loop: equivalent to `while not queue_empty: step()` but
+        # with the per-event property/method dispatch flattened out —
+        # this loop runs once per simulated event, so plain attribute
+        # traffic here is a measurable share of every benchmark.
+        queue = self._queue
+        crashed = self._crashed
+        wheel_due = self._wheel_due
+        pop = heapq.heappop
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] > stop_at:
+            while True:
+                # Flush due wheel buckets only when one could actually
+                # precede the heap head; in legacy mode (and between
+                # timer deadlines) this is a single truthiness test
+                # instead of a _settle() call per event.
+                if wheel_due and (not queue or wheel_due[0][0] <= queue[0][0]):
+                    self._settle()
+                if not queue:
+                    break
+                if stop_at is not None and queue[0][0] > stop_at:
                     self.now = stop_at
                     return None
-                self.step()
+                if self._scheduler is None:
+                    t, _prio, _eid, event = pop(queue)
+                else:
+                    t, _prio, _eid, event = self._pop_scheduled()
+                if event.__class__ is TimerHandle and event.cancelled:
+                    # Dead timers are discarded unseen — they must not
+                    # advance the clock (legacy mode pushes every timer
+                    # on the heap, so both modes must agree on this).
+                    continue
+                self.now = t
+                if self._prof is None:
+                    event._process()
+                else:
+                    self._prof.run_event(event)
+                if crashed and self.strict_process_errors:
+                    _proc, exc = crashed[0]
+                    crashed.clear()
+                    raise exc
         except StopSimulation as stop:
             if isinstance(stop.value, BaseException):
                 raise stop.value

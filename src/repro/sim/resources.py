@@ -41,6 +41,19 @@ class Store:
 
     def put(self, item: Any) -> Event:
         ev = Event(self.sim)
+        # Fast paths preserve _dispatch()'s order exactly (put admitted
+        # first, then the getter satisfied) without the scan: with no
+        # queued putters a waiting getter implies an empty store, and a
+        # non-full store with no getters just appends.
+        if not self._putters:
+            if self._getters and not self.items:
+                ev.succeed()
+                self._getters.popleft().succeed(item)
+                return ev
+            if not self.full and not self._getters:
+                self._push_item(item)
+                ev.succeed()
+                return ev
         self._putters.append((ev, item))
         self._dispatch()
         return ev
@@ -54,6 +67,12 @@ class Store:
 
     def get(self) -> Event:
         ev = Event(self.sim)
+        if not self._putters:
+            if self.items and not self._getters:
+                ev.succeed(self._pop_item())
+            else:
+                self._getters.append(ev)
+            return ev
         self._getters.append(ev)
         self._dispatch()
         return ev

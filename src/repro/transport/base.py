@@ -8,8 +8,7 @@ size so media overheads come out right in Fig. 1.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.net.packet import Frame
@@ -19,8 +18,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host, PortBinding
     from repro.sim.kernel import Simulator
 
-_msg_ids = itertools.count(1)
-
 
 class SendError(Exception):
     """A message could not be delivered (peer dead, retries exhausted)."""
@@ -28,14 +25,20 @@ class SendError(Exception):
 
 @dataclass
 class Message:
-    """An application-level message as received from a transport."""
+    """An application-level message as received from a transport.
+
+    ``msg_id`` identifies the message within its transport's dedup scope;
+    transports that need one draw it from ``sim.sequence(...)`` so ids are
+    per-simulation (never process-global — replays must not depend on how
+    many sims ran earlier in the process).
+    """
 
     src_host: str
     src_ip: str
     src_port: int
     payload: Any
     size: int
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = 0
 
 
 class TransportEndpoint:
@@ -89,13 +92,23 @@ class TransportEndpoint:
         self._m_rx_corrupt = obs.metrics.counter(
             "transport.rx_corrupt", proto=self.proto
         )
-        self._rx_proc = self.sim.process(
-            self._rx_loop(), name=f"{self.proto}:{host.name}:{port}"
-        )
+        # Per-frame protocols dispatch synchronously from the arrival
+        # event via the binding handler (no receive-loop process, no Store
+        # hop per frame); a subclass that truly needs a blocking loop can
+        # instead override ``_rx_loop``.
+        on_frame = getattr(self, "_on_frame", None)
+        if on_frame is not None:
+            self.binding.handler = on_frame
+            self._rx_proc = None
+        else:
+            self._rx_proc = self.sim.process(
+                self._rx_loop(), name=f"{self.proto}:{host.name}:{port}"
+            )
 
     # -- subclass API -------------------------------------------------------
     def _rx_loop(self):
-        """Protocol receive loop; subclasses override."""
+        """Protocol receive loop; subclasses either override this or
+        define ``_on_frame(frame)`` for synchronous per-frame dispatch."""
         raise NotImplementedError
         yield  # pragma: no cover
 
@@ -103,7 +116,7 @@ class TransportEndpoint:
         if not self.closed:
             self.closed = True
             self.host.unbind(self.proto, self.port)
-            if self._rx_proc.is_alive:
+            if self._rx_proc is not None and self._rx_proc.is_alive:
                 self._rx_proc.interrupt("closed")
 
     # -- accounting helpers -------------------------------------------------
@@ -180,6 +193,7 @@ class TransportEndpoint:
             dst_port=dst_port,
             payload=payload,
             size=body_bytes + self.header_bytes,
+            frame_id=self.sim.next_frame_id(),
             l2_dst=l2,
             trace_id=trace_id,
             digest=digest,
@@ -226,11 +240,15 @@ class TransportEndpoint:
                 dst_port=dst_port,
                 payload=e.value,
                 size=body_bytes + self.header_bytes,
+                frame_id=host.sim.next_frame_id(),
                 via_segment="loopback",
                 trace_id=trace_id,
             )
             binding.rx_frames += 1
-            binding.inbox.try_put(frame)
+            if binding.handler is not None:
+                binding.handler(frame)
+            else:
+                binding.inbox.try_put(frame)
 
         ev.add_callback(deliver)
 

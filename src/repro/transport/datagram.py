@@ -7,14 +7,11 @@ exists to fix).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Set, Tuple
 
 from repro.sim.resources import Store
 from repro.transport.base import Message, TransportEndpoint
-
-_dgram_ids = itertools.count(1)
 
 
 @dataclass
@@ -42,7 +39,9 @@ class DatagramEndpoint(TransportEndpoint):
         """Send one datagram. True == every fragment entered the network."""
         self.tx_messages += 1
         mss = self.max_payload(dst_host)
-        dgram_id = next(_dgram_ids)
+        # Per-sim ids: receivers key reassembly on (source, dgram_id), so a
+        # process-global counter would make replay depend on earlier sims.
+        dgram_id = self.sim.sequence("udp.dgram")
         count = max(1, -(-size // mss))
         ok = True
         for i in range(count):
@@ -55,22 +54,21 @@ class DatagramEndpoint(TransportEndpoint):
         """Event yielding the next complete :class:`Message`."""
         return self._rx_queue.get()
 
-    def _rx_loop(self):
-        while True:
-            frame = yield self.binding.get()
-            frag: _Fragment = frame.payload
-            key = (f"{frame.src.ip}:{frame.src_port}", frag.dgram_id)
-            got = self._reassembly.setdefault(key, set())
-            got.add(frag.index)
-            if len(got) == frag.count:
-                del self._reassembly[key]
-                self.rx_messages += 1
-                self._rx_queue.try_put(
-                    Message(
-                        src_host=frame.src.host,
-                        src_ip=frame.src.ip,
-                        src_port=frame.src_port,
-                        payload=frag.payload,
-                        size=frag.total_size,
-                    )
+    def _on_frame(self, frame) -> None:
+        frag: _Fragment = frame.payload
+        key = (f"{frame.src.ip}:{frame.src_port}", frag.dgram_id)
+        got = self._reassembly.setdefault(key, set())
+        got.add(frag.index)
+        if len(got) == frag.count:
+            del self._reassembly[key]
+            self.rx_messages += 1
+            self._rx_queue.try_put(
+                Message(
+                    src_host=frame.src.host,
+                    src_ip=frame.src.ip,
+                    src_port=frame.src_port,
+                    payload=frag.payload,
+                    size=frag.total_size,
+                    msg_id=frag.dgram_id,
                 )
+            )

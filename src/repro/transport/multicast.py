@@ -12,46 +12,58 @@ wide-area, router-based group multicast of §5.4 lives in
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.net.packet import BROADCAST, Frame
 from repro.robust.overload import BULK, LaneStore, lane_for_request
-from repro.sim.errors import Interrupt
+from repro.sim.events import waker
 from repro.sim.resources import Store
 from repro.transport.base import Message, SendError, TransportEndpoint
-
-_msg_ids = itertools.count(1)
 
 ACK_EVERY = 16
 CTRL_BODY_BYTES = 12
 
+# Wire-path payload records are lean __slots__ classes (one _MData per
+# broadcast frame); message ids come from ``sim.sequence`` so receiver
+# dedup state is per-simulation.
 
-@dataclass
+
 class _MData:
-    msg_id: int
-    seq: int
-    nsegs: int
-    total_size: int
-    ack_req: bool
-    payload: Any
-    reply_port: int
-    sender: str
-    t0: float = 0.0  # virtual send time, for delivery-latency accounting
+    __slots__ = (
+        "msg_id", "seq", "nsegs", "total_size", "ack_req", "payload",
+        "reply_port", "sender", "t0",
+    )
+
+    def __init__(self, msg_id: int, seq: int, nsegs: int, total_size: int,
+                 ack_req: bool, payload: Any, reply_port: int, sender: str,
+                 t0: float = 0.0) -> None:
+        self.msg_id = msg_id
+        self.seq = seq
+        self.nsegs = nsegs
+        self.total_size = total_size
+        self.ack_req = ack_req
+        self.payload = payload
+        self.reply_port = reply_port
+        self.sender = sender
+        self.t0 = t0  # virtual send time, for delivery-latency accounting
 
 
-@dataclass
 class _MNack:
-    msg_id: int
-    member: str
-    missing: Tuple[int, ...]
+    __slots__ = ("msg_id", "member", "missing")
+
+    def __init__(self, msg_id: int, member: str,
+                 missing: Tuple[int, ...]) -> None:
+        self.msg_id = msg_id
+        self.member = member
+        self.missing = missing
 
 
-@dataclass
 class _MDone:
-    msg_id: int
-    member: str
+    __slots__ = ("msg_id", "member")
+
+    def __init__(self, msg_id: int, member: str) -> None:
+        self.msg_id = msg_id
+        self.member = member
 
 
 class EthernetMulticast(TransportEndpoint):
@@ -113,6 +125,7 @@ class EthernetMulticast(TransportEndpoint):
             dst_port=dst_port,
             payload=item,
             size=body_bytes + self.header_bytes,
+            frame_id=self.sim.next_frame_id(),
             trace_id=trace_id,
         )
         if self._tracer.enabled:
@@ -132,7 +145,7 @@ class EthernetMulticast(TransportEndpoint):
         members = [m for m in members if m != self.host.name]
         if not members:
             return size
-        msg_id = next(_msg_ids)
+        msg_id = self.sim.sequence("mcast.msg")
         nic = self.host.nic_on_segment(self.segment_name)
         if nic is None:
             raise SendError(f"mcast: {self.host.name} not on {self.segment_name}")
@@ -180,10 +193,16 @@ class EthernetMulticast(TransportEndpoint):
             for seq in range(nsegs):
                 while not push(seq, ack_req=(seq == nsegs - 1 or (seq + 1) % ACK_EVERY == 0)):
                     yield self.sim.timeout(backoff)
+            send_owner = f"mcast-send:{self.host.name}"
             while len(done) < len(members):
                 if pending is None:
                     pending = ctrl.get()
-                yield self.sim.any_of([pending, self.sim.timeout(rto)])
+                wake = self.sim.event()
+                fire = waker(wake)
+                pending.add_callback(fire)
+                timer = self.sim.schedule_timer(rto, fire, owner=send_owner)
+                yield wake
+                timer.cancel()
                 item = None
                 if pending.processed:
                     item = pending.value
@@ -229,20 +248,15 @@ class EthernetMulticast(TransportEndpoint):
         """Event yielding the next complete group :class:`Message`."""
         return self._rx_queue.get()
 
-    def _rx_loop(self):
-        try:
-            while True:
-                frame = yield self.binding.get()
-                item = frame.payload
-                if isinstance(item, (_MNack, _MDone)):
-                    inbox = self._ctrl.get(item.msg_id)
-                    if inbox is not None:
-                        inbox.try_put(item)
-                    continue
-                if isinstance(item, _MData):
-                    self._on_data(frame, item)
-        except Interrupt:
+    def _on_frame(self, frame) -> None:
+        item = frame.payload
+        if isinstance(item, (_MNack, _MDone)):
+            inbox = self._ctrl.get(item.msg_id)
+            if inbox is not None:
+                inbox.try_put(item)
             return
+        if isinstance(item, _MData):
+            self._on_data(frame, item)
 
     def _unicast_ctrl(self, data: _MData, item: Any, body: int) -> None:
         self._send_frame(data.sender, data.reply_port, item, body)

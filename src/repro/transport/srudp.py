@@ -23,11 +23,10 @@ oracle then catches the corrupt delivery.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.robust.overload import BULK, LaneStore, RttEstimator, lane_for_request
-from repro.sim.errors import Interrupt
+from repro.sim.events import waker
 from repro.sim.resources import Store
 from repro.transport.base import Message, SendError, TransportEndpoint
 
@@ -39,24 +38,226 @@ ACK_BODY_BYTES = 12
 ACK_MISS_BYTES = 4
 
 
-@dataclass
 class _Data:
-    msg_id: int
-    seq: int
-    nsegs: int
-    total_size: int
-    ack_req: bool
-    payload: Any  # the message object; delivered once on completion
-    reply_port: int
-    t0: float = 0.0  # virtual send time, for delivery-latency accounting
+    """One data segment (lean ``__slots__`` class: one per frame sent)."""
+
+    __slots__ = (
+        "msg_id", "seq", "nsegs", "total_size", "ack_req", "payload",
+        "reply_port", "t0",
+    )
+
+    def __init__(self, msg_id: int, seq: int, nsegs: int, total_size: int,
+                 ack_req: bool, payload: Any, reply_port: int,
+                 t0: float = 0.0) -> None:
+        self.msg_id = msg_id
+        self.seq = seq
+        self.nsegs = nsegs
+        self.total_size = total_size
+        self.ack_req = ack_req
+        self.payload = payload  # the message object; delivered on completion
+        self.reply_port = reply_port
+        self.t0 = t0  # virtual send time, for delivery-latency accounting
 
 
-@dataclass
+class _LazyDigest:
+    """A frame-header digest whose hex value is computed on first read.
+
+    The wire model decides verification outcomes from the frame's
+    corruption state, so in the common case the SHA-256 over the
+    message's canonical encoding is never needed; this defers it while
+    keeping ``frame.digest is not None`` semantics (and a real value for
+    anything that prints or compares it).
+    """
+
+    __slots__ = ("_payload", "_hex")
+
+    def __init__(self, payload: Any) -> None:
+        self._payload = payload
+        self._hex: Optional[str] = None
+
+    @property
+    def hex(self) -> Optional[str]:
+        if self._hex is None:
+            from repro.security.hashes import content_hash
+
+            try:
+                self._hex = content_hash(self._payload)
+            except Exception:
+                return None  # unhashable payload object: unverified
+        return self._hex
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _LazyDigest):
+            return self.hex == other.hex
+        return self.hex == other
+
+    def __hash__(self) -> int:
+        return hash(self.hex)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<digest {self.hex}>"
+
+
 class _Ack:
-    msg_id: int
-    cumulative: int  # next segment the receiver expects (all below arrived)
-    missing: Tuple[int, ...]  # gaps between cumulative and highest received
-    done: bool
+    __slots__ = ("msg_id", "cumulative", "missing", "done")
+
+    def __init__(self, msg_id: int, cumulative: int,
+                 missing: Tuple[int, ...], done: bool) -> None:
+        self.msg_id = msg_id
+        # Next segment the receiver expects (all below arrived) plus the
+        # gaps between that and the highest segment received.
+        self.cumulative = cumulative
+        self.missing = missing
+        self.done = done
+
+
+class _SingleFlight:
+    """Callback-driven sender for messages that fit one segment.
+
+    Control-plane traffic — RPC requests and replies, heartbeats, lease
+    refreshes — is overwhelmingly single-segment, and for one segment the
+    :meth:`SrudpEndpoint._sender` window loop degenerates to "push, wait
+    for the done-ACK, retransmit on timeout". Driving that with two
+    callbacks (the ACK route and a cancellable wheel timer) instead of a
+    generator process saves the Process/initialise-event/resume machinery
+    per message, which was the largest remaining block in the overload
+    profile after the wire path was flattened.
+
+    The instance registers *itself* in ``_ack_routes`` (it quacks like
+    the Store the generator path uses: :meth:`try_put`), and ``event`` is
+    the caller-visible send event — succeeds with the byte count on the
+    done-ACK, fails with :class:`SendError` on retry exhaustion, exactly
+    like the Process event the slow path returns.
+    """
+
+    __slots__ = (
+        "ep", "dst_host", "dst_port", "payload", "size", "msg_id",
+        "trace_id", "digest", "t0", "sent_at", "est", "rto", "retries",
+        "timer", "owner", "event", "finished",
+    )
+
+    def __init__(self, ep: "SrudpEndpoint", dst_host: str, dst_port: int,
+                 payload: Any, size: int, trace_id: Optional[int],
+                 parent: Optional[int]) -> None:
+        sim = ep.sim
+        self.ep = ep
+        self.dst_host = dst_host
+        self.dst_port = dst_port
+        self.payload = payload
+        self.size = size
+        self.trace_id = trace_id
+        ep._next_msg_id += 1
+        self.msg_id = ep._next_msg_id
+        self.digest = ep._message_digest(payload) if ep.digest_enabled else None
+        ep._ack_routes[self.msg_id] = self
+        ep._note_tx()
+        self.t0 = sim.now
+        self.owner = f"srudp-send:{ep.host.name}"
+        tracer = ep._tracer
+        if tracer.enabled:
+            tracer.event(
+                "srudp.send", trace_id=trace_id, msg=self.msg_id,
+                src=ep.host.name, dst=dst_host, bytes=size, nsegs=1,
+                parent_trace=parent,
+            )
+        est = ep._estimator(dst_host) if sim.overload.adaptive else None
+        self.est = est
+        self.rto = est.rto() if est is not None else ep.initial_rto
+        self.retries = 0
+        self.finished = False
+        self.event = sim.event()
+        # An unroutable push falls through to the timer, whose timeout
+        # path re-probes — same recovery as the generator's window loop.
+        self._push(retransmit=False)
+        self.sent_at = sim.now
+        self.timer = sim.schedule_timer(self.rto, self._on_timeout,
+                                        owner=self.owner)
+
+    def _push(self, retransmit: bool) -> None:
+        ep = self.ep
+        if retransmit and ep._tracer.enabled:
+            ep._tracer.event("srudp.retransmit", trace_id=self.trace_id,
+                             msg=self.msg_id, seq=0)
+        data = _Data(self.msg_id, 0, 1, self.size, True, self.payload,
+                     ep.port, self.t0)
+        ep._send_frame(self.dst_host, self.dst_port, data,
+                       self.size if self.size else 1,
+                       trace_id=self.trace_id, digest=self.digest)
+
+    # Ack-route protocol: the endpoint's _on_frame routes ACKs here.
+    def try_put(self, ack: _Ack) -> bool:
+        if self.finished:
+            return True
+        ep = self.ep
+        sim = ep.sim
+        self.timer.cancel()
+        rtt = sim.now - self.sent_at
+        est = self.est
+        if est is not None:
+            est.observe(rtt)
+            self.rto = est.rto()
+        else:
+            ep._srtt = (
+                rtt if ep._srtt == 0 else 0.875 * ep._srtt + 0.125 * rtt
+            )
+            self.rto = max(ep.min_rto, 2.5 * ep._srtt)
+        self.retries = 0
+        if ack.done:
+            self.finished = True
+            ep._ack_routes.pop(self.msg_id, None)
+            ep._m_send_latency.observe(sim.now - self.t0)
+            ep.paths.note_result(self.dst_host, True)
+            if ep._tracer.enabled:
+                ep._tracer.event("srudp.acked", trace_id=self.trace_id,
+                                 msg=self.msg_id)
+            self.event.succeed(self.size)
+            return True
+        # Partial ACK naming our only segment as a hole: selective resend.
+        if 0 in ack.missing:
+            ep.retransmits += 1
+            ep._note_retransmit()
+            self._push(retransmit=True)
+        self.sent_at = sim.now
+        self.timer = sim.schedule_timer(self.rto, self._on_timeout,
+                                        owner=self.owner)
+        return True
+
+    def _on_timeout(self) -> None:
+        if self.finished:
+            return
+        ep = self.ep
+        self.retries += 1
+        if self.retries > ep.max_retries:
+            self.finished = True
+            ep._ack_routes.pop(self.msg_id, None)
+            ep._m_send_errors.inc()
+            ep.paths.note_result(self.dst_host, False)
+            if ep._tracer.enabled:
+                ep._tracer.event("srudp.failed", trace_id=self.trace_id,
+                                 msg=self.msg_id, outstanding=1)
+            exc = SendError(
+                f"srudp: {self.dst_host}:{self.dst_port} unreachable "
+                f"(msg {self.msg_id}, 1/1 outstanding)"
+            )
+            ev = self.event
+            ev.fail(exc)
+            # Mirror the Process contract: an unobserved send failure is
+            # a background crash in strict mode, not a silent drop.
+            if ep.sim.strict_process_errors and not ev.callbacks:
+                ep.sim._crashed.append((ev, exc))
+            return
+        est = self.est
+        if est is not None:
+            est.backoff()
+            self.rto = est.rto()
+        else:
+            self.rto = min(self.rto * 2, 2.0)
+        ep.retransmits += 1
+        ep._note_retransmit()
+        self._push(retransmit=True)
+        self.sent_at = ep.sim.now
+        self.timer = ep.sim.schedule_timer(self.rto, self._on_timeout,
+                                           owner=self.owner)
 
 
 class SrudpEndpoint(TransportEndpoint):
@@ -115,13 +316,24 @@ class SrudpEndpoint(TransportEndpoint):
 
     # -- sending ----------------------------------------------------------
     def send(self, dst_host: str, dst_port: int, payload: Any, size: int):
-        """Reliably send a message; the returned Process event succeeds on
-        full acknowledgement and fails with :class:`SendError` otherwise."""
+        """Reliably send a message; the returned event succeeds on full
+        acknowledgement and fails with :class:`SendError` otherwise.
+
+        Single-segment messages return a plain event driven by
+        :class:`_SingleFlight`; multi-segment messages return the sender
+        Process. Both support ``yield``/``triggered``/``ok``/``value``.
+        """
         # One fresh trace id per message (None when tracing is off),
         # allocated at call time so the caller's ambient span (if any) is
         # recorded as the parent.
         trace_id = self._tracer.maybe_trace_id()
         parent = self._tracer.current_trace_id
+        if size <= self.max_payload(dst_host):
+            # Single-segment fast path: no sender process, just an ACK
+            # callback racing a retransmission timer (see _SingleFlight).
+            return _SingleFlight(
+                self, dst_host, dst_port, payload, size, trace_id, parent
+            ).event
         return self.sim.process(
             self._sender(dst_host, dst_port, payload, size, trace_id, parent),
             name=f"srudp-send:{self.host.name}->{dst_host}",
@@ -138,6 +350,7 @@ class SrudpEndpoint(TransportEndpoint):
         self._ack_routes[msg_id] = acks
         self._note_tx()
         t0 = self.sim.now
+        send_owner = f"srudp-send:{self.host.name}"
         tracer = self._tracer
         if tracer.enabled:
             tracer.event(
@@ -188,11 +401,19 @@ class SrudpEndpoint(TransportEndpoint):
                     next_new += 1
                 # Wait for an ACK or a retransmission timeout. The get()
                 # event is reused across timeouts so an ACK arriving late
-                # is never swallowed by an abandoned waiter.
+                # is never swallowed by an abandoned waiter. The timeout
+                # is a cancellable wheel timer: when the ACK wins the race
+                # (the overwhelming majority of waits) the timer dies in
+                # its bucket without ever touching the event heap.
                 sent_at = self.sim.now
                 if pending is None:
                     pending = acks.get()
-                yield self.sim.any_of([pending, self.sim.timeout(rto)])
+                wake = self.sim.event()
+                fire = waker(wake)
+                pending.add_callback(fire)
+                timer = self.sim.schedule_timer(rto, fire, owner=send_owner)
+                yield wake
+                timer.cancel()
                 ack = None
                 if pending.processed:
                     ack = pending.value
@@ -262,36 +483,35 @@ class SrudpEndpoint(TransportEndpoint):
 
     # -- receiving ------------------------------------------------------------
     @staticmethod
-    def _message_digest(payload) -> Optional[str]:
-        from repro.security.hashes import content_hash
+    def _message_digest(payload) -> Optional["_LazyDigest"]:
+        """The end-to-end digest stamped on every data frame.
 
-        try:
-            return content_hash(payload)
-        except Exception:
-            return None  # unhashable payload object: send unverified
+        Evaluated lazily: receivers decide "does the payload still match
+        the header digest?" from the frame's wire-corruption state, so
+        the hex value is only ever materialised if something (a debugger,
+        a dump) actually reads it — hashing the canonical encoding of
+        every message payload up front was a top-five cost in the bulk
+        wire profile, for bytes nothing looked at.
+        """
+        return _LazyDigest(payload)
 
     def recv(self):
         """Event yielding the next complete :class:`Message`."""
         return self._rx_queue.get()
 
-    def _rx_loop(self):
-        try:
-            while True:
-                frame = yield self.binding.get()
-                item = frame.payload
-                if isinstance(item, _Ack):
-                    if frame.corrupt and self.digest_enabled:
-                        # Header checksum failed: treat the ACK as lost;
-                        # the sender's timeout path recovers.
-                        self._note_rx_corrupt(frame.src.host)
-                        continue
-                    inbox = self._ack_routes.get(item.msg_id)
-                    if inbox is not None:
-                        inbox.try_put(item)
-                    continue
-                self._on_data(frame, item)
-        except Interrupt:
+    def _on_frame(self, frame) -> None:
+        item = frame.payload
+        if isinstance(item, _Ack):
+            if frame.corrupt and self.digest_enabled:
+                # Header checksum failed: treat the ACK as lost;
+                # the sender's timeout path recovers.
+                self._note_rx_corrupt(frame.src.host)
+                return
+            inbox = self._ack_routes.get(item.msg_id)
+            if inbox is not None:
+                inbox.try_put(item)
             return
+        self._on_data(frame, item)
 
     def _on_data(self, frame, data: _Data) -> None:
         if frame.corrupt and self.digest_enabled and frame.digest is not None:
@@ -373,7 +593,7 @@ class SrudpEndpoint(TransportEndpoint):
 class _RxState:
     """Receiver-side reassembly: which segments of a message have arrived."""
 
-    __slots__ = ("nsegs", "received", "max_seen", "corrupt")
+    __slots__ = ("nsegs", "received", "max_seen", "corrupt", "cum")
 
     def __init__(self, nsegs: int) -> None:
         self.nsegs = nsegs
@@ -381,11 +601,22 @@ class _RxState:
         self.max_seen = -1
         #: True when an undetected-corrupt segment entered the reassembly.
         self.corrupt = False
+        #: Lowest segment not yet received, advanced incrementally in
+        #: :meth:`add` — re-deriving it per ACK made bulk-message ACK
+        #: generation quadratic in message size.
+        self.cum = 0
 
     def add(self, seq: int) -> None:
-        self.received.add(seq)
+        received = self.received
+        received.add(seq)
         if seq > self.max_seen:
             self.max_seen = seq
+        cum = self.cum
+        if seq == cum:
+            cum += 1
+            while cum in received:
+                cum += 1
+            self.cum = cum
 
     @property
     def complete(self) -> bool:
@@ -399,12 +630,9 @@ class _RxState:
         frames small; when it overflows, the horizon is pulled back so no
         unreported hole is ever mistaken for an acknowledgement.
         """
-        cum = 0
-        while cum in self.received:
-            cum += 1
         horizon = self.max_seen + 1
         missing: List[int] = []
-        for s in range(cum, horizon):
+        for s in range(self.cum, horizon):
             if s not in self.received:
                 missing.append(s)
                 if len(missing) >= 256:

@@ -11,50 +11,63 @@ of Fig. 1's TCP-vs-SRUDP gap.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
 from typing import Any, Dict, Set, Tuple
 
-from repro.sim.errors import Interrupt
+from repro.sim.events import waker
 from repro.sim.resources import Store
 from repro.transport.base import Message, SendError, TransportEndpoint
-
-_conn_ids = itertools.count(1)
-_msg_ids = itertools.count(1)
 
 ACK_BODY_BYTES = 12
 CTRL_BODY_BYTES = 8
 
+# Wire-path payload records are lean __slots__ classes (one _Seg per
+# data frame); connection and message ids come from the simulation's
+# sequence counters, never process-global ones.
 
-@dataclass
+
 class _Syn:
-    conn_id: int
-    reply_port: int
+    __slots__ = ("conn_id", "reply_port")
+
+    def __init__(self, conn_id: int, reply_port: int) -> None:
+        self.conn_id = conn_id
+        self.reply_port = reply_port
 
 
-@dataclass
 class _SynAck:
-    conn_id: int
+    __slots__ = ("conn_id",)
+
+    def __init__(self, conn_id: int) -> None:
+        self.conn_id = conn_id
 
 
-@dataclass
 class _Seg:
-    conn_id: int
-    msg_id: int
-    seq: int
-    nsegs: int
-    total_size: int
-    payload: Any
-    reply_port: int
-    t0: float = 0.0  # virtual send time, for delivery-latency accounting
+    __slots__ = (
+        "conn_id", "msg_id", "seq", "nsegs", "total_size", "payload",
+        "reply_port", "t0",
+    )
+
+    def __init__(self, conn_id: int, msg_id: int, seq: int, nsegs: int,
+                 total_size: int, payload: Any, reply_port: int,
+                 t0: float = 0.0) -> None:
+        self.conn_id = conn_id
+        self.msg_id = msg_id
+        self.seq = seq
+        self.nsegs = nsegs
+        self.total_size = total_size
+        self.payload = payload
+        self.reply_port = reply_port
+        self.t0 = t0  # virtual send time, for delivery-latency accounting
 
 
-@dataclass
 class _Ack:
-    conn_id: int
-    msg_id: int
-    next_needed: int
-    done: bool
+    __slots__ = ("conn_id", "msg_id", "next_needed", "done")
+
+    def __init__(self, conn_id: int, msg_id: int, next_needed: int,
+                 done: bool) -> None:
+        self.conn_id = conn_id
+        self.msg_id = msg_id
+        self.next_needed = next_needed
+        self.done = done
 
 
 class _Conn:
@@ -62,7 +75,7 @@ class _Conn:
 
     def __init__(self, ep: "StreamEndpoint", dst_host: str, dst_port: int) -> None:
         self.ep = ep
-        self.conn_id = next(_conn_ids)
+        self.conn_id = ep.sim.sequence("tcp.conn")
         self.dst_host = dst_host
         self.dst_port = dst_port
         self.established = False
@@ -83,13 +96,19 @@ class _Conn:
         sim = ep.sim
         # Three-way handshake (the third ACK rides on the first data segment).
         pending = None
+        owner = f"tcp-conn:{ep.host.name}"
         for _attempt in range(ep.max_retries):
             ep._send_frame(
                 self.dst_host, self.dst_port, _Syn(self.conn_id, ep.port), CTRL_BODY_BYTES
             )
             if pending is None:
                 pending = self.signals.get()
-            yield sim.any_of([pending, sim.timeout(self.rto)])
+            wake = sim.event()
+            fire = waker(wake)
+            pending.add_callback(fire)
+            timer = sim.schedule_timer(self.rto, fire, owner=owner)
+            yield wake
+            timer.cancel()
             if pending.processed:
                 item = pending.value
                 pending = None
@@ -126,7 +145,7 @@ class _Conn:
         ep = self.ep
         sim = ep.sim
         tracer = ep._tracer
-        msg_id = next(_msg_ids)
+        msg_id = sim.sequence("tcp.msg")
         nsegs = max(1, -(-size // mss))
         base = 0
         next_i = 0
@@ -164,7 +183,14 @@ class _Conn:
             sent_at = sim.now
             if pending is None:
                 pending = self.signals.get()
-            yield sim.any_of([pending, sim.timeout(self.rto)])
+            wake = sim.event()
+            fire = waker(wake)
+            pending.add_callback(fire)
+            timer = sim.schedule_timer(
+                self.rto, fire, owner=f"tcp-conn:{ep.host.name}"
+            )
+            yield wake
+            timer.cancel()
             ack = None
             if pending.processed:
                 ack = pending.value
@@ -297,28 +323,23 @@ class StreamEndpoint(TransportEndpoint):
         """Event yielding the next complete in-order :class:`Message`."""
         return self._rx_queue.get()
 
-    def _rx_loop(self):
-        try:
-            while True:
-                frame = yield self.binding.get()
-                item = frame.payload
-                if isinstance(item, _Syn):
-                    self._rx_conns.setdefault(
-                        (frame.src.host, item.conn_id), _RxConn(item.reply_port)
-                    )
-                    self._send_frame(
-                        frame.src.host, item.reply_port, _SynAck(item.conn_id), CTRL_BODY_BYTES
-                    )
-                elif isinstance(item, (_SynAck, _Ack)):
-                    # Route to the owning client connection.
-                    for conn in self._conns.values():
-                        if conn.conn_id == item.conn_id:
-                            conn.signals.try_put(item)
-                            break
-                elif isinstance(item, _Seg):
-                    self._on_data(frame, item)
-        except Interrupt:
-            return
+    def _on_frame(self, frame) -> None:
+        item = frame.payload
+        if isinstance(item, _Syn):
+            self._rx_conns.setdefault(
+                (frame.src.host, item.conn_id), _RxConn(item.reply_port)
+            )
+            self._send_frame(
+                frame.src.host, item.reply_port, _SynAck(item.conn_id), CTRL_BODY_BYTES
+            )
+        elif isinstance(item, (_SynAck, _Ack)):
+            # Route to the owning client connection.
+            for conn in self._conns.values():
+                if conn.conn_id == item.conn_id:
+                    conn.signals.try_put(item)
+                    break
+        elif isinstance(item, _Seg):
+            self._on_data(frame, item)
 
     def _on_data(self, frame, seg: _Seg) -> None:
         # Host-keyed (not IP): survives source-interface failover.

@@ -111,6 +111,25 @@ def test_e16_summary_and_formatting():
     assert "E16" in text and "7500" in text and "durable restores" in text
 
 
+def test_e17_kernel_scale_small():
+    from repro.bench.e17_kernel_scale import kernel_scale
+
+    rows = kernel_scale(scales=(16, 32), calls_per_host=2)
+    assert [r["hosts"] for r in rows] == [16, 32]
+    # Pin the row schema BENCH_kernel_scale.json archives.
+    assert set(rows[0]) == {
+        "hosts", "lans", "calls", "calls_ok", "calls_failed",
+        "virtual_s", "events", "frames", "wall_s", "events_per_s",
+    }
+    for r in rows:
+        assert r["calls_ok"] == r["calls"] and r["calls_failed"] == 0
+        assert r["events"] > 0 and r["frames"] > 0
+    # Wall-clock canary: these two tiny sites simulate in well under a
+    # second; a kernel regression big enough to trip a bound this
+    # generous is a bug no matter what the full benchmarks say.
+    assert all(r["wall_s"] < 5.0 for r in rows)
+
+
 def test_format_table_alignment():
     rows = [{"a": 1, "bb": 2.34567}, {"a": 100, "bb": 0.5}]
     text = format_table(rows)

@@ -1,0 +1,64 @@
+"""The kernel perf-regression gate: ``obs perf-gate`` + ``obs diff``.
+
+CI measures normalized E12/E13 wall-clock with ``perf-gate`` and diffs
+it against ``baselines/perf-kernel.json`` with ``--fail-over 20``.
+These tests run the quick slices end to end and pin the contract the
+gate depends on: the gated gauges exist under ``perf.*``, identical
+measurements pass, a slowdown trips, and the machine-dependent
+``info.*`` context gauges stay outside the gate.
+"""
+
+import json
+
+from repro.obs.cli import main
+
+
+def _vary(data, prefix, factor):
+    out = dict(data)
+    out["gauges"] = [
+        dict(g, value=g["value"] * factor) if g["name"].startswith(prefix)
+        else g
+        for g in data["gauges"]
+    ]
+    return out
+
+
+def test_perf_gate_writes_gauges_and_diff_gates_on_them(tmp_path):
+    out = tmp_path / "perf-kernel.json"
+    assert main(["perf-gate", "--quick", "--repeats", "1",
+                 "--out", str(out)]) == 0
+    data = json.loads(out.read_text())
+    names = {g["name"] for g in data["gauges"]}
+    assert {"perf.e12_norm", "perf.e13_norm", "info.calib_s",
+            "info.e12_wall_s", "info.e13_wall_s"} <= names
+    assert all(g["value"] > 0 for g in data["gauges"])
+
+    # Identical measurements pass the gate.
+    gate = ["--fail-over", "20", "--metrics", "perf.*", "--direction", "up"]
+    assert main(["diff", str(out), str(out), *gate]) == 0
+
+    # A 1.5x slowdown of the normalized costs trips it.
+    slow = tmp_path / "perf-slow.json"
+    slow.write_text(json.dumps(_vary(data, "perf.", 1.5)))
+    assert main(["diff", str(out), str(slow), *gate]) == 1
+
+    # Speedups do not trip an "up" gate.
+    fast = tmp_path / "perf-fast.json"
+    fast.write_text(json.dumps(_vary(data, "perf.", 0.5)))
+    assert main(["diff", str(out), str(fast), *gate]) == 0
+
+    # info.* gauges (raw seconds, machine-dependent) are outside the
+    # gate: inflating them tenfold changes nothing.
+    info = tmp_path / "perf-info.json"
+    info.write_text(json.dumps(_vary(data, "info.", 10.0)))
+    assert main(["diff", str(out), str(info), *gate]) == 0
+
+
+def test_committed_baseline_has_the_gated_gauges():
+    """The file CI diffs against must carry the gated metric names."""
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "baselines" / "perf-kernel.json"
+    data = json.loads(path.read_text())
+    names = {g["name"] for g in data["gauges"]}
+    assert {"perf.e12_norm", "perf.e13_norm"} <= names
