@@ -23,7 +23,8 @@ from repro.check.shrink import load_trace, minimize, replay_trace, write_trace
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scenario",
-                   choices=("faults", "overload", "bulk", "gray", "heal"),
+                   choices=("faults", "overload", "bulk", "gray", "heal",
+                            "shard"),
                    default="faults",
                    help="faults: crash/partition chaos (default); "
                         "overload: saturation + degradation, no crashes; "
@@ -32,7 +33,9 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
                         "gray: asymmetric cuts, lossy/corrupting links, "
                         "clock skew, zombie hosts — nothing fail-stop; "
                         "heal: a replica partitioned past the compaction "
-                        "horizon under write/delete load, then healed")
+                        "horizon under write/delete load, then healed; "
+                        "shard: federated catalog splitting under load "
+                        "with crashes and cuts racing the migration")
     p.add_argument("--workers", type=int, default=DEFAULT_PARAMS["n_workers"],
                    help=f"worker hosts (default {DEFAULT_PARAMS['n_workers']})")
     p.add_argument("--steps", type=int, default=DEFAULT_PARAMS["total"],
@@ -71,6 +74,11 @@ def _params(args) -> dict:
 def _describe(report: dict) -> str:
     extra = (f" reorders={report['schedule_reordered']}"
              if report["explore"] else " (FIFO schedule)")
+    if report.get("scenario") == "shard":
+        return (f"splits={report['splits']} epoch={report['epoch']} "
+                f"shards={len(report['shards'])} writes={report['delivered']} "
+                f"retired={report['completed']}{extra} "
+                f"t={report['finished_at']:.1f}s")
     return (f"completed={report['completed']}/{report['workers']} "
             f"recoveries={report['recoveries']} delivered={report['delivered']}"
             f"{extra} t={report['finished_at']:.1f}s")

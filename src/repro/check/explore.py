@@ -27,6 +27,7 @@ from repro.check.oracles import (
     FalseDeathOracle,
     ProbeBus,
     ResurrectionOracle,
+    ShardOracle,
     SingleOwnerOracle,
     Violation,
 )
@@ -35,16 +36,19 @@ from repro.daemon.tasks import TaskSpec
 from repro.guardian.guardian import Guardian
 from repro.obs.flight import FlightRecorder
 from repro.rcds.records import RCStore
+from repro.rcds.shard.server import ShardRCServer
 from repro.robust.health import HealthBoard
 from repro.transport.srudp import SrudpEndpoint
 from repro.robust.chaos import (
     _instrument_sim,
     build_chaos_env,
+    build_shard_env,
     install_chaos_programs,
     install_overload_worker,
     new_coll_state,
     start_heal_sessions,
     start_load_generators,
+    start_shard_sessions,
 )
 
 
@@ -224,6 +228,20 @@ def sample_fault_plan(
         plan.append(FaultEvent("split", f"{iso}|{rest}",
                                r2(rng.uniform(4.0, 10.0)),
                                r2(rng.uniform(12.0, 18.0))))
+    elif scenario == "shard":
+        # A core host carrying shard replicas crashes mid-migration (c0
+        # stays up: it serves the director's own RC client), and one
+        # worker segment is cut so its facade re-routes on a stale map
+        # after the heal. Faults land while the write load is forcing
+        # splits, so every run races handoff against them.
+        core = ("c1", "c2")[rng.randrange(2)]
+        plan.append(FaultEvent("crash", core,
+                               r2(rng.uniform(8.0, horizon * 0.6)),
+                               r2(rng.uniform(4.0, 8.0))))
+        w = workers[rng.randrange(len(workers))]
+        plan.append(FaultEvent("partition", f"s-{w}",
+                               r2(rng.uniform(8.0, horizon * 0.7)),
+                               r2(rng.uniform(4.0, 8.0))))
     else:
         raise ValueError(f"unknown scenario {scenario!r}")
     return sorted(plan, key=lambda e: (e.t, e.kind, e.target))
@@ -323,6 +341,11 @@ BUGS: Dict[str, str] = {
                   "past records that were never applied, so the skipped "
                   "records are never requested again (caught by the "
                   "compaction-convergence oracle; heal scenario)",
+    "stale-epoch-write": "shard replicas drop the epoch ownership fence, so "
+                         "a client routing on a stale pre-split map lands "
+                         "writes in the parent shard after the epoch "
+                         "advanced (caught by the shard-ownership oracle; "
+                         "shard scenario)",
 }
 
 _BUG_HOOKS = {
@@ -334,6 +357,7 @@ _BUG_HOOKS = {
     "naive-health": (HealthBoard, "differential_enabled"),
     "early-gc": (RCStore, "safe_gc_enabled"),
     "vector-gap": (RCStore, "contiguous_vector_enabled"),
+    "stale-epoch-write": (ShardRCServer, "epoch_fencing_enabled"),
 }
 
 
@@ -411,11 +435,14 @@ def run_check(
     process crash escaping the kernel (strict mode) is itself recorded
     as a ``process-crash`` violation.
     """
-    if scenario not in ("faults", "overload", "bulk", "gray", "heal"):
+    if scenario not in ("faults", "overload", "bulk", "gray", "heal", "shard"):
         raise ValueError(f"unknown scenario {scenario!r}")
     with seeded_bug(bug):
         if scenario == "bulk":
             report = _run_bulk(seed, plan, explore, duration, obs_sample)
+        elif scenario == "shard":
+            report = _run_shard(seed, plan, explore, n_workers, duration,
+                                obs_sample)
         else:
             report = _run(scenario, seed, plan, explore, n_workers, total, step,
                           duration, saturation, service_time, obs_sample)
@@ -461,6 +488,7 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
     flight = FlightRecorder(sim).attach(bus)
     convergence = ConvergenceOracle(sim)
     convergence.attach(env)
+    bus.subscribe(convergence.on_probe)
     delivery = DeliveryOracle(sim)
     owner = SingleOwnerOracle(sim)
     chunks = ChunkOracle(sim)  # inert unless something moves bulk data
@@ -631,6 +659,109 @@ def _run(scenario, seed, plan, explore, n_workers, total, step, duration,
         "recoveries": recoveries,
         "delivered": delivery.delivered,
         "heal": heal,
+        "schedule_picks": scheduler.picks if scheduler else 0,
+        "schedule_reordered": scheduler.reordered if scheduler else 0,
+        "finished_at": sim.now,
+    }
+
+
+def _run_shard(seed, plan, explore, n_workers, duration, obs_sample=None):
+    """Model-check the sharded catalog: write/delete load through the
+    facade forces splits while a core host crashes and a worker segment
+    is cut, with the shard-ownership oracle judging every locally
+    accepted record against the replica's own adopted map and the
+    convergence oracle mirroring every replica (root and shard groups
+    alike). At quiescence the final map must place every live name in
+    exactly one group — in particular no name on both sides of a split
+    boundary — with each group internally converged."""
+    env, workers = build_shard_env(seed, n_workers=min(n_workers, 3),
+                                   split_threshold=24)
+    sim = env.sim
+    mgr = env.shard_manager
+    _instrument_sim(sim, None, obs_sample)
+
+    bus = ProbeBus()
+    sim.probes = bus
+    flight = FlightRecorder(sim).attach(bus)
+    convergence = ConvergenceOracle(sim)
+    convergence.attach(env)
+    bus.subscribe(convergence.on_probe)
+    shard = ShardOracle(sim)
+    shard.attach(env)
+    bus.subscribe(shard.on_probe)
+    oracles = [convergence, shard]
+
+    scheduler = ExplorationScheduler(seed) if explore else None
+    if scheduler is not None:
+        sim.set_scheduler(scheduler)
+
+    env.settle(2.0)
+    fault_stop = duration * 0.5
+    t1 = fault_stop + 10.0
+    load = start_shard_sessions(
+        env, workers, 3.0, t1, n_keys=48, interval=0.25,
+        retire_window=(fault_stop * 0.5, fault_stop * 0.9))
+
+    if plan is None:
+        plan = sample_fault_plan("shard", seed, workers, horizon=duration * 0.5)
+    apply_fault_plan(env, plan)
+
+    violations: List[Violation] = []
+    crashed = False
+
+    def sweep() -> None:
+        for oracle in oracles:
+            violations.extend(oracle.violations)
+            oracle.violations = []
+
+    while sim.now < duration:
+        try:
+            env.run(until=min(sim.now + CHUNK, duration))
+        except Exception as exc:  # strict mode: a component process died
+            violations.append(Violation(
+                "process-crash", sim.now, f"{type(exc).__name__}: {exc}"
+            ))
+            crashed = True
+            break
+        sweep()
+        if violations:
+            break
+
+    if not violations and not crashed:
+        try:
+            env.settle(12.0)  # anti-entropy + handoff janitors drain
+        except Exception as exc:
+            violations.append(Violation(
+                "process-crash", sim.now, f"{type(exc).__name__}: {exc}"
+            ))
+        sweep()
+        if not violations:
+            if mgr.splits < 1:
+                violations.append(Violation(
+                    "liveness", sim.now,
+                    f"the load never forced a split (threshold 24, "
+                    f"{load['writes_ok']} writes acked) — the scenario "
+                    f"exercised no migration",
+                ))
+            shard.check_quiescent(mgr)
+            sweep()
+
+    return {
+        "scenario": "shard",
+        "seed": seed,
+        "explore": explore,
+        "plan": [e.to_dict() for e in plan],
+        "violations": [v.to_dict() for v in violations],
+        "flight": _flight_on_failure(flight, violations),
+        "ok": not violations,
+        "completed": len(load["retired"]),
+        "workers": len(workers),
+        "recoveries": 0,
+        "delivered": load["writes_ok"],
+        "splits": mgr.splits,
+        "epoch": mgr.map.epoch,
+        "shards": sorted(mgr.map.shards),
+        "local_accepts": shard.local_accepts,
         "schedule_picks": scheduler.picks if scheduler else 0,
         "schedule_reordered": scheduler.reordered if scheduler else 0,
         "finished_at": sim.now,

@@ -139,6 +139,12 @@ class ConvergenceOracle:
     :meth:`check_quiescent` adds the cross-replica half at the end of a
     run: once anti-entropy has settled, every replica must report the
     same (terminal) state for every workload task.
+
+    Subscribe :meth:`on_probe` when the scenario crashes hosts carrying
+    replicas: a durable server wipes its store on crash and rebuilds it
+    from snapshot + journal on recovery (``rcds.wipe`` probe), so the
+    mirror must forget its pre-crash history along with the store or
+    every replayed record looks like a LWW regression.
     """
 
     name = "lww-convergence"
@@ -150,11 +156,26 @@ class ConvergenceOracle:
         self._stores: Dict[str, Any] = {}
 
     def attach(self, env) -> None:
-        """Hook every RC replica in *env* (call before the workload)."""
-        for host_name, server in env.rc_servers.items():
-            self._stores[host_name] = server.store
-            mirror = self.mirrors[host_name] = LwwMap()
-            server.store.on_apply = self._hook(host_name, server.store, mirror)
+        """Hook every RC replica in *env* (call before the workload).
+
+        Uses ``env.all_rc_servers()`` when available, so on a sharded
+        site every shard group's replicas are mirrored too, not just the
+        root directory group. Hooks are *chained* onto ``on_apply``
+        rather than set — a shard replica already watches its own slot
+        to flag misplaced names for the handoff janitor."""
+        servers = (env.all_rc_servers() if hasattr(env, "all_rc_servers")
+                   else dict(env.rc_servers))
+        for name, server in servers.items():
+            self._stores[name] = server.store
+            mirror = self.mirrors[name] = LwwMap()
+            chain_on_apply(server.store, self._hook(name, server.store, mirror))
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind != "rcds.wipe":
+            return
+        mirror = self.mirrors.get(f["server"])
+        if mirror is not None:
+            mirror.regs.clear()  # in place: the apply hooks close over it
 
     def _hook(self, replica: str, store, mirror: LwwMap):
         def on_apply(uri: str, key: str, entry) -> None:
@@ -688,6 +709,144 @@ class CorruptionOracle:
             f"corrupted message {f['msg']} from {f['src']} delivered "
             f"to the application on {f['dst']} — payload integrity lost",
         ))
+
+
+class ShardOracle:
+    """Epoch-fenced ownership for the federated catalog.
+
+    Continuous half: a shard replica must never *locally originate* a
+    live register for a name its own adopted map routes elsewhere — that
+    acceptance is exactly what the ownership fence refuses with a
+    ``shard-redirect``, so seeing one means a client's stale pre-split
+    map landed a write after the epoch advanced (the seeded
+    ``stale-epoch-write`` bug). The oracle watches each replica's log
+    through ``on_record`` and judges every locally-originated record
+    against the map the replica itself believes *at that moment*
+    (``shard.config`` probes mark adoptions, and accepts within a short
+    grace of an adoption are excused: the fence decision legitimately
+    predates a map that arrived mid-handler). Tombstones are exempt —
+    moved markers are locally-originated deletions for names the map
+    routes elsewhere *by design*.
+
+    Quiescent half (:meth:`check_quiescent`): under the final map, every
+    shard replica group internally agrees on its visible registers
+    (per-shard LWW convergence), every live name is visible only in the
+    group that owns it, and — the split boundary invariant — no name is
+    visible in both a parent and its child.
+    """
+
+    name = "shard-ownership"
+
+    #: Accepts this soon after the replica adopted a newer map are not
+    #: violations: the handler fenced against the map that was current
+    #: when the request was admitted, then yielded through the apply
+    #: delay while the adoption happened.
+    ADOPT_GRACE = 0.25
+
+    #: A locally-originated record is a *fresh* accept only if its wall
+    #: stamp is about now — a fresh accept stamps the host clock at
+    #: accept time. Durability recovery replays the journal through the
+    #: same log hook with the original (old) stamps preserved; those
+    #: records were fenced when they were first accepted, under the map
+    #: of their day, and must not be re-judged against today's.
+    FRESH_WINDOW = 1.0
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        self._servers: Dict[str, Any] = {}
+        self._adopted_at: Dict[str, float] = {}
+        self.local_accepts = 0
+
+    def on_probe(self, kind: str, f: Dict[str, Any]) -> None:
+        if kind == "shard.config":
+            self._adopted_at[f["server"]] = self.sim.now
+
+    def attach(self, env) -> None:
+        """Hook every shard-aware replica (root and shard groups)."""
+        from repro.rcds.shard.server import ShardRCServer
+
+        for server in env.all_rc_servers().values():
+            if not isinstance(server, ShardRCServer):
+                continue
+            self._servers[server.store.server_id] = server
+            chain_on_record(server.store, self._hook(server))
+
+    def _hook(self, server):
+        from repro.rcds.shard.map import MAP_URI
+
+        store = server.store
+
+        def on_record(record) -> None:
+            if record.origin != store.server_id:
+                return  # replicated/merged, not locally accepted
+            entry = record.entry
+            if entry.deleted or record.uri == MAP_URI:
+                return
+            if self.sim.now - entry.wall > self.FRESH_WINDOW:
+                return  # journal replay on recovery, not a fresh accept
+            if server.map is None or server.owns(record.uri):
+                self.local_accepts += 1
+                return
+            adopted = self._adopted_at.get(store.server_id)
+            if adopted is not None and self.sim.now - adopted < self.ADOPT_GRACE:
+                return
+            self.violations.append(Violation(
+                self.name, self.sim.now,
+                f"replica {store.server_id} (shard {server.sid}, epoch "
+                f"{server.epoch}) locally accepted a live write for "
+                f"{record.uri!r}, which its own map routes to "
+                f"{server.map.route(record.uri)} — a stale-epoch write "
+                f"got past the ownership fence",
+            ))
+
+        return on_record
+
+    def check_quiescent(self, manager) -> None:
+        """Final-map placement: per-group convergence, single-group
+        visibility, and no parent+child dual visibility."""
+        from repro.rcds.shard.map import MAP_URI
+
+        final_map = manager.map
+        visible_in: Dict[str, List[str]] = {}
+        for sid, grp in sorted(manager.servers.items()):
+            snaps = {
+                server_id: {
+                    (uri, key): entry.stamp()
+                    for uri, bucket in server.store.data.items()
+                    if uri != MAP_URI
+                    for key, entry in bucket.items() if not entry.deleted
+                }
+                for server_id, server in grp.items()
+            }
+            if len(set(map(frozenset, (s.items() for s in snaps.values())))) > 1:
+                keys = set()
+                for s in snaps.values():
+                    keys |= set(s)
+                diffs = [k for k in sorted(keys)
+                         if len({s.get(k) for s in snaps.values()}) > 1]
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"shard {sid} replicas diverge at quiescence on "
+                    f"{len(diffs)} register(s), e.g. {diffs[:3]}",
+                ))
+            for uri in {uri for s in snaps.values() for (uri, _k) in s}:
+                visible_in.setdefault(uri, []).append(sid)
+                if final_map.route(uri) != sid:
+                    self.violations.append(Violation(
+                        self.name, self.sim.now,
+                        f"{uri!r} still live in shard {sid} at quiescence "
+                        f"but the final map (epoch {final_map.epoch}) "
+                        f"routes it to {final_map.route(uri)}",
+                    ))
+        for uri, sids in sorted(visible_in.items()):
+            if len(sids) > 1:
+                self.violations.append(Violation(
+                    self.name, self.sim.now,
+                    f"{uri!r} visible in {len(sids)} shard groups at "
+                    f"quiescence ({', '.join(sorted(sids))}) — a split "
+                    f"left the name live on both sides of the boundary",
+                ))
 
 
 class FalseDeathOracle:

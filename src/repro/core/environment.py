@@ -27,6 +27,7 @@ from repro.net.segment import Segment
 from repro.net.topology import Topology
 from repro.rcds.client import RCClient
 from repro.rcds.server import RCServer
+from repro.rcds.shard import ROOT_SID, ShardedRCClient, ShardManager, ShardRCServer
 from repro.rm.client import RmClient
 from repro.rm.manager import ResourceManager
 from repro.sim.kernel import Simulator
@@ -51,6 +52,7 @@ class SnipeEnvironment:
         self.bulk_services: Dict[str, BulkService] = {}
         self.rms: Dict[str, ResourceManager] = {}
         self.guardians: Dict[str, Guardian] = {}
+        self.shard_manager: Optional[ShardManager] = None
         self._clients: Dict[str, RCClient] = {}
 
     # -- topology ---------------------------------------------------------
@@ -64,28 +66,79 @@ class SnipeEnvironment:
         return host
 
     # -- services -----------------------------------------------------------
-    def add_rc_servers(self, host_names: Sequence[str], **server_kw) -> List[RCServer]:
-        """Place RC replicas on the named hosts (they peer with each other)."""
+    def add_rc_servers(self, host_names: Sequence[str], sharded: bool = False,
+                       **server_kw) -> List[RCServer]:
+        """Place RC replicas on the named hosts (they peer with each other).
+
+        With ``sharded=True`` the group is built from shard-aware
+        servers (the future *root directory* group) so
+        :meth:`enable_sharding` can adopt it."""
         self.rc_replicas = [(name, 385) for name in host_names]
         servers = []
         for name in host_names:
             peers = [r for r in self.rc_replicas if r[0] != name]
-            server = RCServer(
-                self.topology.hosts[name], peers=peers, secret=self.secret, **server_kw
-            )
+            if sharded:
+                server: RCServer = ShardRCServer(
+                    self.topology.hosts[name], ROOT_SID, ("",),
+                    root_replicas=self.rc_replicas, peers=peers,
+                    secret=self.secret, **server_kw)
+            else:
+                server = RCServer(
+                    self.topology.hosts[name], peers=peers, secret=self.secret,
+                    **server_kw)
             self.rc_servers[name] = server
             servers.append(server)
         return servers
 
+    def enable_sharding(self, **manager_kw) -> ShardManager:
+        """Federate the catalog: the replicas from ``add_rc_servers(...,
+        sharded=True)`` become the root directory group and every
+        subsequent :meth:`rc_client` (daemons, guardians, RMs, programs)
+        routes through a :class:`ShardedRCClient`. Call before any
+        client exists; carve initial shards with
+        ``shard_manager.add_shard`` before traffic starts."""
+        if self.shard_manager is not None:
+            return self.shard_manager
+        if not self.rc_servers:
+            raise RuntimeError("add_rc_servers(sharded=True) must run first")
+        if not all(isinstance(s, ShardRCServer) for s in self.rc_servers.values()):
+            raise RuntimeError("root replicas are not shard-aware: "
+                               "use add_rc_servers(..., sharded=True)")
+        if self._clients:
+            raise RuntimeError("enable_sharding() must run before rc_client()")
+        self.shard_manager = ShardManager(
+            self.sim, self.topology.hosts, self.rc_replicas,
+            secret=self.secret, **manager_kw)
+        self.shard_manager.register_root(
+            {s.store.server_id: s for s in self.rc_servers.values()})
+        return self.shard_manager
+
+    def all_rc_servers(self) -> Dict[str, RCServer]:
+        """Every catalog replica on the site keyed by server id — the
+        root/full-replication group plus, when sharding is enabled,
+        every shard group (the check oracles' attach surface)."""
+        out: Dict[str, RCServer] = {
+            s.store.server_id: s for s in self.rc_servers.values()
+        }
+        if self.shard_manager is not None:
+            out.update(self.shard_manager.all_servers())
+        return out
+
     def rc_client(self, host_name: str) -> RCClient:
-        """An RC client bound to *host* (cached per host)."""
+        """An RC client bound to *host* (cached per host). On a sharded
+        site this is the facade — same API, map-routed underneath."""
         client = self._clients.get(host_name)
         if client is None:
             if not self.rc_replicas:
                 raise RuntimeError("add_rc_servers() must run before clients")
-            client = RCClient(
-                self.topology.hosts[host_name], self.rc_replicas, secret=self.secret
-            )
+            if self.shard_manager is not None:
+                client = ShardedRCClient(
+                    self.topology.hosts[host_name], self.rc_replicas,
+                    secret=self.secret)
+            else:
+                client = RCClient(
+                    self.topology.hosts[host_name], self.rc_replicas,
+                    secret=self.secret)
             self._clients[host_name] = client
         return client
 

@@ -239,6 +239,7 @@ def write_bench_json(
         payload["metrics"] = metrics
     if extra:
         payload.update(extra)
+    os.makedirs(directory or ".", exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)

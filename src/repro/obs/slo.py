@@ -83,6 +83,11 @@ DEFAULT_SLOS: Tuple[Slo, ...] = (
     Slo("sync-payload-max", "rcds.sync_batch_records", 64.0, column="max",
         description="no anti-entropy payload ever exceeds the configured "
                     "per-RPC record bound (heal-storm control)"),
+    Slo("redirect-rate", "rcds.redirects", 0.5,
+        ratio_to="rcds.lookups",
+        description="fewer stale-epoch shard redirects than served catalog "
+                    "lookups (map dissemination keeps routing convergent; "
+                    "trivially 0 on an unsharded site)"),
 )
 
 

@@ -188,13 +188,19 @@ class RCClient:
         )
         return results[0][1]
 
-    def query(self, prefix: str, lane: str = BULK):
-        """URIs under *prefix* from any reachable replica."""
-        return self.sim.process(self._query(prefix, lane), name=f"rc.query:{prefix}")
+    def query(self, prefix: str, lane: str = BULK,
+              after: Optional[str] = None, limit: Optional[int] = None):
+        """URIs under *prefix* from any reachable replica. ``after`` and
+        ``limit`` page through large namespaces (see ``RCStore.query``)."""
+        return self.sim.process(
+            self._query(prefix, lane, after, limit), name=f"rc.query:{prefix}"
+        )
 
-    def _query(self, prefix: str, lane: str = BULK):
+    def _query(self, prefix: str, lane: str = BULK,
+               after: Optional[str] = None, limit: Optional[int] = None):
         results = yield from self._fanout(
-            "rc.query", 1, self._candidate_order(), lane=lane, prefix=prefix
+            "rc.query", 1, self._candidate_order(), lane=lane, prefix=prefix,
+            after=after, limit=limit,
         )
         return results[0][1]
 

@@ -30,8 +30,14 @@ instead of a record replay that no longer exists.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+#: Tombstone value recording "migrated to the owning shard" rather than
+#: "deleted by a client" — see :meth:`RCStore.mark_moved`.
+MOVED = "__moved__"
 
 
 @dataclass(frozen=True)
@@ -116,6 +122,14 @@ class RCStore:
     def __init__(self, server_id: str) -> None:
         self.server_id = server_id
         self.data: Dict[str, Dict[str, Entry]] = {}
+        #: Sorted view of ``data``'s keys. Prefix queries bisect to the
+        #: range instead of scanning every uri — the difference between
+        #: O(log n + answer) and O(n) per query at 10^5+ names.
+        self._index: List[str] = []
+        #: uri -> count of live (non-tombstoned) registers, maintained on
+        #: every apply so liveness checks and ``live_uri_count`` are O(1).
+        self._bucket_live: Dict[str, int] = {}
+        self._live_uris = 0
         self.logs: Dict[str, Dict[int, Record]] = {}  # origin -> seq -> record
         self.vector: Dict[str, int] = {}
         #: Compaction horizon per origin: every record with
@@ -267,6 +281,35 @@ class RCStore:
             n += 1
         return n
 
+    def import_entry(self, uri: str, key: str, entry: Entry) -> Optional[Record]:
+        """Accept a register migrated from *another* replica group.
+
+        Shard handoff moves names between groups whose version vectors
+        share no origins, so the entry cannot ship as a foreign record:
+        it is re-originated here — new local sequence number, this
+        server's origin id — while its LWW stamp (wall, lamport) is
+        preserved so a client write racing the migration still orders
+        against the migrated value. Returns ``None`` when the local
+        register already covers an equal-or-newer stamp (idempotent:
+        every parent replica hands off the same names independently).
+        """
+        current = self.data.get(uri, {}).get(key)
+        if current is not None and (current.wall, current.lamport) >= (entry.wall, entry.lamport):
+            return None
+        if entry.lamport > self.lamport:
+            self.lamport = entry.lamport
+        seq = self.vector.get(self.server_id, 0) + 1
+        self.vector[self.server_id] = seq
+        imported = Entry(value=entry.value, lamport=entry.lamport,
+                         origin=self.server_id, wall=entry.wall,
+                         deleted=entry.deleted, seq=seq)
+        record = Record(self.server_id, seq, uri, key, imported)
+        self.logs.setdefault(self.server_id, {})[seq] = record
+        if self.on_record is not None:
+            self.on_record(record)
+        self._apply_entry(uri, key, imported)
+        return record
+
     def adopt_vector(self, snap_vector: Dict[str, int]) -> None:
         """After installing a full snapshot taken at *snap_vector*: raise
         our vector and compaction horizon to cover everything the
@@ -302,7 +345,9 @@ class RCStore:
             self.records_compacted += dropped
         return dropped
 
-    def gc_tombstones(self, stable: Dict[str, int]) -> int:
+    def gc_tombstones(self, stable: Dict[str, int],
+                      now: Optional[float] = None,
+                      grace: float = 0.0) -> int:
         """Remove tombstones every configured peer has acked past.
 
         *stable* must be the min over **all** configured peers' vectors
@@ -311,6 +356,13 @@ class RCStore:
         pre-delete write win the next merge — resurrection. The
         ``safe_gc_enabled = False`` branch drops that guard for the
         model checker's ``--bug early-gc``.
+
+        The vector guard only covers *this group's* peers. When the
+        store also receives cross-group imports (shard handoff), pass a
+        wall-clock *grace*: a tombstone younger than ``grace`` at local
+        time *now* is retained even if every group peer acked it, so a
+        delayed foreign janitor still finds the tombstone that refuses
+        its stale pre-delete entry.
         """
         removed = 0
         for uri in list(self.data):
@@ -319,13 +371,19 @@ class RCStore:
                 entry = bucket[key]
                 if not entry.deleted:
                     continue
-                if (self.safe_gc_enabled
-                        and stable.get(entry.origin, 0) < entry.seq):
-                    continue  # some peer hasn't acked past the delete yet
+                if self.safe_gc_enabled:
+                    if stable.get(entry.origin, 0) < entry.seq:
+                        continue  # a peer hasn't acked past the delete
+                    if now is not None and now - entry.wall < grace:
+                        continue  # within cross-group handoff grace
                 del bucket[key]
                 removed += 1
             if not bucket:
                 del self.data[uri]
+                self._bucket_live.pop(uri, None)
+                i = bisect_left(self._index, uri)
+                if i < len(self._index) and self._index[i] == uri:
+                    del self._index[i]
         self.tombstones_collected += removed
         return removed
 
@@ -334,6 +392,9 @@ class RCStore:
         """Wipe replica state in place (a crash losing memory), keeping
         the observer hooks attached so oracles and journals survive."""
         self.data.clear()
+        self._index.clear()
+        self._bucket_live.clear()
+        self._live_uris = 0
         self.logs.clear()
         self.vector.clear()
         self.compacted.clear()
@@ -349,9 +410,26 @@ class RCStore:
                    for e in bucket.values() if e.deleted)
 
     def _apply_entry(self, uri: str, key: str, entry: Entry) -> None:
-        bucket = self.data.setdefault(uri, {})
+        bucket = self.data.get(uri)
+        if bucket is None:
+            bucket = self.data[uri] = {}
+            insort(self._index, uri)
         current = bucket.get(key)
         if current is None or not self.lww_enabled or entry.stamp() > current.stamp():
+            was_live = current is not None and not current.deleted
+            now_live = not entry.deleted
+            if was_live != now_live:
+                n = self._bucket_live.get(uri, 0)
+                if now_live:
+                    if n == 0:
+                        self._live_uris += 1
+                    self._bucket_live[uri] = n + 1
+                else:
+                    if n == 1:
+                        self._live_uris -= 1
+                        del self._bucket_live[uri]
+                    elif n > 1:
+                        self._bucket_live[uri] = n - 1
             bucket[key] = entry
             self.applied += 1
         if self.on_apply is not None:
@@ -377,13 +455,51 @@ class RCStore:
         walls = [e.wall for e in self.data.get(uri, {}).values() if not e.deleted]
         return max(walls) if walls else -1.0
 
-    def query(self, prefix: str) -> List[str]:
-        """URIs starting with *prefix* that have at least one live assertion."""
-        return sorted(
-            uri
-            for uri, bucket in self.data.items()
-            if uri.startswith(prefix) and any(not e.deleted for e in bucket.values())
-        )
+    def query(self, prefix: str, after: Optional[str] = None,
+              limit: Optional[int] = None) -> List[str]:
+        """URIs starting with *prefix* that have at least one live
+        assertion, in sorted order.
+
+        Bisects the sorted uri index to the prefix range instead of
+        scanning every name the replica holds. ``after`` resumes
+        strictly past a previous page's last uri and ``limit`` caps the
+        page size, so cross-shard scatter-gather can stream large
+        namespaces without one unbounded response.
+        """
+        if after is not None and after >= prefix:
+            lo = bisect_right(self._index, after)
+        else:
+            lo = bisect_left(self._index, prefix)
+        out: List[str] = []
+        for i in range(lo, len(self._index)):
+            uri = self._index[i]
+            if not uri.startswith(prefix):
+                break  # index is sorted: the prefix block is contiguous
+            if self._bucket_live.get(uri):
+                out.append(uri)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def live_uri_count(self) -> int:
+        """URIs with at least one live assertion (the shard split
+        trigger reads this every poll, so it must stay O(1))."""
+        return self._live_uris
+
+    def iter_uris(self) -> List[str]:
+        """Snapshot of every uri this replica holds — tombstoned ones
+        included — in sorted order (the shard janitor's scan surface)."""
+        return list(self._index)
+
+    def mark_moved(self, uri: str, key: str, wall: float) -> Record:
+        """Overwrite one register with a shard-handoff tombstone.
+
+        A normal tombstone, except its value marks *why* the register
+        died — migration, not deletion — so the janitor never forwards
+        it to the owning shard (which already received the live entry,
+        stamp-preserved) and group peers that merge it stop forwarding
+        their own copies too."""
+        return self._accept(uri, key, MOVED, wall, deleted=True)
 
     def digest(self) -> Dict[str, int]:
         """Copy of the version vector (what a peer needs for a sync)."""

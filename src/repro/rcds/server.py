@@ -83,6 +83,7 @@ class RCServer:
         sync_rounds: int = 8,
         sync_spacing: float = 0.02,
         compact_interval: float = 2.0,
+        tombstone_grace: float = 0.0,
         peer_stale_after: float = 10.0,
         log_keep_tail: int = 32,
         durable: bool = True,
@@ -109,6 +110,14 @@ class RCServer:
         #: Pause between consecutive batches of one round.
         self.sync_spacing = sync_spacing
         self.compact_interval = compact_interval
+        #: Minimum wall-clock age before a tombstone is GC-eligible.
+        #: The vector-based guard in ``gc_tombstones`` only covers this
+        #: replica group's peers — any *cross-group* source of imports
+        #: (shard handoff via ``rc.install``) needs a time floor instead:
+        #: retention must exceed the maximum handoff delay, or a janitor
+        #: delayed past it can re-install a stale pre-delete entry after
+        #: the tombstone that would have refused it is gone.
+        self.tombstone_grace = tombstone_grace
         #: A peer not heard from for this long stops holding the *log*
         #: compaction watermark back (it will catch up from a snapshot);
         #: tombstone GC still waits for every configured peer.
@@ -203,7 +212,9 @@ class RCServer:
         return {"count": len(records)}
 
     def _h_query(self, args: Dict) -> List[str]:
-        return self.store.query(args.get("prefix", ""))
+        return self.store.query(args.get("prefix", ""),
+                                after=args.get("after"),
+                                limit=args.get("limit"))
 
     def _apply_delay(self, n: int):
         """CPU time to assemble/apply *n* sync records, stretched when the
@@ -475,7 +486,8 @@ class RCServer:
                 if dropped:
                     self._m_compactions.inc()
                 removed = self.store.gc_tombstones(
-                    self._stability(include_stale=True))
+                    self._stability(include_stale=True),
+                    now=self.sim.now, grace=self.tombstone_grace)
                 if removed:
                     self._m_tombstones_gc.inc()
                 self._g_records.set(self.store.record_count())
@@ -598,8 +610,13 @@ class RCServer:
 
     def _on_host_crash(self, host) -> None:
         # Memory is gone; the disk dict survives. Hooks stay attached so
-        # oracles and the journal keep observing the rebuilt store.
+        # oracles and the journal keep observing the rebuilt store. The
+        # probe tells shadowing oracles to wipe their reference models
+        # too — the rebuilt store starts from the snapshot, not from the
+        # full apply history the mirror accumulated.
         self.store.clear()
+        if self.sim.probes is not None:
+            self.sim.probes.emit("rcds.wipe", server=self.store.server_id)
 
     def _on_host_recover(self, host) -> None:
         self.restores += 1

@@ -1553,6 +1553,358 @@ def run_partition_heal(
     }
 
 
+# ---------------------------------------------------------------------------
+# Sharded-catalog scenario (experiment E18's fault case)
+# ---------------------------------------------------------------------------
+
+def build_shard_env(
+    seed: int,
+    n_workers: int = 3,
+    split_threshold: int = 24,
+    replicas_per_shard: int = 3,
+    rc_server_kw: Optional[Dict] = None,
+    manager_kw: Optional[Dict] = None,
+) -> Tuple[SnipeEnvironment, List[str]]:
+    """The shard chaos site: a sharded catalog on the core hosts, workers
+    each alone behind the gateway so they can be isolated.
+
+    The root directory group sits at the usual RC port on c0/c1/c2; one
+    initial ``app`` shard owns ``snipe://app/`` with its replica group on
+    the same core hosts (different port). The director runs on the
+    gateway — deliberately off the core hosts, so a core crash stresses
+    the shard groups without also beheading map publication."""
+    env = SnipeEnvironment(seed=seed)
+    env.add_segment("core-lan")
+    for name in ("c0", "c1", "c2"):
+        env.add_host(name, segments=["core-lan"])
+    gw = env.add_host("gw", segments=["core-lan"], forwarding=True)
+    workers = []
+    for i in range(n_workers):
+        seg = env.add_segment(f"s-w{i}")
+        env.topology.connect(gw, seg)
+        env.add_host(f"w{i}", segments=[f"s-w{i}"], arch="worker")
+        workers.append(f"w{i}")
+    env.add_rc_servers(["c0", "c1", "c2"], sharded=True,
+                       **dict(rc_server_kw or {}))
+    mgr = env.enable_sharding(
+        split_threshold=split_threshold,
+        replicas_per_shard=replicas_per_shard,
+        director_host="gw",
+        **dict(manager_kw or {}))
+    mgr.add_shard("app", ("snipe://app/",))
+    mgr.start()
+    mgr.seed_map()
+    return env, workers
+
+
+def start_shard_sessions(
+    env: SnipeEnvironment,
+    workers: List[str],
+    t0: float,
+    t1: float,
+    n_keys: int = 48,
+    interval: float = 0.25,
+    retire_frac: float = 0.2,
+    retire_window: Tuple[float, float] = (0.0, 0.0),
+) -> Dict:
+    """Closed-loop write/delete load through the sharded facade.
+
+    Every key is written at QUORUM through a :class:`ShardedRCClient`
+    (each worker host gets one), with a monotonic sequence number as the
+    value — an ack means a majority of the *owning* group at that epoch
+    accepted it, which is exactly the durability the quiescent checks
+    hold the federation to while splits move the ownership under the
+    writers. The first ``retire_frac`` keys stop at a seeded time inside
+    *retire_window* and are deleted; a retired key reappearing after
+    migration with a stamp *older* than its delete is a resurrection
+    across the split boundary. (A strictly newer stamp is not: an
+    abandoned write kept alive by transport retransmission can land
+    after the delete and win LWW — base-catalog semantics the shard
+    layer must preserve, not mask.)"""
+    from repro.rcds.client import QUORUM, ConsistencyError
+
+    rng = env.sim.rng.stream("shard.load")
+    n_retire = int(n_keys * retire_frac)
+    tracked: Dict = {
+        "writes_ok": 0, "writes_failed": 0,
+        "deletes_ok": 0, "deletes_failed": 0,
+        "acked": {}, "retired": {}, "keys": [],
+    }
+
+    def _driver(i: int) -> None:
+        # Structured names so splits have a radix to bite on.
+        uri = f"snipe://app/g{i % 4}/k{i:03d}"
+        tracked["keys"].append(uri)
+        wname = workers[i % len(workers)]
+        client = env.rc_client(wname)
+        jitter = env.sim.rng.stream(f"shard.load.k{i}")
+        retire_t = rng.uniform(*retire_window) if i < n_retire else None
+
+        def writer():
+            yield env.sim.timeout(max(0.0, t0 - env.sim.now))
+            n = 0
+            stop = retire_t if retire_t is not None else t1
+            while env.sim.now < stop:
+                n += 1
+                try:
+                    yield client.update(uri, {"v": n}, consistency=QUORUM)
+                    tracked["writes_ok"] += 1
+                    tracked["acked"][uri] = (n, env.sim.now)
+                except ConsistencyError:
+                    tracked["writes_failed"] += 1
+                yield env.sim.timeout(interval * (0.75 + 0.5 * jitter.random()))
+            if retire_t is None:
+                return
+            for _ in range(5):
+                try:
+                    yield client.delete(uri, consistency=QUORUM)
+                    tracked["deletes_ok"] += 1
+                    tracked["retired"][uri] = env.sim.now
+                    tracked["acked"].pop(uri, None)
+                    return
+                except ConsistencyError:
+                    yield env.sim.timeout(0.5)
+            tracked["deletes_failed"] += 1
+
+        env.sim.process(writer(), name=f"shard-load:k{i}")
+
+    for i in range(n_keys):
+        _driver(i)
+    return tracked
+
+
+def run_shard_chaos(
+    seed: int,
+    n_workers: int = 3,
+    n_keys: int = 48,
+    duration: float = 90.0,
+    interval: float = 0.25,
+    split_threshold: int = 24,
+    instrument: Optional[Callable] = None,
+    obs_sample: Optional[float] = None,
+    flight: bool = True,
+) -> Dict:
+    """One seeded sharded-catalog chaos run; returns a report dict.
+
+    Write/delete load through the facade drives the ``app`` shard past
+    its split threshold while seeded faults land mid-migration: a core
+    host (carrying shard replicas) crashes and recovers, and one worker
+    is partitioned away and heals. At quiescence the federation must
+    show:
+
+    * **splits-exercised** — the load actually forced at least one
+      split, so the faults raced a migration rather than a quiet map;
+    * **groups-converged** — within every shard replica group, the
+      replicas agree on the visible state of every tracked name
+      (per-shard LWW convergence);
+    * **placement-clean** — every live tracked name is visible *only*
+      in the group that owns it under the final map: in particular no
+      name is visible in both a split parent and its child;
+    * **writes-survive** — each live key's converged value is at least
+      its last acknowledged write, and no retired key resurrected;
+    * **queries-complete** — a scatter-gather prefix query through the
+      facade returns exactly the live tracked keys.
+    """
+    from repro.check.oracles import ProbeBus
+    from repro.rcds.records import MOVED
+
+    env, workers = build_shard_env(seed, n_workers,
+                                   split_threshold=split_threshold)
+    _instrument_sim(env.sim, instrument, obs_sample)
+    bus = ProbeBus()
+    env.sim.probes = bus
+    recorder = _arm_flight(env.sim, bus) if flight else None
+    mgr = env.shard_manager
+    env.settle(2.0)
+
+    fault_stop = duration * 0.5
+    t0, t1 = 3.0, fault_stop + 10.0
+    load = start_shard_sessions(
+        env, workers, t0, t1, n_keys=n_keys, interval=interval,
+        retire_window=(fault_stop * 0.5, fault_stop * 0.9))
+
+    rng = env.sim.rng.stream("shard-chaos.schedule")
+    events: List[str] = []
+    core = ["c1", "c2"]  # c0 carries the director's RC client: keep it up
+    victim = core[rng.randrange(len(core))]
+    t_crash = rng.uniform(8.0, fault_stop * 0.6)
+    d_crash = rng.uniform(4.0, 8.0)
+    env.failures.host_down_at(t_crash, victim, duration=d_crash)
+    events.append(f"t={t_crash:5.1f}s crash {victim} (shard replicas) "
+                  f"for {d_crash:.1f}s")
+    w = workers[rng.randrange(len(workers))]
+    t_part = rng.uniform(8.0, fault_stop * 0.7)
+    d_part = rng.uniform(4.0, 8.0)
+    env.failures.segment_down_at(t_part, f"s-{w}", duration=d_part)
+    events.append(f"t={t_part:5.1f}s partition {w} for {d_part:.1f}s")
+    events.sort()
+
+    env.run(until=duration)
+    env.settle(12.0)  # anti-entropy + handoff janitors drain
+
+    # -- quiescent checks ---------------------------------------------------
+    final_map = mgr.map
+    groups = {sid: grp for sid, grp in mgr.servers.items()}
+    tracked_set = set(load["keys"])
+
+    diverged: List[Tuple[str, str]] = []
+    misplaced: List[Tuple[str, str]] = []
+    dual: List[str] = []
+    for uri in sorted(tracked_set):
+        owner_sid = final_map.route(uri)
+        visible_in: List[str] = []
+        for sid, grp in groups.items():
+            views = [_visible_state(s.store, uri) for s in grp.values()]
+            if any(v != views[0] for v in views[1:]):
+                diverged.append((uri, sid))
+            if any(views):
+                visible_in.append(sid)
+                if sid != owner_sid:
+                    misplaced.append((uri, sid))
+        if len(visible_in) > 1:
+            dual.append(uri)
+
+    # LWW-honest survival checks: an entry stamped at/after the last ack
+    # (or the delete) is a *later* write that legitimately won — e.g. an
+    # abandoned RPC replayed by the transport after a partition healed.
+    # What the shard layer must never produce is an *older* stamp
+    # resurfacing: that is a record lost or replayed across a migration.
+    _EPS = 1.0
+    stale: List[Tuple[str, str, Optional[int], int]] = []
+    for uri, (n_acked, t_acked) in load["acked"].items():
+        grp = groups[final_map.route(uri)]
+        views = [_visible_state(s.store, uri) for s in grp.values()]
+        got = views[0].get("v") if views and views[0] else None
+        if got is None:
+            stale.append((uri, final_map.route(uri), None, n_acked))
+        elif got[3] < n_acked and got[0] < t_acked - _EPS:
+            stale.append((uri, final_map.route(uri), got[3], n_acked))
+    resurrected = []
+    zombie_revived = 0
+    for uri, t_deleted in load["retired"].items():
+        for sid, grp in groups.items():
+            views = [v for v in (_visible_state(s.store, uri)
+                                 for s in grp.values()) if v]
+            if not views:
+                continue
+            got = views[0].get("v")
+            if got is not None and got[0] >= t_deleted - _EPS:
+                zombie_revived += 1  # newer stamp: a legitimate LWW winner
+            else:
+                resurrected.append((uri, sid))
+
+    # Ground truth for the federation query: what the owning groups
+    # actually hold live at quiescence (acked state modulo zombies).
+    truth = sorted(
+        uri for uri in tracked_set
+        if any(_visible_state(s.store, uri)
+               for s in groups[final_map.route(uri)].values()))
+    client = env.rc_client(workers[0])
+    queried = [u for u in env.run(until=client.query("snipe://app/"))
+               if u in tracked_set]
+    query_missing = sorted(set(truth) - set(queried))
+    query_extra = sorted(set(queried) - set(truth))
+
+    redirects = sum(s.redirects for g in groups.values() for s in g.values())
+    handoffs = sum(s.handoffs for g in groups.values() for s in g.values())
+    moved_markers = sum(
+        1 for g in groups.values() for s in g.values()
+        for bucket in s.store.data.values()
+        for e in bucket.values() if e.deleted and e.value == MOVED)
+
+    invariants: List[Tuple[str, bool, str]] = [
+        ("splits-exercised",
+         mgr.splits >= 1,
+         f"{mgr.splits} splits, map at epoch {final_map.epoch} with "
+         f"{len(final_map.shards)} shards; {handoffs} records handed off"),
+        ("groups-converged",
+         not diverged,
+         "every shard replica group agrees on every tracked name"
+         if not diverged else f"diverged (uri, shard): {diverged[:4]}"),
+        ("placement-clean",
+         not misplaced and not dual,
+         f"every live name only in its owning group "
+         f"({moved_markers} migration tombstones left behind)"
+         if not (misplaced or dual)
+         else f"misplaced: {misplaced[:4]}; parent+child visible: {dual[:4]}"),
+        ("writes-survive",
+         not stale and not resurrected,
+         f"{len(load['acked'])} live keys at/past last acked write, "
+         f"{len(load['retired'])} retired keys stayed deleted "
+         f"({zombie_revived} revived by later-stamped in-flight writes)"
+         if not (stale or resurrected)
+         else f"stale: {stale[:4]}; resurrected: {resurrected[:4]}"),
+        ("queries-complete",
+         not query_missing and not query_extra,
+         f"facade query returned all {len(truth)} live keys"
+         if not (query_missing or query_extra)
+         else f"missing: {query_missing[:4]}; extra: {query_extra[:4]}"),
+    ]
+    ok = all(inv_ok for _, inv_ok, _ in invariants)
+    flight_records = None
+    if recorder is not None and not ok:
+        for name, inv_ok, detail in invariants:
+            if not inv_ok:
+                recorder.note_violation(f"invariant:{name}", env.sim.now, detail)
+        flight_records = recorder.snapshot()
+    return {
+        "seed": seed,
+        "workers": n_workers,
+        "n_keys": n_keys,
+        "split_threshold": split_threshold,
+        "events": events,
+        "fault_log": list(env.failures.log),
+        "flight": flight_records,
+        "splits": mgr.splits,
+        "epoch": final_map.epoch,
+        "shards": sorted(final_map.shards),
+        "redirects": redirects,
+        "redirect_retries": sum(
+            c.redirect_retries for c in env._clients.values()
+            if hasattr(c, "redirect_retries")),
+        "handoffs": handoffs,
+        "writes_ok": load["writes_ok"],
+        "writes_failed": load["writes_failed"],
+        "deletes_ok": load["deletes_ok"],
+        "retired": len(load["retired"]),
+        "invariants": invariants,
+        "ok": ok,
+        "finished_at": env.sim.now,
+    }
+
+
+def format_shard_report(report: Dict) -> str:
+    """Human-readable sharded-catalog chaos report for the CLI."""
+    lines = [
+        f"shard chaos run: seed={report['seed']} workers={report['workers']} "
+        f"keys={report['n_keys']} split_threshold={report['split_threshold']}",
+        "",
+        "fault schedule:",
+    ]
+    lines += [f"  {e}" for e in report["events"]] or ["  (none)"]
+    lines.append("")
+    lines.append(
+        f"federation  : {len(report['shards'])} shards at epoch "
+        f"{report['epoch']} after {report['splits']} splits: "
+        f"{', '.join(report['shards'])}")
+    lines.append(
+        f"migration   : {report['handoffs']} records handed off, "
+        f"{report['redirects']} stale-epoch redirects fenced, "
+        f"{report['redirect_retries']} client re-routes")
+    lines.append(
+        f"load        : {report['writes_ok']} writes ok / "
+        f"{report['writes_failed']} failed, {report['deletes_ok']} deletes "
+        f"({report['retired']} keys retired)")
+    lines.append("")
+    lines.append("invariants:")
+    for name, ok, detail in report["invariants"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    lines.append("")
+    lines.append(f"RESULT: {'OK' if report['ok'] else 'FAILED'} "
+                 f"(simulated {report['finished_at']:.1f}s)")
+    return "\n".join(lines)
+
+
 def format_heal_report(report: Dict) -> str:
     """Human-readable partition-heal report for the CLI."""
     rc = report["reconverge_s"]

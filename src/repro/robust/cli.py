@@ -41,17 +41,20 @@ from repro.robust.chaos import (
     format_heal_report,
     format_overload_report,
     format_report,
+    format_shard_report,
     run_bulk_chaos,
     run_chaos,
     run_gray,
     run_overload,
     run_partition_heal,
+    run_shard_chaos,
 )
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scenario",
-                   choices=("faults", "overload", "bulk", "gray", "heal"),
+                   choices=("faults", "overload", "bulk", "gray", "heal",
+                            "shard"),
                    default="faults",
                    help="faults: crash/partition chaos (default); "
                         "overload: bulk saturation, no crashes; "
@@ -59,7 +62,10 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
                         "gray: zombie replica, clock skew, corruption, "
                         "one-way links — nothing fail-stop; "
                         "heal: replica partitioned past the compaction "
-                        "horizon under write/delete load, then healed")
+                        "horizon under write/delete load, then healed; "
+                        "shard: sharded catalog splitting under write load "
+                        "while a shard replica crashes and a worker is "
+                        "partitioned")
     p.add_argument("--workers", type=int, default=4, help="worker hosts (default 4)")
     p.add_argument("--steps", type=int, default=60,
                    help="[faults] work units per task (default 60)")
@@ -137,6 +143,14 @@ def _run_one(seed: int, args) -> dict:
             instrument=instrument,
             obs_sample=args.obs_sample,
         )
+    elif args.scenario == "shard":
+        report = run_shard_chaos(
+            seed,
+            n_workers=min(args.workers, 3),
+            duration=args.duration if args.duration is not None else 90.0,
+            instrument=instrument,
+            obs_sample=args.obs_sample,
+        )
     else:
         report = run_chaos(
             seed,
@@ -173,18 +187,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS))
     _add_run_args(p_sweep)
     p_bench = sub.add_parser(
-        "bench", help="robustness benchmarks: E15 gray goodput or E16 heal "
-                      "reconvergence")
-    p_bench.add_argument("--experiment", choices=("gray", "heal"),
+        "bench", help="robustness benchmarks: E15 gray goodput, E16 heal "
+                      "reconvergence, or E18 catalog scale")
+    p_bench.add_argument("--experiment", choices=("gray", "heal", "catalog"),
                          default="gray",
                          help="gray: E15, differential detector vs "
                               "heartbeat-only; heal: E16, bounded "
                               "anti-entropy vs the unbounded blob, plus "
-                              "blackout restore (default: gray)")
+                              "blackout restore; catalog: E18, sharded "
+                              "federation vs full replication at 10^4-10^5 "
+                              "names plus a shard split under live load "
+                              "(default: gray)")
     p_bench.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     p_bench.add_argument("--duration", type=float, default=None,
                          help="simulated-seconds budget per run "
-                              "(default: 40 for gray, 100 for heal)")
+                              "(default: 40 for gray, 100 for heal, "
+                              "20 for catalog)")
+    p_bench.add_argument("--names", type=int, nargs="+", default=None,
+                         help="[catalog] preloaded catalog sizes per row "
+                              "(default: 10000 100000)")
+    p_bench.add_argument("--split-names", type=int, default=None,
+                         help="[catalog] preload size for the "
+                              "split-under-load run (default: 3000)")
+    p_bench.add_argument("--clients", type=int, default=None,
+                         help="[catalog] client hosts driving the "
+                              "closed-loop mix (default: 8)")
     p_bench.add_argument("--json-dir", default=".",
                          help="directory for the BENCH json "
                               "(default: current directory)")
@@ -194,6 +221,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         import time as _time
 
         from repro.obs.report import write_bench_json
+
+        if args.experiment == "catalog":
+            from repro.bench.e18_catalog_scale import (
+                catalog_scale,
+                format_catalog_bench,
+                split_under_load,
+                summarize,
+            )
+
+            t0 = _time.monotonic()
+            window = args.duration if args.duration is not None else 20.0
+            kw = {}
+            if args.names is not None:
+                kw["name_counts"] = tuple(args.names)
+            if args.clients is not None:
+                kw["n_client_hosts"] = args.clients
+            rows = catalog_scale(seed=args.seeds[0], window=window, **kw)
+            skw = {}
+            if args.split_names is not None:
+                skw["n_names"] = args.split_names
+            holder = {}
+            split = split_under_load(
+                seed=args.seeds[0], window=min(window + 10.0, 30.0),
+                instrument=lambda sim: holder.setdefault("sim", sim), **skw)
+            print(format_catalog_bench(rows, split))
+            metrics = (holder["sim"].obs.metrics.export()
+                       if holder.get("sim") is not None else None)
+            path = write_bench_json(
+                "catalog_scale", rows, args.json_dir,
+                wall_s=round(_time.monotonic() - t0, 2), scenario="catalog",
+                seed=args.seeds[0], metrics=metrics,
+                extra={"summary": summarize(rows, split), "split": split},
+            )
+            print(f"\nbench json written: {path}")
+            sharded = [r for r in rows if r["config"] == "sharded"]
+            # misses are a hard zero (every preloaded name must resolve);
+            # failed ops get a 0.1%-of-writes allowance — at the saturated
+            # top scale a closed-loop QUORUM write can exhaust its retry
+            # budget without indicting the federation.
+            ok = (all(r["misses"] == 0
+                      and r["failed"] <= 0.001 * (r["updates"] + r["creates"])
+                      for r in sharded)
+                  and split["splits"] >= 1 and split["drain_s"] is not None)
+            return 0 if ok else 1
 
         if args.experiment == "heal":
             from repro.bench.e16_heal import (
@@ -249,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_gray_report(report))
         elif args.scenario == "heal":
             print(format_heal_report(report))
+        elif args.scenario == "shard":
+            print(format_shard_report(report))
         else:
             print(format_report(report))
         return 0 if report["ok"] else 1
@@ -286,6 +359,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"ctl_p99={'%.0fms' % (p99 * 1000) if p99 is not None else 'n/a'} "
                 f"hb_fo={report['heartbeat_failovers']} "
                 f"resurrected={len(report['resurrected'])} "
+                + (f"failed: {bad}" if bad else "")
+            )
+        elif args.scenario == "shard":
+            bad = [name for name, ok, _ in report["invariants"] if not ok]
+            print(
+                f"seed {seed:4d}: {'OK  ' if report['ok'] else 'FAIL'} "
+                f"splits={report['splits']} epoch={report['epoch']} "
+                f"redirects={report['redirects']} "
+                f"handoffs={report['handoffs']} "
                 + (f"failed: {bad}" if bad else "")
             )
         elif args.scenario == "gray":

@@ -130,6 +130,37 @@ def test_e17_kernel_scale_small():
     assert all(r["wall_s"] < 5.0 for r in rows)
 
 
+def test_e18_catalog_scale_small():
+    from repro.bench.e18_catalog_scale import (
+        catalog_scale,
+        format_catalog_bench,
+        summarize,
+    )
+
+    rows = catalog_scale(name_counts=(400,), n_shards=2, window=4.0,
+                         n_client_hosts=2, sessions_per_host=2)
+    assert [r["config"] for r in rows] == ["sharded", "full-replication"]
+    # Pin the row schema BENCH_catalog_scale.json archives.
+    assert set(rows[0]) == {
+        "config", "names", "shards", "servers", "clients", "window_s",
+        "lookups", "updates", "creates", "queries", "failed", "misses",
+        "ops_per_s", "lookups_per_s", "updates_per_s", "lookup_p50_ms",
+        "lookup_p99_ms", "update_p99_ms", "query_p99_ms", "redirects",
+        "preload_s", "wall_s",
+    }
+    for r in rows:
+        # Steady state (no splits, no churned map): every preloaded name
+        # resolves and no quorum is ever lost.
+        assert r["misses"] == 0 and r["failed"] == 0
+        assert r["lookups"] > 0 and r["updates"] > 0
+    # Wall-clock canary, same spirit as E17's: tiny configs must stay
+    # interactive or the preload/anti-entropy fast paths regressed.
+    assert all(r["wall_s"] < 10.0 for r in rows)
+    s = summarize(rows)
+    assert s["max_names"] == 400 and s["speedup_ops"] is not None
+    assert "E18" in format_catalog_bench(rows)
+
+
 def test_format_table_alignment():
     rows = [{"a": 1, "bb": 2.34567}, {"a": 100, "bb": 0.5}]
     text = format_table(rows)

@@ -96,7 +96,7 @@ def test_default_slos_cover_the_paper_objectives():
     metrics = {s.metric for s in DEFAULT_SLOS}
     assert metrics == {"overload.control_latency", "daemon.heartbeats_failed",
                        "guardian.recovery_latency", "rpc.requests_shed",
-                       "rcds.sync_batch_records"}
+                       "rcds.sync_batch_records", "rcds.redirects"}
 
 
 def test_monitor_flags_transient_breach():
